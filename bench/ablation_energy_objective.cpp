@@ -1,0 +1,96 @@
+// Ablation: the energy-aware trade-off objective (paper contribution 2:
+// "selects the best number of skip connections to optimize the trade-off
+// between accuracy drop and energy efficiency").
+//
+// Runs the BO adaptation with the scalarized objective
+//   -accuracy + lambda * energy / energy(vanilla)
+// for a sweep of lambda. Expectation: lambda = 0 maximizes accuracy
+// regardless of cost; growing lambda trades accuracy for lower estimated
+// inference energy (fewer MACs via fewer DSC edges and/or lower firing
+// rates via fewer ASC edges).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/adapter.h"
+#include "graph/mac_counter.h"
+#include "metrics/metrics.h"
+#include "metrics/report.h"
+#include "train/evaluate.h"
+#include "util/csv.h"
+
+using namespace snnskip;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  std::printf("=== Ablation: accuracy/energy trade-off objective ===\n\n");
+
+  TextTable table({"lambda", "test acc", "firing rate", "MACs/step",
+                   "energy (nJ)"});
+  CsvWriter csv("ablation_energy_objective.csv",
+                {"lambda", "test_acc", "rate", "macs", "energy_pj"});
+
+  for (const double lambda : {0.0, 0.5, 2.0}) {
+    EvaluatorConfig ecfg;
+    ecfg.model = args.get("model", "single_block");
+    ecfg.model_cfg.width = benchcfg::width(args, 6);
+    ecfg.finetune = benchcfg::train_config(args, 1);
+    ecfg.finetune.epochs = 1;
+    ecfg.scratch = benchcfg::train_config(args, 6);
+    ecfg.seed = 301;
+    ecfg.energy_weight = lambda;
+
+    SyntheticConfig dc = benchcfg::data_config(args);
+    CandidateEvaluator evaluator(ecfg, make_datasets("cifar10-dvs", dc));
+
+    // Vanilla baseline: seeds the store AND defines the energy reference.
+    const EncodingVec base_code = evaluator.space().encode(
+        default_adjacencies(ecfg.model, evaluator.model_config()));
+    Network base = evaluator.build(base_code);
+    fit(base, NeuronMode::Spiking, evaluator.data().train, nullptr,
+        ecfg.scratch);
+    evaluator.store().store_from(base);
+    FiringRateRecorder base_rec;
+    const EvalResult base_eval =
+        evaluate(base, NeuronMode::Spiking, *evaluator.data().val,
+                 ecfg.scratch, &base_rec);
+    evaluator.set_energy_reference(evaluator.candidate_energy_pj(
+        evaluator.candidate_macs(base_code), base_eval.firing_rate));
+
+    BoConfig bo;
+    bo.initial_design = 3;
+    bo.iterations = args.get_int("iterations", 3);
+    bo.batch_k = 2;
+    bo.candidate_pool = 64;
+    bo.noise = 1e-2;
+    bo.seed = 311;
+    const SearchTrace trace = bo_trace(evaluator, bo);
+
+    Network best = evaluator.build(trace.best);
+    evaluator.store().load_into(best);
+    fit(best, NeuronMode::Spiking, evaluator.data().train, nullptr,
+        ecfg.scratch);
+    FiringRateRecorder rec;
+    const EvalResult test =
+        evaluate(best, NeuronMode::Spiking, *evaluator.data().test,
+                 ecfg.scratch, &rec);
+    const std::int64_t macs = evaluator.candidate_macs(trace.best);
+    const double energy = evaluator.candidate_energy_pj(macs, test.firing_rate);
+
+    table.add_row({CsvWriter::num(lambda), pct(test.accuracy),
+                   pct(test.firing_rate), std::to_string(macs),
+                   CsvWriter::num(energy / 1e3)});
+    csv.row({CsvWriter::num(lambda), CsvWriter::num(test.accuracy),
+             CsvWriter::num(test.firing_rate),
+             CsvWriter::num(static_cast<std::size_t>(macs)),
+             CsvWriter::num(energy)});
+    std::printf("lambda=%.1f done\n", lambda);
+  }
+
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf("rows written to ablation_energy_objective.csv\n");
+  std::printf("reading: larger lambda should push the search toward "
+              "cheaper architectures (lower MACs x rate product), trading "
+              "some accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: surrogate-gradient family (supports the paper's §II discussion
+// of surrogate-gradient training — the approximation choice matters).
+//
+// Trains the Fig. 1 probe network with each surrogate derivative
+// (fast-sigmoid / atan / boxcar) at two sharpness settings and reports test
+// accuracy and firing rate. Not a paper figure; an ablation DESIGN.md
+// schedules to validate that the library's default (fast-sigmoid, the
+// SuperSpike choice) is a reasonable one.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/metrics.h"
+#include "metrics/report.h"
+#include "models/zoo.h"
+#include "train/evaluate.h"
+#include "util/csv.h"
+
+using namespace snnskip;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const SyntheticConfig data_cfg = benchcfg::data_config(args);
+  const TrainConfig train_cfg = benchcfg::train_config(args, 6);
+  const DatasetBundle data = make_datasets("cifar10-dvs", data_cfg);
+
+  std::printf("=== Ablation: surrogate gradient family on the single-block "
+              "probe ===\n\n");
+
+  TextTable table({"surrogate", "scale", "test acc", "firing rate"});
+  CsvWriter csv("ablation_surrogate.csv",
+                {"surrogate", "scale", "acc", "rate"});
+
+  for (const SurrogateKind kind :
+       {SurrogateKind::FastSigmoid, SurrogateKind::Atan,
+        SurrogateKind::Boxcar}) {
+    for (const float scale : {2.f, 5.f}) {
+      ModelConfig mc;
+      mc.in_channels = 2;
+      mc.num_classes = 10;
+      mc.max_timesteps = data_cfg.timesteps;
+      mc.width = benchcfg::width(args, 6);
+      mc.lif.surrogate.kind = kind;
+      mc.lif.surrogate.scale = scale;
+      Network net = build_model(
+          "single_block", mc, {Adjacency::uniform(4, SkipType::ASC, 2)});
+      fit(net, NeuronMode::Spiking, data.train, nullptr, train_cfg);
+      FiringRateRecorder rec;
+      const EvalResult res =
+          evaluate(net, NeuronMode::Spiking, *data.test, train_cfg, &rec);
+      table.add_row({to_string(kind),
+                     CsvWriter::num(static_cast<double>(scale)),
+                     pct(res.accuracy), pct(res.firing_rate)});
+      csv.row({to_string(kind), CsvWriter::num(static_cast<double>(scale)),
+               CsvWriter::num(res.accuracy), CsvWriter::num(res.firing_rate)});
+      std::printf("done: %s scale=%.0f\n", to_string(kind).c_str(), scale);
+    }
+  }
+
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf("rows written to ablation_surrogate.csv\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Microbenchmarks for the Bayesian-optimization substrate: GP fit/predict
+// scaling with observation count and acquisition evaluation over a
+// candidate pool (the per-iteration cost of the paper's search).
+
+#include <benchmark/benchmark.h>
+
+#include "opt/acquisition.h"
+#include "opt/encoding.h"
+#include "opt/gp.h"
+#include "util/rng.h"
+
+namespace snnskip {
+namespace {
+
+std::vector<std::vector<double>> random_points(int n, int slots,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EncodingVec code(static_cast<std::size_t>(slots));
+    for (auto& v : code) v = static_cast<int>(rng.uniform_int(3ULL));
+    xs.push_back(one_hot_features(code));
+  }
+  return xs;
+}
+
+void BM_GpFit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto xs = random_points(n, 18, 1);
+  Rng rng(2);
+  std::vector<double> ys;
+  for (int i = 0; i < n; ++i) ys.push_back(rng.normal());
+  for (auto _ : state) {
+    GaussianProcess gp(std::make_shared<RbfKernel>(2.0, 1.0), 1e-3);
+    gp.fit(xs, ys);
+    benchmark::DoNotOptimize(gp.num_observations());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_GpPredict(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto xs = random_points(n, 18, 3);
+  Rng rng(4);
+  std::vector<double> ys;
+  for (int i = 0; i < n; ++i) ys.push_back(rng.normal());
+  GaussianProcess gp(std::make_shared<RbfKernel>(2.0, 1.0), 1e-3);
+  gp.fit(xs, ys);
+  const auto probe = random_points(1, 18, 5)[0];
+  for (auto _ : state) {
+    const GpPrediction p = gp.predict(probe);
+    benchmark::DoNotOptimize(p.mean);
+  }
+}
+BENCHMARK(BM_GpPredict)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AcquisitionSweep(benchmark::State& state) {
+  // Score a 256-candidate pool — one BO proposal round.
+  const auto xs = random_points(32, 18, 6);
+  Rng rng(7);
+  std::vector<double> ys;
+  for (int i = 0; i < 32; ++i) ys.push_back(rng.normal());
+  GaussianProcess gp(std::make_shared<RbfKernel>(2.0, 1.0), 1e-3);
+  gp.fit(xs, ys);
+  const auto pool = random_points(256, 18, 8);
+  for (auto _ : state) {
+    double best = -1e18;
+    for (const auto& cand : pool) {
+      const GpPrediction p = gp.predict(cand);
+      best = std::max(best, acquisition_score(AcquisitionKind::Ucb, p, 0.0,
+                                              2.0));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_AcquisitionSweep);
+
+void BM_OneHotFeaturize(benchmark::State& state) {
+  Rng rng(9);
+  EncodingVec code(24);
+  for (auto& v : code) v = static_cast<int>(rng.uniform_int(3ULL));
+  for (auto _ : state) {
+    auto f = one_hot_features(code);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_OneHotFeaturize);
+
+}  // namespace
+}  // namespace snnskip
+
+BENCHMARK_MAIN();

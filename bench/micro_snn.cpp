@@ -1,0 +1,94 @@
+// Microbenchmarks for the spiking runtime: LIF step throughput, surrogate
+// backward, encoder throughput, and a full block timestep.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/block.h"
+#include "snn/encoders.h"
+#include "snn/lif.h"
+
+namespace snnskip {
+namespace {
+
+void BM_LifForward(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Lif lif(LifConfig{});
+  Rng rng(1);
+  Tensor x = Tensor::randn(Shape{n}, rng, 0.5f, 0.5f);
+  for (auto _ : state) {
+    Tensor s = lif.forward(x, false);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LifForward)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_LifTrainStep(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Lif lif(LifConfig{});
+  Rng rng(2);
+  Tensor x = Tensor::randn(Shape{n}, rng, 0.5f, 0.5f);
+  Tensor g = Tensor::randn(Shape{n}, rng);
+  for (auto _ : state) {
+    Tensor s = lif.forward(x, true);
+    Tensor gx = lif.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LifTrainStep)->Arg(16384);
+
+void BM_SurrogateGrad(benchmark::State& state) {
+  const Surrogate s{static_cast<SurrogateKind>(state.range(0)), 5.f};
+  float u = -1.f;
+  for (auto _ : state) {
+    float acc = 0.f;
+    for (int i = 0; i < 1024; ++i) {
+      acc += s.grad(u);
+      u += 0.001f;
+      if (u > 1.f) u = -1.f;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SurrogateGrad)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PoissonEncode(benchmark::State& state) {
+  PoissonEncoder enc(3);
+  Rng rng(4);
+  Tensor x = Tensor::rand(Shape{8, 3, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor s = enc.encode(x, 0);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_PoissonEncode);
+
+void BM_BlockTimestep(benchmark::State& state) {
+  // One forward timestep of the Fig. 1 probe block with mixed skips.
+  Rng rng(5);
+  BlockSpec spec;
+  spec.name = "bench";
+  spec.in_channels = 8;
+  for (int i = 0; i < 4; ++i) {
+    spec.nodes.push_back(NodePlan{NodeOp::Conv3x3, 8, 1, true});
+  }
+  Adjacency adj(4);
+  adj.set(0, 2, SkipType::DSC);
+  adj.set(1, 3, SkipType::ASC);
+  adj.set(0, 4, SkipType::DSC);
+  BlockConfig cfg;
+  cfg.max_timesteps = 8;
+  Block block(spec, adj, cfg, rng);
+  Tensor x = Tensor::randn(Shape{8, 8, 12, 12}, rng, 0.5f, 0.5f);
+  for (auto _ : state) {
+    Tensor y = block.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BlockTimestep);
+
+}  // namespace
+}  // namespace snnskip
+
+BENCHMARK_MAIN();

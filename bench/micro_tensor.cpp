@@ -1,0 +1,121 @@
+// Microbenchmarks for the tensor substrate: GEMM variants, im2col, the
+// channel operations behind the DSC/ASC joins, and a full conv layer pass.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace snnskip {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm(n, n, n, 1.f, a.data(), b.data(), 0.f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmSparseA(benchmark::State& state) {
+  // Spike matrices are mostly zero; the row-kernel skips zero multipliers.
+  const std::int64_t n = 128;
+  Rng rng(2);
+  Tensor a = Tensor::bernoulli(Shape{n, n}, rng,
+                               static_cast<float>(state.range(0)) / 100.f);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm(n, n, n, 1.f, a.data(), b.data(), 0.f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmSparseA)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_GemmNT(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(3);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm_nt(n, n, n, 1.f, a.data(), b.data(), 0.f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNT)->Arg(64);
+
+void BM_Im2Col(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  const ConvGeometry g{c, 16, 16, 3, 1, 1};
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{c, 16, 16}, rng);
+  Tensor cols(Shape{g.col_rows(), g.col_cols()});
+  for (auto _ : state) {
+    im2col(g, x.data(), cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ConcatChannels(benchmark::State& state) {
+  Rng rng(5);
+  Tensor a = Tensor::randn(Shape{8, 16, 12, 12}, rng);
+  Tensor b = Tensor::randn(Shape{8, 8, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor c = concat_channels({&a, &b});
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_ConcatChannels);
+
+void BM_GatherChannels(benchmark::State& state) {
+  Rng rng(6);
+  Tensor x = Tensor::randn(Shape{8, 32, 12, 12}, rng);
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < 32; i += 2) idx.push_back(i);
+  for (auto _ : state) {
+    Tensor g = gather_channels(x, idx);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_GatherChannels);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Rng rng(7);
+  Conv2d conv(c, c, 3, 1, 1, false, rng);
+  Tensor x = Tensor::randn(Shape{8, c, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  Rng rng(8);
+  Conv2d conv(16, 16, 3, 1, 1, false, rng);
+  Tensor x = Tensor::randn(Shape{8, 16, 12, 12}, rng);
+  Tensor g = Tensor::randn(Shape{8, 16, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    Tensor gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep);
+
+}  // namespace
+}  // namespace snnskip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// Reproduces Table I: for every (dataset, model) pair —
+//   ANN accuracy (CIFAR-10 stand-in only; DVS data has no ANN counterpart),
+//   vanilla SNN accuracy (the architecture's native skip layout),
+//   BO-optimized SNN accuracy (the paper's adaptation pipeline),
+//   vanilla and optimized average firing rates —
+// plus the per-dataset average accuracy gains reported in §IV-A.
+//
+// Expected shape (paper): optimized SNN beats vanilla SNN everywhere (the
+// paper averages +11.3 / +9.3 / +10.2 points per dataset); optimized firing
+// rates are moderately higher than vanilla; on CIFAR-10 the optimized SNN
+// approaches the ANN reference.
+//
+// Output: stdout table + table1_comparison.csv.
+// Runtime: ~9 adaptation pipelines; use --models / --datasets to subset or
+// --scale to grow budgets.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+#include "core/adapter.h"
+#include "metrics/metrics.h"
+#include "metrics/report.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+using namespace snnskip;
+
+namespace {
+
+std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto datasets = split_csv_list(
+      args.get("datasets", "cifar10,cifar10-dvs,dvs128-gesture"));
+  const auto models = split_csv_list(
+      args.get("models", "resnet18s,densenet121s,mobilenetv2s"));
+  // The paper reports mean +/- std over repeated runs; default to a single
+  // run so the full table regenerates in minutes (pass --repeats 3+ for
+  // the paper's presentation).
+  const int repeats = args.get_int("repeats", 1);
+
+  TextTable table({"dataset", "model", "ANN acc", "SNN acc", "optimized acc",
+                   "SNN rate", "opt rate"});
+  CsvWriter csv("table1_comparison.csv",
+                {"dataset", "model", "ann_acc", "ann_std", "snn_acc",
+                 "snn_std", "opt_acc", "opt_std", "snn_rate", "opt_rate",
+                 "snn_macs", "opt_macs", "search_seconds"});
+
+  Timer total;
+  std::printf("=== Table I: skip-connection optimization across datasets and "
+              "models (%d repeat%s) ===\n\n",
+              repeats, repeats == 1 ? "" : "s");
+
+  for (const auto& dataset : datasets) {
+    RunningStat gain;
+    for (const auto& model : models) {
+      RunningStat ann_acc, snn_acc, opt_acc, snn_rate, opt_rate, seconds;
+      std::int64_t snn_macs = 0, opt_macs = 0;
+      bool has_ann = false;
+      for (int rep = 0; rep < repeats; ++rep) {
+        AdapterConfig cfg;
+        cfg.model = model;
+        cfg.dataset = dataset;
+        cfg.data_cfg = benchcfg::data_config(args);
+        if (dataset == "dvs128-gesture") cfg.data_cfg.timesteps = 8;
+
+        cfg.model_cfg.width = benchcfg::width(args, 6);
+        cfg.model_cfg.dsc_fraction = 0.5;
+
+        cfg.base_train = benchcfg::train_config(args, 6);
+        if (dataset == "dvs128-gesture") {
+          // Paper recipe: Adam for the gesture dataset (§IV).
+          cfg.base_train.opt = OptKind::Adam;
+          cfg.base_train.lr = 0.005f;
+        }
+        cfg.base_train.seed ^= static_cast<std::uint64_t>(rep) << 8;
+        cfg.finetune = cfg.base_train;
+        cfg.finetune.epochs = 1;
+
+        // Analog twins train best with a gentler recipe than the SNNs.
+        cfg.ann_train = cfg.base_train;
+        cfg.ann_train.lr = 0.02f;
+        cfg.ann_train.epochs = cfg.base_train.epochs * 2;
+
+        cfg.bo.initial_design = 3;
+        cfg.bo.iterations = args.get_int("bo-iterations", 3);
+        cfg.bo.batch_k = 2;
+        cfg.bo.candidate_pool = 64;
+        cfg.bo.noise = 1e-2;
+        cfg.bo.seed = 71 + static_cast<std::uint64_t>(rep);
+        cfg.seed = 73 + static_cast<std::uint64_t>(rep);
+
+        Timer t;
+        const AdaptationReport r = run_adaptation(cfg);
+        std::printf("finished %s / %s rep %d in %.1fs (total %.1fs)\n",
+                    dataset.c_str(), model.c_str(), rep, t.elapsed_s(),
+                    total.elapsed_s());
+
+        gain.add(r.optimized_test_acc - r.snn_base_test_acc);
+        has_ann = r.has_ann;
+        if (r.has_ann) ann_acc.add(r.ann_test_acc);
+        snn_acc.add(r.snn_base_test_acc);
+        opt_acc.add(r.optimized_test_acc);
+        snn_rate.add(r.snn_base_firing_rate);
+        opt_rate.add(r.optimized_firing_rate);
+        snn_macs = r.snn_base_macs;
+        opt_macs = r.optimized_macs;
+        seconds.add(r.search_seconds);
+      }
+      table.add_row(
+          {dataset, model,
+           has_ann ? pct_with_std(ann_acc.mean(), ann_acc.stddev()) : "-",
+           pct_with_std(snn_acc.mean(), snn_acc.stddev()),
+           pct_with_std(opt_acc.mean(), opt_acc.stddev()),
+           pct(snn_rate.mean()), pct(opt_rate.mean())});
+      csv.row({dataset, model,
+               has_ann ? CsvWriter::num(ann_acc.mean()) : "",
+               has_ann ? CsvWriter::num(ann_acc.stddev()) : "",
+               CsvWriter::num(snn_acc.mean()), CsvWriter::num(snn_acc.stddev()),
+               CsvWriter::num(opt_acc.mean()), CsvWriter::num(opt_acc.stddev()),
+               CsvWriter::num(snn_rate.mean()), CsvWriter::num(opt_rate.mean()),
+               CsvWriter::num(static_cast<std::size_t>(snn_macs)),
+               CsvWriter::num(static_cast<std::size_t>(opt_macs)),
+               CsvWriter::num(seconds.mean())});
+    }
+    std::printf("  -> average optimized-vs-vanilla gain on %s: %+.1f points "
+                "(paper: +11.3 / +9.3 / +10.2)\n\n",
+                dataset.c_str(), gain.mean() * 100.0);
+  }
+
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf("rows written to table1_comparison.csv\n");
+  std::printf("paper shape check: optimized > vanilla SNN on every row; "
+              "optimized firing rate >= vanilla; CIFAR-10 optimized "
+              "approaches the ANN reference.\n");
+  return 0;
+}

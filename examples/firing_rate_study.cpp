@@ -1,0 +1,80 @@
+// Firing-rate anatomy: how the two skip-connection types shift spiking
+// activity layer by layer (the mechanism behind the paper's §III-A
+// efficiency discussion — ASC sums spike trains and raises activity, DSC
+// re-routes existing spikes into wider inputs and raises MACs instead).
+//
+//   ./examples/firing_rate_study [--epochs N]
+
+#include <cstdio>
+
+#include "graph/mac_counter.h"
+#include "models/zoo.h"
+#include "train/evaluate.h"
+#include "train/trainer.h"
+#include "util/cli.h"
+
+using namespace snnskip;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  Adjacency adjacency;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  SyntheticConfig data_cfg;
+  data_cfg.height = 12;
+  data_cfg.width = 12;
+  data_cfg.timesteps = 6;
+  data_cfg.train_size = 200;
+  data_cfg.val_size = 50;
+  data_cfg.test_size = 50;
+  const DatasetBundle data = make_datasets("cifar10-dvs", data_cfg);
+
+  ModelConfig model_cfg;
+  model_cfg.in_channels = 2;
+  model_cfg.num_classes = 10;
+  model_cfg.max_timesteps = data_cfg.timesteps;
+  model_cfg.width = args.get_int("width", 6);
+
+  TrainConfig train_cfg;
+  train_cfg.epochs = args.get_int("epochs", 8);
+  train_cfg.batch_size = 25;
+  train_cfg.lr = 0.15f;
+
+  const std::vector<Variant> variants = {
+      {"chain (n_skip=0)", Adjacency::chain(4)},
+      {"ASC all-to-all", Adjacency::all(4, SkipType::ASC)},
+      {"DSC all-to-all", Adjacency::all(4, SkipType::DSC)},
+  };
+
+  std::printf("%-18s %9s %9s %12s  per-layer firing rates\n", "variant",
+              "test acc", "rate", "MACs/step");
+  for (const Variant& variant : variants) {
+    Network net = build_model("single_block", model_cfg,
+                              {variant.adjacency});
+    fit(net, NeuronMode::Spiking, data.train, nullptr, train_cfg);
+    FiringRateRecorder recorder;
+    const EvalResult res = evaluate(net, NeuronMode::Spiking, *data.test,
+                                    train_cfg, &recorder);
+    const MacReport macs = count_macs(net, Shape{1, 2, 12, 12});
+    std::printf("%-18s %8.1f%% %8.2f%% %12lld  ", variant.label,
+                res.accuracy * 100.0, res.firing_rate * 100.0,
+                static_cast<long long>(macs.total));
+    for (const auto& [layer, rate] : recorder.per_layer_rates()) {
+      std::printf("%s=%.1f%% ", layer.c_str(), rate * 100.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: ASC raises firing rates (spike trains are summed), DSC\n"
+      "raises MACs (inputs widen) — the trade-off the paper's optimizer\n"
+      "navigates per connection.\n");
+  return 0;
+}

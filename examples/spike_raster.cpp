@@ -1,0 +1,105 @@
+// Spike-activity anatomy: record per-layer firing rates at every timestep
+// of inference and render an ASCII raster plus a CSV — the view
+// neuromorphic engineers use to see WHERE and WHEN a network spends its
+// spikes, and how skip connections move that activity around.
+//
+//   ./examples/spike_raster [--type none|asc|dsc] [--timesteps T]
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "models/zoo.h"
+#include "train/evaluate.h"
+#include "train/trainer.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+using namespace snnskip;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string type = args.get("type", "dsc");
+  const std::int64_t timesteps = args.get_int("timesteps", 8);
+
+  SyntheticConfig data_cfg;
+  data_cfg.height = 12;
+  data_cfg.width = 12;
+  data_cfg.timesteps = timesteps;
+  data_cfg.train_size = 200;
+  data_cfg.val_size = 50;
+  data_cfg.test_size = 50;
+  const DatasetBundle data = make_datasets("cifar10-dvs", data_cfg);
+
+  Adjacency adj = Adjacency::chain(4);
+  if (type == "asc") adj = Adjacency::all(4, SkipType::ASC);
+  if (type == "dsc") adj = Adjacency::all(4, SkipType::DSC);
+
+  ModelConfig model_cfg;
+  model_cfg.in_channels = 2;
+  model_cfg.num_classes = 10;
+  model_cfg.max_timesteps = timesteps;
+  model_cfg.width = args.get_int("width", 6);
+  Network net = build_model("single_block", model_cfg, {adj});
+
+  TrainConfig train_cfg;
+  train_cfg.epochs = args.get_int("epochs", 6);
+  train_cfg.batch_size = 25;
+  train_cfg.lr = 0.15f;
+  std::printf("training single_block (%s skips) for %lld epochs...\n",
+              type.c_str(), static_cast<long long>(train_cfg.epochs));
+  fit(net, NeuronMode::Spiking, data.train, nullptr, train_cfg);
+
+  // Per-timestep recording: fresh recorder each step over the test set.
+  DataLoader loader(*data.test, 50, false, 0);
+  loader.start_epoch(0);
+  Batch batch;
+  loader.next(batch);
+  EventEncoder enc(timesteps, 2);
+
+  std::vector<std::map<std::string, double>> per_step;
+  net.reset_state();
+  for (std::int64_t t = 0; t < timesteps; ++t) {
+    FiringRateRecorder rec;
+    net.set_recorder(&rec);
+    net.forward(enc.encode(batch.x, t), false);
+    per_step.push_back(rec.per_layer_rates());
+    net.set_recorder(nullptr);
+  }
+  net.reset_state();
+
+  // Collect the layer names (stable order).
+  std::vector<std::string> layers;
+  for (const auto& [name, rate] : per_step[0]) layers.push_back(name);
+
+  // ASCII raster: one row per layer, one column per timestep; glyph height
+  // encodes the firing rate.
+  const char* glyphs = " .:-=+*#%@";
+  std::printf("\nfiring-rate raster (rows = layers, cols = timesteps; "
+              "' '=0%% ... '@'=45%%+)\n\n");
+  CsvWriter csv("spike_raster.csv", [&] {
+    std::vector<std::string> header{"layer"};
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+      header.push_back("t" + std::to_string(t));
+    }
+    return header;
+  }());
+  for (const auto& layer : layers) {
+    std::printf("%-14s |", layer.c_str());
+    std::vector<std::string> row{layer};
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+      const double rate = per_step[static_cast<std::size_t>(t)][layer];
+      const int level =
+          std::min(9, static_cast<int>(rate / 0.05));
+      std::printf("%c", glyphs[level]);
+      row.push_back(CsvWriter::num(rate));
+    }
+    std::printf("|\n");
+    csv.row(row);
+  }
+  std::printf("\nper-step rates written to spike_raster.csv\n");
+  std::printf("try --type none vs --type asc: addition skips visibly pump "
+              "later layers' activity up over time.\n");
+  return 0;
+}

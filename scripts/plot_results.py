@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Render the bench CSVs as figures mirroring the paper's plots.
+
+Usage:
+    python3 scripts/plot_results.py [csv_dir] [out_dir]
+
+Reads whichever of the bench CSVs exist in `csv_dir` (default: cwd) and
+writes PNGs to `out_dir` (default: csv_dir). Requires matplotlib; degrades
+to a message per missing file rather than failing.
+"""
+
+import csv
+import os
+import sys
+
+
+def load(path):
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def plot_fig1(rows, out, plt):
+    fig, (ax_acc, ax_rate) = plt.subplots(1, 2, figsize=(9, 3.5))
+    for kind, color in (("dsc", "tab:blue"), ("asc", "tab:orange")):
+        pts = [r for r in rows if r["type"] == kind]
+        n = [int(r["n_skip"]) for r in pts]
+        acc = [100 * float(r["acc_mean"]) for r in pts]
+        astd = [100 * float(r["acc_std"]) for r in pts]
+        rate = [100 * float(r["rate_mean"]) for r in pts]
+        rstd = [100 * float(r["rate_std"]) for r in pts]
+        ax_acc.errorbar(n, acc, yerr=astd, marker="o", label=kind.upper(),
+                        color=color, capsize=3)
+        ax_rate.errorbar(n, rate, yerr=rstd, marker="s", label=kind.upper(),
+                         color=color, capsize=3)
+    ax_acc.set_xlabel("n_skip"); ax_acc.set_ylabel("test accuracy (%)")
+    ax_rate.set_xlabel("n_skip"); ax_rate.set_ylabel("firing rate (%)")
+    ax_acc.legend(); ax_rate.legend()
+    fig.suptitle("Fig. 1 (right): skip-connection sweep")
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_fig3(rows, out, plt):
+    it = [int(r["iteration"]) for r in rows]
+    bo = [100 * float(r["bo_mean"]) for r in rows]
+    bs = [100 * float(r["bo_std"]) for r in rows]
+    rs = [100 * float(r["rs_mean"]) for r in rows]
+    rss = [100 * float(r["rs_std"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(5.5, 3.5))
+    ax.plot(it, bo, marker="o", color="tab:blue", label="Bayesian opt")
+    ax.fill_between(it, [m - s for m, s in zip(bo, bs)],
+                    [m + s for m, s in zip(bo, bs)], alpha=0.2,
+                    color="tab:blue")
+    ax.plot(it, rs, marker="s", color="tab:red", label="random search")
+    ax.fill_between(it, [m - s for m, s in zip(rs, rss)],
+                    [m + s for m, s in zip(rs, rss)], alpha=0.2,
+                    color="tab:red")
+    ax.set_xlabel("iteration"); ax.set_ylabel("best accuracy so far (%)")
+    ax.legend(); ax.set_title("Fig. 3: BO vs random search")
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_table1(rows, out, plt):
+    labels = [f"{r['dataset']}\n{r['model']}" for r in rows]
+    snn = [100 * float(r["snn_acc"]) for r in rows]
+    opt = [100 * float(r["opt_acc"]) for r in rows]
+    x = range(len(rows))
+    fig, ax = plt.subplots(figsize=(10, 3.8))
+    ax.bar([i - 0.2 for i in x], snn, width=0.4, label="vanilla SNN",
+           color="tab:gray")
+    ax.bar([i + 0.2 for i in x], opt, width=0.4, label="optimized SNN",
+           color="tab:green")
+    ax.set_xticks(list(x)); ax.set_xticklabels(labels, fontsize=7)
+    ax.set_ylabel("test accuracy (%)"); ax.legend()
+    ax.set_title("Table I: vanilla vs skip-optimized SNN")
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else csv_dir
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    jobs = [
+        ("fig1_skip_sweep.csv", "fig1_skip_sweep.png", plot_fig1),
+        ("fig3_bo_vs_rs.csv", "fig3_bo_vs_rs.png", plot_fig3),
+        ("table1_comparison.csv", "table1_comparison.png", plot_table1),
+    ]
+    for src, dst, fn in jobs:
+        path = os.path.join(csv_dir, src)
+        if not os.path.exists(path):
+            print(f"skip: {src} not found (run the matching bench first)")
+            continue
+        fn(load(path), os.path.join(out_dir, dst), plt)
+        print(f"wrote {dst}")
+
+
+if __name__ == "__main__":
+    main()

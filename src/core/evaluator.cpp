@@ -1,0 +1,105 @@
+#include "core/evaluator.h"
+
+#include "graph/mac_counter.h"
+#include "util/logging.h"
+
+namespace snnskip {
+
+namespace {
+
+ModelConfig adjust_model_config(ModelConfig cfg, const DatasetBundle& data,
+                                const TrainConfig& train_cfg) {
+  cfg.in_channels = data.train->step_channels();
+  cfg.num_classes = data.train->num_classes();
+  const std::int64_t t = data.train->timesteps() > 0 ? data.train->timesteps()
+                                                     : train_cfg.timesteps;
+  cfg.max_timesteps = t;
+  return cfg;
+}
+
+}  // namespace
+
+CandidateEvaluator::CandidateEvaluator(EvaluatorConfig cfg, DatasetBundle data)
+    : cfg_(std::move(cfg)),
+      data_(std::move(data)),
+      model_cfg_(adjust_model_config(cfg_.model_cfg, data_, cfg_.finetune)),
+      space_(model_block_specs(cfg_.model, model_cfg_),
+             cfg_.include_recurrent),
+      store_(cfg_.seed) {}
+
+Shape CandidateEvaluator::input_shape() const {
+  const Shape s = data_.train->sample_shape();
+  // Event samples are (T*C, H, W); per-step input is (1, C, H, W).
+  return Shape{1, data_.train->step_channels(), s[s.ndim() - 2],
+               s[s.ndim() - 1]};
+}
+
+Network CandidateEvaluator::build(const EncodingVec& code) const {
+  ModelConfig cfg = model_cfg_;
+  cfg.mode = NeuronMode::Spiking;
+  return build_model(cfg_.model, cfg, space_.decode(code));
+}
+
+std::int64_t CandidateEvaluator::candidate_macs(
+    const EncodingVec& code) const {
+  const Network net = build(code);
+  return count_macs(net, input_shape()).total;
+}
+
+double CandidateEvaluator::candidate_energy_pj(std::int64_t macs,
+                                               double firing_rate) const {
+  return cfg_.energy_model.snn_energy_pj(macs, firing_rate,
+                                         model_cfg_.max_timesteps);
+}
+
+CandidateResult CandidateEvaluator::finish(Network& net,
+                                           const FitResult& fit_result,
+                                           const EncodingVec& code) {
+  (void)fit_result;
+  FiringRateRecorder recorder;
+  const EvalResult val = evaluate(net, NeuronMode::Spiking, *data_.val,
+                                  cfg_.finetune, &recorder);
+  CandidateResult res;
+  res.val_accuracy = val.accuracy;
+  res.firing_rate = val.firing_rate;
+  res.macs = candidate_macs(code);
+  res.energy_pj = candidate_energy_pj(res.macs, res.firing_rate);
+  res.objective = ann_ref_ ? (*ann_ref_ - val.accuracy) : -val.accuracy;
+  if (cfg_.energy_weight > 0.0) {
+    // Scalarized accuracy/energy trade-off; normalized so lambda has the
+    // same meaning across models ("1.0 == one reference-energy unit costs
+    // one full accuracy point of budget").
+    const double ref = energy_ref_.value_or(res.energy_pj);
+    if (ref > 0.0) {
+      res.objective += cfg_.energy_weight * res.energy_pj / ref;
+    }
+  }
+  return res;
+}
+
+CandidateResult CandidateEvaluator::evaluate_shared(const EncodingVec& code) {
+  ++evaluations_;
+  Network net = build(code);
+  store_.load_into(net);
+  const FitResult fr =
+      fit(net, NeuronMode::Spiking, data_.train, nullptr, cfg_.finetune);
+  store_.store_from(net);
+  CandidateResult res = finish(net, fr, code);
+  SNNSKIP_LOG(Debug) << "shared eval: acc=" << res.val_accuracy
+                     << " rate=" << res.firing_rate
+                     << " objective=" << res.objective;
+  return res;
+}
+
+CandidateResult CandidateEvaluator::evaluate_scratch(const EncodingVec& code) {
+  ++evaluations_;
+  Network net = build(code);
+  const FitResult fr =
+      fit(net, NeuronMode::Spiking, data_.train, nullptr, cfg_.scratch);
+  CandidateResult res = finish(net, fr, code);
+  SNNSKIP_LOG(Debug) << "scratch eval: acc=" << res.val_accuracy
+                     << " objective=" << res.objective;
+  return res;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,105 @@
+#pragma once
+// Candidate evaluation (the expensive f(A) inside the BO loop).
+//
+// Two regimes, matching the paper's comparison:
+//   evaluate_shared  — the proposed method: load the supernet weights from
+//                      the shared WeightStore, fine-tune for n epochs, read
+//                      validation accuracy, write the weights back.
+//   evaluate_scratch — the random-search baseline's regime: fresh weights,
+//                      full training budget, no sharing.
+//
+// The objective handed to the optimizer is the ACCURACY DROP versus the ANN
+// reference when one exists (static-image datasets), otherwise the negated
+// validation accuracy — both minimized.
+
+#include <optional>
+
+#include "core/search_space.h"
+#include "metrics/energy.h"
+#include "models/zoo.h"
+#include "train/evaluate.h"
+#include "train/trainer.h"
+#include "train/weight_store.h"
+
+namespace snnskip {
+
+struct CandidateResult {
+  double val_accuracy = 0.0;
+  double firing_rate = 0.0;
+  std::int64_t macs = 0;       ///< per timestep, batch of one
+  double energy_pj = 0.0;      ///< spike-driven inference energy estimate
+  double objective = 0.0;      ///< what the optimizer minimizes
+};
+
+struct EvaluatorConfig {
+  std::string model = "resnet18s";
+  ModelConfig model_cfg{};     ///< in_channels / classes / T set from data
+  TrainConfig finetune{};      ///< the n-epoch shared-weights budget
+  TrainConfig scratch{};       ///< the from-scratch budget (RS baseline)
+  std::uint64_t seed = 3;
+
+  /// Energy-aware trade-off weight lambda (paper contribution: "optimize
+  /// the trade-off between accuracy drop and energy efficiency"). The
+  /// minimized objective becomes
+  ///   drop(A) + lambda * energy(A) / energy(reference)
+  /// where energy is the spike-driven inference estimate (metrics/energy.h)
+  /// and the reference is set via set_energy_reference (the vanilla SNN).
+  /// lambda == 0 reproduces the pure accuracy objective.
+  double energy_weight = 0.0;
+  EnergyModel energy_model{};
+
+  /// Include one-step-delayed backward connections in the search space
+  /// (the paper's future-work extension; see graph/adjacency.h).
+  bool include_recurrent = false;
+};
+
+class CandidateEvaluator {
+ public:
+  CandidateEvaluator(EvaluatorConfig cfg, DatasetBundle data);
+
+  const SearchSpace& space() const { return space_; }
+  WeightStore& store() { return store_; }
+  const EvaluatorConfig& config() const { return cfg_; }
+  const DatasetBundle& data() const { return data_; }
+  const ModelConfig& model_config() const { return model_cfg_; }
+
+  /// Drop objective uses this ANN accuracy when set.
+  void set_ann_reference(double ann_acc) { ann_ref_ = ann_acc; }
+  std::optional<double> ann_reference() const { return ann_ref_; }
+
+  /// Reference energy (pJ) for the lambda-weighted term; normally the
+  /// vanilla SNN's estimate. Ignored while energy_weight == 0.
+  void set_energy_reference(double energy_pj) { energy_ref_ = energy_pj; }
+  std::optional<double> energy_reference() const { return energy_ref_; }
+
+  /// Spike-driven inference energy estimate for a measured candidate.
+  double candidate_energy_pj(std::int64_t macs, double firing_rate) const;
+
+  /// Build the candidate network (spiking) for an encoding.
+  Network build(const EncodingVec& code) const;
+
+  CandidateResult evaluate_shared(const EncodingVec& code);
+  CandidateResult evaluate_scratch(const EncodingVec& code);
+
+  /// Number of candidate trainings performed so far (cost accounting).
+  std::size_t evaluations() const { return evaluations_; }
+
+  /// MACs for one timestep at batch-1 input shape.
+  std::int64_t candidate_macs(const EncodingVec& code) const;
+
+ private:
+  CandidateResult finish(Network& net, const FitResult& fit_result,
+                         const EncodingVec& code);
+  Shape input_shape() const;
+
+  EvaluatorConfig cfg_;
+  DatasetBundle data_;
+  ModelConfig model_cfg_;  ///< cfg_.model_cfg adjusted to the dataset
+  SearchSpace space_;
+  WeightStore store_;
+  std::optional<double> ann_ref_;
+  std::optional<double> energy_ref_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace snnskip

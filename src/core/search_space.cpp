@@ -1,0 +1,132 @@
+#include "core/search_space.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace snnskip {
+
+SearchSpace::SearchSpace(std::vector<BlockSpec> specs, bool include_recurrent)
+    : specs_(std::move(specs)) {
+  for (std::size_t b = 0; b < specs_.size(); ++b) {
+    for (const auto& [i, j] : Adjacency::skip_slots(specs_[b].depth())) {
+      slots_.push_back(SlotRef{b, i, j, false});
+    }
+  }
+  if (include_recurrent) {
+    for (std::size_t b = 0; b < specs_.size(); ++b) {
+      for (const auto& [src, dst] :
+           Adjacency::recurrent_slots(specs_[b].depth())) {
+        // Only expose slots that some value other than None can occupy.
+        if (specs_[b].recurrent_slot_allows(src, dst, SkipType::ASC)) {
+          slots_.push_back(SlotRef{b, src, dst, true});
+        }
+      }
+    }
+  }
+}
+
+bool SearchSpace::value_allowed(std::size_t k, int value) const {
+  assert(k < slots_.size());
+  if (value < 0 || value > 2) return false;
+  if (value == 0) return true;
+  const SlotRef& s = slots_[k];
+  if (s.recurrent) {
+    return specs_[s.block].recurrent_slot_allows(
+        s.src, s.dst, static_cast<SkipType>(value));
+  }
+  return specs_[s.block].slot_allows(s.src, s.dst,
+                                     static_cast<SkipType>(value));
+}
+
+EncodingVec SearchSpace::sample(Rng& rng) const {
+  EncodingVec code(slots_.size(), 0);
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    std::vector<int> allowed;
+    for (int v = 0; v <= 2; ++v) {
+      if (value_allowed(k, v)) allowed.push_back(v);
+    }
+    code[k] = allowed[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(allowed.size())))];
+  }
+  return code;
+}
+
+EncodingVec SearchSpace::mutate(const EncodingVec& code, Rng& rng) const {
+  assert(code.size() == slots_.size());
+  EncodingVec out = code;
+  if (slots_.empty()) return out;
+  // Pick a slot with at least two admissible values.
+  for (int tries = 0; tries < 64; ++tries) {
+    const std::size_t k = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(slots_.size())));
+    std::vector<int> alternatives;
+    for (int v = 0; v <= 2; ++v) {
+      if (v != out[k] && value_allowed(k, v)) alternatives.push_back(v);
+    }
+    if (alternatives.empty()) continue;
+    out[k] = alternatives[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(alternatives.size())))];
+    return out;
+  }
+  return out;
+}
+
+std::vector<Adjacency> SearchSpace::decode(const EncodingVec& code) const {
+  if (code.size() != slots_.size()) {
+    throw std::invalid_argument("SearchSpace::decode: encoding length");
+  }
+  std::vector<Adjacency> adjs;
+  adjs.reserve(specs_.size());
+  for (const auto& spec : specs_) adjs.emplace_back(spec.depth());
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    if (code[k] == 0) continue;
+    if (!value_allowed(k, code[k])) {
+      throw std::invalid_argument("SearchSpace::decode: inadmissible value");
+    }
+    const SlotRef& s = slots_[k];
+    if (s.recurrent) {
+      adjs[s.block].set_recurrent(s.src, s.dst,
+                                  static_cast<SkipType>(code[k]));
+    } else {
+      adjs[s.block].set(s.src, s.dst, static_cast<SkipType>(code[k]));
+    }
+  }
+  return adjs;
+}
+
+EncodingVec SearchSpace::encode(const std::vector<Adjacency>& adjs) const {
+  if (adjs.size() != specs_.size()) {
+    throw std::invalid_argument("SearchSpace::encode: block count");
+  }
+  EncodingVec code(slots_.size(), 0);
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    const SlotRef& s = slots_[k];
+    code[k] = static_cast<int>(
+        s.recurrent ? adjs[s.block].recurrent_at(s.src, s.dst)
+                    : adjs[s.block].at(s.src, s.dst));
+  }
+  return code;
+}
+
+bool SearchSpace::valid(const EncodingVec& code) const {
+  if (code.size() != slots_.size()) return false;
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    if (!value_allowed(k, code[k])) return false;
+  }
+  return true;
+}
+
+double SearchSpace::log10_size() const {
+  double log_size = 0.0;
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    int count = 0;
+    for (int v = 0; v <= 2; ++v) {
+      if (value_allowed(k, v)) ++count;
+    }
+    log_size += std::log10(static_cast<double>(count));
+  }
+  return log_size;
+}
+
+}  // namespace snnskip

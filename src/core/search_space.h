@@ -1,0 +1,61 @@
+#pragma once
+// Search-space construction (paper Fig. 2, step 1): extract every block of
+// a topology, enumerate its skip slots, and define the set Lambda of all
+// admissible adjacency assignments. A candidate is one value in {0,1,2}
+// per slot across all blocks, filtered by structural constraints
+// (BlockSpec::slot_allows — e.g. no DSC into depthwise nodes).
+
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "graph/block.h"
+#include "opt/encoding.h"
+#include "util/rng.h"
+
+namespace snnskip {
+
+class SearchSpace {
+ public:
+  struct SlotRef {
+    std::size_t block = 0;
+    int src = 0;
+    int dst = 0;
+    bool recurrent = false;  ///< one-step-delayed edge (future-work ext.)
+  };
+
+  /// `include_recurrent` appends the recurrent (backward-connection)
+  /// slots after the forward skip slots — the paper's future-work
+  /// extension. Recurrent slots admit {None, ASC} only, and only where
+  /// BlockSpec::recurrent_slot_allows holds.
+  explicit SearchSpace(std::vector<BlockSpec> specs,
+                       bool include_recurrent = false);
+
+  const std::vector<BlockSpec>& specs() const { return specs_; }
+  const std::vector<SlotRef>& slots() const { return slots_; }
+  std::size_t num_slots() const { return slots_.size(); }
+
+  /// Whether `value` (0/1/2) is admissible at slot k.
+  bool value_allowed(std::size_t k, int value) const;
+
+  /// Uniform random admissible candidate.
+  EncodingVec sample(Rng& rng) const;
+
+  /// Flip one random slot to a different admissible value.
+  EncodingVec mutate(const EncodingVec& code, Rng& rng) const;
+
+  /// Candidate -> per-block adjacency matrices (and back).
+  std::vector<Adjacency> decode(const EncodingVec& code) const;
+  EncodingVec encode(const std::vector<Adjacency>& adjs) const;
+
+  /// Validity check for externally produced encodings.
+  bool valid(const EncodingVec& code) const;
+
+  /// log10 of |Lambda| (number of admissible assignments).
+  double log10_size() const;
+
+ private:
+  std::vector<BlockSpec> specs_;
+  std::vector<SlotRef> slots_;
+};
+
+}  // namespace snnskip

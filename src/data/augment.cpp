@@ -1,0 +1,74 @@
+#include "data/augment.h"
+
+#include <cassert>
+
+namespace snnskip {
+
+Tensor hflip(const Tensor& x) {
+  const Shape& s = x.shape();
+  assert(s.ndim() == 3);  // (C, H, W) — batchless sample layout
+  const std::int64_t c = s[0], h = s[1], w = s[2];
+  Tensor out(s);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t row = 0; row < h; ++row) {
+      const float* src = x.data() + (ch * h + row) * w;
+      float* dst = out.data() + (ch * h + row) * w;
+      for (std::int64_t col = 0; col < w; ++col) {
+        dst[col] = src[w - 1 - col];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor shift2d(const Tensor& x, std::int64_t dy, std::int64_t dx) {
+  const Shape& s = x.shape();
+  assert(s.ndim() == 3);
+  const std::int64_t c = s[0], h = s[1], w = s[2];
+  Tensor out(s);  // zero-filled
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t row = 0; row < h; ++row) {
+      const std::int64_t src_row = row - dy;
+      if (src_row < 0 || src_row >= h) continue;
+      for (std::int64_t col = 0; col < w; ++col) {
+        const std::int64_t src_col = col - dx;
+        if (src_col < 0 || src_col >= w) continue;
+        out.at({ch, row, col}) = x.at({ch, src_row, src_col});
+      }
+    }
+  }
+  return out;
+}
+
+Tensor drop_events(const Tensor& x, float p, Rng& rng) {
+  Tensor out = x;
+  if (p <= 0.f) return out;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    if (out[static_cast<std::size_t>(i)] != 0.f && rng.bernoulli(p)) {
+      out[static_cast<std::size_t>(i)] = 0.f;
+    }
+  }
+  return out;
+}
+
+Sample AugmentingDataset::get(std::size_t i) const {
+  Sample s = base_->get(i);
+  Rng rng = Rng(cfg_.seed).split(i);
+
+  if (cfg_.hflip && rng.bernoulli(0.5)) {
+    s.x = hflip(s.x);
+  }
+  if (cfg_.max_shift > 0) {
+    const std::int64_t dy =
+        rng.uniform_int(-cfg_.max_shift, cfg_.max_shift);
+    const std::int64_t dx =
+        rng.uniform_int(-cfg_.max_shift, cfg_.max_shift);
+    if (dy != 0 || dx != 0) s.x = shift2d(s.x, dy, dx);
+  }
+  if (cfg_.event_dropout > 0.f) {
+    s.x = drop_events(s.x, cfg_.event_dropout, rng);
+  }
+  return s;
+}
+
+}  // namespace snnskip

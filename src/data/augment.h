@@ -1,0 +1,54 @@
+#pragma once
+// Training-time augmentation for event tensors and static images.
+//
+// The standard DVS augmentations (horizontal flip, small spatial shifts,
+// event dropout) operate identically on every timestep of a (T*C, H, W)
+// event tensor — flips/shifts must be temporally consistent or they would
+// fabricate motion. AugmentingDataset wraps any Dataset and applies a
+// seeded per-(epoch-independent) index transform, preserving determinism:
+// sample i always receives the same augmentation for a given seed.
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace snnskip {
+
+struct AugmentConfig {
+  bool hflip = true;           ///< mirror left-right with p=0.5
+  std::int64_t max_shift = 1;  ///< uniform spatial shift in [-s, s] pixels
+  float event_dropout = 0.05f; ///< drop this fraction of active events
+  std::uint64_t seed = 97;
+};
+
+/// Mirror the W axis of every channel/timestep plane.
+Tensor hflip(const Tensor& x);
+
+/// Shift all planes by (dy, dx), zero-filling exposed borders.
+Tensor shift2d(const Tensor& x, std::int64_t dy, std::int64_t dx);
+
+/// Zero out each non-zero element with probability p (event dropout).
+Tensor drop_events(const Tensor& x, float p, Rng& rng);
+
+/// Dataset view applying the configured augmentations to the base
+/// dataset's training samples. Deterministic per (seed, index).
+class AugmentingDataset final : public Dataset {
+ public:
+  AugmentingDataset(DatasetPtr base, AugmentConfig cfg)
+      : base_(std::move(base)), cfg_(cfg) {}
+
+  std::size_t size() const override { return base_->size(); }
+  Sample get(std::size_t i) const override;
+  Shape sample_shape() const override { return base_->sample_shape(); }
+  std::int64_t num_classes() const override { return base_->num_classes(); }
+  std::int64_t timesteps() const override { return base_->timesteps(); }
+  std::int64_t step_channels() const override {
+    return base_->step_channels();
+  }
+  std::string name() const override { return base_->name() + "+aug"; }
+
+ private:
+  DatasetPtr base_;
+  AugmentConfig cfg_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,82 @@
+#include "data/dataloader.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace snnskip {
+
+Tensor stack_samples(const std::vector<Tensor>& xs) {
+  assert(!xs.empty());
+  const Shape& s = xs[0].shape();
+  std::vector<std::int64_t> dims;
+  dims.push_back(static_cast<std::int64_t>(xs.size()));
+  for (std::size_t d = 0; d < s.ndim(); ++d) dims.push_back(s[d]);
+  Tensor out{Shape(std::move(dims))};
+  const std::size_t per = static_cast<std::size_t>(s.numel());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i].shape() == s);
+    std::memcpy(out.data() + i * per, xs[i].data(), sizeof(float) * per);
+  }
+  return out;
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      seed_(seed) {
+  assert(batch_size_ > 0);
+  order_.resize(dataset_->size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  const std::size_t n = dataset_->size();
+  return (n + static_cast<std::size_t>(batch_size_) - 1) /
+         static_cast<std::size_t>(batch_size_);
+}
+
+void DataLoader::start_epoch(std::uint64_t epoch) {
+  cursor_ = 0;
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (shuffle_) {
+    Rng rng = Rng(seed_).split(epoch);
+    rng.shuffle(order_);
+  }
+}
+
+bool DataLoader::next(Batch& out) {
+  const std::size_t n = order_.size();
+  if (cursor_ >= n) return false;
+  const std::size_t end =
+      std::min(n, cursor_ + static_cast<std::size_t>(batch_size_));
+  std::vector<Tensor> xs;
+  xs.reserve(end - cursor_);
+  out.y.clear();
+  out.y.reserve(end - cursor_);
+  for (std::size_t i = cursor_; i < end; ++i) {
+    Sample s = dataset_->get(order_[i]);
+    xs.push_back(std::move(s.x));
+    out.y.push_back(s.y);
+  }
+  cursor_ = end;
+  out.x = stack_samples(xs);
+  return true;
+}
+
+Batch DataLoader::full_batch() const {
+  Batch b;
+  std::vector<Tensor> xs;
+  xs.reserve(dataset_->size());
+  b.y.reserve(dataset_->size());
+  for (std::size_t i = 0; i < dataset_->size(); ++i) {
+    Sample s = dataset_->get(i);
+    xs.push_back(std::move(s.x));
+    b.y.push_back(s.y);
+  }
+  b.x = stack_samples(xs);
+  return b;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,51 @@
+#pragma once
+// Batching iterator over a Dataset with optional per-epoch shuffling.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace snnskip {
+
+struct Batch {
+  Tensor x;                         ///< (N, ...) stacked samples
+  std::vector<std::int64_t> y;      ///< N labels
+
+  std::int64_t size() const { return x.shape()[0]; }
+};
+
+class DataLoader {
+ public:
+  /// Non-owning: `dataset` must outlive the loader.
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+             std::uint64_t seed);
+
+  /// Number of batches per epoch (last partial batch included).
+  std::size_t batches_per_epoch() const;
+
+  /// Reshuffle (if enabled) and reset the cursor. Deterministic in
+  /// (seed, epoch) so runs are reproducible.
+  void start_epoch(std::uint64_t epoch);
+
+  /// Fetch the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  /// Materialize the whole dataset as one batch (evaluation helper).
+  Batch full_batch() const;
+
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  const Dataset* dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  std::uint64_t seed_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+/// Stack sample tensors (identical shapes) into (N, ...).
+Tensor stack_samples(const std::vector<Tensor>& xs);
+
+}  // namespace snnskip

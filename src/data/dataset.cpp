@@ -1,0 +1,14 @@
+#include "data/dataset.h"
+
+namespace snnskip {
+
+std::string to_string(Split s) {
+  switch (s) {
+    case Split::Train: return "train";
+    case Split::Val: return "val";
+    case Split::Test: return "test";
+  }
+  return "?";
+}
+
+}  // namespace snnskip

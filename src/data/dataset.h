@@ -1,0 +1,76 @@
+#pragma once
+// Dataset interface and split plumbing.
+//
+// Samples are generated procedurally and deterministically: get(i) is a
+// pure function of (dataset seed, split, i), so epochs, runs and machines
+// see identical data without any files on disk. Static-image datasets
+// return x of shape (C, H, W); event datasets return (T*C, H, W) with the
+// time dimension packed into dim 0 (unpacked per step by EventEncoder).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace snnskip {
+
+struct Sample {
+  Tensor x;
+  std::int64_t y = 0;
+};
+
+enum class Split { Train, Val, Test };
+
+std::string to_string(Split s);
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual std::size_t size() const = 0;
+  /// Deterministic sample for index i in [0, size()).
+  virtual Sample get(std::size_t i) const = 0;
+  /// Shape of one sample's x.
+  virtual Shape sample_shape() const = 0;
+  virtual std::int64_t num_classes() const = 0;
+  /// 0 for static images; the event-stream length T otherwise.
+  virtual std::int64_t timesteps() const { return 0; }
+  /// Channels presented to the network per step (3 RGB / 2 polarity).
+  virtual std::int64_t step_channels() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using DatasetPtr = std::shared_ptr<Dataset>;
+
+/// Common sizing knobs for the synthetic generators.
+struct SyntheticConfig {
+  std::int64_t height = 16;
+  std::int64_t width = 16;
+  std::int64_t timesteps = 8;   ///< ignored by static datasets
+  std::size_t train_size = 256;
+  std::size_t val_size = 64;
+  std::size_t test_size = 64;
+  std::uint64_t seed = 42;
+  float noise = 0.15f;          ///< per-dataset noise level
+
+  std::size_t split_size(Split s) const {
+    switch (s) {
+      case Split::Train: return train_size;
+      case Split::Val: return val_size;
+      case Split::Test: return test_size;
+    }
+    return 0;
+  }
+  /// Disjoint global index ranges per split keep splits non-overlapping.
+  std::size_t split_offset(Split s) const {
+    switch (s) {
+      case Split::Train: return 0;
+      case Split::Val: return train_size;
+      case Split::Test: return train_size + val_size;
+    }
+    return 0;
+  }
+};
+
+}  // namespace snnskip

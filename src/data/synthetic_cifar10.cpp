@@ -1,0 +1,62 @@
+#include "data/synthetic_cifar10.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace snnskip {
+
+SyntheticCifar10::SyntheticCifar10(SyntheticConfig cfg, Split split)
+    : cfg_(cfg), split_(split) {}
+
+Sample SyntheticCifar10::get(std::size_t i) const {
+  const std::size_t global = cfg_.split_offset(split_) + i;
+  Rng rng = Rng(cfg_.seed).split(global);
+
+  const std::int64_t cls = static_cast<std::int64_t>(global % 10);
+  const std::int64_t h = cfg_.height, w = cfg_.width;
+
+  // Class-determined structure.
+  const double angle = M_PI * static_cast<double>(cls) / 10.0;
+  const double freq = 1.5 + 0.7 * static_cast<double>(cls % 5);
+  const bool radial = cls >= 5;
+  // Per-sample jitter.
+  const double phase = rng.uniform(0.0, 2.0 * M_PI);
+  const double cx = rng.uniform(0.3, 0.7);
+  const double cy = rng.uniform(0.3, 0.7);
+  const double blob_r = rng.uniform(0.12, 0.22);
+
+  Tensor x(Shape{3, h, w});
+  const double ca = std::cos(angle), sa = std::sin(angle);
+  for (std::int64_t row = 0; row < h; ++row) {
+    for (std::int64_t col = 0; col < w; ++col) {
+      const double u = static_cast<double>(col) / static_cast<double>(w - 1);
+      const double v = static_cast<double>(row) / static_cast<double>(h - 1);
+      double base;
+      if (radial) {
+        const double r = std::hypot(u - cx, v - cy);
+        base = std::sin(2.0 * M_PI * freq * r + phase);
+      } else {
+        base = std::sin(2.0 * M_PI * freq * (u * ca + v * sa) + phase);
+      }
+      // Class-keyed blob adds a localized feature.
+      const double d = std::hypot(u - cx, v - cy);
+      const double blob = std::exp(-d * d / (2.0 * blob_r * blob_r)) *
+                          ((cls % 2 == 0) ? 1.0 : -1.0);
+      const double val = 0.5 + 0.35 * base + 0.3 * blob;
+      for (std::int64_t ch = 0; ch < 3; ++ch) {
+        // Color mixing is class-specific but overlapping across classes.
+        const double mix =
+            0.6 + 0.4 * std::sin(static_cast<double>(cls) * 0.7 +
+                                 static_cast<double>(ch) * 2.1);
+        const double noise = rng.normal(0.0, cfg_.noise);
+        x.at({ch, row, col}) = static_cast<float>(
+            std::clamp(val * mix + noise, 0.0, 1.0));
+      }
+    }
+  }
+  return Sample{std::move(x), cls};
+}
+
+}  // namespace snnskip

@@ -1,0 +1,33 @@
+#pragma once
+// SyntheticCifar10 — stand-in for CIFAR-10 (DESIGN.md §2).
+//
+// Ten classes of parametric RGB textures: each class fixes an oriented
+// sinusoid (angle + frequency), a radial component, and a color mixing
+// vector; each sample jitters phase, blob position and adds pixel noise.
+// Classes overlap enough that a linear model cannot separate them but a
+// small conv net can — reproducing the regime where ANN accuracy is high
+// and naive SNN conversion loses accuracy.
+
+#include "data/dataset.h"
+
+namespace snnskip {
+
+class SyntheticCifar10 final : public Dataset {
+ public:
+  SyntheticCifar10(SyntheticConfig cfg, Split split);
+
+  std::size_t size() const override { return cfg_.split_size(split_); }
+  Sample get(std::size_t i) const override;
+  Shape sample_shape() const override {
+    return Shape{3, cfg_.height, cfg_.width};
+  }
+  std::int64_t num_classes() const override { return 10; }
+  std::int64_t step_channels() const override { return 3; }
+  std::string name() const override { return "synthetic-cifar10"; }
+
+ private:
+  SyntheticConfig cfg_;
+  Split split_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,35 @@
+#pragma once
+// SyntheticDvsCifar — stand-in for CIFAR-10-DVS (DESIGN.md §2).
+//
+// CIFAR-10-DVS shows static images to a DVS128 sensor on a moving stage;
+// the recorded events are dominated by the image's edges sweeping across
+// pixels. The generator reproduces that statistic directly: a class-keyed
+// texture (same family as SyntheticCifar10, collapsed to luminance) drifts
+// along a per-sample direction; ON events fire where brightness rises
+// between steps, OFF events where it falls, plus sensor noise. Output is a
+// (T*2, H, W) binary event tensor (polarity channels packed per step).
+
+#include "data/dataset.h"
+
+namespace snnskip {
+
+class SyntheticDvsCifar final : public Dataset {
+ public:
+  SyntheticDvsCifar(SyntheticConfig cfg, Split split);
+
+  std::size_t size() const override { return cfg_.split_size(split_); }
+  Sample get(std::size_t i) const override;
+  Shape sample_shape() const override {
+    return Shape{cfg_.timesteps * 2, cfg_.height, cfg_.width};
+  }
+  std::int64_t num_classes() const override { return 10; }
+  std::int64_t timesteps() const override { return cfg_.timesteps; }
+  std::int64_t step_channels() const override { return 2; }
+  std::string name() const override { return "synthetic-cifar10-dvs"; }
+
+ private:
+  SyntheticConfig cfg_;
+  Split split_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,129 @@
+#include "data/synthetic_dvs_gesture.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace snnskip {
+
+SyntheticDvsGesture::SyntheticDvsGesture(SyntheticConfig cfg, Split split)
+    : cfg_(cfg), split_(split) {}
+
+namespace {
+
+struct BlobState {
+  double x, y, r;
+};
+
+/// Class-specific trajectory at normalized time s in [0, 1].
+BlobState trajectory(std::int64_t cls, double s, double speed, double radius,
+                     double phase, Rng& jitter_rng) {
+  const double tau = 2.0 * M_PI;
+  BlobState b{0.5, 0.5, 0.12};
+  switch (cls) {
+    case 0:  // circle clockwise
+      b.x = 0.5 + radius * std::cos(phase + tau * speed * s);
+      b.y = 0.5 + radius * std::sin(phase + tau * speed * s);
+      break;
+    case 1:  // circle counter-clockwise
+      b.x = 0.5 + radius * std::cos(phase - tau * speed * s);
+      b.y = 0.5 + radius * std::sin(phase - tau * speed * s);
+      break;
+    case 2:  // horizontal wave left-to-right
+      b.x = 0.2 + 0.6 * s;
+      b.y = 0.5 + 0.15 * std::sin(phase + tau * 2.0 * s);
+      break;
+    case 3:  // horizontal wave right-to-left
+      b.x = 0.8 - 0.6 * s;
+      b.y = 0.5 + 0.15 * std::sin(phase + tau * 2.0 * s);
+      break;
+    case 4:  // vertical wave upward
+      b.y = 0.8 - 0.6 * s;
+      b.x = 0.5 + 0.15 * std::sin(phase + tau * 2.0 * s);
+      break;
+    case 5:  // vertical wave downward
+      b.y = 0.2 + 0.6 * s;
+      b.x = 0.5 + 0.15 * std::sin(phase + tau * 2.0 * s);
+      break;
+    case 6:  // zoom in (expanding ring)
+      b.r = 0.05 + 0.3 * s;
+      break;
+    case 7:  // zoom out (contracting ring)
+      b.r = 0.35 - 0.3 * s;
+      break;
+    case 8:  // diagonal top-left to bottom-right
+      b.x = 0.2 + 0.6 * s;
+      b.y = 0.2 + 0.6 * s;
+      break;
+    case 9:  // diagonal bottom-right to top-left
+      b.x = 0.8 - 0.6 * s;
+      b.y = 0.8 - 0.6 * s;
+      break;
+    default:  // 10: "other" — stationary blob with random tap jitter
+      b.x = 0.5 + 0.08 * jitter_rng.normal();
+      b.y = 0.5 + 0.08 * jitter_rng.normal();
+      break;
+  }
+  return b;
+}
+
+}  // namespace
+
+Sample SyntheticDvsGesture::get(std::size_t i) const {
+  const std::size_t global = cfg_.split_offset(split_) + i;
+  Rng rng = Rng(cfg_.seed ^ 0x6E576E57ULL).split(global);
+
+  const std::int64_t cls = static_cast<std::int64_t>(global % 11);
+  const std::int64_t h = cfg_.height, w = cfg_.width, t_steps = cfg_.timesteps;
+
+  // "Subject" variation.
+  const double speed = rng.uniform(0.8, 1.4);
+  const double radius = rng.uniform(0.2, 0.3);
+  const double phase = rng.uniform(0.0, 2.0 * M_PI);
+  const double blob_sigma = rng.uniform(0.06, 0.1);
+  const double event_threshold = 0.08;
+  const float noise_p = cfg_.noise * 0.04f;
+
+  Tensor x(Shape{t_steps * 2, h, w});
+  std::vector<double> prev(static_cast<std::size_t>(h * w));
+  for (std::int64_t t = 0; t <= t_steps; ++t) {
+    const double s =
+        static_cast<double>(t) / static_cast<double>(std::max<std::int64_t>(
+                                     1, t_steps));
+    const BlobState blob = trajectory(cls, s, speed, radius, phase, rng);
+    for (std::int64_t row = 0; row < h; ++row) {
+      for (std::int64_t col = 0; col < w; ++col) {
+        const double u = static_cast<double>(col) / static_cast<double>(w - 1);
+        const double v = static_cast<double>(row) / static_cast<double>(h - 1);
+        double b;
+        if (cls == 6 || cls == 7) {
+          // Ring brightness for the zoom gestures.
+          const double d = std::hypot(u - blob.x, v - blob.y);
+          const double ring = d - blob.r;
+          b = std::exp(-ring * ring / (2.0 * blob_sigma * blob_sigma));
+        } else {
+          const double d2 = (u - blob.x) * (u - blob.x) +
+                            (v - blob.y) * (v - blob.y);
+          b = std::exp(-d2 / (2.0 * blob_sigma * blob_sigma));
+        }
+        const std::size_t p = static_cast<std::size_t>(row * w + col);
+        if (t > 0) {
+          const double diff = b - prev[p];
+          const std::int64_t on_ch = (t - 1) * 2;
+          if (diff > event_threshold) {
+            x.at({on_ch, row, col}) = 1.f;
+          } else if (diff < -event_threshold) {
+            x.at({on_ch + 1, row, col}) = 1.f;
+          }
+          if (rng.bernoulli(noise_p)) x.at({on_ch, row, col}) = 1.f;
+          if (rng.bernoulli(noise_p)) x.at({on_ch + 1, row, col}) = 1.f;
+        }
+        prev[p] = b;
+      }
+    }
+  }
+  return Sample{std::move(x), cls};
+}
+
+}  // namespace snnskip

@@ -1,0 +1,36 @@
+#pragma once
+// SyntheticDvsGesture — stand-in for DVS128 Gesture (DESIGN.md §2).
+//
+// Eleven motion programs mirror the 11 gestures (hand claps, rotations,
+// waves, ...): a bright blob follows a class-specific trajectory (circle
+// CW/CCW, horizontal/vertical waves, diagonals, zoom in/out, taps, random
+// jitter for "other"). Per-sample "subject" variation jitters the radius,
+// speed, starting phase and blob size. Events are generated from frame
+// brightness differences with ON/OFF polarity channels, like the DVS
+// pipeline, producing (T*2, H, W) binary tensors. Motion — not appearance —
+// carries the label, so the task genuinely requires temporal integration.
+
+#include "data/dataset.h"
+
+namespace snnskip {
+
+class SyntheticDvsGesture final : public Dataset {
+ public:
+  SyntheticDvsGesture(SyntheticConfig cfg, Split split);
+
+  std::size_t size() const override { return cfg_.split_size(split_); }
+  Sample get(std::size_t i) const override;
+  Shape sample_shape() const override {
+    return Shape{cfg_.timesteps * 2, cfg_.height, cfg_.width};
+  }
+  std::int64_t num_classes() const override { return 11; }
+  std::int64_t timesteps() const override { return cfg_.timesteps; }
+  std::int64_t step_channels() const override { return 2; }
+  std::string name() const override { return "synthetic-dvs128-gesture"; }
+
+ private:
+  SyntheticConfig cfg_;
+  Split split_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,172 @@
+#include "graph/adjacency.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnskip {
+
+std::string to_string(SkipType t) {
+  switch (t) {
+    case SkipType::None: return "none";
+    case SkipType::DSC: return "dsc";
+    case SkipType::ASC: return "asc";
+  }
+  return "?";
+}
+
+Adjacency::Adjacency(int depth)
+    : depth_(depth),
+      a_(static_cast<std::size_t>((depth + 1) * (depth + 1)), SkipType::None) {
+  assert(depth >= 1);
+}
+
+SkipType Adjacency::at(int i, int j) const {
+  assert(i >= 0 && j >= 0 && i <= depth_ && j <= depth_);
+  return a_[static_cast<std::size_t>(idx(i, j))];
+}
+
+void Adjacency::set(int i, int j, SkipType t) {
+  if (j < i + 2 || i < 0 || j > depth_) {
+    throw std::invalid_argument("Adjacency::set: (" + std::to_string(i) +
+                                "," + std::to_string(j) +
+                                ") is not a skip slot");
+  }
+  a_[static_cast<std::size_t>(idx(i, j))] = t;
+}
+
+std::vector<std::pair<int, int>> Adjacency::skip_slots(int depth) {
+  std::vector<std::pair<int, int>> slots;
+  for (int j = 2; j <= depth; ++j) {
+    for (int i = 0; i <= j - 2; ++i) {
+      slots.emplace_back(i, j);
+    }
+  }
+  return slots;
+}
+
+SkipType Adjacency::recurrent_at(int src, int dst) const {
+  assert(src >= 1 && dst >= 1 && src <= depth_ && dst <= depth_ &&
+         src >= dst);
+  // Recurrent edges live in the lower triangle (src >= dst) of the same
+  // storage, indexed [src][dst].
+  return a_[static_cast<std::size_t>(idx(src, dst))];
+}
+
+void Adjacency::set_recurrent(int src, int dst, SkipType t) {
+  if (dst < 1 || src < dst || src > depth_) {
+    throw std::invalid_argument("Adjacency::set_recurrent: (" +
+                                std::to_string(src) + "," +
+                                std::to_string(dst) +
+                                ") is not a recurrent slot");
+  }
+  if (t == SkipType::DSC) {
+    throw std::invalid_argument(
+        "Adjacency::set_recurrent: recurrent edges are addition-type only");
+  }
+  a_[static_cast<std::size_t>(idx(src, dst))] = t;
+}
+
+std::vector<std::pair<int, int>> Adjacency::recurrent_slots(int depth) {
+  std::vector<std::pair<int, int>> slots;
+  for (int dst = 1; dst <= depth; ++dst) {
+    for (int src = dst; src <= depth; ++src) {
+      slots.emplace_back(src, dst);
+    }
+  }
+  return slots;
+}
+
+int Adjacency::total_recurrent() const {
+  int n = 0;
+  for (const auto& [src, dst] : recurrent_slots(depth_)) {
+    if (recurrent_at(src, dst) != SkipType::None) ++n;
+  }
+  return n;
+}
+
+int Adjacency::n_skip_in(int j) const {
+  int n = 0;
+  for (int i = 0; i <= j - 2; ++i) {
+    if (at(i, j) != SkipType::None) ++n;
+  }
+  return n;
+}
+
+int Adjacency::total_skips() const {
+  int n = 0;
+  for (int j = 1; j <= depth_; ++j) n += n_skip_in(j);
+  return n;
+}
+
+int Adjacency::count_type(SkipType t) const {
+  int n = 0;
+  for (const auto& [i, j] : skip_slots(depth_)) {
+    if (at(i, j) == t) ++n;
+  }
+  return n;
+}
+
+std::vector<int> Adjacency::encode() const {
+  std::vector<int> code;
+  for (const auto& [i, j] : skip_slots(depth_)) {
+    code.push_back(static_cast<int>(at(i, j)));
+  }
+  return code;
+}
+
+Adjacency Adjacency::decode(int depth, const std::vector<int>& code) {
+  Adjacency adj(depth);
+  const auto slots = skip_slots(depth);
+  if (code.size() != slots.size()) {
+    throw std::invalid_argument("Adjacency::decode: code length mismatch");
+  }
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    if (code[k] < 0 || code[k] > 2) {
+      throw std::invalid_argument("Adjacency::decode: bad slot value");
+    }
+    if (code[k] != 0) {
+      adj.set(slots[k].first, slots[k].second,
+              static_cast<SkipType>(code[k]));
+    }
+  }
+  return adj;
+}
+
+std::string Adjacency::str() const {
+  std::ostringstream os;
+  for (int i = 0; i <= depth_; ++i) {
+    for (int j = 0; j <= depth_; ++j) {
+      char c = '.';
+      if (j == i + 1) c = '-';  // sequential edge
+      else if (j >= i + 2) c = "0DA"[static_cast<int>(at(i, j))];
+      os << c << (j == depth_ ? "" : " ");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Adjacency Adjacency::chain(int depth) { return Adjacency(depth); }
+
+Adjacency Adjacency::uniform(int depth, SkipType type, int n_skip) {
+  Adjacency adj(depth);
+  if (type == SkipType::None || n_skip <= 0) return adj;
+  for (int j = 2; j <= depth; ++j) {
+    // Nearest eligible sources are j-2, j-3, ..., 0.
+    int added = 0;
+    for (int i = j - 2; i >= 0 && added < n_skip; --i, ++added) {
+      adj.set(i, j, type);
+    }
+  }
+  return adj;
+}
+
+Adjacency Adjacency::all(int depth, SkipType type) {
+  Adjacency adj(depth);
+  if (type == SkipType::None) return adj;
+  for (const auto& [i, j] : skip_slots(depth)) adj.set(i, j, type);
+  return adj;
+}
+
+}  // namespace snnskip

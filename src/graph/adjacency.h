@@ -1,0 +1,92 @@
+#pragma once
+// Per-block adjacency matrix over layer nodes (paper §III-B, eq. 1).
+//
+// A block of depth d has nodes 0..d where node 0 is the block input and
+// nodes 1..d are layers. The sequential chain k -> k+1 is always present;
+// *skip* connections occupy the slots (i, j) with j >= i + 2 and take one
+// of three values:
+//   0 = None, 1 = DSC (DenseNet-like concatenation), 2 = ASC (addition).
+//
+// The paper's search space contains no backward connections (the matrix is
+// strictly upper-triangular there), but its future-work section proposes
+// adding them. This implementation supports that extension: *recurrent*
+// entries at (src, dst) with src >= dst deliver node src's PREVIOUS-
+// timestep output to node dst's input — a one-step-delayed edge, which is
+// the only causally valid form of backward connectivity in an unrolled
+// SNN. Recurrent edges are addition-type only (set_recurrent).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snnskip {
+
+enum class SkipType : std::uint8_t { None = 0, DSC = 1, ASC = 2 };
+
+std::string to_string(SkipType t);
+
+class Adjacency {
+ public:
+  /// Chain adjacency (no skips) over `depth` layer nodes.
+  explicit Adjacency(int depth);
+
+  int depth() const { return depth_; }
+
+  /// Connection type from node i's output to node j's input.
+  SkipType at(int i, int j) const;
+  /// Set a *skip* slot (requires j >= i + 2).
+  void set(int i, int j, SkipType t);
+
+  /// Canonical list of skip slots for a block of depth d, ordered by
+  /// (dst, src) ascending. Slot count = d*(d-1)/2.
+  static std::vector<std::pair<int, int>> skip_slots(int depth);
+
+  // ---- recurrent (backward) connections: future-work extension ---------
+  /// Type of the one-step-delayed edge from node src (>= dst) to node dst.
+  SkipType recurrent_at(int src, int dst) const;
+  /// Set a recurrent slot; requires 1 <= dst <= src <= depth and type in
+  /// {None, ASC} (concatenation across time is not supported).
+  void set_recurrent(int src, int dst, SkipType t);
+  /// Canonical (src, dst) recurrent slots, src >= dst >= 1, ordered by
+  /// (dst, src). Slot count = d*(d+1)/2.
+  static std::vector<std::pair<int, int>> recurrent_slots(int depth);
+  /// Number of recurrent edges present.
+  int total_recurrent() const;
+
+  /// Number of skip connections entering layer j (paper's n_skip,j).
+  int n_skip_in(int j) const;
+  /// Total skip connections in the block.
+  int total_skips() const;
+  /// Count of slots holding a given type.
+  int count_type(SkipType t) const;
+
+  /// Slot values (0/1/2) in canonical slot order — the BO encoding.
+  std::vector<int> encode() const;
+  static Adjacency decode(int depth, const std::vector<int>& code);
+
+  bool operator==(const Adjacency& o) const {
+    return depth_ == o.depth_ && a_ == o.a_;
+  }
+  bool operator!=(const Adjacency& o) const { return !(*this == o); }
+
+  /// Multi-line matrix rendering for logs.
+  std::string str() const;
+
+  // ---- canonical constructions -----------------------------------------
+  /// No skip connections.
+  static Adjacency chain(int depth);
+  /// Fig. 1's sweep: every layer j receives skips of `type` from its
+  /// `n_skip` nearest eligible predecessors (clamped to availability).
+  static Adjacency uniform(int depth, SkipType type, int n_skip);
+  /// All skip slots set to `type` (DenseNet-style all-to-all for DSC).
+  static Adjacency all(int depth, SkipType type);
+
+ private:
+  int idx(int i, int j) const { return i * (depth_ + 1) + j; }
+
+  int depth_;
+  std::vector<SkipType> a_;  // (d+1) x (d+1), strictly upper-triangular use
+};
+
+}  // namespace snnskip

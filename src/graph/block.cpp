@@ -1,0 +1,470 @@
+#include "graph/block.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/join.h"
+#include "nn/activations.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/pooling.h"
+#include "snn/plif.h"
+#include "tensor/ops.h"
+
+namespace snnskip {
+
+std::int64_t BlockSpec::node_out_channels(int i) const {
+  assert(i >= 0 && i <= depth());
+  if (i == 0) return in_channels;
+  return nodes[static_cast<std::size_t>(i - 1)].out_channels;
+}
+
+std::int64_t BlockSpec::spatial_div(int i) const {
+  assert(i >= 0 && i <= depth());
+  std::int64_t div = 1;
+  for (int k = 1; k <= i; ++k) {
+    div *= nodes[static_cast<std::size_t>(k - 1)].stride;
+  }
+  return div;
+}
+
+bool BlockSpec::slot_allows(int src, int dst, SkipType t) const {
+  if (dst < 2 || dst > depth() || src < 0 || src > dst - 2) return false;
+  if (t == SkipType::DSC &&
+      nodes[static_cast<std::size_t>(dst - 1)].op == NodeOp::DwConv3x3) {
+    // Depthwise ops have structurally fixed channel counts; concatenation
+    // would change them, so DSC into a depthwise node is invalid.
+    return false;
+  }
+  return true;
+}
+
+bool BlockSpec::recurrent_slot_allows(int src, int dst, SkipType t) const {
+  if (dst < 1 || src < dst || src > depth()) return false;
+  if (t == SkipType::None) return true;
+  if (t != SkipType::ASC) return false;
+  // The delayed edge adds tensors as-is; source and destination input must
+  // share a spatial resolution (a 1x1 projection fixes channels only).
+  return spatial_div(src) == spatial_div(dst - 1);
+}
+
+namespace {
+
+LayerPtr make_op(const NodePlan& plan, std::int64_t in_c, Rng& rng,
+                 const std::string& op_name) {
+  switch (plan.op) {
+    case NodeOp::Conv3x3:
+      return std::make_unique<Conv2d>(in_c, plan.out_channels, 3, plan.stride,
+                                      1, /*bias=*/false, rng, op_name);
+    case NodeOp::Conv1x1:
+      return std::make_unique<Conv2d>(in_c, plan.out_channels, 1, plan.stride,
+                                      0, /*bias=*/false, rng, op_name);
+    case NodeOp::DwConv3x3:
+      if (in_c != plan.out_channels) {
+        throw std::invalid_argument(
+            "DwConv3x3 node requires out_channels == input channels");
+      }
+      return std::make_unique<DepthwiseConv2d>(in_c, 3, plan.stride, 1,
+                                               /*bias=*/false, rng, op_name);
+  }
+  throw std::logic_error("unknown NodeOp");
+}
+
+}  // namespace
+
+Block::Block(BlockSpec spec, Adjacency adjacency, BlockConfig cfg, Rng& rng)
+    : spec_(std::move(spec)), adj_(std::move(adjacency)), cfg_(cfg) {
+  if (adj_.depth() != spec_.depth()) {
+    throw std::invalid_argument("Block: adjacency depth != spec depth");
+  }
+  const int d = spec_.depth();
+
+  // Validate the adjacency against structural constraints before building.
+  for (const auto& [i, j] : Adjacency::skip_slots(d)) {
+    const SkipType t = adj_.at(i, j);
+    if (t != SkipType::None && !spec_.slot_allows(i, j, t)) {
+      throw std::invalid_argument("Block '" + spec_.name + "': slot (" +
+                                  std::to_string(i) + "," + std::to_string(j) +
+                                  ") does not allow " + to_string(t));
+    }
+  }
+  for (const auto& [src, dst] : Adjacency::recurrent_slots(d)) {
+    const SkipType t = adj_.recurrent_at(src, dst);
+    if (t != SkipType::None && !spec_.recurrent_slot_allows(src, dst, t)) {
+      throw std::invalid_argument(
+          "Block '" + spec_.name + "': recurrent slot (" +
+          std::to_string(src) + "->" + std::to_string(dst) +
+          ") does not allow " + to_string(t));
+    }
+  }
+
+  nodes_.reserve(static_cast<std::size_t>(d));
+  for (int i = 1; i <= d; ++i) {
+    Node node;
+    node.plan = spec_.nodes[static_cast<std::size_t>(i - 1)];
+    node.main_in_c = spec_.node_out_channels(i - 1);
+
+    // Supernet input layout: [main | seg(src=0) | seg(src=1) | ...] over
+    // every potential DSC source, active or not.
+    std::int64_t offset = node.main_in_c;
+    const bool dsc_ok =
+        node.plan.op != NodeOp::DwConv3x3;  // mirror slot_allows
+    if (dsc_ok) {
+      for (int src = 0; src <= i - 2; ++src) {
+        Segment seg;
+        seg.src = src;
+        seg.src_channels = dsc_channel_subset(
+            spec_.name, src, i, spec_.node_out_channels(src),
+            cfg_.dsc_fraction);
+        seg.offset = offset;
+        offset += static_cast<std::int64_t>(seg.src_channels.size());
+        node.potential_segments.push_back(std::move(seg));
+      }
+    }
+    node.supernet_in_c = offset;
+
+    // Gather indices of the channels this candidate actually uses.
+    for (std::int64_t c = 0; c < node.main_in_c; ++c) {
+      node.used_weight_channels.push_back(c);
+    }
+    for (const Segment& seg : node.potential_segments) {
+      if (adj_.at(seg.src, i) == SkipType::DSC) {
+        for (std::size_t k = 0; k < seg.src_channels.size(); ++k) {
+          node.used_weight_channels.push_back(
+              seg.offset + static_cast<std::int64_t>(k));
+        }
+      }
+    }
+    node.used_in_c =
+        static_cast<std::int64_t>(node.used_weight_channels.size());
+
+    const std::string base =
+        spec_.name + ".n" + std::to_string(i);
+    node.op = make_op(node.plan, node.used_in_c, rng, base + ".op");
+    node.bn = std::make_unique<BatchNormTT>(
+        node.plan.out_channels, cfg_.max_timesteps, 0.1f, 1e-5f, base + ".bn");
+    if (!node.plan.spiking) {
+      node.neuron = std::make_unique<Identity>();
+    } else if (cfg_.mode == NeuronMode::Spiking) {
+      if (cfg_.neuron == NeuronKind::Plif) {
+        node.neuron = std::make_unique<Plif>(cfg_.lif, base + ".plif");
+      } else {
+        node.neuron = std::make_unique<Lif>(cfg_.lif, base + ".lif");
+      }
+    } else {
+      node.neuron = std::make_unique<ReLU>();
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  // Materialize the active skip edges, ordered by (dst, src).
+  for (int dst = 2; dst <= d; ++dst) {
+    for (int src = 0; src <= dst - 2; ++src) {
+      const SkipType t = adj_.at(src, dst);
+      if (t == SkipType::None) continue;
+      SkipEdge edge;
+      edge.src = src;
+      edge.dst = dst;
+      edge.type = t;
+      const std::int64_t src_c = spec_.node_out_channels(src);
+      const std::int64_t dst_main_c = spec_.node_out_channels(dst - 1);
+      const std::int64_t ratio =
+          spec_.spatial_div(dst - 1) / spec_.spatial_div(src);
+      const std::string ename = spec_.name + ".e" + std::to_string(src) +
+                                "_" + std::to_string(dst);
+      if (t == SkipType::DSC) {
+        edge.channels =
+            dsc_channel_subset(spec_.name, src, dst, src_c, cfg_.dsc_fraction);
+        if (ratio > 1) {
+          // Ceil-mode pooling matches the conv path's ceil(H/ratio)
+          // spatial arithmetic for every input size (see nn/pooling.h).
+          edge.pool =
+              std::make_unique<AvgPool2d>(ratio, ratio, /*ceil_mode=*/true);
+        }
+      } else {  // ASC
+        if (src_c != dst_main_c || ratio > 1) {
+          edge.proj = std::make_unique<Conv2d>(src_c, dst_main_c, 1, ratio, 0,
+                                               /*bias=*/false, rng,
+                                               ename + ".proj");
+        }
+      }
+      edges_.push_back(std::move(edge));
+    }
+  }
+
+  // Recurrent (one-step-delayed) edges, ordered by (dst, src).
+  for (int dst = 1; dst <= d; ++dst) {
+    for (int src = dst; src <= d; ++src) {
+      if (adj_.recurrent_at(src, dst) != SkipType::ASC) continue;
+      RecurrentEdge edge;
+      edge.src = src;
+      edge.dst = dst;
+      const std::int64_t src_c = spec_.node_out_channels(src);
+      const std::int64_t dst_main_c = spec_.node_out_channels(dst - 1);
+      if (src_c != dst_main_c) {
+        edge.proj = std::make_unique<Conv2d>(
+            src_c, dst_main_c, 1, 1, 0, /*bias=*/false, rng,
+            spec_.name + ".r" + std::to_string(src) + "_" +
+                std::to_string(dst) + ".proj");
+      }
+      redges_.push_back(std::move(edge));
+    }
+  }
+}
+
+Tensor Block::assemble_input(int i, const std::vector<Tensor>& outs,
+                             bool train) {
+  Tensor main = outs[static_cast<std::size_t>(i - 1)];  // copy: may be added to
+
+  // ASC edges first: they modify the main path.
+  for (auto& edge : edges_) {
+    if (edge.dst != i || edge.type != SkipType::ASC) continue;
+    const Tensor& src_out = outs[static_cast<std::size_t>(edge.src)];
+    if (edge.proj) {
+      main.add_(edge.proj->forward(src_out, train));
+    } else {
+      main.add_(src_out);
+    }
+  }
+
+  // Recurrent edges deliver the previous timestep's outputs (zero
+  // contribution at the first step of a sequence).
+  if (has_prev_) {
+    for (auto& edge : redges_) {
+      if (edge.dst != i) continue;
+      const Tensor& src_prev = prev_outputs_[static_cast<std::size_t>(edge.src)];
+      if (edge.proj) {
+        main.add_(edge.proj->forward(src_prev, train));
+      } else {
+        main.add_(src_prev);
+      }
+    }
+  }
+
+  // DSC edges widen the input via concatenation, in src order (matching the
+  // used_weight_channels layout).
+  std::vector<Tensor> gathered;
+  for (auto& edge : edges_) {
+    if (edge.dst != i || edge.type != SkipType::DSC) continue;
+    Tensor part = gather_channels(outs[static_cast<std::size_t>(edge.src)],
+                                  edge.channels);
+    if (edge.pool) part = edge.pool->forward(part, train);
+    gathered.push_back(std::move(part));
+  }
+  if (gathered.empty()) return main;
+
+  std::vector<const Tensor*> parts;
+  parts.push_back(&main);
+  for (const Tensor& g : gathered) parts.push_back(&g);
+  return concat_channels(parts);
+}
+
+Tensor Block::forward(const Tensor& x, bool train) {
+  const int d = spec_.depth();
+  const bool had_prev = has_prev_;  // recurrence state entering this step
+  std::vector<Tensor> outs;
+  outs.reserve(static_cast<std::size_t>(d + 1));
+  outs.push_back(x);
+
+  for (int i = 1; i <= d; ++i) {
+    Node& node = nodes_[static_cast<std::size_t>(i - 1)];
+    Tensor in = assemble_input(i, outs, train);
+    Tensor y = node.op->forward(in, train);
+    y = node.bn->forward(y, train);
+    y = node.neuron->forward(y, train);
+    outs.push_back(std::move(y));
+  }
+
+  if (train) {
+    Ctx ctx;
+    ctx.node_out_shapes.reserve(outs.size());
+    for (const Tensor& t : outs) ctx.node_out_shapes.push_back(t.shape());
+    ctx.used_recurrent = had_prev;
+    saved_.push_back(std::move(ctx));
+  }
+  if (!redges_.empty()) {
+    prev_outputs_ = outs;  // keep t's outputs for the t+1 delayed edges
+    has_prev_ = true;
+  }
+  return std::move(outs.back());
+}
+
+Tensor Block::backward(const Tensor& grad_out) {
+  assert(!saved_.empty() && "Block::backward without matching forward");
+  Ctx ctx = std::move(saved_.back());
+  saved_.pop_back();
+
+  const int d = spec_.depth();
+  std::vector<Tensor> grads;
+  grads.reserve(static_cast<std::size_t>(d + 1));
+  for (int i = 0; i <= d; ++i) {
+    grads.emplace_back(ctx.node_out_shapes[static_cast<std::size_t>(i)]);
+  }
+  grads[static_cast<std::size_t>(d)].add_(grad_out);
+
+  // Recurrent gradients produced while processing timestep t+1 target the
+  // outputs of this timestep; consume them now.
+  if (has_carry_) {
+    for (int i = 0; i <= d; ++i) {
+      grads[static_cast<std::size_t>(i)].add_(
+          pending_carry_[static_cast<std::size_t>(i)]);
+    }
+    has_carry_ = false;
+  }
+  std::vector<Tensor> next_carry;
+  if (!redges_.empty() && ctx.used_recurrent) {
+    next_carry.reserve(static_cast<std::size_t>(d + 1));
+    for (int i = 0; i <= d; ++i) {
+      next_carry.emplace_back(ctx.node_out_shapes[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  for (int i = d; i >= 1; --i) {
+    Node& node = nodes_[static_cast<std::size_t>(i - 1)];
+    Tensor g = node.neuron->backward(grads[static_cast<std::size_t>(i)]);
+    g = node.bn->backward(g);
+    Tensor g_in = node.op->backward(g);  // channels == used_in_c
+
+    Tensor g_main = slice_channels(g_in, 0, node.main_in_c);
+
+    // DSC segments come after the main channels, in (src ascending) order.
+    std::int64_t off = node.main_in_c;
+    for (auto& edge : edges_) {
+      if (edge.dst != i || edge.type != SkipType::DSC) continue;
+      const std::int64_t len =
+          static_cast<std::int64_t>(edge.channels.size());
+      Tensor g_seg = slice_channels(g_in, off, off + len);
+      off += len;
+      if (edge.pool) g_seg = edge.pool->backward(g_seg);
+      scatter_add_channels(grads[static_cast<std::size_t>(edge.src)], g_seg,
+                           edge.channels);
+    }
+    assert(off == node.used_in_c);
+
+    // ASC edges receive the main-path gradient unchanged.
+    for (auto& edge : edges_) {
+      if (edge.dst != i || edge.type != SkipType::ASC) continue;
+      if (edge.proj) {
+        grads[static_cast<std::size_t>(edge.src)].add_(
+            edge.proj->backward(g_main));
+      } else {
+        grads[static_cast<std::size_t>(edge.src)].add_(g_main);
+      }
+    }
+
+    // Recurrent edges: the gradient flows to the source's output at t-1,
+    // delivered to the NEXT backward() invocation through the carry.
+    if (ctx.used_recurrent) {
+      for (auto& edge : redges_) {
+        if (edge.dst != i) continue;
+        if (edge.proj) {
+          next_carry[static_cast<std::size_t>(edge.src)].add_(
+              edge.proj->backward(g_main));
+        } else {
+          next_carry[static_cast<std::size_t>(edge.src)].add_(g_main);
+        }
+      }
+    }
+
+    grads[static_cast<std::size_t>(i - 1)].add_(g_main);
+  }
+
+  if (!next_carry.empty()) {
+    pending_carry_ = std::move(next_carry);
+    has_carry_ = true;
+  }
+  return std::move(grads[0]);
+}
+
+void Block::reset_state() {
+  saved_.clear();
+  for (auto& node : nodes_) {
+    node.op->reset_state();
+    node.bn->reset_state();
+    node.neuron->reset_state();
+  }
+  for (auto& edge : edges_) {
+    if (edge.proj) edge.proj->reset_state();
+    if (edge.pool) edge.pool->reset_state();
+  }
+  for (auto& edge : redges_) {
+    if (edge.proj) edge.proj->reset_state();
+  }
+  prev_outputs_.clear();
+  has_prev_ = false;
+  pending_carry_.clear();
+  has_carry_ = false;
+}
+
+std::vector<Parameter*> Block::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& node : nodes_) {
+    for (Parameter* p : node.op->parameters()) out.push_back(p);
+    for (Parameter* p : node.bn->parameters()) out.push_back(p);
+  }
+  for (auto& edge : edges_) {
+    if (edge.proj) {
+      for (Parameter* p : edge.proj->parameters()) out.push_back(p);
+    }
+  }
+  for (auto& edge : redges_) {
+    if (edge.proj) {
+      for (Parameter* p : edge.proj->parameters()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Block::buffers() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  for (auto& node : nodes_) {
+    for (auto& b : node.bn->buffers()) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::int64_t Block::macs(const Shape& in) const {
+  const int d = spec_.depth();
+  std::int64_t total = 0;
+  // Track per-node output shapes to size each op's input.
+  std::vector<Shape> shapes;
+  shapes.push_back(in);
+  for (int i = 1; i <= d; ++i) {
+    const Node& node = nodes_[static_cast<std::size_t>(i - 1)];
+    const Shape& prev = shapes[static_cast<std::size_t>(i - 1)];
+    const Shape op_in{prev[0], node.used_in_c, prev[2], prev[3]};
+    total += node.op->macs(op_in);
+    shapes.push_back(node.op->output_shape(op_in));
+  }
+  for (const auto& edge : edges_) {
+    if (edge.type == SkipType::ASC && edge.proj) {
+      total += edge.proj->macs(shapes[static_cast<std::size_t>(edge.src)]);
+    }
+  }
+  for (const auto& edge : redges_) {
+    if (edge.proj) {
+      total += edge.proj->macs(shapes[static_cast<std::size_t>(edge.src)]);
+    }
+  }
+  return total;
+}
+
+Shape Block::output_shape(const Shape& in) const {
+  const int d = spec_.depth();
+  const std::int64_t div = spec_.spatial_div(d);
+  // Strided convs (k3/s2/p1 and k1/s2/p0 alike) map H -> ceil(H/2), and
+  // nested ceils compose, so the block output is ceil(H/div).
+  return Shape{in[0], spec_.node_out_channels(d), (in[2] + div - 1) / div,
+               (in[3] + div - 1) / div};
+}
+
+void Block::set_recorder(FiringRateRecorder* rec) {
+  for (auto& node : nodes_) {
+    if (auto* lif = dynamic_cast<Lif*>(node.neuron.get())) {
+      lif->set_recorder(rec);
+    } else if (auto* plif = dynamic_cast<Plif*>(node.neuron.get())) {
+      plif->set_recorder(rec);
+    }
+  }
+}
+
+}  // namespace snnskip

@@ -1,0 +1,160 @@
+#pragma once
+// Block: a DAG of layer nodes wired by an Adjacency matrix.
+//
+// Node i (1..d) runs op -> batch-norm -> neuron. Its input is assembled
+// from the sequential predecessor's output plus the incoming skip edges:
+//   ASC edges add (through a lazily-created 1x1 projection when channels
+//   or spatial sizes mismatch) onto the main path *before* the op;
+//   DSC edges concatenate a deterministic channel subset of the source
+//   (average-pooled to the destination's spatial size if needed), widening
+//   the op's input channels.
+// A Block is itself a Layer: forward() is one timestep, backward() pops the
+// matching context, so the BPTT driver treats blocks and plain layers
+// uniformly.
+//
+// Weight-sharing layout: for every node the ops' input channels follow the
+// canonical order [main | seg(src=0) | seg(src=1) | ...] over ALL potential
+// DSC sources, whether or not the candidate adjacency activates them. A
+// candidate's conv weight is the gather of the active segments from this
+// "supernet" layout; see train/weight_store.h.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "nn/batchnorm_tt.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+#include "snn/lif.h"
+
+namespace snnskip {
+
+enum class NeuronMode { Spiking, Analog };
+
+/// Spiking neuron family: plain LIF or PLIF with a learnable leak.
+enum class NeuronKind { Lif, Plif };
+
+enum class NodeOp { Conv3x3, Conv1x1, DwConv3x3 };
+
+struct NodePlan {
+  NodeOp op = NodeOp::Conv3x3;
+  std::int64_t out_channels = 8;
+  std::int64_t stride = 1;
+  bool spiking = true;  ///< false => no neuron (linear node, MobileNetV2)
+};
+
+struct BlockSpec {
+  std::string name;  ///< stable identity (weight-store keys, DSC subsets)
+  std::int64_t in_channels = 8;
+  std::vector<NodePlan> nodes;
+
+  int depth() const { return static_cast<int>(nodes.size()); }
+  /// Output channels of node i (0 = block input).
+  std::int64_t node_out_channels(int i) const;
+  /// Cumulative spatial downsampling after node i relative to block input.
+  std::int64_t spatial_div(int i) const;
+  /// Whether a skip slot (src, dst) supports the given type:
+  /// DSC cannot feed a depthwise node (channel count is structural there).
+  bool slot_allows(int src, int dst, SkipType t) const;
+
+  /// Whether a recurrent slot (src >= dst) is admissible: addition-type
+  /// only, and the source and destination must live at the same spatial
+  /// resolution (the one-step delay cannot also resample).
+  bool recurrent_slot_allows(int src, int dst, SkipType t) const;
+};
+
+struct BlockConfig {
+  NeuronMode mode = NeuronMode::Spiking;
+  NeuronKind neuron = NeuronKind::Lif;
+  std::int64_t max_timesteps = 16;
+  LifConfig lif{};
+  double dsc_fraction = 0.5;  ///< fraction of source channels per DSC edge
+};
+
+class Block final : public Layer {
+ public:
+  /// Segment of a node's (supernet) input channel range fed by one
+  /// potential DSC source.
+  struct Segment {
+    int src = 0;
+    std::vector<std::int64_t> src_channels;  // channels taken from source
+    std::int64_t offset = 0;                 // start in supernet in-dim
+  };
+
+  struct Node {
+    NodePlan plan;
+    LayerPtr op;
+    LayerPtr bn;
+    LayerPtr neuron;
+    std::int64_t main_in_c = 0;   ///< sequential-path channels
+    std::int64_t used_in_c = 0;   ///< actual op input channels
+    std::int64_t supernet_in_c = 0;
+    std::vector<Segment> potential_segments;       ///< all srcs 0..i-2
+    std::vector<std::int64_t> used_weight_channels; ///< gather indices
+  };
+
+  struct SkipEdge {
+    int src = 0, dst = 0;
+    SkipType type = SkipType::None;
+    std::vector<std::int64_t> channels;  ///< DSC: source channels taken
+    LayerPtr proj;   ///< ASC: 1x1 conv (null when identity suffices)
+    LayerPtr pool;   ///< spatial aligner (null when sizes match)
+  };
+
+  /// One-step-delayed edge: node src's output at t-1 adds onto node dst's
+  /// input at t (the future-work backward-connection extension).
+  struct RecurrentEdge {
+    int src = 0, dst = 0;
+    LayerPtr proj;  ///< 1x1 channel adapter (null when widths match)
+  };
+
+  Block(BlockSpec spec, Adjacency adjacency, BlockConfig cfg, Rng& rng);
+
+  // Layer interface — one invocation per timestep.
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<std::pair<std::string, Tensor*>> buffers() override;
+  std::string name() const override { return spec_.name; }
+  std::int64_t macs(const Shape& in) const override;
+  Shape output_shape(const Shape& in) const override;
+
+  const BlockSpec& spec() const { return spec_; }
+  const Adjacency& adjacency() const { return adj_; }
+  const BlockConfig& config() const { return cfg_; }
+  std::vector<Node>& nodes() { return nodes_; }
+  std::vector<SkipEdge>& skip_edges() { return edges_; }
+  std::vector<RecurrentEdge>& recurrent_edges() { return redges_; }
+
+  /// Point every spiking neuron in the block at `rec` (nullptr detaches).
+  void set_recorder(FiringRateRecorder* rec);
+
+ private:
+  struct Ctx {
+    std::vector<Shape> node_out_shapes;  // per node 0..d
+    bool used_recurrent = false;         // t > 0: delayed edges were active
+  };
+
+  /// Assemble node i's input from predecessor output + skips; train=true
+  /// threads through the sub-layers' context saving.
+  Tensor assemble_input(int i, const std::vector<Tensor>& outs, bool train);
+
+  BlockSpec spec_;
+  Adjacency adj_;
+  BlockConfig cfg_;
+  std::vector<Node> nodes_;
+  std::vector<SkipEdge> edges_;  // active skip edges, ordered by (dst, src)
+  std::vector<RecurrentEdge> redges_;
+  std::vector<Ctx> saved_;
+
+  // Temporal state for recurrent edges.
+  std::vector<Tensor> prev_outputs_;     // node outputs at t-1 (forward)
+  bool has_prev_ = false;
+  std::vector<Tensor> pending_carry_;    // dL/d(out at t-1), per node
+  bool has_carry_ = false;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,45 @@
+#include "graph/join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace snnskip {
+
+std::vector<std::int64_t> dsc_channel_subset(const std::string& block_name,
+                                             int src, int dst,
+                                             std::int64_t src_channels,
+                                             double fraction) {
+  assert(src_channels > 0);
+  std::int64_t count = static_cast<std::int64_t>(
+      std::llround(fraction * static_cast<double>(src_channels)));
+  count = std::clamp<std::int64_t>(count, 1, src_channels);
+
+  // FNV-1a over the edge identity seeds the subset draw.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (char c : block_name) mix(static_cast<std::uint64_t>(c));
+  mix(static_cast<std::uint64_t>(src) + 0x100);
+  mix(static_cast<std::uint64_t>(dst) + 0x10000);
+  mix(static_cast<std::uint64_t>(src_channels));
+
+  Rng rng(h);
+  std::vector<std::size_t> perm(static_cast<std::size_t>(src_channels));
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+
+  std::vector<std::int64_t> subset(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    subset[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(perm[static_cast<std::size_t>(i)]);
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+}  // namespace snnskip

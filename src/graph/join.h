@@ -1,0 +1,25 @@
+#pragma once
+// Join helpers realizing the two skip-connection types.
+//
+// DSC (DenseNet-like): a deterministic, position-seeded subset of the
+// source node's channels is concatenated onto the destination's input —
+// the paper's "generalized version where we vary the number of skip
+// connections by randomly selecting only some channels for concatenation".
+// The subset is a pure function of (block name, src, dst, source width,
+// fraction), so the same edge always wires the same channels; that is what
+// makes supernet weight sharing across candidate topologies well-defined.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snnskip {
+
+/// Deterministic channel subset for a DSC edge.
+/// Returns max(1, round(fraction * src_channels)) sorted unique indices.
+std::vector<std::int64_t> dsc_channel_subset(const std::string& block_name,
+                                             int src, int dst,
+                                             std::int64_t src_channels,
+                                             double fraction);
+
+}  // namespace snnskip

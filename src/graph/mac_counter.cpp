@@ -1,0 +1,31 @@
+#include "graph/mac_counter.h"
+
+namespace snnskip {
+
+MacReport count_macs(const Network& net, const Shape& in) {
+  MacReport report;
+  report.total = net.macs(in);
+  // Per-block accounting needs the input shape at each block; recompute by
+  // walking shapes through the blocks in order using the network totals.
+  // Blocks see the shape produced by everything before them; since Network
+  // doesn't expose intermediate stages publicly, approximate by querying
+  // each block with the shape chained through the block list. This is exact
+  // for block-only segments and is used for relative comparisons only.
+  Shape cur = in;
+  for (const Block* b : net.blocks()) {
+    // Blocks may be preceded by transitions that changed the shape; derive
+    // the block's input shape from its spec instead.
+    const Shape block_in{cur[0], b->spec().in_channels, cur[2], cur[3]};
+    report.per_block[b->name()] = b->macs(block_in);
+    cur = b->output_shape(block_in);
+  }
+  return report;
+}
+
+double effective_snn_ops(std::int64_t macs_per_step, double firing_rate,
+                         std::int64_t timesteps) {
+  return static_cast<double>(macs_per_step) * firing_rate *
+         static_cast<double>(timesteps);
+}
+
+}  // namespace snnskip

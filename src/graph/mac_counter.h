@@ -1,0 +1,26 @@
+#pragma once
+// MAC accounting over a network (the paper's efficiency axis: DSC enlarges
+// inputs and thus MACs, ASC keeps MACs flat but raises firing rates).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/network.h"
+
+namespace snnskip {
+
+struct MacReport {
+  std::int64_t total = 0;                        ///< per timestep, full batch
+  std::map<std::string, std::int64_t> per_block; ///< searchable blocks only
+};
+
+/// MACs for one forward timestep at input shape `in` (batch included).
+MacReport count_macs(const Network& net, const Shape& in);
+
+/// Effective synaptic-operation count of an SNN: in a spiking layer only
+/// incoming spikes trigger accumulates, so effective ops ≈ MACs * rate * T.
+double effective_snn_ops(std::int64_t macs_per_step, double firing_rate,
+                         std::int64_t timesteps);
+
+}  // namespace snnskip

@@ -1,0 +1,87 @@
+#include "graph/network.h"
+
+#include "snn/lif.h"
+#include "snn/plif.h"
+
+namespace snnskip {
+
+void Network::add_layer(LayerPtr layer) { stages_.push_back(std::move(layer)); }
+
+void Network::add_block(std::unique_ptr<Block> block) {
+  blocks_.push_back(block.get());
+  stages_.push_back(std::move(block));
+}
+
+Tensor Network::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& stage : stages_) {
+    cur = stage->forward(cur, train);
+  }
+  return cur;
+}
+
+Tensor Network::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+void Network::reset_state() {
+  for (auto& stage : stages_) stage->reset_state();
+}
+
+std::vector<Parameter*> Network::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& stage : stages_) {
+    for (Parameter* p : stage->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Network::buffers() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  for (auto& stage : stages_) {
+    for (auto& b : stage->buffers()) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::size_t Network::parameter_count() {
+  std::size_t n = 0;
+  for (Parameter* p : parameters()) {
+    n += static_cast<std::size_t>(p->numel());
+  }
+  return n;
+}
+
+void Network::set_recorder(FiringRateRecorder* rec) {
+  for (auto& stage : stages_) {
+    if (auto* block = dynamic_cast<Block*>(stage.get())) {
+      block->set_recorder(rec);
+    } else if (auto* lif = dynamic_cast<Lif*>(stage.get())) {
+      lif->set_recorder(rec);
+    } else if (auto* plif = dynamic_cast<Plif*>(stage.get())) {
+      plif->set_recorder(rec);
+    }
+  }
+}
+
+std::int64_t Network::macs(const Shape& in) const {
+  std::int64_t total = 0;
+  Shape cur = in;
+  for (const auto& stage : stages_) {
+    total += stage->macs(cur);
+    cur = stage->output_shape(cur);
+  }
+  return total;
+}
+
+Shape Network::output_shape(const Shape& in) const {
+  Shape cur = in;
+  for (const auto& stage : stages_) cur = stage->output_shape(cur);
+  return cur;
+}
+
+}  // namespace snnskip

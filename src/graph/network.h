@@ -1,0 +1,58 @@
+#pragma once
+// Network: an ordered sequence of stages (plain layers and Blocks).
+//
+// The paper's topologies are "blocks connected with a single sequential
+// connection" (§III-A): a stem, a chain of searchable blocks (with optional
+// transition layers between them), and a classification head. forward()/
+// backward() process ONE timestep; the training driver unrolls T steps and
+// walks back through the saved contexts (BPTT).
+
+#include <memory>
+#include <vector>
+
+#include "graph/block.h"
+#include "nn/layer.h"
+#include "snn/spike_stats.h"
+
+namespace snnskip {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Append a non-searchable stage (stem conv, pooling, head, ...).
+  void add_layer(LayerPtr layer);
+  /// Append a searchable block; retained in blocks() order.
+  void add_block(std::unique_ptr<Block> block);
+
+  /// One timestep forward. `train` enables context saving for BPTT.
+  Tensor forward(const Tensor& x, bool train);
+  /// One timestep backward (matching the most recent un-popped forward).
+  Tensor backward(const Tensor& grad_out);
+
+  /// Clear temporal state and contexts (sequence boundary).
+  void reset_state();
+
+  std::vector<Parameter*> parameters();
+  std::size_t parameter_count();
+  /// Non-trainable named state (batch-norm running stats) across stages.
+  std::vector<std::pair<std::string, Tensor*>> buffers();
+
+  /// Searchable blocks in network order.
+  const std::vector<Block*>& blocks() const { return blocks_; }
+
+  /// Attach/detach a firing-rate recorder on every spiking neuron.
+  void set_recorder(FiringRateRecorder* rec);
+
+  /// Forward MACs for one timestep at batch input shape `in`.
+  std::int64_t macs(const Shape& in) const;
+  Shape output_shape(const Shape& in) const;
+
+ private:
+  std::vector<LayerPtr> stages_;
+  std::vector<Block*> blocks_;  // non-owning views into stages_
+};
+
+}  // namespace snnskip

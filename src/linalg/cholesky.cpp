@@ -1,0 +1,67 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace snnskip {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::int64_t n = a.rows();
+  Matrix l(n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::int64_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) return std::nullopt;
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_lower(const Matrix& l,
+                                const std::vector<double>& b) {
+  const std::int64_t n = l.rows();
+  assert(static_cast<std::int64_t>(b.size()) == n);
+  std::vector<double> x(b);
+  for (std::int64_t i = 0; i < n; ++i) {
+    double sum = x[static_cast<std::size_t>(i)];
+    for (std::int64_t k = 0; k < i; ++k) {
+      sum -= l(i, k) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] = sum / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_lower_transpose(const Matrix& l,
+                                          const std::vector<double>& b) {
+  const std::int64_t n = l.rows();
+  assert(static_cast<std::int64_t>(b.size()) == n);
+  std::vector<double> x(b);
+  for (std::int64_t i = n; i-- > 0;) {
+    double sum = x[static_cast<std::size_t>(i)];
+    for (std::int64_t k = i + 1; k < n; ++k) {
+      sum -= l(k, i) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] = sum / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b) {
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+double cholesky_logdet(const Matrix& l) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace snnskip

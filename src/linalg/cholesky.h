@@ -1,0 +1,33 @@
+#pragma once
+// Cholesky factorization and solves for symmetric positive-definite
+// systems — the numerical core of Gaussian-process regression:
+//   K = L L^T,  alpha = K^{-1} y  via two triangular solves,
+//   predictive variance via  v = L^{-1} k*.
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace snnskip {
+
+/// Lower-triangular Cholesky factor of a symmetric PD matrix.
+/// Returns std::nullopt if the matrix is not positive definite (after
+/// exhausting the caller's jitter budget the GP treats that as an error).
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solve L x = b with L lower-triangular (forward substitution).
+std::vector<double> solve_lower(const Matrix& l, const std::vector<double>& b);
+
+/// Solve L^T x = b with L lower-triangular (backward substitution).
+std::vector<double> solve_lower_transpose(const Matrix& l,
+                                          const std::vector<double>& b);
+
+/// Solve (L L^T) x = b.
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b);
+
+/// log(det(K)) = 2 * sum(log(diag(L))).
+double cholesky_logdet(const Matrix& l);
+
+}  // namespace snnskip

@@ -1,0 +1,65 @@
+#include "linalg/matrix.h"
+
+#include <sstream>
+
+namespace snnskip {
+
+Matrix Matrix::identity(std::int64_t n) {
+  Matrix m(n, n);
+  for (std::int64_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  assert(cols_ == o.rows_);
+  Matrix out(rows_, o.cols_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::int64_t j = 0; j < o.cols_; ++j) {
+        out(i, j) += a * o(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::mul_vec(const std::vector<double>& x) const {
+  assert(static_cast<std::int64_t>(x.size()) == cols_);
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      acc += (*this)(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+void Matrix::add_diagonal(double s) {
+  const std::int64_t n = std::min(rows_, cols_);
+  for (std::int64_t i = 0; i < n; ++i) (*this)(i, i) += s;
+}
+
+std::string Matrix::str() const {
+  std::ostringstream os;
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      os << (*this)(i, j) << (j + 1 == cols_ ? "" : " ");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace snnskip

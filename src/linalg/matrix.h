@@ -1,0 +1,53 @@
+#pragma once
+// Small dense double-precision matrix for the Gaussian-process surrogate.
+//
+// Kept separate from Tensor on purpose: GP math wants double precision and
+// tiny sizes (tens of observations), while the NN substrate wants float32
+// throughput. Row-major storage, value semantics.
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snnskip {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::int64_t rows, std::int64_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), fill) {}
+
+  static Matrix identity(std::int64_t n);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  double& operator()(std::int64_t i, std::int64_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double operator()(std::int64_t i, std::int64_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& o) const;
+  /// y = this * x for a vector x (size cols()).
+  std::vector<double> mul_vec(const std::vector<double>& x) const;
+
+  /// this += s * I (jitter for numerical stability).
+  void add_diagonal(double s);
+
+  std::string str() const;
+
+ private:
+  std::int64_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace snnskip

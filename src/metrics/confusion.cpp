@@ -1,0 +1,87 @@
+#include "metrics/confusion.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace snnskip {
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  assert(num_classes > 0);
+}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t prediction) {
+  assert(truth >= 0 && truth < classes_);
+  assert(prediction >= 0 && prediction < classes_);
+  ++counts_[static_cast<std::size_t>(truth * classes_ + prediction)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(const std::vector<std::int64_t>& truths,
+                                const std::vector<std::int64_t>& predictions) {
+  assert(truths.size() == predictions.size());
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    add(truths[i], predictions[i]);
+  }
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth,
+                                    std::int64_t prediction) const {
+  assert(truth >= 0 && truth < classes_);
+  assert(prediction >= 0 && prediction < classes_);
+  return counts_[static_cast<std::size_t>(truth * classes_ + prediction)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (std::int64_t c = 0; c < classes_; ++c) diag += count(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::int64_t c) const {
+  std::int64_t row = 0;
+  for (std::int64_t p = 0; p < classes_; ++p) row += count(c, p);
+  return row == 0 ? 0.0
+                  : static_cast<double>(count(c, c)) /
+                        static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::int64_t c) const {
+  std::int64_t col = 0;
+  for (std::int64_t t = 0; t < classes_; ++t) col += count(t, c);
+  return col == 0 ? 0.0
+                  : static_cast<double>(count(c, c)) /
+                        static_cast<double>(col);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double f1_sum = 0.0;
+  std::int64_t occurred = 0;
+  for (std::int64_t c = 0; c < classes_; ++c) {
+    std::int64_t row = 0;
+    for (std::int64_t p = 0; p < classes_; ++p) row += count(c, p);
+    if (row == 0) continue;
+    ++occurred;
+    const double pr = precision(c);
+    const double rc = recall(c);
+    if (pr + rc > 0.0) f1_sum += 2.0 * pr * rc / (pr + rc);
+  }
+  return occurred == 0 ? 0.0 : f1_sum / static_cast<double>(occurred);
+}
+
+std::string ConfusionMatrix::str() const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (std::int64_t p = 0; p < classes_; ++p) os << "\t" << p;
+  os << "\n";
+  for (std::int64_t t = 0; t < classes_; ++t) {
+    os << t;
+    for (std::int64_t p = 0; p < classes_; ++p) os << "\t" << count(t, p);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace snnskip

@@ -1,0 +1,40 @@
+#pragma once
+// Confusion matrix and per-class metrics for classification reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snnskip {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  /// Record one (true label, prediction) pair.
+  void add(std::int64_t truth, std::int64_t prediction);
+  void add_batch(const std::vector<std::int64_t>& truths,
+                 const std::vector<std::int64_t>& predictions);
+
+  std::int64_t num_classes() const { return classes_; }
+  std::int64_t count(std::int64_t truth, std::int64_t prediction) const;
+  std::int64_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Recall of class c (0 when the class never occurred).
+  double recall(std::int64_t c) const;
+  /// Precision of class c (0 when the class was never predicted).
+  double precision(std::int64_t c) const;
+  /// Macro-averaged F1 over classes that occurred.
+  double macro_f1() const;
+
+  /// Compact text rendering (rows = truth, cols = prediction).
+  std::string str() const;
+
+ private:
+  std::int64_t classes_;
+  std::vector<std::int64_t> counts_;  // classes_ x classes_
+  std::int64_t total_ = 0;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,16 @@
+#include "metrics/energy.h"
+
+namespace snnskip {
+
+double EnergyModel::ann_energy_pj(std::int64_t macs) const {
+  return mac_pj * static_cast<double>(macs);
+}
+
+double EnergyModel::snn_energy_pj(std::int64_t macs_per_step,
+                                  double firing_rate,
+                                  std::int64_t timesteps) const {
+  return ac_pj * static_cast<double>(macs_per_step) * firing_rate *
+         static_cast<double>(timesteps);
+}
+
+}  // namespace snnskip

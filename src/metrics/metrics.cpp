@@ -1,0 +1,48 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace snnskip {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean_of(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+std::string pct_with_std(double mean, double stddev) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f (+/- %.2f)", mean * 100.0,
+                stddev * 100.0);
+  return buf;
+}
+
+std::string pct(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", value * 100.0);
+  return buf;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,34 @@
+#pragma once
+// Statistical aggregation helpers for experiment reporting (mean ± std over
+// repeated runs, the format of the paper's Table I and Fig. 3 bands).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace snnskip {
+
+/// Online mean/variance (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample standard deviation (0 for n < 2).
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+double mean_of(const std::vector<double>& v);
+double stddev_of(const std::vector<double>& v);
+
+/// "90.34 (+/- 0.20)" formatting, values given in [0,1] rendered as %.
+std::string pct_with_std(double mean, double stddev);
+/// "15.6%" formatting.
+std::string pct(double value);
+
+}  // namespace snnskip

@@ -1,0 +1,22 @@
+#pragma once
+// Plain-text table rendering for the bench binaries (the rows the paper's
+// tables/figures report, printed to stdout alongside the CSV artifacts).
+
+#include <string>
+#include <vector>
+
+namespace snnskip {
+
+/// Fixed-width ASCII table. All rows must have header.size() cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,60 @@
+#include "models/common.h"
+
+namespace snnskip {
+
+// densenet121s: DenseNet-121's grammar at reduced replication — four dense
+// blocks (depths 3/4/4/3 standing in for 6/12/24/16) joined by 1x1-conv +
+// avg-pool transitions. The paper's generalized dense connectivity is the
+// default adjacency: every skip slot carries a DSC edge, each concatenating
+// a channel subset of its source (graph/join.h). The searchable space can
+// thin those edges out or flip them to ASC.
+
+namespace {
+constexpr int kDepths[4] = {3, 4, 4, 3};
+}
+
+std::vector<BlockSpec> densenet121s_specs(const ModelConfig& cfg) {
+  const std::int64_t w = cfg.width;
+  const std::int64_t stage_c[4] = {w, 2 * w, 2 * w, 4 * w};
+  std::vector<BlockSpec> specs;
+  for (int stage = 0; stage < 4; ++stage) {
+    BlockSpec b;
+    b.name = "db" + std::to_string(stage);
+    b.in_channels = stage_c[stage];
+    for (int i = 0; i < kDepths[stage]; ++i) {
+      b.nodes.push_back(NodePlan{NodeOp::Conv3x3, stage_c[stage], 1, true});
+    }
+    specs.push_back(std::move(b));
+  }
+  return specs;
+}
+
+Network build_densenet121s(const ModelConfig& cfg,
+                           const std::vector<Adjacency>& adjacencies) {
+  const auto specs = densenet121s_specs(cfg);
+  assert(adjacencies.size() == specs.size());
+  const std::int64_t w = cfg.width;
+  const std::int64_t stage_c[4] = {w, 2 * w, 2 * w, 4 * w};
+  Rng rng(cfg.seed);
+  Network net;
+  detail::add_stem(net, cfg, stage_c[0], rng);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    net.add_block(std::make_unique<Block>(specs[i], adjacencies[i],
+                                          detail::block_config(cfg), rng));
+    if (i + 1 < specs.size()) {
+      // Transition: 1x1 channel adapter + spatial halving.
+      const std::string tname = "trans" + std::to_string(i);
+      net.add_layer(std::make_unique<Conv2d>(
+          stage_c[i], stage_c[i + 1], 1, 1, 0, /*bias=*/false, rng,
+          tname + ".conv"));
+      net.add_layer(std::make_unique<BatchNormTT>(
+          stage_c[i + 1], cfg.max_timesteps, 0.1f, 1e-5f, tname + ".bn"));
+      net.add_layer(detail::make_neuron(cfg, tname + ".lif"));
+      net.add_layer(std::make_unique<AvgPool2d>(2, 2));
+    }
+  }
+  detail::add_head(net, cfg, stage_c[3], rng);
+  return net;
+}
+
+}  // namespace snnskip

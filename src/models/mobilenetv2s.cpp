@@ -1,0 +1,60 @@
+#include "models/common.h"
+
+namespace snnskip {
+
+// mobilenetv2s: inverted-residual blocks at reduced width. Each block is a
+// depth-3 DAG: 1x1 expansion (xE), 3x3 depthwise (carrying the stride), and
+// a LINEAR 1x1 projection (spiking=false — MobileNetV2's linear bottleneck).
+// The classic residual is the slot (0, 3) with ASC, enabled by default for
+// stride-1 blocks with matching widths. DSC can never enter node 2 (the
+// depthwise op has structurally fixed channels), which slot_allows encodes;
+// the search space queries that constraint per slot.
+
+namespace {
+constexpr std::int64_t kExpansion = 2;
+
+struct StagePlan {
+  std::int64_t out_mult;  // out channels = out_mult * width
+  std::int64_t stride;
+};
+constexpr StagePlan kStages[5] = {
+    {1, 1}, {2, 2}, {2, 1}, {4, 2}, {4, 1},
+};
+}  // namespace
+
+std::vector<BlockSpec> mobilenetv2s_specs(const ModelConfig& cfg) {
+  const std::int64_t w = cfg.width;
+  std::vector<BlockSpec> specs;
+  std::int64_t in_c = w;  // stem output
+  for (int i = 0; i < 5; ++i) {
+    const std::int64_t out_c = kStages[i].out_mult * w;
+    const std::int64_t mid_c = kExpansion * in_c;
+    BlockSpec b;
+    b.name = "ir" + std::to_string(i);
+    b.in_channels = in_c;
+    b.nodes.push_back(NodePlan{NodeOp::Conv1x1, mid_c, 1, true});
+    b.nodes.push_back(
+        NodePlan{NodeOp::DwConv3x3, mid_c, kStages[i].stride, true});
+    b.nodes.push_back(NodePlan{NodeOp::Conv1x1, out_c, 1, /*spiking=*/false});
+    specs.push_back(std::move(b));
+    in_c = out_c;
+  }
+  return specs;
+}
+
+Network build_mobilenetv2s(const ModelConfig& cfg,
+                           const std::vector<Adjacency>& adjacencies) {
+  const auto specs = mobilenetv2s_specs(cfg);
+  assert(adjacencies.size() == specs.size());
+  Rng rng(cfg.seed);
+  Network net;
+  detail::add_stem(net, cfg, cfg.width, rng);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    net.add_block(std::make_unique<Block>(specs[i], adjacencies[i],
+                                          detail::block_config(cfg), rng));
+  }
+  detail::add_head(net, cfg, kStages[4].out_mult * cfg.width, rng);
+  return net;
+}
+
+}  // namespace snnskip

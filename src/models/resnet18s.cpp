@@ -1,0 +1,46 @@
+#include "models/common.h"
+
+namespace snnskip {
+
+// resnet18s: the ResNet-18 block grammar at reduced width. Four stages of
+// two basic blocks (two 3x3 convs each); stages 2-4 downsample by striding
+// the first conv of their first block. The classic identity shortcut is the
+// skip slot (0, 2) with type ASC — exactly what default_adjacencies sets —
+// and the searchable space varies that slot per block.
+
+std::vector<BlockSpec> resnet18s_specs(const ModelConfig& cfg) {
+  const std::int64_t w = cfg.width;
+  const std::int64_t stage_c[4] = {w, 2 * w, 4 * w, 8 * w};
+  std::vector<BlockSpec> specs;
+  std::int64_t in_c = w;  // stem output
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int idx = 0; idx < 2; ++idx) {
+      BlockSpec b;
+      b.name = "rb" + std::to_string(stage) + "_" + std::to_string(idx);
+      b.in_channels = in_c;
+      const std::int64_t stride = (stage > 0 && idx == 0) ? 2 : 1;
+      b.nodes.push_back(NodePlan{NodeOp::Conv3x3, stage_c[stage], stride, true});
+      b.nodes.push_back(NodePlan{NodeOp::Conv3x3, stage_c[stage], 1, true});
+      specs.push_back(std::move(b));
+      in_c = stage_c[stage];
+    }
+  }
+  return specs;
+}
+
+Network build_resnet18s(const ModelConfig& cfg,
+                        const std::vector<Adjacency>& adjacencies) {
+  const auto specs = resnet18s_specs(cfg);
+  assert(adjacencies.size() == specs.size());
+  Rng rng(cfg.seed);
+  Network net;
+  detail::add_stem(net, cfg, cfg.width, rng);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    net.add_block(std::make_unique<Block>(specs[i], adjacencies[i],
+                                          detail::block_config(cfg), rng));
+  }
+  detail::add_head(net, cfg, 8 * cfg.width, rng);
+  return net;
+}
+
+}  // namespace snnskip

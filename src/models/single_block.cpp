@@ -1,0 +1,32 @@
+#include "models/common.h"
+
+namespace snnskip {
+
+// The Fig. 1 probe network: a single block of four 3x3 conv layers between
+// a stem and a classification head. Sweeping Adjacency::uniform(4, type, n)
+// over its skip slots reproduces the paper's skip-connection investigation.
+
+std::vector<BlockSpec> single_block_specs(const ModelConfig& cfg) {
+  BlockSpec b;
+  b.name = "b0";
+  b.in_channels = cfg.width;
+  for (int i = 0; i < 4; ++i) {
+    b.nodes.push_back(NodePlan{NodeOp::Conv3x3, cfg.width, 1, true});
+  }
+  return {b};
+}
+
+Network build_single_block(const ModelConfig& cfg,
+                           const std::vector<Adjacency>& adjacencies) {
+  const auto specs = single_block_specs(cfg);
+  assert(adjacencies.size() == specs.size());
+  Rng rng(cfg.seed);
+  Network net;
+  detail::add_stem(net, cfg, cfg.width, rng);
+  net.add_block(std::make_unique<Block>(specs[0], adjacencies[0],
+                                        detail::block_config(cfg), rng));
+  detail::add_head(net, cfg, cfg.width, rng);
+  return net;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,67 @@
+#include "models/zoo.h"
+
+#include <stdexcept>
+
+namespace snnskip {
+
+std::vector<std::string> model_names() {
+  return {"single_block", "resnet18s", "densenet121s", "mobilenetv2s"};
+}
+
+std::vector<BlockSpec> model_block_specs(const std::string& model,
+                                         const ModelConfig& cfg) {
+  if (model == "single_block") return single_block_specs(cfg);
+  if (model == "resnet18s") return resnet18s_specs(cfg);
+  if (model == "densenet121s") return densenet121s_specs(cfg);
+  if (model == "mobilenetv2s") return mobilenetv2s_specs(cfg);
+  throw std::invalid_argument("unknown model: " + model);
+}
+
+std::vector<Adjacency> default_adjacencies(const std::string& model,
+                                           const ModelConfig& cfg) {
+  const auto specs = model_block_specs(model, cfg);
+  std::vector<Adjacency> adjs;
+  adjs.reserve(specs.size());
+
+  if (model == "single_block") {
+    // Plain chain: the un-skipped baseline of Fig. 1 (n_skip = 0).
+    for (const auto& spec : specs) adjs.emplace_back(spec.depth());
+  } else if (model == "resnet18s") {
+    // Identity residual: input -> block output (slot (0, 2), ASC).
+    for (const auto& spec : specs) {
+      Adjacency adj(spec.depth());
+      adj.set(0, 2, SkipType::ASC);
+      adjs.push_back(std::move(adj));
+    }
+  } else if (model == "densenet121s") {
+    // Dense connectivity: every slot carries a DSC edge.
+    for (const auto& spec : specs) {
+      adjs.push_back(Adjacency::all(spec.depth(), SkipType::DSC));
+    }
+  } else if (model == "mobilenetv2s") {
+    // Residual around stride-1 blocks with matching widths (classic
+    // MobileNetV2); other blocks start without skips.
+    for (const auto& spec : specs) {
+      Adjacency adj(spec.depth());
+      const bool stride1 = spec.spatial_div(spec.depth()) == 1;
+      const bool same_c =
+          spec.in_channels == spec.node_out_channels(spec.depth());
+      if (stride1 && same_c) adj.set(0, 3, SkipType::ASC);
+      adjs.push_back(std::move(adj));
+    }
+  } else {
+    throw std::invalid_argument("unknown model: " + model);
+  }
+  return adjs;
+}
+
+Network build_model(const std::string& model, const ModelConfig& cfg,
+                    const std::vector<Adjacency>& adjacencies) {
+  if (model == "single_block") return build_single_block(cfg, adjacencies);
+  if (model == "resnet18s") return build_resnet18s(cfg, adjacencies);
+  if (model == "densenet121s") return build_densenet121s(cfg, adjacencies);
+  if (model == "mobilenetv2s") return build_mobilenetv2s(cfg, adjacencies);
+  throw std::invalid_argument("unknown model: " + model);
+}
+
+}  // namespace snnskip

@@ -1,0 +1,77 @@
+#pragma once
+// Model zoo: scaled-down spiking/analog twins of the paper's architectures.
+//
+// Each builder produces a Network whose searchable structure (the block
+// list with per-block skip slots) is also exposed separately, so the
+// optimizer can enumerate the adjacency search space without building
+// networks. Channel widths scale with ModelConfig::width; depths follow the
+// original block grammars at reduced replication (DESIGN.md §2).
+//
+// Families:
+//   single_block : stem + one 4-conv-layer block + head (Fig. 1 probe)
+//   resnet18s    : 4 stages x 2 basic blocks (depth-2, default ASC residual)
+//   densenet121s : 4 dense blocks (depths 3/4/4/3, default all-DSC) with
+//                  1x1+avgpool transitions
+//   mobilenetv2s : inverted-residual blocks (expand -> depthwise -> linear
+//                  project, default ASC around stride-1 blocks)
+
+#include <string>
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "graph/block.h"
+#include "graph/network.h"
+
+namespace snnskip {
+
+struct ModelConfig {
+  NeuronMode mode = NeuronMode::Spiking;
+  NeuronKind neuron = NeuronKind::Lif;  ///< Plif = learnable leak
+  std::int64_t in_channels = 2;   ///< 2 for DVS polarity, 3 for RGB
+  std::int64_t num_classes = 10;
+  std::int64_t max_timesteps = 10;
+  LifConfig lif{};
+  double dsc_fraction = 0.5;
+  std::int64_t width = 8;         ///< base channel count
+  /// Spiking classification head: append a LIF after the head linear so
+  /// the network's outputs are class SPIKES (rate-decoded with
+  /// mse_count_loss) instead of analog logits. Spiking mode only.
+  bool spiking_head = false;
+  std::uint64_t seed = 1;
+};
+
+/// Names accepted by the builders below.
+std::vector<std::string> model_names();
+
+/// The searchable block specs of a model (order matches blocks() of the
+/// built network). Used by the optimizer to enumerate adjacency spaces.
+std::vector<BlockSpec> model_block_specs(const std::string& model,
+                                         const ModelConfig& cfg);
+
+/// The architecture's native adjacencies (the "direct conversion" the
+/// paper's SNN column uses): ASC residuals for resnet/mobilenet, all-DSC
+/// for densenet, plain chain for single_block.
+std::vector<Adjacency> default_adjacencies(const std::string& model,
+                                           const ModelConfig& cfg);
+
+/// Build a network with the given per-block adjacencies (must match the
+/// block count; pass default_adjacencies(...) for the vanilla model).
+Network build_model(const std::string& model, const ModelConfig& cfg,
+                    const std::vector<Adjacency>& adjacencies);
+
+// Per-family entry points (same contract as build_model).
+Network build_single_block(const ModelConfig& cfg,
+                           const std::vector<Adjacency>& adjacencies);
+Network build_resnet18s(const ModelConfig& cfg,
+                        const std::vector<Adjacency>& adjacencies);
+Network build_densenet121s(const ModelConfig& cfg,
+                           const std::vector<Adjacency>& adjacencies);
+Network build_mobilenetv2s(const ModelConfig& cfg,
+                           const std::vector<Adjacency>& adjacencies);
+
+std::vector<BlockSpec> single_block_specs(const ModelConfig& cfg);
+std::vector<BlockSpec> resnet18s_specs(const ModelConfig& cfg);
+std::vector<BlockSpec> densenet121s_specs(const ModelConfig& cfg);
+std::vector<BlockSpec> mobilenetv2s_specs(const ModelConfig& cfg);
+
+}  // namespace snnskip

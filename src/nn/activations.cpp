@@ -1,0 +1,35 @@
+#include "nn/activations.h"
+
+namespace snnskip {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor out = x;
+  Tensor mask(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (x[static_cast<std::size_t>(i)] > 0.f) {
+      mask[static_cast<std::size_t>(i)] = 1.f;
+    } else {
+      out[static_cast<std::size_t>(i)] = 0.f;
+    }
+  }
+  if (train) saved_masks_.push_back(std::move(mask));
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  assert(!saved_masks_.empty());
+  Tensor mask = std::move(saved_masks_.back());
+  saved_masks_.pop_back();
+  Tensor grad_in = grad_out;
+  grad_in.hadamard_(mask);
+  return grad_in;
+}
+
+Tensor Identity::forward(const Tensor& x, bool train) {
+  (void)train;
+  return x;
+}
+
+Tensor Identity::backward(const Tensor& grad_out) { return grad_out; }
+
+}  // namespace snnskip

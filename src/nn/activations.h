@@ -1,0 +1,32 @@
+#pragma once
+// Non-spiking activations for the ANN twin networks, plus Identity.
+
+#include "nn/layer.h"
+
+namespace snnskip {
+
+class ReLU final : public Layer {
+ public:
+  ReLU() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override { saved_masks_.clear(); }
+  std::string name() const override { return "relu"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+ private:
+  std::vector<Tensor> saved_masks_;  // 1 where x > 0
+};
+
+/// Pass-through, used where a node has no nonlinearity (e.g. MobileNetV2's
+/// linear bottleneck projection).
+class Identity final : public Layer {
+ public:
+  Identity() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "identity"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+};
+
+}  // namespace snnskip

@@ -1,0 +1,165 @@
+#include "nn/batchnorm_tt.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace snnskip {
+
+BatchNormTT::BatchNormTT(std::int64_t channels, std::int64_t max_timesteps,
+                         float momentum, float eps, std::string layer_name)
+    : c_(channels),
+      t_max_(max_timesteps),
+      momentum_(momentum),
+      eps_(eps),
+      name_(std::move(layer_name)) {
+  assert(t_max_ >= 1);
+  gamma_.reserve(static_cast<std::size_t>(t_max_));
+  beta_.reserve(static_cast<std::size_t>(t_max_));
+  for (std::int64_t t = 0; t < t_max_; ++t) {
+    gamma_.emplace_back(name_ + ".gamma" + std::to_string(t),
+                        Tensor::full(Shape{c_}, 1.f));
+    beta_.emplace_back(name_ + ".beta" + std::to_string(t), Tensor(Shape{c_}));
+    running_mean_.emplace_back(Shape{c_});
+    running_var_.push_back(Tensor::full(Shape{c_}, 1.f));
+  }
+}
+
+Tensor BatchNormTT::forward(const Tensor& x, bool train) {
+  const Shape& s = x.shape();
+  assert(s.ndim() == 4 && s[1] == c_);
+  const std::int64_t n = s[0], h = s[2], w = s[3];
+  const std::int64_t plane = h * w;
+  const std::int64_t count = n * plane;
+  // Wrap rather than crash if the caller runs more timesteps than t_max:
+  // late steps reuse the last slot's statistics.
+  const std::int64_t t = std::min(t_, t_max_ - 1);
+  ++t_;
+
+  Tensor out(s);
+  Ctx ctx;
+  ctx.t = t;
+  ctx.count = count;
+  const std::size_t ti = static_cast<std::size_t>(t);
+
+  if (train) {
+    ctx.xhat = Tensor(s);
+    ctx.inv_std.resize(static_cast<std::size_t>(c_));
+  }
+
+  for (std::int64_t ch = 0; ch < c_; ++ch) {
+    float mean, var;
+    if (train) {
+      double acc = 0.0;
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* p = x.data() + (img * c_ + ch) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) acc += p[j];
+      }
+      mean = static_cast<float>(acc / count);
+      double vacc = 0.0;
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* p = x.data() + (img * c_ + ch) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) {
+          const double d = p[j] - mean;
+          vacc += d * d;
+        }
+      }
+      var = static_cast<float>(vacc / count);
+      auto& rm = running_mean_[ti][static_cast<std::size_t>(ch)];
+      auto& rv = running_var_[ti][static_cast<std::size_t>(ch)];
+      rm = (1.f - momentum_) * rm + momentum_ * mean;
+      rv = (1.f - momentum_) * rv + momentum_ * var;
+    } else {
+      mean = running_mean_[ti][static_cast<std::size_t>(ch)];
+      var = running_var_[ti][static_cast<std::size_t>(ch)];
+    }
+    const float inv_std = 1.f / std::sqrt(var + eps_);
+    const float g = gamma_[ti].value[static_cast<std::size_t>(ch)];
+    const float b = beta_[ti].value[static_cast<std::size_t>(ch)];
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* p = x.data() + (img * c_ + ch) * plane;
+      float* o = out.data() + (img * c_ + ch) * plane;
+      float* xh = train ? ctx.xhat.data() + (img * c_ + ch) * plane : nullptr;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        const float xhat = (p[j] - mean) * inv_std;
+        if (train) xh[j] = xhat;
+        o[j] = g * xhat + b;
+      }
+    }
+    if (train) ctx.inv_std[static_cast<std::size_t>(ch)] = inv_std;
+  }
+
+  if (train) saved_.push_back(std::move(ctx));
+  return out;
+}
+
+Tensor BatchNormTT::backward(const Tensor& grad_out) {
+  assert(!saved_.empty());
+  Ctx ctx = std::move(saved_.back());
+  saved_.pop_back();
+
+  const Shape& s = grad_out.shape();
+  const std::int64_t n = s[0], plane = s[2] * s[3];
+  const std::size_t ti = static_cast<std::size_t>(ctx.t);
+  const float inv_count = 1.f / static_cast<float>(ctx.count);
+
+  Tensor grad_in(s);
+  for (std::int64_t ch = 0; ch < c_; ++ch) {
+    // Standard batch-norm backward:
+    // dxhat = dy * gamma
+    // dx = inv_std/count * (count*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* gy = grad_out.data() + (img * c_ + ch) * plane;
+      const float* xh = ctx.xhat.data() + (img * c_ + ch) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        sum_dy += gy[j];
+        sum_dy_xhat += gy[j] * xh[j];
+      }
+    }
+    gamma_[ti].grad[static_cast<std::size_t>(ch)] +=
+        static_cast<float>(sum_dy_xhat);
+    beta_[ti].grad[static_cast<std::size_t>(ch)] += static_cast<float>(sum_dy);
+
+    const float g = gamma_[ti].value[static_cast<std::size_t>(ch)];
+    const float inv_std = ctx.inv_std[static_cast<std::size_t>(ch)];
+    const float k = g * inv_std;
+    const float mean_dy = static_cast<float>(sum_dy) * inv_count;
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) * inv_count;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* gy = grad_out.data() + (img * c_ + ch) * plane;
+      const float* xh = ctx.xhat.data() + (img * c_ + ch) * plane;
+      float* gi = grad_in.data() + (img * c_ + ch) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        gi[j] = k * (gy[j] - mean_dy - xh[j] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void BatchNormTT::reset_state() {
+  t_ = 0;
+  saved_.clear();
+}
+
+std::vector<std::pair<std::string, Tensor*>> BatchNormTT::buffers() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  out.reserve(static_cast<std::size_t>(2 * t_max_));
+  for (std::int64_t t = 0; t < t_max_; ++t) {
+    out.emplace_back(name_ + ".running_mean" + std::to_string(t),
+                     &running_mean_[static_cast<std::size_t>(t)]);
+    out.emplace_back(name_ + ".running_var" + std::to_string(t),
+                     &running_var_[static_cast<std::size_t>(t)]);
+  }
+  return out;
+}
+
+std::vector<Parameter*> BatchNormTT::parameters() {
+  std::vector<Parameter*> out;
+  out.reserve(static_cast<std::size_t>(2 * t_max_));
+  for (auto& g : gamma_) out.push_back(&g);
+  for (auto& b : beta_) out.push_back(&b);
+  return out;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,52 @@
+#pragma once
+// Batch Normalization Through Time (BNTT).
+//
+// Kim & Panda (2021) showed that giving every unrolled timestep its own
+// batch-norm statistics and affine parameters stabilizes deep-SNN training
+// (the paper's §II cites this as an enabling ingredient). This layer keeps
+// per-timestep (gamma_t, beta_t) and per-timestep running statistics; an
+// internal timestep counter advances on every forward and is rewound by
+// reset_state(). With max_timesteps == 1 it degenerates to standard
+// BatchNorm2d, which is what the ANN twins use.
+
+#include "nn/layer.h"
+
+namespace snnskip {
+
+class BatchNormTT final : public Layer {
+ public:
+  BatchNormTT(std::int64_t channels, std::int64_t max_timesteps,
+              float momentum = 0.1f, float eps = 1e-5f,
+              std::string layer_name = "bntt");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<std::pair<std::string, Tensor*>> buffers() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+  std::int64_t channels() const { return c_; }
+  std::int64_t max_timesteps() const { return t_max_; }
+
+ private:
+  struct Ctx {
+    Tensor xhat;                 // normalized input
+    std::vector<float> inv_std;  // per channel
+    std::int64_t t;              // which timestep's params were used
+    std::int64_t count;          // N*H*W per channel
+  };
+
+  std::int64_t c_, t_max_;
+  float momentum_, eps_;
+  std::string name_;
+  std::vector<Parameter> gamma_;  // one per timestep
+  std::vector<Parameter> beta_;
+  std::vector<Tensor> running_mean_;  // per timestep, shape (C)
+  std::vector<Tensor> running_var_;
+  std::int64_t t_ = 0;  // current timestep (advances each forward)
+  std::vector<Ctx> saved_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,114 @@
+#include "nn/conv2d.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace snnskip {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               bool bias, Rng& rng, std::string layer_name)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      name_(std::move(layer_name)) {
+  // Kaiming-normal for (leaky-)ReLU-like nonlinearities; surrogate-gradient
+  // LIF layers behave similarly at initialization.
+  const float fan_in = static_cast<float>(in_c_ * kernel_ * kernel_);
+  const float stddev = std::sqrt(2.f / fan_in);
+  weight_ = Parameter(
+      name_ + ".weight",
+      Tensor::randn(Shape{out_c_, in_c_, kernel_, kernel_}, rng, 0.f, stddev));
+  bias_ = Parameter(name_ + ".bias", Tensor(Shape{out_c_}));
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  assert(in.ndim() == 4 && in[1] == in_c_);
+  const ConvGeometry g{in[1], in[2], in[3], kernel_, stride_, pad_};
+  return Shape{in[0], out_c_, g.out_h(), g.out_w()};
+}
+
+std::int64_t Conv2d::macs(const Shape& in) const {
+  const ConvGeometry g{in[1], in[2], in[3], kernel_, stride_, pad_};
+  return in[0] * out_c_ * g.col_rows() * g.col_cols();
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  const Shape& s = x.shape();
+  assert(s.ndim() == 4);
+  assert(s[1] == in_c_ && "Conv2d: input channel mismatch");
+  const std::int64_t n = s[0];
+  const ConvGeometry g{s[1], s[2], s[3], kernel_, stride_, pad_};
+  const std::int64_t cr = g.col_rows(), cc = g.col_cols();
+
+  Tensor cols(Shape{n, cr, cc});
+  Tensor out(Shape{n, out_c_, g.out_h(), g.out_w()});
+
+  for (std::int64_t img = 0; img < n; ++img) {
+    float* col_ptr = cols.data() + img * cr * cc;
+    im2col(g, x.data() + img * in_c_ * s[2] * s[3], col_ptr);
+    // out_img(O, HoWo) = W(O, CKK) * cols(CKK, HoWo)
+    gemm(out_c_, cc, cr, 1.f, weight_.value.data(), col_ptr, 0.f,
+         out.data() + img * out_c_ * cc);
+    if (has_bias_) {
+      float* o = out.data() + img * out_c_ * cc;
+      for (std::int64_t ch = 0; ch < out_c_; ++ch) {
+        const float b = bias_.value[static_cast<std::size_t>(ch)];
+        for (std::int64_t p = 0; p < cc; ++p) o[ch * cc + p] += b;
+      }
+    }
+  }
+  if (train) {
+    saved_.push_back(Ctx{std::move(cols), s});
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  assert(!saved_.empty() && "Conv2d::backward without matching forward");
+  Ctx ctx = std::move(saved_.back());
+  saved_.pop_back();
+
+  const Shape& in_s = ctx.in_shape;
+  const std::int64_t n = in_s[0];
+  const ConvGeometry g{in_s[1], in_s[2], in_s[3], kernel_, stride_, pad_};
+  const std::int64_t cr = g.col_rows(), cc = g.col_cols();
+  assert(grad_out.shape()[0] == n && grad_out.shape()[1] == out_c_);
+
+  Tensor grad_in(in_s);
+  Tensor grad_cols(Shape{cr, cc});
+
+  for (std::int64_t img = 0; img < n; ++img) {
+    const float* go = grad_out.data() + img * out_c_ * cc;
+    const float* col_ptr = ctx.cols.data() + img * cr * cc;
+    // dW(O, CKK) += gO(O, HoWo) * cols(CKK, HoWo)^T
+    gemm_nt(out_c_, cr, cc, 1.f, go, col_ptr, 1.f, weight_.grad.data());
+    if (has_bias_) {
+      for (std::int64_t ch = 0; ch < out_c_; ++ch) {
+        float acc = 0.f;
+        for (std::int64_t p = 0; p < cc; ++p) acc += go[ch * cc + p];
+        bias_.grad[static_cast<std::size_t>(ch)] += acc;
+      }
+    }
+    // dcols(CKK, HoWo) = W(O, CKK)^T * gO(O, HoWo)
+    gemm_tn(cr, cc, out_c_, 1.f, weight_.value.data(), go, 0.f,
+            grad_cols.data());
+    col2im(g, grad_cols.data(),
+           grad_in.data() + img * in_s[1] * in_s[2] * in_s[3]);
+  }
+  return grad_in;
+}
+
+void Conv2d::reset_state() { saved_.clear(); }
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace snnskip

@@ -1,0 +1,52 @@
+#pragma once
+// 2-D convolution via im2col + GEMM.
+//
+// Weight layout OIHW: (out_channels, in_channels, kernel, kernel).
+// Forward saves the unrolled column matrix per image so the backward pass
+// is two GEMMs (weight grad, input grad) plus a col2im scatter.
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+#include "util/rng.h"
+
+namespace snnskip {
+
+class Conv2d final : public Layer {
+ public:
+  /// Kaiming-normal initialized convolution.
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+         bool bias, Rng& rng, std::string layer_name = "conv2d");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  std::int64_t macs(const Shape& in) const override;
+  Shape output_shape(const Shape& in) const override;
+
+  std::int64_t in_channels() const { return in_c_; }
+  std::int64_t out_channels() const { return out_c_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  struct Ctx {
+    Tensor cols;  // (N, C*K*K, Ho*Wo)
+    Shape in_shape;
+  };
+
+  std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
+  bool has_bias_;
+  std::string name_;
+  Parameter weight_;
+  Parameter bias_;
+  std::vector<Ctx> saved_;
+};
+
+}  // namespace snnskip

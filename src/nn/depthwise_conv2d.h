@@ -1,0 +1,38 @@
+#pragma once
+// Depthwise 2-D convolution (groups == channels), the middle operation of
+// MobileNetV2's inverted-residual block. Implemented with direct loops —
+// the per-channel kernels are tiny, so im2col overhead isn't worth it.
+//
+// Weight layout: (channels, 1, kernel, kernel).
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace snnskip {
+
+class DepthwiseConv2d final : public Layer {
+ public:
+  DepthwiseConv2d(std::int64_t channels, std::int64_t kernel,
+                  std::int64_t stride, std::int64_t pad, bool bias, Rng& rng,
+                  std::string layer_name = "dwconv2d");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  std::int64_t macs(const Shape& in) const override;
+  Shape output_shape(const Shape& in) const override;
+
+  Parameter& weight() { return weight_; }
+
+ private:
+  std::int64_t c_, kernel_, stride_, pad_;
+  bool has_bias_;
+  std::string name_;
+  Parameter weight_;
+  Parameter bias_;
+  std::vector<Tensor> saved_inputs_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,66 @@
+#pragma once
+// The Layer interface: explicit forward/backward over unrolled time.
+//
+// SNN training uses backpropagation-through-time. Rather than a tape
+// autograd, every layer keeps a LIFO stack of saved forward contexts: the
+// driver calls forward() once per timestep t = 0..T-1, then backward() in
+// reverse, and each backward() pops the matching context. Stateful layers
+// (LIF membrane, per-timestep batch-norm) additionally carry state across
+// forward calls; reset_state() clears both the state and any leftover
+// contexts at sequence boundaries.
+//
+// Contract:
+//  * forward(x, train=true) must push exactly one context;
+//    forward(x, train=false) must push none (inference is stateless apart
+//    from temporal state) — backward() without matching forward is a bug.
+//  * backward(grad_out) returns grad wrt the layer input and ACCUMULATES
+//    into Parameter::grad (callers zero grads per step/batch).
+//  * macs(in) reports multiply-accumulates for one forward pass at input
+//    shape `in` (batch included) — the paper's efficiency metric.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace snnskip {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Clear temporal state and saved contexts (start of a new sequence).
+  virtual void reset_state() {}
+
+  /// Trainable parameters (may be empty). Pointers remain valid for the
+  /// lifetime of the layer.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Named non-trainable state that checkpoints must carry (batch-norm
+  /// running statistics). Pointers remain valid for the layer's lifetime.
+  virtual std::vector<std::pair<std::string, Tensor*>> buffers() {
+    return {};
+  }
+
+  /// Human-readable layer kind for logging / weight-store keys.
+  virtual std::string name() const = 0;
+
+  /// Multiply-accumulate count for one forward at batch input shape `in`.
+  virtual std::int64_t macs(const Shape& in) const {
+    (void)in;
+    return 0;
+  }
+
+  /// Output shape for a given batch input shape.
+  virtual Shape output_shape(const Shape& in) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace snnskip

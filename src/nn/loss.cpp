@@ -1,0 +1,88 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace snnskip {
+
+LossResult cross_entropy(const Tensor& logits,
+                         const std::vector<std::int64_t>& targets) {
+  const Shape& s = logits.shape();
+  assert(s.ndim() == 2);
+  const std::int64_t n = s[0], c = s[1];
+  assert(static_cast<std::int64_t>(targets.size()) == n);
+
+  LossResult res;
+  res.grad_logits = softmax(logits);
+  double loss_acc = 0.0;
+  const float inv_n = 1.f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = targets[static_cast<std::size_t>(i)];
+    assert(y >= 0 && y < c);
+    float* row = res.grad_logits.data() + i * c;
+    // p_y clamped to avoid log(0) when the network is confidently wrong.
+    const float p = std::max(row[y], 1e-12f);
+    loss_acc += -std::log(p);
+    // dL/dlogits = (softmax - onehot) / N
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == y) ++res.correct;
+    row[y] -= 1.f;
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  res.loss = loss_acc / static_cast<double>(n);
+  return res;
+}
+
+LossResult mse_count_loss(const Tensor& counts,
+                          const std::vector<std::int64_t>& targets,
+                          std::int64_t timesteps, float correct_rate,
+                          float incorrect_rate) {
+  const Shape& s = counts.shape();
+  assert(s.ndim() == 2);
+  const std::int64_t n = s[0], c = s[1];
+  assert(static_cast<std::int64_t>(targets.size()) == n);
+
+  LossResult res;
+  res.grad_logits = Tensor(s);
+  const float t_correct = correct_rate * static_cast<float>(timesteps);
+  const float t_wrong = incorrect_rate * static_cast<float>(timesteps);
+  double loss_acc = 0.0;
+  const float inv = 1.f / static_cast<float>(n * c);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = targets[static_cast<std::size_t>(i)];
+    assert(y >= 0 && y < c);
+    const float* row = counts.data() + i * c;
+    float* grow = res.grad_logits.data() + i * c;
+    std::int64_t best = 0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float target = (j == y) ? t_correct : t_wrong;
+      const float diff = row[j] - target;
+      loss_acc += 0.5 * static_cast<double>(diff) * diff;
+      grow[j] = diff * inv;
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == y) ++res.correct;
+  }
+  res.loss = loss_acc / static_cast<double>(n * c);
+  return res;
+}
+
+double accuracy(const Tensor& logits,
+                const std::vector<std::int64_t>& targets) {
+  const auto preds = argmax_rows(logits);
+  assert(preds.size() == targets.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == targets[i]) ++correct;
+  }
+  return preds.empty() ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(preds.size());
+}
+
+}  // namespace snnskip

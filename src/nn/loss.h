@@ -1,0 +1,39 @@
+#pragma once
+// Classification loss on rate-decoded logits.
+//
+// The SNN runner accumulates head logits over timesteps and trains with
+// cross-entropy on the time-averaged logits (rate decoding), the setup used
+// by snnTorch-style surrogate-gradient training in the paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snnskip {
+
+struct LossResult {
+  double loss = 0.0;       ///< mean cross-entropy over the batch
+  Tensor grad_logits;      ///< dL/dlogits, shape (N, C)
+  std::size_t correct = 0; ///< argmax matches
+};
+
+/// Softmax cross-entropy with mean reduction. `targets[i]` in [0, C).
+LossResult cross_entropy(const Tensor& logits,
+                         const std::vector<std::int64_t>& targets);
+
+/// Spike-count MSE (snnTorch's mse_count_loss): for networks with a
+/// SPIKING head, `counts` (N, C) holds output spikes summed over T steps.
+/// The correct class is pushed toward firing on `correct_rate` of the
+/// steps, wrong classes toward `incorrect_rate` — a rate-coded regression
+/// target. grad_logits is dL/dcounts (to be backpropagated with weight 1
+/// at every unrolled step, since dcount/dout_t = 1).
+LossResult mse_count_loss(const Tensor& counts,
+                          const std::vector<std::int64_t>& targets,
+                          std::int64_t timesteps, float correct_rate = 0.9f,
+                          float incorrect_rate = 0.1f);
+
+/// Accuracy of argmax predictions (no gradient).
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& targets);
+
+}  // namespace snnskip

@@ -1,0 +1,57 @@
+#pragma once
+// First-order optimizers over a flat parameter list.
+//
+// The paper trains with SGD + momentum 0.9 (CIFAR-10 / CIFAR-10-DVS) and
+// Adam (DVS128 Gesture); both are implemented with optional weight decay.
+// State (momentum / moment buffers) is keyed by position in the parameter
+// list, so the list must be stable across steps.
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace snnskip {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+  virtual void step() = 0;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_ = 0.01f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.f);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace snnskip

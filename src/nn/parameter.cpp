@@ -1,0 +1,3 @@
+#include "nn/parameter.h"
+
+// Parameter is header-only; this TU anchors the library target.

@@ -1,0 +1,23 @@
+#pragma once
+// Trainable parameter: value + gradient accumulator.
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace snnskip {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  void zero_grad() { grad.fill(0.f); }
+  std::int64_t numel() const { return value.numel(); }
+};
+
+}  // namespace snnskip

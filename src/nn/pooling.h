@@ -1,0 +1,66 @@
+#pragma once
+// Spatial pooling layers.
+//
+// SNN feature maps are pooled with average pooling (spike averages keep
+// the rate code meaningful); max pooling is provided for the ANN twins.
+// GlobalAvgPool2d collapses each channel plane to a scalar for the head.
+
+#include "nn/layer.h"
+
+namespace snnskip {
+
+class AvgPool2d final : public Layer {
+ public:
+  /// `ceil_mode` rounds the output size up and averages partial edge
+  /// windows over their valid elements only. Skip paths that parallel
+  /// stride-2 convolutions need ceil semantics: a 3x3/s2/p1 conv maps
+  /// H -> ceil(H/2), and nested ceils compose (ceil(ceil(H/a)/b) ==
+  /// ceil(H/(ab))), so a ceil-mode pool with kernel == stride == ratio
+  /// lands on exactly the conv path's spatial size for any H.
+  AvgPool2d(std::int64_t kernel, std::int64_t stride, bool ceil_mode = false);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override { saved_shapes_.clear(); }
+  std::string name() const override { return "avgpool2d"; }
+  Shape output_shape(const Shape& in) const override;
+
+ private:
+  std::int64_t kernel_, stride_;
+  bool ceil_mode_;
+  std::vector<Shape> saved_shapes_;
+};
+
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override { saved_.clear(); }
+  std::string name() const override { return "maxpool2d"; }
+  Shape output_shape(const Shape& in) const override;
+
+ private:
+  struct Ctx {
+    Shape in_shape;
+    std::vector<std::int64_t> argmax;  // flat input index per output element
+  };
+  std::int64_t kernel_, stride_;
+  std::vector<Ctx> saved_;
+};
+
+class GlobalAvgPool2d final : public Layer {
+ public:
+  GlobalAvgPool2d() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override { saved_shapes_.clear(); }
+  std::string name() const override { return "gap2d"; }
+  Shape output_shape(const Shape& in) const override;
+
+ private:
+  std::vector<Shape> saved_shapes_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,58 @@
+#include "opt/acquisition.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace snnskip {
+
+namespace {
+double norm_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+double norm_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+}  // namespace
+
+AcquisitionKind acquisition_from_string(const std::string& s) {
+  if (s == "ucb" || s == "lcb") return AcquisitionKind::Ucb;
+  if (s == "ei") return AcquisitionKind::Ei;
+  if (s == "pi") return AcquisitionKind::Pi;
+  throw std::invalid_argument("unknown acquisition: " + s);
+}
+
+std::string to_string(AcquisitionKind k) {
+  switch (k) {
+    case AcquisitionKind::Ucb: return "ucb";
+    case AcquisitionKind::Ei: return "ei";
+    case AcquisitionKind::Pi: return "pi";
+  }
+  return "?";
+}
+
+double lcb(const GpPrediction& p, double beta) {
+  return p.mean - beta * std::sqrt(p.variance);
+}
+
+double expected_improvement(const GpPrediction& p, double best) {
+  const double sd = std::sqrt(p.variance);
+  if (sd < 1e-12) return std::max(0.0, best - p.mean);
+  const double z = (best - p.mean) / sd;
+  return (best - p.mean) * norm_cdf(z) + sd * norm_pdf(z);
+}
+
+double probability_of_improvement(const GpPrediction& p, double best) {
+  const double sd = std::sqrt(p.variance);
+  if (sd < 1e-12) return p.mean < best ? 1.0 : 0.0;
+  return norm_cdf((best - p.mean) / sd);
+}
+
+double acquisition_score(AcquisitionKind kind, const GpPrediction& p,
+                         double best, double beta) {
+  switch (kind) {
+    case AcquisitionKind::Ucb: return -lcb(p, beta);
+    case AcquisitionKind::Ei: return expected_improvement(p, best);
+    case AcquisitionKind::Pi: return probability_of_improvement(p, best);
+  }
+  return 0.0;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,31 @@
+#pragma once
+// Acquisition functions (paper §III-B: UCB chosen for the search; EI and PI
+// provided for completeness / ablation). The optimizer MINIMIZES, so the
+// confidence-bound rule is the lower confidence bound and EI/PI measure
+// improvement below the incumbent.
+
+#include <string>
+
+#include "opt/gp.h"
+
+namespace snnskip {
+
+enum class AcquisitionKind { Ucb, Ei, Pi };
+
+AcquisitionKind acquisition_from_string(const std::string& s);
+std::string to_string(AcquisitionKind k);
+
+/// Lower confidence bound: mean - beta * std (smaller = more attractive).
+double lcb(const GpPrediction& p, double beta);
+
+/// Expected improvement below `best` (larger = more attractive).
+double expected_improvement(const GpPrediction& p, double best);
+
+/// Probability of improvement below `best` (larger = more attractive).
+double probability_of_improvement(const GpPrediction& p, double best);
+
+/// Unified score: LARGER is better for every kind (LCB is negated).
+double acquisition_score(AcquisitionKind kind, const GpPrediction& p,
+                         double best, double beta);
+
+}  // namespace snnskip

@@ -1,0 +1,117 @@
+#include "opt/bayes_opt.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace snnskip {
+
+namespace {
+
+void append_observation(SearchTrace& trace, Observation obs) {
+  const double v = obs.value;
+  trace.observations.push_back(std::move(obs));
+  const double prev_best = trace.best_so_far.empty()
+                               ? std::numeric_limits<double>::infinity()
+                               : trace.best_so_far.back();
+  if (v < prev_best) {
+    trace.best = trace.observations.back().code;
+    trace.best_value = v;
+    trace.best_so_far.push_back(v);
+  } else {
+    trace.best_so_far.push_back(prev_best);
+  }
+}
+
+}  // namespace
+
+SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg) {
+  Rng rng(cfg.seed);
+  SearchTrace trace;
+  std::unordered_set<std::uint64_t> seen;
+
+  auto sample_unseen = [&](Rng& r) -> EncodingVec {
+    // Rejection-sample a point not yet evaluated; give up after a bounded
+    // number of tries (tiny spaces can be exhausted).
+    for (int tries = 0; tries < 256; ++tries) {
+      EncodingVec code = problem.sample(r);
+      if (seen.count(encoding_hash(code)) == 0) return code;
+    }
+    return problem.sample(r);
+  };
+
+  auto evaluate = [&](const EncodingVec& code) {
+    seen.insert(encoding_hash(code));
+    Observation obs{code, problem.objective(code)};
+    SNNSKIP_LOG(Debug) << "bo: observed value " << obs.value;
+    append_observation(trace, std::move(obs));
+  };
+
+  // Initial design: pure random.
+  for (int i = 0; i < cfg.initial_design; ++i) {
+    evaluate(sample_unseen(rng));
+  }
+
+  double beta = cfg.beta;
+  for (int round = 0; round < cfg.iterations; ++round) {
+    // Fit the surrogate on everything observed so far.
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    xs.reserve(trace.observations.size());
+    for (const auto& obs : trace.observations) {
+      xs.push_back(problem.featurize(obs.code));
+      ys.push_back(obs.value);
+    }
+
+    // Constant-liar batch selection: each picked candidate is hallucinated
+    // at the incumbent value so subsequent picks explore elsewhere.
+    std::vector<EncodingVec> batch;
+    std::unordered_set<std::uint64_t> batch_seen;
+    for (int k = 0; k < cfg.batch_k; ++k) {
+      GaussianProcess gp = [&] {
+        if (cfg.auto_lengthscale) {
+          return GaussianProcess::fit_best_lengthscale(
+              xs, ys, {0.5, 1.0, 2.0, 4.0, 8.0}, cfg.kernel_variance,
+              cfg.noise);
+        }
+        GaussianProcess fixed(
+            std::make_shared<RbfKernel>(cfg.lengthscale, cfg.kernel_variance),
+            cfg.noise);
+        fixed.fit(xs, ys);
+        return fixed;
+      }();
+
+      double best_score = -std::numeric_limits<double>::infinity();
+      EncodingVec best_code;
+      for (int c = 0; c < cfg.candidate_pool; ++c) {
+        EncodingVec code = sample_unseen(rng);
+        if (batch_seen.count(encoding_hash(code)) != 0) continue;
+        const GpPrediction pred = gp.predict(problem.featurize(code));
+        const double score =
+            acquisition_score(cfg.acquisition, pred, trace.best_value, beta);
+        if (score > best_score) {
+          best_score = score;
+          best_code = std::move(code);
+        }
+      }
+      if (best_code.empty()) break;
+      batch_seen.insert(encoding_hash(best_code));
+      // Hallucinate the liar observation for the next in-batch pick.
+      xs.push_back(problem.featurize(best_code));
+      ys.push_back(trace.best_value);
+      batch.push_back(std::move(best_code));
+    }
+
+    // Evaluate the batch for real (the paper trains the k architectures in
+    // parallel; evaluation order within the batch does not affect the GP).
+    for (const EncodingVec& code : batch) {
+      evaluate(code);
+    }
+    beta *= cfg.beta_decay;
+  }
+  return trace;
+}
+
+}  // namespace snnskip

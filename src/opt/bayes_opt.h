@@ -1,0 +1,59 @@
+#pragma once
+// Bayesian optimization over discrete adjacency encodings (paper §III-B).
+//
+// Loop: fit GP on all observations -> score a random candidate pool with
+// the acquisition -> take the top-k batch ("parallel BO": the paper's
+// strategy proposes k architectures per iteration, hallucinating pending
+// results with the constant-liar value so batch members diversify) ->
+// evaluate the batch -> append observations. Evaluated points are never
+// re-proposed.
+
+#include <functional>
+#include <vector>
+
+#include "opt/acquisition.h"
+#include "opt/encoding.h"
+#include "util/rng.h"
+
+namespace snnskip {
+
+/// The problem is abstract: how to sample a random point, featurize it for
+/// the GP, and (expensively) evaluate it. The optimizer MINIMIZES.
+struct BoProblem {
+  std::function<EncodingVec(Rng&)> sample;
+  std::function<std::vector<double>(const EncodingVec&)> featurize;
+  std::function<double(const EncodingVec&)> objective;
+};
+
+struct BoConfig {
+  int iterations = 8;       ///< BO rounds after the initial design
+  int batch_k = 2;          ///< candidates proposed per round (parallel BO)
+  int initial_design = 4;   ///< random points before the GP takes over
+  int candidate_pool = 128; ///< pool scored by the acquisition per pick
+  AcquisitionKind acquisition = AcquisitionKind::Ucb;
+  double beta = 2.0;        ///< UCB exploration weight
+  double beta_decay = 0.95; ///< per-round multiplicative decay
+  double lengthscale = 2.0;
+  double kernel_variance = 1.0;
+  double noise = 1e-4;
+  /// Select the lengthscale per round by log-marginal-likelihood over a
+  /// small grid instead of using the fixed value above.
+  bool auto_lengthscale = false;
+  std::uint64_t seed = 11;
+};
+
+struct Observation {
+  EncodingVec code;
+  double value = 0.0;
+};
+
+struct SearchTrace {
+  std::vector<Observation> observations;   ///< in evaluation order
+  std::vector<double> best_so_far;         ///< running minimum per evaluation
+  EncodingVec best;
+  double best_value = 0.0;
+};
+
+SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg);
+
+}  // namespace snnskip

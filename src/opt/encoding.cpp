@@ -1,0 +1,34 @@
+#include "opt/encoding.h"
+
+#include <cassert>
+
+namespace snnskip {
+
+std::vector<double> one_hot_features(const EncodingVec& code) {
+  std::vector<double> f(code.size() * 3, 0.0);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    assert(code[i] >= 0 && code[i] <= 2);
+    f[i * 3 + static_cast<std::size_t>(code[i])] = 1.0;
+  }
+  return f;
+}
+
+int hamming_distance(const EncodingVec& a, const EncodingVec& b) {
+  assert(a.size() == b.size());
+  int d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+std::uint64_t encoding_hash(const EncodingVec& code) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int v : code) {
+    h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,25 @@
+#pragma once
+// Encodings of adjacency configurations for the optimizer.
+//
+// A candidate is the concatenation of every block's slot values (0/1/2 =
+// none/DSC/ASC) in canonical slot order. For the GP it is featurized as a
+// one-hot vector (3 dims per slot), under which the RBF kernel becomes a
+// smooth function of the Hamming distance between configurations.
+
+#include <cstdint>
+#include <vector>
+
+namespace snnskip {
+
+using EncodingVec = std::vector<int>;
+
+/// One-hot featurization: 3 doubles per slot.
+std::vector<double> one_hot_features(const EncodingVec& code);
+
+/// Hamming distance between two encodings (number of differing slots).
+int hamming_distance(const EncodingVec& a, const EncodingVec& b);
+
+/// Stable hash for dedup bookkeeping.
+std::uint64_t encoding_hash(const EncodingVec& code);
+
+}  // namespace snnskip

@@ -1,0 +1,62 @@
+#include "opt/evolution.h"
+
+#include <deque>
+#include <limits>
+
+namespace snnskip {
+
+namespace {
+
+void record(SearchTrace& trace, EncodingVec code, double value) {
+  trace.observations.push_back(Observation{std::move(code), value});
+  const double prev_best = trace.best_so_far.empty()
+                               ? std::numeric_limits<double>::infinity()
+                               : trace.best_so_far.back();
+  if (value < prev_best) {
+    trace.best = trace.observations.back().code;
+    trace.best_value = value;
+    trace.best_so_far.push_back(value);
+  } else {
+    trace.best_so_far.push_back(prev_best);
+  }
+}
+
+}  // namespace
+
+SearchTrace run_evolution(
+    const BoProblem& problem,
+    const std::function<EncodingVec(const EncodingVec&, Rng&)>& mutate,
+    const EvolutionConfig& cfg) {
+  Rng rng(cfg.seed);
+  SearchTrace trace;
+  std::deque<Observation> population;  // front = oldest
+
+  // Seed the population randomly.
+  const int seed_count = std::min(cfg.population, cfg.evaluations);
+  for (int i = 0; i < seed_count; ++i) {
+    EncodingVec code = problem.sample(rng);
+    const double value = problem.objective(code);
+    record(trace, code, value);
+    population.push_back(Observation{std::move(code), value});
+  }
+
+  // Evolve: tournament-select, mutate, evaluate, age out the oldest.
+  for (int e = seed_count; e < cfg.evaluations; ++e) {
+    const Observation* parent = nullptr;
+    for (int t = 0; t < cfg.tournament; ++t) {
+      const auto& cand = population[static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(population.size())))];
+      if (parent == nullptr || cand.value < parent->value) parent = &cand;
+    }
+    EncodingVec child = mutate(parent->code, rng);
+    const double value = problem.objective(child);
+    record(trace, child, value);
+    population.push_back(Observation{std::move(child), value});
+    if (static_cast<int>(population.size()) > cfg.population) {
+      population.pop_front();
+    }
+  }
+  return trace;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,27 @@
+#pragma once
+// Regularized evolution (Real et al., AAAI 2019) — the strongest common
+// NAS baseline besides BO. Maintains a fixed-size population; each step
+// tournament-selects a parent, mutates one slot, evaluates the child and
+// retires the OLDEST member (aging regularization). Provided as a third
+// search strategy to triangulate the paper's BO-vs-RS comparison.
+
+#include <functional>
+
+#include "opt/bayes_opt.h"
+
+namespace snnskip {
+
+struct EvolutionConfig {
+  int evaluations = 16;     ///< total objective evaluations
+  int population = 8;       ///< live population size
+  int tournament = 3;       ///< parents sampled per selection
+  std::uint64_t seed = 17;
+};
+
+/// `mutate` must return a valid neighbor of its argument (one-slot flip).
+SearchTrace run_evolution(
+    const BoProblem& problem,
+    const std::function<EncodingVec(const EncodingVec&, Rng&)>& mutate,
+    const EvolutionConfig& cfg);
+
+}  // namespace snnskip

@@ -1,0 +1,35 @@
+#pragma once
+// Exhaustive enumeration for small search spaces — ground truth for
+// validating that BO / evolution / RS actually find good optima, and
+// usable directly when a block's space is tiny (a depth-2 block has only
+// 3 options).
+
+#include <functional>
+
+#include "opt/bayes_opt.h"
+
+namespace snnskip {
+
+struct ExhaustiveConfig {
+  /// Safety cap: enumeration aborts (returns what it has) after this many
+  /// evaluations. The objective is usually a training run; enumerating a
+  /// 3^18 space by accident must not be possible.
+  std::size_t max_evaluations = 4096;
+};
+
+/// Enumerate every assignment over `slots` positions where slot k admits
+/// the values for which `value_allowed(k, v)` holds (v in 0..2), calling
+/// `objective` on each. Lexicographic order, deterministic.
+SearchTrace run_exhaustive(
+    std::size_t slots,
+    const std::function<bool(std::size_t, int)>& value_allowed,
+    const std::function<double(const EncodingVec&)>& objective,
+    const ExhaustiveConfig& cfg = {});
+
+/// Number of admissible assignments (capped at max to avoid overflow).
+std::size_t exhaustive_count(
+    std::size_t slots,
+    const std::function<bool(std::size_t, int)>& value_allowed,
+    std::size_t max = 1u << 30);
+
+}  // namespace snnskip

@@ -1,0 +1,115 @@
+#include "opt/gp.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace snnskip {
+
+GaussianProcess::GaussianProcess(std::shared_ptr<Kernel> kernel, double noise)
+    : kernel_(std::move(kernel)), noise_(noise) {
+  assert(kernel_ != nullptr);
+}
+
+void GaussianProcess::fit(std::vector<std::vector<double>> x,
+                          std::vector<double> y) {
+  assert(x.size() == y.size() && !x.empty());
+  x_ = std::move(x);
+  y_raw_ = std::move(y);
+
+  const std::size_t n = x_.size();
+  // Standardize targets.
+  double mean = 0.0;
+  for (double v : y_raw_) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : y_raw_) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  y_mean_ = mean;
+  y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+
+  Matrix k(static_cast<std::int64_t>(n), static_cast<std::int64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = (*kernel_)(x_[i], x_[j]);
+      k(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j)) = v;
+      k(static_cast<std::int64_t>(j), static_cast<std::int64_t>(i)) = v;
+    }
+  }
+  k.add_diagonal(noise_);
+
+  // Escalating-jitter Cholesky.
+  double jitter = 1e-10;
+  std::optional<Matrix> chol;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    chol = cholesky(k);
+    if (chol) break;
+    k.add_diagonal(jitter);
+    jitter *= 10.0;
+  }
+  if (!chol) {
+    throw std::runtime_error("GaussianProcess::fit: kernel matrix not PD");
+  }
+  chol_ = std::move(*chol);
+
+  std::vector<double> y_std_vec(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y_std_vec[i] = (y_raw_[i] - y_mean_) / y_std_;
+  }
+  alpha_ = cholesky_solve(chol_, y_std_vec);
+  fitted_ = true;
+}
+
+GpPrediction GaussianProcess::predict(const std::vector<double>& x) const {
+  GpPrediction pred;
+  if (!fitted_) {
+    pred.variance = 1.0;
+    return pred;
+  }
+  const std::size_t n = x_.size();
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(x_[i], x);
+
+  double mu = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mu += k_star[i] * alpha_[i];
+
+  const std::vector<double> v = solve_lower(chol_, k_star);
+  double var = (*kernel_)(x, x);
+  for (double vi : v) var -= vi * vi;
+  var = std::max(var, 0.0);
+
+  pred.mean = mu * y_std_ + y_mean_;
+  pred.variance = var * y_std_ * y_std_;
+  return pred;
+}
+
+GaussianProcess GaussianProcess::fit_best_lengthscale(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    const std::vector<double>& grid, double variance, double noise) {
+  assert(!grid.empty());
+  std::optional<GaussianProcess> best;
+  double best_lml = -std::numeric_limits<double>::infinity();
+  for (double ls : grid) {
+    GaussianProcess gp(std::make_shared<RbfKernel>(ls, variance), noise);
+    gp.fit(x, y);
+    const double lml = gp.log_marginal_likelihood();
+    if (lml > best_lml) {
+      best_lml = lml;
+      best = std::move(gp);
+    }
+  }
+  return std::move(*best);
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  if (!fitted_) return -std::numeric_limits<double>::infinity();
+  const std::size_t n = x_.size();
+  double fit_term = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fit_term += ((y_raw_[i] - y_mean_) / y_std_) * alpha_[i];
+  }
+  return -0.5 * fit_term - 0.5 * cholesky_logdet(chol_) -
+         0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+}
+
+}  // namespace snnskip

@@ -1,0 +1,58 @@
+#pragma once
+// Gaussian-process regression surrogate (paper §III-B, prior choice).
+//
+// Standard exact GP: K = k(X,X) + noise*I, alpha = K^{-1} y via Cholesky.
+// Targets are standardized internally so kernel variance ~1 is a sensible
+// default regardless of the objective's scale. Observation count in this
+// application is tens, so O(n^3) fits are trivially cheap.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "linalg/cholesky.h"
+#include "opt/kernel.h"
+
+namespace snnskip {
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< predictive variance (>= 0)
+};
+
+class GaussianProcess {
+ public:
+  GaussianProcess(std::shared_ptr<Kernel> kernel, double noise);
+
+  /// Fit to observations; throws std::runtime_error if the kernel matrix
+  /// is irreparably non-PD (after escalating jitter).
+  void fit(std::vector<std::vector<double>> x, std::vector<double> y);
+
+  bool fitted() const { return fitted_; }
+  std::size_t num_observations() const { return x_.size(); }
+
+  GpPrediction predict(const std::vector<double>& x) const;
+
+  /// Log marginal likelihood of the fitted data (model-selection metric).
+  double log_marginal_likelihood() const;
+
+ public:
+  /// Pick the RBF lengthscale from `grid` maximizing the log marginal
+  /// likelihood on (x, y) and return a GP fitted with it — lightweight
+  /// hyperparameter selection for the BO surrogate.
+  static GaussianProcess fit_best_lengthscale(
+      const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+      const std::vector<double>& grid, double variance, double noise);
+
+ private:
+  std::shared_ptr<Kernel> kernel_;
+  double noise_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_raw_;
+  double y_mean_ = 0.0, y_std_ = 1.0;
+  Matrix chol_;                 // lower Cholesky factor of K
+  std::vector<double> alpha_;   // K^{-1} (y - mean)/std
+  bool fitted_ = false;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,33 @@
+#include "opt/kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace snnskip {
+
+namespace {
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+}  // namespace
+
+double RbfKernel::operator()(const std::vector<double>& a,
+                             const std::vector<double>& b) const {
+  return variance_ *
+         std::exp(-sq_dist(a, b) / (2.0 * lengthscale_ * lengthscale_));
+}
+
+double Matern52Kernel::operator()(const std::vector<double>& a,
+                                  const std::vector<double>& b) const {
+  const double r = std::sqrt(sq_dist(a, b)) / lengthscale_;
+  const double s5r = std::sqrt(5.0) * r;
+  return variance_ * (1.0 + s5r + 5.0 * r * r / 3.0) * std::exp(-s5r);
+}
+
+}  // namespace snnskip

@@ -1,0 +1,45 @@
+#pragma once
+// Covariance kernels for the GP surrogate (paper §III-B: Gaussian process
+// prior over the objective across adjacency matrices).
+
+#include <vector>
+
+namespace snnskip {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  virtual double operator()(const std::vector<double>& a,
+                            const std::vector<double>& b) const = 0;
+};
+
+/// k(a,b) = variance * exp(-||a-b||^2 / (2*lengthscale^2)).
+/// On one-hot encodings ||a-b||^2 = 2 * hamming, so this is an exponential-
+/// decay function of slot disagreement.
+class RbfKernel final : public Kernel {
+ public:
+  RbfKernel(double lengthscale, double variance)
+      : lengthscale_(lengthscale), variance_(variance) {}
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const override;
+
+  double lengthscale() const { return lengthscale_; }
+  double variance() const { return variance_; }
+
+ private:
+  double lengthscale_, variance_;
+};
+
+/// Matern-5/2, a rougher prior sometimes preferred for NAS objectives.
+class Matern52Kernel final : public Kernel {
+ public:
+  Matern52Kernel(double lengthscale, double variance)
+      : lengthscale_(lengthscale), variance_(variance) {}
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const override;
+
+ private:
+  double lengthscale_, variance_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,38 @@
+#include "opt/random_search.h"
+
+#include <limits>
+#include <unordered_set>
+
+namespace snnskip {
+
+SearchTrace run_random_search(const BoProblem& problem, const RsConfig& cfg) {
+  Rng rng(cfg.seed);
+  SearchTrace trace;
+  std::unordered_set<std::uint64_t> seen;
+
+  for (int i = 0; i < cfg.evaluations; ++i) {
+    EncodingVec code;
+    for (int tries = 0; tries < 256; ++tries) {
+      code = problem.sample(rng);
+      if (seen.count(encoding_hash(code)) == 0) break;
+    }
+    seen.insert(encoding_hash(code));
+
+    Observation obs{code, problem.objective(code)};
+    const double v = obs.value;
+    trace.observations.push_back(std::move(obs));
+    const double prev_best = trace.best_so_far.empty()
+                                 ? std::numeric_limits<double>::infinity()
+                                 : trace.best_so_far.back();
+    if (v < prev_best) {
+      trace.best = trace.observations.back().code;
+      trace.best_value = v;
+      trace.best_so_far.push_back(v);
+    } else {
+      trace.best_so_far.push_back(prev_best);
+    }
+  }
+  return trace;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,17 @@
+#pragma once
+// Random-search baseline (paper §IV-B): samples adjacency configurations
+// without replacement and evaluates each; the paper's comparison trains
+// every RS candidate from scratch (the evaluator decides that).
+
+#include "opt/bayes_opt.h"
+
+namespace snnskip {
+
+struct RsConfig {
+  int evaluations = 16;
+  std::uint64_t seed = 13;
+};
+
+SearchTrace run_random_search(const BoProblem& problem, const RsConfig& cfg);
+
+}  // namespace snnskip

@@ -1,0 +1,74 @@
+#include "parallel/parallel_for.h"
+
+#include <algorithm>
+#include <future>
+
+#include "parallel/thread_pool.h"
+
+namespace snnskip {
+
+void parallel_for_range(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t workers = pool.size();
+  if (n < kParallelForMinGrain || workers <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, n);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  // Chunks 1..k-1 go to the pool; chunk 0 runs on the caller.
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t b = begin + c * chunk;
+    const std::size_t e = std::min(end, b + chunk);
+    if (b >= e) break;
+    futures.push_back(pool.submit([&body, b, e] { body(b, e); }));
+  }
+  body(begin, std::min(end, begin + chunk));
+  for (auto& f : futures) f.get();  // rethrows worker exceptions
+}
+
+double parallel_reduce_sum(std::size_t begin, std::size_t end,
+                           const std::function<double(std::size_t)>& f) {
+  if (begin >= end) return 0.0;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t workers = pool.size();
+  if (n < kParallelForMinGrain || workers <= 1) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += f(i);
+    return acc;
+  }
+  const std::size_t chunks = std::min(workers, n);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<double> partial(chunks, 0.0);
+
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t b = begin + c * chunk;
+    const std::size_t e = std::min(end, b + chunk);
+    double acc = 0.0;
+    for (std::size_t i = b; i < e; ++i) acc += f(i);
+    partial[c] = acc;
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    futures.push_back(pool.submit([&run_chunk, c] { run_chunk(c); }));
+  }
+  run_chunk(0);
+  for (auto& fut : futures) fut.get();
+
+  // Merge in fixed chunk order => bitwise-deterministic result.
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,62 @@
+#pragma once
+// RAII thread pool following the C++ Core Guidelines concurrency rules:
+// threads are joined on destruction (CP.23/25: a joining thread is a scoped
+// container; never detach), work is expressed as tasks not threads (CP.4),
+// and shared state is confined to the internal queue behind one mutex with
+// condition-variable waits (CP.42: don't wait without a condition).
+//
+// The pool is the single parallel substrate for the whole library: tensor
+// kernels partition loops across it via parallel_for, and the Bayesian-
+// optimization driver schedules candidate evaluations on it ("parallel BO"
+// in the paper, §III-B).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace snnskip {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future reports its result or exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Process-wide default pool (lazily constructed; sized to hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace snnskip

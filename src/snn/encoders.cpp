@@ -1,0 +1,51 @@
+#include "snn/encoders.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace snnskip {
+
+Tensor PoissonEncoder::encode(const Tensor& x, std::int64_t t) {
+  (void)t;  // each call draws fresh spikes; reset() rewinds the stream
+  Tensor out(x.shape());
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float p =
+        std::clamp(gain_ * x[static_cast<std::size_t>(i)], 0.f, 1.f);
+    out[static_cast<std::size_t>(i)] = rng_.bernoulli(p) ? 1.f : 0.f;
+  }
+  return out;
+}
+
+Tensor DirectEncoder::encode(const Tensor& x, std::int64_t t) {
+  (void)t;
+  return x;
+}
+
+Tensor EventEncoder::encode(const Tensor& x, std::int64_t t) {
+  [[maybe_unused]] const Shape& s = x.shape();
+  assert(s.ndim() == 4 && s[1] == t_ * c_);
+  assert(t >= 0 && t < t_);
+  return slice_channels(x, t * c_, (t + 1) * c_);
+}
+
+Tensor LatencyEncoder::encode(const Tensor& x, std::int64_t t) {
+  assert(t >= 0 && t < t_);
+  Tensor out(x.shape());
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[static_cast<std::size_t>(i)];
+    if (v < min_intensity_) continue;
+    // Intensity 1 fires at t = 0; intensity at the floor fires at t = T-1.
+    const float clamped = std::clamp(v, 0.f, 1.f);
+    const auto fire_t = static_cast<std::int64_t>(
+        std::lround((1.f - clamped) * static_cast<float>(t_ - 1)));
+    if (fire_t == t) out[static_cast<std::size_t>(i)] = 1.f;
+  }
+  return out;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,78 @@
+#pragma once
+// Input encoders: map a static image or an event stream to the per-timestep
+// input tensors consumed by the spiking network.
+//
+//   PoissonEncoder : pixel intensity -> Bernoulli spike probability per step
+//                    (rate coding; used for static CIFAR-10-like images)
+//   DirectEncoder  : the analog frame is presented unchanged at every step
+//                    ("direct encoding", common for static-image SNNs)
+//   EventEncoder   : the sample already carries a time dimension
+//                    (T, C, H, W) — each step is a slice (DVS datasets)
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snnskip {
+
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+  /// Input tensor for timestep `t` given the raw batch sample(s) `x`.
+  /// For static images x is (N, C, H, W); for event data x is (N, T, C, H, W)
+  /// flattened as (N, T*C, H, W) with known T.
+  virtual Tensor encode(const Tensor& x, std::int64_t t) = 0;
+  /// Reset any per-sequence randomness (called at sequence start).
+  virtual void reset() {}
+};
+
+class PoissonEncoder final : public Encoder {
+ public:
+  /// `gain` scales intensities into spike probabilities (clamped to [0,1]).
+  PoissonEncoder(std::uint64_t seed, float gain = 1.f)
+      : base_rng_(seed), rng_(seed), gain_(gain) {}
+
+  Tensor encode(const Tensor& x, std::int64_t t) override;
+  void reset() override { rng_ = base_rng_; }
+
+ private:
+  Rng base_rng_;
+  Rng rng_;
+  float gain_;
+};
+
+class DirectEncoder final : public Encoder {
+ public:
+  Tensor encode(const Tensor& x, std::int64_t t) override;
+};
+
+class EventEncoder final : public Encoder {
+ public:
+  /// `timesteps` and `channels` describe the (T, C) packing of dim 1.
+  EventEncoder(std::int64_t timesteps, std::int64_t channels)
+      : t_(timesteps), c_(channels) {}
+
+  Tensor encode(const Tensor& x, std::int64_t t) override;
+
+ private:
+  std::int64_t t_, c_;
+};
+
+/// Time-to-first-spike (latency) coding: each pixel fires exactly once, at
+/// a time inversely related to its intensity — bright pixels early, dark
+/// pixels late; intensities below `min_intensity` never fire. A temporal
+/// code with one spike per neuron, the sparsest classical encoding.
+class LatencyEncoder final : public Encoder {
+ public:
+  LatencyEncoder(std::int64_t timesteps, float min_intensity = 0.05f)
+      : t_(timesteps), min_intensity_(min_intensity) {}
+
+  Tensor encode(const Tensor& x, std::int64_t t) override;
+
+ private:
+  std::int64_t t_;
+  float min_intensity_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,72 @@
+#pragma once
+// Leaky integrate-and-fire neuron layer with surrogate-gradient BPTT.
+//
+// Dynamics per timestep (reset-by-subtraction):
+//   V_t  = beta * V'_{t-1} + x_t          (leaky integration)
+//   S_t  = H(V_t - theta)                 (spike if threshold crossed)
+//   V'_t = V_t - theta * S_t              (soft reset)
+//
+// Backward (unrolled in time): the Heaviside derivative is replaced by the
+// configured surrogate sigma'(V_t - theta). Two gradient paths meet at V_t:
+// the output path dL/dS_t and the recurrent path dL/dV'_t carried from
+// t+1. With `detach_reset` (default, snnTorch behaviour) the reset term's
+// dependence on S_t is excluded from the recurrent path:
+//   dL/dV_t = dL/dS_t * sigma'(u_t) + dL/dV'_t * (1 [- theta*sigma'(u_t)])
+//   dL/dx_t = dL/dV_t
+//   dL/dV'_{t-1} = beta * dL/dV_t
+//
+// The layer is shape-agnostic: membrane state adopts the input shape on the
+// first step after reset_state().
+
+#include "nn/layer.h"
+#include "snn/spike_stats.h"
+#include "snn/surrogate.h"
+
+namespace snnskip {
+
+struct LifConfig {
+  float beta = 0.9f;        ///< membrane leak factor in (0, 1]
+  float threshold = 1.0f;   ///< spike threshold theta
+  Surrogate surrogate{};
+  bool detach_reset = true; ///< exclude reset path from BPTT (snnTorch-style)
+  /// Absolute refractory period: after a spike the neuron is silenced for
+  /// this many timesteps (the membrane keeps integrating). 0 disables.
+  /// During refractoriness the spike gradient is zero (the gate is
+  /// piecewise constant), so BPTT simply masks those entries.
+  std::int64_t refractory = 0;
+};
+
+class Lif final : public Layer {
+ public:
+  explicit Lif(LifConfig cfg, std::string layer_name = "lif");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+  const LifConfig& config() const { return cfg_; }
+
+  /// Attach a recorder; spikes are counted on every forward (train or eval)
+  /// while attached. Pass nullptr to detach.
+  void set_recorder(FiringRateRecorder* rec) { recorder_ = rec; }
+
+ private:
+  struct TrainCtx {
+    Tensor u;          // V_t - theta
+    Tensor live_mask;  // 1 where not refractory (only kept if refractory>0)
+  };
+
+  LifConfig cfg_;
+  std::string name_;
+  Tensor membrane_;               // V' after the last step
+  Tensor refrac_count_;           // steps of silence left, per neuron
+  bool has_state_ = false;
+  std::vector<TrainCtx> saved_;   // per-timestep contexts (train only)
+  Tensor grad_v_carry_;           // dL/dV'_t flowing backward in time
+  bool has_carry_ = false;
+  FiringRateRecorder* recorder_ = nullptr;
+};
+
+}  // namespace snnskip

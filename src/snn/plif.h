@@ -1,0 +1,52 @@
+#pragma once
+// Parametric LIF: a LIF neuron whose membrane leak is LEARNED (Fang et al.,
+// "Incorporating Learnable Membrane Time Constant", ICCV 2021 — the PLIF
+// cell snnTorch/SpikingJelly ship). The leak is parameterized through a
+// sigmoid, beta = sigma(w), so it stays in (0, 1) unconstrained in w.
+//
+// Dynamics match Lif (soft reset, surrogate spike gradient); the extra
+// gradient is the direct dependence of each integration step on w:
+//   V_t = sigma(w) * V'_{t-1} + x_t
+//   dL/dw += sum_t dL/dV_t * V'_{t-1} * sigma'(w)
+// (indirect paths through earlier V' are already carried by BPTT).
+
+#include "nn/layer.h"
+#include "snn/lif.h"
+
+namespace snnskip {
+
+class Plif final : public Layer {
+ public:
+  /// `init_beta` sets the initial leak (converted through logit).
+  Plif(LifConfig cfg, std::string layer_name = "plif");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void reset_state() override;
+  std::vector<Parameter*> parameters() override { return {&leak_}; }
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+  /// Current effective leak beta = sigma(w).
+  float beta() const;
+
+  void set_recorder(FiringRateRecorder* rec) { recorder_ = rec; }
+
+ private:
+  struct Ctx {
+    Tensor u;         // V_t - theta
+    Tensor prev_mem;  // V'_{t-1} (the direct-dependence factor for dw)
+  };
+
+  LifConfig cfg_;
+  std::string name_;
+  Parameter leak_;  // scalar w; beta = sigmoid(w)
+  Tensor membrane_;
+  bool has_state_ = false;
+  std::vector<Ctx> saved_;
+  Tensor grad_v_carry_;
+  bool has_carry_ = false;
+  FiringRateRecorder* recorder_ = nullptr;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,42 @@
+#include "snn/surrogate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace snnskip {
+
+float Surrogate::grad(float u) const {
+  switch (kind) {
+    case SurrogateKind::FastSigmoid: {
+      const float d = scale * std::abs(u) + 1.f;
+      return 1.f / (d * d);
+    }
+    case SurrogateKind::Atan: {
+      const float z = 0.5f * static_cast<float>(M_PI) * scale * u;
+      return scale / (2.f * (1.f + z * z));
+    }
+    case SurrogateKind::Boxcar: {
+      const float w = 1.f / scale;  // scale = 1/half-width for consistency
+      return (std::abs(u) <= w) ? 0.5f / w : 0.f;
+    }
+  }
+  return 0.f;
+}
+
+std::string to_string(SurrogateKind k) {
+  switch (k) {
+    case SurrogateKind::FastSigmoid: return "fast_sigmoid";
+    case SurrogateKind::Atan: return "atan";
+    case SurrogateKind::Boxcar: return "boxcar";
+  }
+  return "?";
+}
+
+SurrogateKind surrogate_from_string(const std::string& s) {
+  if (s == "fast_sigmoid") return SurrogateKind::FastSigmoid;
+  if (s == "atan") return SurrogateKind::Atan;
+  if (s == "boxcar") return SurrogateKind::Boxcar;
+  throw std::invalid_argument("unknown surrogate: " + s);
+}
+
+}  // namespace snnskip

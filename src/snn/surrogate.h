@@ -1,0 +1,37 @@
+#pragma once
+// Surrogate derivatives for the spike nonlinearity.
+//
+// The spike function S = H(V - theta) has zero derivative almost everywhere,
+// which breaks backpropagation (paper §II, Neftci et al. 2019). During the
+// backward pass the Heaviside derivative is replaced by a smooth pseudo-
+// derivative sigma'(u) of the membrane distance u = V - theta. Three widely
+// used families are provided:
+//
+//   FastSigmoid : 1 / (slope*|u| + 1)^2          (Zenke & Ganguli, SuperSpike)
+//   Atan        : alpha / (2 * (1 + (pi/2*alpha*u)^2))   (snnTorch default-ish)
+//   Boxcar      : 1/(2w) for |u| <= w, else 0    (straight-through window)
+
+#include <string>
+
+namespace snnskip {
+
+enum class SurrogateKind { FastSigmoid, Atan, Boxcar };
+
+struct Surrogate {
+  SurrogateKind kind = SurrogateKind::FastSigmoid;
+  /// Sharpness: slope for FastSigmoid, alpha for Atan, half-width for
+  /// Boxcar. The default slope of 2 is deliberately shallow: with
+  /// batch-norm'd membranes sitting ~1 below threshold, sharper surrogates
+  /// attenuate gradients so strongly that deep unskipped SNNs stop
+  /// training at all (the failure mode the paper's skip study probes; see
+  /// bench/ablation_surrogate for the measured effect).
+  float scale = 2.f;
+
+  /// Pseudo-derivative at membrane distance u = V - theta.
+  float grad(float u) const;
+};
+
+std::string to_string(SurrogateKind k);
+SurrogateKind surrogate_from_string(const std::string& s);
+
+}  // namespace snnskip

@@ -1,0 +1,86 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.h"
+
+namespace snnskip {
+
+namespace {
+// Block sizes tuned for L1-resident panels at the problem sizes this
+// library runs (K, N typically 16..1024).
+constexpr std::int64_t kBlockK = 128;
+constexpr std::int64_t kBlockN = 256;
+}  // namespace
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  parallel_for_range(0, static_cast<std::size_t>(m),
+                     [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* crow = c + i * n;
+      if (beta == 0.f) {
+        std::fill(crow, crow + n, 0.f);
+      } else if (beta != 1.f) {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+      for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+        const std::int64_t kend = std::min(k, kk + kBlockK);
+        for (std::int64_t nn = 0; nn < n; nn += kBlockN) {
+          const std::int64_t nend = std::min(n, nn + kBlockN);
+          for (std::int64_t p = kk; p < kend; ++p) {
+            const float av = alpha * a[i * k + p];
+            if (av == 0.f) continue;  // spike matrices are mostly zero
+            const float* brow = b + p * n;
+            for (std::int64_t j = nn; j < nend; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  // A is stored (K, M); logical op is A^T(M,K) * B(K,N).
+  parallel_for_range(0, static_cast<std::size_t>(m),
+                     [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* crow = c + i * n;
+      if (beta == 0.f) {
+        std::fill(crow, crow + n, 0.f);
+      } else if (beta != 1.f) {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = alpha * a[p * m + static_cast<std::int64_t>(i)];
+        if (av == 0.f) continue;
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  // B is stored (N, K); logical op is A(M,K) * B^T(K,N). Row-times-row dot
+  // products — both operands stream contiguously.
+  parallel_for_range(0, static_cast<std::size_t>(m),
+                     [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.f;
+        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = alpha * acc + (beta == 0.f ? 0.f : beta * crow[j]);
+      }
+    }
+  });
+}
+
+}  // namespace snnskip

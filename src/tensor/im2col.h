@@ -1,0 +1,32 @@
+#pragma once
+// im2col / col2im lowering for 2-D convolution.
+//
+// For one image of shape (C, H, W), a KxK convolution with stride S and
+// padding P produces output (C_out, Ho, Wo). im2col unrolls every receptive
+// field into a column of the matrix `cols` with layout
+//   (C * K * K, Ho * Wo)
+// so that conv = weight(C_out, C*K*K) x cols. col2im is the exact adjoint
+// (scatter-add), used for the input-gradient in the backward pass.
+
+#include <cstdint>
+
+namespace snnskip {
+
+struct ConvGeometry {
+  std::int64_t in_c, in_h, in_w;
+  std::int64_t kernel, stride, pad;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  std::int64_t col_rows() const { return in_c * kernel * kernel; }
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Unroll one image `img` (C*H*W floats) into `cols` (col_rows x col_cols).
+void im2col(const ConvGeometry& g, const float* img, float* cols);
+
+/// Adjoint of im2col: accumulate `cols` back into `img` (must be zeroed by
+/// the caller if a fresh gradient is wanted).
+void col2im(const ConvGeometry& g, const float* cols, float* img);
+
+}  // namespace snnskip

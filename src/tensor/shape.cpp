@@ -1,0 +1,41 @@
+#include "tensor/shape.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace snnskip {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for ([[maybe_unused]] auto d : dims_) assert(d >= 0);
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for ([[maybe_unused]] auto d : dims_) assert(d >= 0);
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (std::size_t i = dims_.size(); i-- > 1;) {
+    s[i - 1] = s[i] * dims_[i];
+  }
+  return s;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace snnskip

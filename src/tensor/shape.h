@@ -1,0 +1,44 @@
+#pragma once
+// Tensor shape: a small vector of dimension sizes with row-major strides.
+//
+// Conventions used across the library:
+//   images / activations : NCHW  (batch, channels, height, width)
+//   linear activations   : NC
+//   weights (conv)       : OIHW
+//   weights (linear)     : OI
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace snnskip {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t ndim() const { return dims_.size(); }
+  std::int64_t dim(std::size_t i) const { return dims_[i]; }
+  std::int64_t operator[](std::size_t i) const { return dims_[i]; }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Total element count (1 for a scalar / empty shape).
+  std::int64_t numel() const;
+
+  /// Row-major strides, innermost dimension contiguous.
+  std::vector<std::int64_t> strides() const;
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return dims_ != o.dims_; }
+
+  /// "[2, 3, 8, 8]"
+  std::string str() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace snnskip

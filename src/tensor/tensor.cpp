@@ -1,0 +1,164 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace snnskip {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  assert(static_cast<std::int64_t>(data_.size()) == shape_.numel());
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::bernoulli(Shape shape, Rng& rng, float p) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = rng.bernoulli(p) ? 1.f : 0.f;
+  }
+  return t;
+}
+
+std::size_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
+  assert(idx.size() == shape_.ndim());
+  const auto strides = shape_.strides();
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (auto i : idx) {
+    assert(i >= 0 && i < shape_.dim(d));
+    flat += i * strides[d];
+    ++d;
+  }
+  return static_cast<std::size_t>(flat);
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[flat_index(idx)];
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[flat_index(idx)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  assert(new_shape.numel() == shape_.numel());
+  Tensor out(std::move(new_shape), data_);
+  return out;
+}
+
+Tensor& Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  assert(other.numel() == numel());
+  const float* o = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  assert(other.numel() == numel());
+  const float* o = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
+  assert(x.numel() == numel());
+  const float* o = x.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * o[i];
+  return *this;
+}
+
+Tensor& Tensor::hadamard_(const Tensor& other) {
+  assert(other.numel() == numel());
+  const float* o = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= o[i];
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  for (auto& v : data_) v = std::clamp(v, lo, hi);
+  return *this;
+}
+
+double Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::mean() const {
+  return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+float Tensor::max_value() const {
+  assert(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min_value() const {
+  assert(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Tensor::nonzero_fraction() const {
+  if (data_.empty()) return 0.0;
+  std::size_t nz = 0;
+  for (float v : data_) {
+    if (v != 0.f) ++nz;
+  }
+  return static_cast<double>(nz) / static_cast<double>(data_.size());
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  assert(a.numel() == b.numel());
+  float m = 0.f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+std::string Tensor::str_stats() const {
+  std::ostringstream os;
+  os << "shape=" << shape_.str();
+  if (!data_.empty()) {
+    os << " mean=" << mean() << " min=" << min_value()
+       << " max=" << max_value();
+  }
+  return os.str();
+}
+
+}  // namespace snnskip

@@ -1,0 +1,96 @@
+#pragma once
+// Dense float32 tensor with value semantics.
+//
+// Design (DESIGN.md §5.2):
+//  * contiguous row-major storage, NCHW layout for activations;
+//  * deep-copy on copy, O(1) move — candidate topologies in the search
+//    clone weights explicitly via the WeightStore, so accidental sharing
+//    is a bug we choose to make impossible rather than cheap;
+//  * element access through data()/span for kernels, checked at() for
+//    tests and debugging.
+
+#include <cassert>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace snnskip {
+
+class Tensor {
+ public:
+  /// Empty (0-element, shapeless) tensor.
+  Tensor() = default;
+  /// Zero-initialized tensor of `shape`.
+  explicit Tensor(Shape shape);
+  /// Tensor filled with `value`.
+  Tensor(Shape shape, float value);
+  /// Tensor adopting the given flat data (size must match shape.numel()).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // --- factories ---------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.f, float hi = 1.f);
+  /// I.i.d. Bernoulli(p) entries in {0, 1}.
+  static Tensor bernoulli(Shape shape, Rng& rng, float p);
+
+  // --- observers ---------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  /// Bounds-checked multi-index access (up to 4-D); for tests/assertions.
+  float at(std::initializer_list<std::int64_t> idx) const;
+  float& at(std::initializer_list<std::int64_t> idx);
+
+  float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) { return data_[i]; }
+
+  // --- shape manipulation (all preserve data order) ----------------------
+  /// Same data, new shape; numel must match.
+  Tensor reshape(Shape new_shape) const;
+
+  // --- in-place arithmetic ------------------------------------------------
+  Tensor& fill(float v);
+  Tensor& add_(const Tensor& other);               ///< this += other
+  Tensor& sub_(const Tensor& other);               ///< this -= other
+  Tensor& mul_(float s);                           ///< this *= s
+  Tensor& axpy_(float alpha, const Tensor& x);     ///< this += alpha * x
+  Tensor& hadamard_(const Tensor& other);          ///< this *= other (eltwise)
+  Tensor& clamp_(float lo, float hi);
+
+  // --- reductions ---------------------------------------------------------
+  double sum() const;
+  double mean() const;
+  float max_value() const;
+  float min_value() const;
+  /// Fraction of non-zero entries — the firing rate of a spike tensor.
+  double nonzero_fraction() const;
+
+  /// Frobenius-style max |a-b| difference; for tests.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+  std::string str_stats() const;  ///< "shape=[...] mean=.. min=.. max=.."
+
+ private:
+  std::size_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace snnskip

@@ -1,0 +1,141 @@
+#include "train/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace snnskip {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'N', 'N', 'S', 'K', 'I', 'P', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return in.good();
+}
+}  // namespace
+
+bool save_entries(const std::string& path,
+                  const std::vector<CheckpointEntry>& entries) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    SNNSKIP_LOG(Warn) << "checkpoint: cannot open " << path << " for write";
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, static_cast<std::uint64_t>(entries.size()));
+  for (const auto& e : entries) {
+    write_pod(out, static_cast<std::uint32_t>(e.name.size()));
+    out.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
+    const auto& dims = e.value.shape().dims();
+    write_pod(out, static_cast<std::uint32_t>(dims.size()));
+    for (std::int64_t d : dims) write_pod(out, d);
+    out.write(reinterpret_cast<const char*>(e.value.data()),
+              static_cast<std::streamsize>(sizeof(float) *
+                                           static_cast<std::size_t>(
+                                               e.value.numel())));
+  }
+  return out.good();
+}
+
+bool load_entries(const std::string& path,
+                  std::vector<CheckpointEntry>& entries) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SNNSKIP_LOG(Warn) << "checkpoint: cannot open " << path;
+    return false;
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    SNNSKIP_LOG(Warn) << "checkpoint: bad magic in " << path;
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!read_pod(in, count)) return false;
+  entries.clear();
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CheckpointEntry e;
+    std::uint32_t name_len = 0;
+    if (!read_pod(in, name_len) || name_len > (1u << 20)) return false;
+    e.name.resize(name_len);
+    in.read(e.name.data(), name_len);
+    std::uint32_t ndim = 0;
+    if (!read_pod(in, ndim) || ndim > 8) return false;
+    std::vector<std::int64_t> dims(ndim);
+    for (auto& d : dims) {
+      if (!read_pod(in, d) || d < 0) return false;
+    }
+    Shape shape(dims);
+    Tensor value(shape);
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(
+                sizeof(float) * static_cast<std::size_t>(value.numel())));
+    if (!in.good()) return false;
+    e.value = std::move(value);
+    entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+bool save_network(const std::string& path, Network& net) {
+  std::vector<CheckpointEntry> entries;
+  for (Parameter* p : net.parameters()) {
+    entries.push_back(CheckpointEntry{p->name, p->value});
+  }
+  // Batch-norm running statistics live outside parameters() but are part
+  // of the model: an eval-mode forward is wrong without them.
+  for (auto& [name, tensor] : net.buffers()) {
+    entries.push_back(CheckpointEntry{name, *tensor});
+  }
+  return save_entries(path, entries);
+}
+
+std::size_t load_network(const std::string& path, Network& net) {
+  std::vector<CheckpointEntry> entries;
+  if (!load_entries(path, entries)) return 0;
+
+  auto restore = [&entries](const std::string& name,
+                            Tensor& target) -> bool {
+    for (const auto& e : entries) {
+      if (e.name != name) continue;
+      if (e.value.shape() != target.shape()) {
+        SNNSKIP_LOG(Warn) << "checkpoint: shape mismatch for " << name
+                          << " (file " << e.value.shape().str() << " vs "
+                          << target.shape().str() << "), skipped";
+        return false;
+      }
+      target = e.value;
+      return true;
+    }
+    return false;
+  };
+
+  std::size_t restored = 0;
+  auto params = net.parameters();
+  for (Parameter* p : params) {
+    if (restore(p->name, p->value)) ++restored;
+  }
+  std::size_t buffers_restored = 0;
+  auto buffers = net.buffers();
+  for (auto& [name, tensor] : buffers) {
+    if (restore(name, *tensor)) ++buffers_restored;
+  }
+  if (restored != params.size() || buffers_restored != buffers.size()) {
+    SNNSKIP_LOG(Warn) << "checkpoint: restored " << restored << "/"
+                      << params.size() << " parameters and "
+                      << buffers_restored << "/" << buffers.size()
+                      << " buffers from " << path;
+  }
+  return restored;
+}
+
+}  // namespace snnskip

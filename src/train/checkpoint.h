@@ -1,0 +1,44 @@
+#pragma once
+// Network checkpointing: serialize parameters (and a WeightStore) to a
+// simple self-describing binary format so long searches can be resumed and
+// trained models shipped.
+//
+// Format (little-endian):
+//   magic "SNNSKIP1" | u64 count | count x entry
+//   entry: u32 name_len | name bytes | u32 ndim | i64 dims[ndim] | f32 data
+//
+// Loading matches entries to parameters BY NAME and checks shapes; extra
+// entries in the file are ignored, missing parameters are reported.
+
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+#include "train/weight_store.h"
+
+namespace snnskip {
+
+/// One named tensor in a checkpoint file.
+struct CheckpointEntry {
+  std::string name;
+  Tensor value;
+};
+
+/// Write entries to `path`. Returns false on I/O failure.
+bool save_entries(const std::string& path,
+                  const std::vector<CheckpointEntry>& entries);
+
+/// Read all entries from `path`. Returns false on I/O or format error.
+bool load_entries(const std::string& path,
+                  std::vector<CheckpointEntry>& entries);
+
+/// Save every parameter of `net` (names must be unique, which the model
+/// builders guarantee).
+bool save_network(const std::string& path, Network& net);
+
+/// Load parameters into `net` by name. Returns the number of parameters
+/// restored; parameters without a matching entry are left untouched.
+/// Shape mismatches are skipped with a warning.
+std::size_t load_network(const std::string& path, Network& net);
+
+}  // namespace snnskip

@@ -1,0 +1,38 @@
+#include "train/evaluate.h"
+
+#include <stdexcept>
+
+#include "data/synthetic_cifar10.h"
+#include "data/synthetic_dvs_cifar.h"
+#include "data/synthetic_dvs_gesture.h"
+
+namespace snnskip {
+
+std::vector<std::string> dataset_names() {
+  return {"cifar10", "cifar10-dvs", "dvs128-gesture"};
+}
+
+DatasetBundle make_datasets(const std::string& name,
+                            const SyntheticConfig& cfg) {
+  DatasetBundle bundle;
+  bundle.name = name;
+  if (name == "cifar10") {
+    bundle.train = std::make_shared<SyntheticCifar10>(cfg, Split::Train);
+    bundle.val = std::make_shared<SyntheticCifar10>(cfg, Split::Val);
+    bundle.test = std::make_shared<SyntheticCifar10>(cfg, Split::Test);
+    bundle.has_ann_reference = true;  // static images: ANN twin is defined
+  } else if (name == "cifar10-dvs") {
+    bundle.train = std::make_shared<SyntheticDvsCifar>(cfg, Split::Train);
+    bundle.val = std::make_shared<SyntheticDvsCifar>(cfg, Split::Val);
+    bundle.test = std::make_shared<SyntheticDvsCifar>(cfg, Split::Test);
+  } else if (name == "dvs128-gesture") {
+    bundle.train = std::make_shared<SyntheticDvsGesture>(cfg, Split::Train);
+    bundle.val = std::make_shared<SyntheticDvsGesture>(cfg, Split::Val);
+    bundle.test = std::make_shared<SyntheticDvsGesture>(cfg, Split::Test);
+  } else {
+    throw std::invalid_argument("make_datasets: unknown dataset " + name);
+  }
+  return bundle;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,28 @@
+#pragma once
+// Dataset registry: the three synthetic benchmark tasks bundled into
+// train/val/test triples, keyed by the paper's dataset names.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace snnskip {
+
+struct DatasetBundle {
+  DatasetPtr train;
+  DatasetPtr val;
+  DatasetPtr test;
+  std::string name;
+  bool has_ann_reference = false;  ///< true only for static-image datasets
+};
+
+/// Dataset names accepted by make_datasets (the paper's three benchmarks).
+std::vector<std::string> dataset_names();
+
+/// Build a train/val/test bundle. Names: "cifar10", "cifar10-dvs",
+/// "dvs128-gesture" (synthetic stand-ins per DESIGN.md §2).
+DatasetBundle make_datasets(const std::string& name,
+                            const SyntheticConfig& cfg);
+
+}  // namespace snnskip

@@ -1,0 +1,51 @@
+#include "train/schedules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace snnskip {
+
+float cosine_lr(float lr0, std::int64_t epoch, std::int64_t total,
+                float floor_frac) {
+  if (total <= 1) return lr0;
+  const float t = static_cast<float>(epoch) / static_cast<float>(total - 1);
+  const float cosine = 0.5f * (1.f + std::cos(static_cast<float>(M_PI) * t));
+  return lr0 * (floor_frac + (1.f - floor_frac) * cosine);
+}
+
+float step_lr(float lr0, std::int64_t epoch, std::int64_t step, float gamma) {
+  return lr0 * std::pow(gamma, static_cast<float>(epoch / step));
+}
+
+TrainConfig paper_recipe(const std::string& dataset, double epoch_scale) {
+  TrainConfig cfg;
+  auto scaled = [epoch_scale](std::int64_t base) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(base * epoch_scale)));
+  };
+  if (dataset == "cifar10") {
+    // Paper: SGD, lr 0.01, momentum 0.9, 25 steps, 200 epochs.
+    cfg.opt = OptKind::SgdMomentum;
+    cfg.lr = 0.01f;
+    cfg.momentum = 0.9f;
+    cfg.timesteps = 25;
+    cfg.epochs = scaled(8);
+  } else if (dataset == "cifar10-dvs") {
+    // Paper: SGD, lr 0.025, momentum 0.9, 100 epochs.
+    cfg.opt = OptKind::SgdMomentum;
+    cfg.lr = 0.025f;
+    cfg.momentum = 0.9f;
+    cfg.epochs = scaled(6);
+  } else if (dataset == "dvs128-gesture") {
+    // Paper: Adam, lr 0.01, 200 epochs.
+    cfg.opt = OptKind::Adam;
+    cfg.lr = 0.01f;
+    cfg.epochs = scaled(6);
+  } else {
+    throw std::invalid_argument("paper_recipe: unknown dataset " + dataset);
+  }
+  return cfg;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,24 @@
+#pragma once
+// Learning-rate schedules and the per-dataset training recipes from the
+// paper's §IV (translated to the synthetic datasets' CPU-scale budgets).
+
+#include <cstdint>
+#include <string>
+
+#include "train/trainer.h"
+
+namespace snnskip {
+
+/// Cosine annealing from lr0 to lr0*floor over `total` epochs.
+float cosine_lr(float lr0, std::int64_t epoch, std::int64_t total,
+                float floor_frac = 0.05f);
+
+/// Step decay: lr0 * gamma^(epoch / step).
+float step_lr(float lr0, std::int64_t epoch, std::int64_t step, float gamma);
+
+/// The paper's per-dataset recipe (§IV): optimizer family, base LR and
+/// momentum. Epoch counts are scaled by `epoch_scale` (1.0 = the library's
+/// CPU defaults, not the paper's GPU budgets).
+TrainConfig paper_recipe(const std::string& dataset, double epoch_scale = 1.0);
+
+}  // namespace snnskip

@@ -1,0 +1,207 @@
+#include "train/trainer.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace snnskip {
+
+EncodingPlan make_encoding_plan(const Dataset& ds, NeuronMode mode,
+                                const TrainConfig& cfg) {
+  EncodingPlan plan;
+  if (ds.timesteps() > 0) {
+    // Event data carries its own time axis regardless of network mode.
+    plan.timesteps = ds.timesteps();
+    plan.encoder =
+        std::make_unique<EventEncoder>(ds.timesteps(), ds.step_channels());
+    return plan;
+  }
+  if (mode == NeuronMode::Analog) {
+    plan.timesteps = 1;
+    plan.encoder = std::make_unique<DirectEncoder>();
+    return plan;
+  }
+  plan.timesteps = cfg.timesteps;
+  switch (cfg.encoding) {
+    case EncodingKind::Poisson:
+      plan.encoder = std::make_unique<PoissonEncoder>(cfg.seed ^ 0x9042ULL);
+      break;
+    case EncodingKind::Latency:
+      plan.encoder = std::make_unique<LatencyEncoder>(cfg.timesteps);
+      break;
+    default:
+      plan.encoder = std::make_unique<DirectEncoder>();
+      break;
+  }
+  return plan;
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
+  double sq = 0.0;
+  for (const Parameter* p : params) {
+    const float* g = p->grad.data();
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+      sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (max_norm > 0.f && norm > max_norm) {
+    const float scale = max_norm / static_cast<float>(norm + 1e-12);
+    for (Parameter* p : params) p->grad.mul_(scale);
+  }
+  return norm;
+}
+
+namespace {
+
+/// Loss on the T-step accumulated head outputs plus the uniform
+/// per-timestep gradient to feed BPTT with.
+struct StepLoss {
+  LossResult result;
+  Tensor grad_per_step;
+};
+
+StepLoss readout_loss(LossKind kind, const Tensor& output_sum,
+                      const std::vector<std::int64_t>& targets,
+                      std::int64_t timesteps) {
+  StepLoss sl;
+  if (kind == LossKind::CountMse) {
+    // Counts = plain sum; dcount/dout_t == 1 at every step.
+    sl.result = mse_count_loss(output_sum, targets, timesteps);
+    sl.grad_per_step = sl.result.grad_logits;
+  } else {
+    Tensor mean_logits = output_sum;
+    mean_logits.mul_(1.f / static_cast<float>(timesteps));
+    sl.result = cross_entropy(mean_logits, targets);
+    sl.grad_per_step = sl.result.grad_logits;
+    sl.grad_per_step.mul_(1.f / static_cast<float>(timesteps));
+  }
+  return sl;
+}
+
+}  // namespace
+
+double train_batch(Network& net, Encoder& enc, const Batch& batch,
+                   std::int64_t timesteps, Optimizer& opt, float grad_clip,
+                   LossKind loss_kind) {
+  net.reset_state();
+  enc.reset();
+  opt.zero_grad();
+
+  Tensor output_sum;
+  for (std::int64_t t = 0; t < timesteps; ++t) {
+    Tensor in = enc.encode(batch.x, t);
+    Tensor out = net.forward(in, /*train=*/true);
+    if (t == 0) {
+      output_sum = std::move(out);
+    } else {
+      output_sum.add_(out);
+    }
+  }
+
+  const StepLoss sl = readout_loss(loss_kind, output_sum, batch.y, timesteps);
+  for (std::int64_t t = timesteps; t-- > 0;) {
+    (void)net.backward(sl.grad_per_step);
+  }
+  auto params = net.parameters();
+  clip_grad_norm(params, grad_clip);
+  opt.step();
+  net.reset_state();
+  return sl.result.loss;
+}
+
+EvalResult evaluate(Network& net, NeuronMode mode, const Dataset& ds,
+                    const TrainConfig& cfg, FiringRateRecorder* recorder) {
+  EncodingPlan plan = make_encoding_plan(ds, mode, cfg);
+  if (recorder != nullptr) {
+    recorder->reset();
+    net.set_recorder(recorder);
+  }
+
+  DataLoader loader(ds, cfg.batch_size, /*shuffle=*/false, 0);
+  Batch batch;
+  loader.start_epoch(0);
+  double loss_acc = 0.0;
+  std::size_t correct = 0, total = 0, batches = 0;
+  while (loader.next(batch)) {
+    net.reset_state();
+    plan.encoder->reset();
+    Tensor output_sum;
+    for (std::int64_t t = 0; t < plan.timesteps; ++t) {
+      Tensor in = plan.encoder->encode(batch.x, t);
+      Tensor out = net.forward(in, /*train=*/false);
+      if (t == 0) {
+        output_sum = std::move(out);
+      } else {
+        output_sum.add_(out);
+      }
+    }
+    const StepLoss sl =
+        readout_loss(cfg.loss, output_sum, batch.y, plan.timesteps);
+    loss_acc += sl.result.loss;
+    correct += sl.result.correct;
+    total += batch.y.size();
+    ++batches;
+  }
+  net.reset_state();
+
+  EvalResult res;
+  res.accuracy =
+      total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+  res.loss = batches ? loss_acc / static_cast<double>(batches) : 0.0;
+  if (recorder != nullptr) {
+    res.firing_rate = recorder->overall_rate();
+    net.set_recorder(nullptr);
+  }
+  return res;
+}
+
+FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
+              const TrainConfig& cfg) {
+  EncodingPlan plan = make_encoding_plan(*train, mode, cfg);
+
+  auto params = net.parameters();
+  std::unique_ptr<Optimizer> opt;
+  if (cfg.opt == OptKind::Adam) {
+    opt = std::make_unique<Adam>(params, cfg.lr, 0.9f, 0.999f, 1e-8f,
+                                 cfg.weight_decay);
+  } else {
+    opt = std::make_unique<Sgd>(params, cfg.lr, cfg.momentum,
+                                cfg.weight_decay);
+  }
+
+  DataLoader loader(*train, cfg.batch_size, /*shuffle=*/true, cfg.seed);
+  FitResult result;
+
+  for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    opt->set_lr(cfg.lr *
+                std::pow(cfg.lr_decay, static_cast<float>(epoch)));
+    loader.start_epoch(static_cast<std::uint64_t>(epoch));
+    Batch batch;
+    double loss_acc = 0.0;
+    std::size_t batches = 0;
+    while (loader.next(batch)) {
+      loss_acc += train_batch(net, *plan.encoder, batch, plan.timesteps, *opt,
+                              cfg.grad_clip, cfg.loss);
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.train_loss = batches ? loss_acc / static_cast<double>(batches) : 0.0;
+    if (val) {
+      stats.val_acc = evaluate(net, mode, *val, cfg).accuracy;
+      result.best_val_acc = std::max(result.best_val_acc, stats.val_acc);
+      result.final_val_acc = stats.val_acc;
+    }
+    if (cfg.verbose) {
+      SNNSKIP_LOG(Info) << "epoch " << epoch << " loss=" << stats.train_loss
+                        << " val_acc=" << stats.val_acc;
+    }
+    result.epochs.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,94 @@
+#pragma once
+// Training driver: surrogate-gradient BPTT for SNNs, plain backprop for the
+// ANN twins (which are just the T == 1 special case).
+//
+// One optimization step over a batch:
+//   reset state -> forward T timesteps (accumulating head logits)
+//   -> cross-entropy on the time-averaged logits
+//   -> backward T timesteps in reverse (each gets dL/dlogits / T)
+//   -> clip -> optimizer step.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "graph/network.h"
+#include "nn/optimizer.h"
+#include "snn/encoders.h"
+
+namespace snnskip {
+
+enum class OptKind { SgdMomentum, Adam };
+enum class EncodingKind { Direct, Poisson, Latency, Event };
+
+/// Readout / loss pairing:
+///   MeanLogitCE — cross-entropy on time-averaged head logits (default;
+///                 head outputs are analog logits);
+///   CountMse    — spike-count MSE on summed head outputs (use with
+///                 ModelConfig::spiking_head, snnTorch's mse_count_loss).
+enum class LossKind { MeanLogitCE, CountMse };
+
+struct TrainConfig {
+  std::int64_t epochs = 5;
+  std::int64_t batch_size = 16;
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  OptKind opt = OptKind::SgdMomentum;
+  float weight_decay = 0.f;
+  /// Unroll length for static-image inputs (event data uses its own T).
+  std::int64_t timesteps = 8;
+  EncodingKind encoding = EncodingKind::Direct;
+  LossKind loss = LossKind::MeanLogitCE;
+  float grad_clip = 5.f;    ///< global-norm clip; <= 0 disables
+  float lr_decay = 1.0f;    ///< multiplicative per-epoch decay
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double train_acc = 0.0;
+  double val_acc = 0.0;
+};
+
+struct FitResult {
+  std::vector<EpochStats> epochs;
+  double best_val_acc = 0.0;
+  double final_val_acc = 0.0;
+};
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double loss = 0.0;
+  double firing_rate = 0.0;  ///< 0 for analog networks
+};
+
+/// Encoder + unroll length appropriate for (dataset, network mode).
+struct EncodingPlan {
+  std::unique_ptr<Encoder> encoder;
+  std::int64_t timesteps = 1;
+};
+EncodingPlan make_encoding_plan(const Dataset& ds, NeuronMode mode,
+                                const TrainConfig& cfg);
+
+/// Train `net` on `train`, tracking validation accuracy per epoch.
+/// `val` may be null (no validation tracking).
+FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
+              const TrainConfig& cfg);
+
+/// One gradient step on a batch; returns the batch loss. Exposed for tests.
+double train_batch(Network& net, Encoder& enc, const Batch& batch,
+                   std::int64_t timesteps, Optimizer& opt, float grad_clip,
+                   LossKind loss = LossKind::MeanLogitCE);
+
+/// Evaluate on a dataset; attaches `recorder` to spiking neurons for the
+/// duration when non-null (firing_rate is then populated).
+EvalResult evaluate(Network& net, NeuronMode mode, const Dataset& ds,
+                    const TrainConfig& cfg,
+                    FiringRateRecorder* recorder = nullptr);
+
+/// Global gradient-norm clipping; returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, float max_norm);
+
+}  // namespace snnskip

@@ -1,0 +1,123 @@
+#include "train/weight_store.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "nn/conv2d.h"
+
+namespace snnskip {
+
+namespace {
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Tensor& WeightStore::get_or_init(const std::string& key, const Shape& shape) {
+  auto it = store_.find(key);
+  if (it != store_.end()) {
+    assert(it->second.shape() == shape && "WeightStore: shape conflict");
+    return it->second;
+  }
+  // Deterministic Kaiming-normal init keyed by (key, store seed).
+  std::int64_t fan_in = 1;
+  for (std::size_t d = 1; d < shape.ndim(); ++d) fan_in *= shape[d];
+  const float stddev = std::sqrt(2.f / static_cast<float>(std::max<std::int64_t>(1, fan_in)));
+  Rng rng(fnv1a(key) ^ seed_);
+  auto [pos, inserted] =
+      store_.emplace(key, Tensor::randn(shape, rng, 0.f, stddev));
+  (void)inserted;
+  return pos->second;
+}
+
+Tensor WeightStore::gather_in_dim1(const Tensor& full,
+                                   const std::vector<std::int64_t>& idx) {
+  const Shape& s = full.shape();
+  assert(s.ndim() == 4);
+  const std::int64_t o = s[0], i_full = s[1], k2 = s[2] * s[3];
+  const std::int64_t i_sub = static_cast<std::int64_t>(idx.size());
+  Tensor sub(Shape{o, i_sub, s[2], s[3]});
+  for (std::int64_t oc = 0; oc < o; ++oc) {
+    for (std::int64_t c = 0; c < i_sub; ++c) {
+      const std::int64_t src_c = idx[static_cast<std::size_t>(c)];
+      assert(src_c >= 0 && src_c < i_full);
+      std::memcpy(sub.data() + (oc * i_sub + c) * k2,
+                  full.data() + (oc * i_full + src_c) * k2,
+                  sizeof(float) * static_cast<std::size_t>(k2));
+    }
+  }
+  return sub;
+}
+
+void WeightStore::scatter_in_dim1(Tensor& full, const Tensor& sub,
+                                  const std::vector<std::int64_t>& idx) {
+  const Shape& fs = full.shape();
+  const Shape& ss = sub.shape();
+  assert(fs.ndim() == 4 && ss.ndim() == 4);
+  assert(fs[0] == ss[0] && fs[2] == ss[2] && fs[3] == ss[3]);
+  assert(ss[1] == static_cast<std::int64_t>(idx.size()));
+  const std::int64_t o = fs[0], i_full = fs[1], i_sub = ss[1],
+                     k2 = fs[2] * fs[3];
+  for (std::int64_t oc = 0; oc < o; ++oc) {
+    for (std::int64_t c = 0; c < i_sub; ++c) {
+      const std::int64_t dst_c = idx[static_cast<std::size_t>(c)];
+      assert(dst_c >= 0 && dst_c < i_full);
+      std::memcpy(full.data() + (oc * i_full + dst_c) * k2,
+                  sub.data() + (oc * i_sub + c) * k2,
+                  sizeof(float) * static_cast<std::size_t>(k2));
+    }
+  }
+}
+
+void WeightStore::sync(Network& net, Dir dir) {
+  std::unordered_set<const Parameter*> handled;
+
+  // Block-node convolutions: gather/scatter against the supernet layout.
+  for (Block* b : net.blocks()) {
+    for (auto& node : b->nodes()) {
+      auto* conv = dynamic_cast<Conv2d*>(node.op.get());
+      if (conv == nullptr) continue;  // depthwise ops sync whole below
+      Parameter& wp = conv->weight();
+      const Shape full_shape{conv->out_channels(), node.supernet_in_c,
+                             conv->kernel(), conv->kernel()};
+      Tensor& full = get_or_init(wp.name, full_shape);
+      if (dir == Dir::Load) {
+        wp.value = gather_in_dim1(full, node.used_weight_channels);
+      } else {
+        scatter_in_dim1(full, wp.value, node.used_weight_channels);
+      }
+      handled.insert(&wp);
+    }
+  }
+
+  // Everything else syncs at its natural shape. A key seen for the first
+  // time adopts the candidate's freshly initialized value, so semantic
+  // inits (batch-norm gamma = 1, biases = 0) survive.
+  for (Parameter* p : net.parameters()) {
+    if (handled.count(p) != 0) continue;
+    auto it = store_.find(p->name);
+    if (it == store_.end()) {
+      store_.emplace(p->name, p->value);
+      continue;
+    }
+    assert(it->second.shape() == p->value.shape() &&
+           "WeightStore: parameter shape changed across candidates");
+    if (dir == Dir::Load) {
+      p->value = it->second;
+    } else {
+      it->second = p->value;
+    }
+  }
+}
+
+void WeightStore::load_into(Network& net) { sync(net, Dir::Load); }
+void WeightStore::store_from(Network& net) { sync(net, Dir::Store); }
+
+}  // namespace snnskip

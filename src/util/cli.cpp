@@ -1,0 +1,52 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace snnskip {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";  // bare flag => boolean true
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int CliArgs::get_int(const std::string& name, int def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::atof(it->second.c_str());
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name,
+                               std::uint64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def
+                             : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace snnskip

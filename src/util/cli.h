@@ -1,0 +1,29 @@
+#pragma once
+// Tiny command-line flag parser for bench/example binaries.
+//
+// Supports `--name value` and `--name=value`; unknown flags are reported
+// and ignored so that harness-level flags (e.g. benchmark filters) pass
+// through harmlessly. Experiment binaries use this for `--scale`,
+// `--epochs`, `--seeds` overrides documented in DESIGN.md §7.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace snnskip {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace snnskip

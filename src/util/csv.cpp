@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace snnskip {
+
+namespace {
+std::string escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    SNNSKIP_LOG(Warn) << "CsvWriter: cannot open " << path;
+    return;
+  }
+  row(header);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  assert(fields.size() == columns_);
+  if (!out_) return;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string CsvWriter::num(std::size_t v) { return std::to_string(v); }
+
+}  // namespace snnskip

@@ -1,0 +1,39 @@
+#pragma once
+// CSV emission for experiment results.
+//
+// Every bench binary writes both a human-readable table to stdout and a
+// machine-readable CSV next to it, so figures can be regenerated from the
+// CSV without re-running the experiment.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace snnskip {
+
+/// Streams rows to a CSV file. Quotes fields that need it (commas, quotes,
+/// newlines); numbers are written with enough precision to round-trip.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// True if the file opened successfully.
+  bool ok() const { return out_.good(); }
+
+  /// Append one row; size must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: format doubles with %.6g.
+  static std::string num(double v);
+  static std::string num(std::size_t v);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace snnskip

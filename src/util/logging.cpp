@@ -1,0 +1,77 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace snnskip {
+
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level = [] {
+    if (const char* env = std::getenv("SNNSKIP_LOG_LEVEL")) {
+      return parse_log_level(env);
+    }
+    return LogLevel::Info;
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string t;
+  t.reserve(s.size());
+  for (char c : s) t.push_back(static_cast<char>(std::tolower(c)));
+  if (t == "trace") return LogLevel::Trace;
+  if (t == "debug") return LogLevel::Debug;
+  if (t == "info") return LogLevel::Info;
+  if (t == "warn" || t == "warning") return LogLevel::Warn;
+  if (t == "error") return LogLevel::Error;
+  return LogLevel::Info;
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep only the basename so log lines are stable across build trees.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << level_name(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace detail
+
+}  // namespace snnskip

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal leveled logger writing to stderr.
+//
+// The library is a research harness: logs must be greppable, deterministic
+// in content (no timestamps by default so diffing runs is easy), and cheap
+// when disabled. Usage:
+//
+//   SNNSKIP_LOG(Info) << "epoch " << e << " acc=" << acc;
+//
+// The global level defaults to Info and can be set programmatically or via
+// the SNNSKIP_LOG_LEVEL environment variable (trace/debug/info/warn/error).
+
+#include <sstream>
+#include <string>
+
+namespace snnskip {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+/// Parse "trace".."error" (case-insensitive); returns Info on garbage.
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace snnskip
+
+#define SNNSKIP_LOG(severity)                                       \
+  if (::snnskip::LogLevel::severity < ::snnskip::log_level()) {     \
+  } else                                                            \
+    ::snnskip::detail::LogMessage(::snnskip::LogLevel::severity,    \
+                                  __FILE__, __LINE__)               \
+        .stream()

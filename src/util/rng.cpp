@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace snnskip {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 strictly positive to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  // Rejection sampling to kill modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t x = 0;
+  do {
+    x = next();
+  } while (x >= limit);
+  return x % n;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_int(span));
+}
+
+Rng Rng::split(std::uint64_t i) const {
+  // Mix the parent's full state with the child index through splitmix64.
+  std::uint64_t h = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 27) ^ rotl(s_[3], 41);
+  h ^= 0x6a09e667f3bcc909ULL + i;
+  std::uint64_t sm = h;
+  return Rng(splitmix64(sm));
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  if (v.size() < 2) return;
+  for (std::size_t i = v.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(i + 1));
+    std::swap(v[i], v[j]);
+  }
+}
+
+}  // namespace snnskip

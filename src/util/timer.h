@@ -1,0 +1,30 @@
+#pragma once
+// Wall-clock timing helpers for experiment reporting.
+
+#include <chrono>
+#include <string>
+
+namespace snnskip {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// "1.23 s" / "45.6 ms" style formatting for reports.
+std::string format_duration(double seconds);
+
+}  // namespace snnskip

@@ -1,0 +1,212 @@
+// Tests for the core pipeline: search-space construction per model family,
+// constraint handling, and candidate evaluation with weight sharing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adapter.h"
+#include "core/evaluator.h"
+#include "core/search_space.h"
+#include "models/zoo.h"
+#include "train/evaluate.h"
+
+namespace snnskip {
+namespace {
+
+ModelConfig tiny_model() {
+  ModelConfig cfg;
+  cfg.in_channels = 2;
+  cfg.num_classes = 10;
+  cfg.max_timesteps = 4;
+  cfg.width = 4;
+  cfg.seed = 2;
+  return cfg;
+}
+
+SyntheticConfig tiny_data() {
+  SyntheticConfig cfg;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.timesteps = 4;
+  cfg.train_size = 30;
+  cfg.val_size = 20;
+  cfg.test_size = 20;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TrainConfig fast_train(std::int64_t epochs) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 10;
+  cfg.lr = 0.05f;
+  cfg.timesteps = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(SearchSpace, SlotCountsPerFamily) {
+  const ModelConfig cfg = tiny_model();
+  EXPECT_EQ(SearchSpace(single_block_specs(cfg)).num_slots(), 6u);
+  EXPECT_EQ(SearchSpace(resnet18s_specs(cfg)).num_slots(), 8u);   // 8 blocks x 1
+  EXPECT_EQ(SearchSpace(densenet121s_specs(cfg)).num_slots(),
+            3u + 6u + 6u + 3u);
+  EXPECT_EQ(SearchSpace(mobilenetv2s_specs(cfg)).num_slots(), 15u);  // 5 x 3
+}
+
+TEST(SearchSpace, MobilenetDepthwiseSlotForbidsDsc) {
+  const SearchSpace space(mobilenetv2s_specs(tiny_model()));
+  // Slot layout per block: (0,2), (0,3), (1,3). Node 2 is depthwise.
+  bool found_restricted = false;
+  for (std::size_t k = 0; k < space.num_slots(); ++k) {
+    const auto& slot = space.slots()[k];
+    if (slot.dst == 2) {
+      EXPECT_FALSE(space.value_allowed(k, 1));  // no DSC
+      EXPECT_TRUE(space.value_allowed(k, 2));   // ASC fine
+      EXPECT_TRUE(space.value_allowed(k, 0));
+      found_restricted = true;
+    }
+  }
+  EXPECT_TRUE(found_restricted);
+}
+
+TEST(SearchSpace, SamplesAreValid) {
+  const SearchSpace space(mobilenetv2s_specs(tiny_model()));
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(space.valid(space.sample(rng)));
+  }
+}
+
+TEST(SearchSpace, MutateChangesExactlyOneSlot) {
+  const SearchSpace space(resnet18s_specs(tiny_model()));
+  Rng rng(5);
+  const EncodingVec base = space.sample(rng);
+  for (int i = 0; i < 20; ++i) {
+    const EncodingVec m = space.mutate(base, rng);
+    EXPECT_TRUE(space.valid(m));
+    EXPECT_EQ(hamming_distance(base, m), 1);
+  }
+}
+
+TEST(SearchSpace, DecodeEncodeRoundTrip) {
+  const SearchSpace space(densenet121s_specs(tiny_model()));
+  Rng rng(6);
+  const EncodingVec code = space.sample(rng);
+  EXPECT_EQ(space.encode(space.decode(code)), code);
+}
+
+TEST(SearchSpace, DecodeRejectsBadEncodings) {
+  const SearchSpace space(resnet18s_specs(tiny_model()));
+  EXPECT_THROW(space.decode({1}), std::invalid_argument);
+  const SearchSpace mb(mobilenetv2s_specs(tiny_model()));
+  EncodingVec bad(mb.num_slots(), 0);
+  bad[0] = 1;  // slot (0,2) of block ir0: DSC into depthwise
+  EXPECT_THROW(mb.decode(bad), std::invalid_argument);
+}
+
+TEST(SearchSpace, Log10SizeMatchesExhaustiveCount) {
+  // resnet18s: 8 unconstrained ternary slots -> 3^8.
+  const SearchSpace space(resnet18s_specs(tiny_model()));
+  EXPECT_NEAR(space.log10_size(), 8.0 * std::log10(3.0), 1e-9);
+  // mobilenetv2s: 5 blocks x (2 free slots x3 + 1 restricted x2).
+  const SearchSpace mb(mobilenetv2s_specs(tiny_model()));
+  EXPECT_NEAR(mb.log10_size(),
+              5.0 * (2.0 * std::log10(3.0) + std::log10(2.0)), 1e-9);
+}
+
+TEST(SearchSpace, DefaultAdjacenciesEncodeCleanly) {
+  const ModelConfig cfg = tiny_model();
+  for (const auto& name : model_names()) {
+    const SearchSpace space(model_block_specs(name, cfg));
+    const auto code = space.encode(default_adjacencies(name, cfg));
+    EXPECT_TRUE(space.valid(code)) << name;
+  }
+}
+
+// --- candidate evaluator -----------------------------------------------------
+
+CandidateEvaluator make_tiny_evaluator(const std::string& model = "single_block") {
+  EvaluatorConfig cfg;
+  cfg.model = model;
+  cfg.model_cfg = tiny_model();
+  cfg.finetune = fast_train(1);
+  cfg.scratch = fast_train(2);
+  cfg.seed = 7;
+  return CandidateEvaluator(cfg, make_datasets("cifar10-dvs", tiny_data()));
+}
+
+TEST(CandidateEvaluator, BuildsCandidates) {
+  CandidateEvaluator ev = make_tiny_evaluator();
+  Rng rng(8);
+  const EncodingVec code = ev.space().sample(rng);
+  Network net = ev.build(code);
+  Tensor x = Tensor::randn(Shape{1, 2, 8, 8}, rng);
+  EXPECT_EQ(net.forward(x, false).shape(), (Shape{1, 10}));
+}
+
+TEST(CandidateEvaluator, ModelConfigAdjustedToDataset) {
+  CandidateEvaluator ev = make_tiny_evaluator();
+  EXPECT_EQ(ev.model_config().in_channels, 2);
+  EXPECT_EQ(ev.model_config().num_classes, 10);
+  EXPECT_EQ(ev.model_config().max_timesteps, 4);
+}
+
+TEST(CandidateEvaluator, DscCandidateHasMoreMacs) {
+  CandidateEvaluator ev = make_tiny_evaluator();
+  const EncodingVec chain(ev.space().num_slots(), 0);
+  EncodingVec dsc = chain;
+  dsc[0] = 1;
+  EXPECT_GT(ev.candidate_macs(dsc), ev.candidate_macs(chain));
+}
+
+TEST(CandidateEvaluator, SharedEvaluationRunsAndCounts) {
+  CandidateEvaluator ev = make_tiny_evaluator();
+  Rng rng(9);
+  const EncodingVec code = ev.space().sample(rng);
+  const CandidateResult res = ev.evaluate_shared(code);
+  EXPECT_GE(res.val_accuracy, 0.0);
+  EXPECT_LE(res.val_accuracy, 1.0);
+  EXPECT_GT(res.macs, 0);
+  EXPECT_EQ(ev.evaluations(), 1u);
+  // No ANN reference: objective is negated accuracy.
+  EXPECT_DOUBLE_EQ(res.objective, -res.val_accuracy);
+}
+
+TEST(CandidateEvaluator, ObjectiveUsesAnnReferenceWhenSet) {
+  CandidateEvaluator ev = make_tiny_evaluator();
+  ev.set_ann_reference(0.9);
+  Rng rng(10);
+  const CandidateResult res = ev.evaluate_shared(ev.space().sample(rng));
+  EXPECT_NEAR(res.objective, 0.9 - res.val_accuracy, 1e-12);
+}
+
+TEST(CandidateEvaluator, WeightSharingPersistsAcrossCandidates) {
+  CandidateEvaluator ev = make_tiny_evaluator();
+  const EncodingVec chain(ev.space().num_slots(), 0);
+  ev.evaluate_shared(chain);
+  const std::size_t stored = ev.store().size();
+  EXPECT_GT(stored, 0u);
+  EncodingVec other = chain;
+  other[0] = 2;  // flip one slot to ASC
+  ev.evaluate_shared(other);
+  // Same layer keys (plus possibly a projection) — the store grows only by
+  // new keys, shared ones are reused.
+  EXPECT_GE(ev.store().size(), stored);
+}
+
+TEST(Adapter, BoProblemWiresEvaluator) {
+  CandidateEvaluator ev = make_tiny_evaluator();
+  const BoProblem problem = make_bo_problem(ev);
+  Rng rng(11);
+  const EncodingVec code = problem.sample(rng);
+  EXPECT_TRUE(ev.space().valid(code));
+  EXPECT_EQ(problem.featurize(code).size(), code.size() * 3);
+  const double v = problem.objective(code);
+  EXPECT_LE(v, 0.0);  // negated accuracy
+  EXPECT_EQ(ev.evaluations(), 1u);
+}
+
+}  // namespace
+}  // namespace snnskip

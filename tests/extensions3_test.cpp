@@ -1,0 +1,250 @@
+// Tests for the third wave of extensions: spike-count readout (MSE count
+// loss + spiking heads) and event-data augmentation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/augment.h"
+#include "data/synthetic_dvs_cifar.h"
+#include "models/zoo.h"
+#include "nn/loss.h"
+#include "train/evaluate.h"
+#include "train/trainer.h"
+
+namespace snnskip {
+namespace {
+
+// --- mse_count_loss ---------------------------------------------------------
+
+TEST(MseCountLoss, ZeroAtExactTargets) {
+  // T = 10, correct target 9 spikes, wrong target 1 spike.
+  Tensor counts(Shape{1, 3}, std::vector<float>{9.f, 1.f, 1.f});
+  const LossResult r = mse_count_loss(counts, {0}, 10);
+  EXPECT_NEAR(r.loss, 0.0, 1e-12);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(r.grad_logits[static_cast<std::size_t>(i)], 0.f);
+  }
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(MseCountLoss, GradientPointsTowardTargets) {
+  Tensor counts(Shape{1, 2}, std::vector<float>{0.f, 5.f});
+  const LossResult r = mse_count_loss(counts, {0}, 10);
+  // Class 0 undershoots its 9-spike target: negative gradient (push up).
+  EXPECT_LT(r.grad_logits[0], 0.f);
+  // Class 1 overshoots its 1-spike target: positive gradient (push down).
+  EXPECT_GT(r.grad_logits[1], 0.f);
+  EXPECT_GT(r.loss, 0.0);
+}
+
+TEST(MseCountLoss, GradientMatchesFiniteDifference) {
+  Rng rng(1);
+  Tensor counts = Tensor::rand(Shape{3, 4}, rng, 0.f, 8.f);
+  const std::vector<std::int64_t> y{1, 3, 0};
+  const LossResult r = mse_count_loss(counts, y, 8);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < 12; ++i) {
+    Tensor cp = counts;
+    cp[i] += eps;
+    Tensor cm = counts;
+    cm[i] -= eps;
+    const double fd = (mse_count_loss(cp, y, 8).loss -
+                       mse_count_loss(cm, y, 8).loss) /
+                      (2.0 * eps);
+    EXPECT_NEAR(fd, r.grad_logits[i], 1e-3);
+  }
+}
+
+TEST(MseCountLoss, CountsCorrectByArgmax) {
+  Tensor counts(Shape{2, 2}, std::vector<float>{5.f, 1.f, 2.f, 6.f});
+  const LossResult r = mse_count_loss(counts, {0, 0}, 8);
+  EXPECT_EQ(r.correct, 1u);
+}
+
+// --- spiking head + count readout end to end -----------------------------------
+
+SyntheticConfig tiny_data() {
+  SyntheticConfig cfg;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.timesteps = 4;
+  cfg.train_size = 40;
+  cfg.val_size = 20;
+  cfg.test_size = 20;
+  cfg.seed = 61;
+  return cfg;
+}
+
+TEST(SpikingHead, OutputsAreBinaryPerStep) {
+  ModelConfig mc;
+  mc.width = 4;
+  mc.in_channels = 2;
+  mc.max_timesteps = 4;
+  mc.spiking_head = true;
+  Network net = build_model("single_block", mc,
+                            default_adjacencies("single_block", mc));
+  Rng rng(2);
+  Tensor x = Tensor::rand(Shape{2, 2, 8, 8}, rng, 0.f, 2.f);
+  net.reset_state();
+  for (int t = 0; t < 4; ++t) {
+    Tensor out = net.forward(x, false);
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      const float v = out[static_cast<std::size_t>(i)];
+      EXPECT_TRUE(v == 0.f || v == 1.f) << "t=" << t;
+    }
+  }
+  net.reset_state();
+}
+
+TEST(SpikingHead, AnalogModeIgnoresFlag) {
+  ModelConfig mc;
+  mc.width = 4;
+  mc.in_channels = 3;
+  mc.max_timesteps = 1;
+  mc.mode = NeuronMode::Analog;
+  mc.spiking_head = true;  // must not add a LIF in analog mode
+  Network net = build_model("single_block", mc,
+                            default_adjacencies("single_block", mc));
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{1, 3, 8, 8}, rng);
+  Tensor out = net.forward(x, false);
+  // Analog logits are generally non-binary.
+  bool nonbinary = false;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float v = out[static_cast<std::size_t>(i)];
+    if (v != 0.f && v != 1.f) nonbinary = true;
+  }
+  EXPECT_TRUE(nonbinary);
+}
+
+TEST(SpikingHead, TrainsWithCountLoss) {
+  const DatasetBundle data = make_datasets("cifar10-dvs", tiny_data());
+  ModelConfig mc;
+  mc.width = 4;
+  mc.in_channels = 2;
+  mc.max_timesteps = 4;
+  mc.spiking_head = true;
+  Network net = build_model("single_block", mc,
+                            default_adjacencies("single_block", mc));
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 10;
+  tc.lr = 0.05f;
+  tc.loss = LossKind::CountMse;
+  const FitResult fr = fit(net, NeuronMode::Spiking, data.train, data.val, tc);
+  EXPECT_EQ(fr.epochs.size(), 2u);
+  EXPECT_TRUE(std::isfinite(fr.epochs.back().train_loss));
+  // Loss should be finite and decreasing-or-equal across the two epochs.
+  EXPECT_LE(fr.epochs[1].train_loss, fr.epochs[0].train_loss + 0.5);
+  const EvalResult res = evaluate(net, NeuronMode::Spiking, *data.test, tc);
+  EXPECT_GE(res.accuracy, 0.0);
+  EXPECT_LE(res.accuracy, 1.0);
+}
+
+// --- augmentation ------------------------------------------------------------
+
+TEST(Augment, HflipMirrorsColumns) {
+  Tensor x(Shape{1, 1, 3}, std::vector<float>{1.f, 2.f, 3.f});
+  Tensor y = hflip(x);
+  EXPECT_FLOAT_EQ(y[0], 3.f);
+  EXPECT_FLOAT_EQ(y[1], 2.f);
+  EXPECT_FLOAT_EQ(y[2], 1.f);
+}
+
+TEST(Augment, HflipIsInvolution) {
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{4, 5, 6}, rng);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(hflip(hflip(x)), x), 0.f);
+}
+
+TEST(Augment, ShiftMovesContentAndZeroFills) {
+  Tensor x(Shape{1, 2, 2}, std::vector<float>{1.f, 2.f, 3.f, 4.f});
+  Tensor y = shift2d(x, 1, 0);  // down by one row
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0}), 0.f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0}), 1.f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 1}), 2.f);
+}
+
+TEST(Augment, ZeroShiftIsIdentity) {
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{2, 4, 4}, rng);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(shift2d(x, 0, 0), x), 0.f);
+}
+
+TEST(Augment, DropEventsOnlyRemoves) {
+  Rng rng(6);
+  Tensor x = Tensor::bernoulli(Shape{1, 20, 20}, rng, 0.5f);
+  Rng drop_rng(7);
+  Tensor y = drop_events(x, 0.3f, drop_rng);
+  // No new events, some removed.
+  double removed = 0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(y[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(i)]);
+    if (x[static_cast<std::size_t>(i)] != 0.f &&
+        y[static_cast<std::size_t>(i)] == 0.f) {
+      ++removed;
+    }
+  }
+  EXPECT_GT(removed, 0);
+  EXPECT_NEAR(removed / x.sum(), 0.3, 0.1);
+}
+
+TEST(Augment, DatasetViewIsDeterministic) {
+  auto base = std::make_shared<SyntheticDvsCifar>(tiny_data(), Split::Train);
+  AugmentConfig cfg;
+  AugmentingDataset a(base, cfg);
+  AugmentingDataset b(base, cfg);
+  for (std::size_t i : {std::size_t{0}, std::size_t{5}, std::size_t{17}}) {
+    const Sample sa = a.get(i);
+    const Sample sb = b.get(i);
+    EXPECT_EQ(sa.y, sb.y);
+    EXPECT_FLOAT_EQ(Tensor::max_abs_diff(sa.x, sb.x), 0.f);
+  }
+}
+
+TEST(Augment, DatasetViewPreservesLabelsAndShape) {
+  auto base = std::make_shared<SyntheticDvsCifar>(tiny_data(), Split::Train);
+  AugmentConfig cfg;
+  AugmentingDataset aug(base, cfg);
+  EXPECT_EQ(aug.size(), base->size());
+  EXPECT_EQ(aug.num_classes(), base->num_classes());
+  EXPECT_EQ(aug.timesteps(), base->timesteps());
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Sample s = aug.get(i);
+    EXPECT_EQ(s.y, base->get(i).y);
+    EXPECT_EQ(s.x.shape(), base->sample_shape());
+  }
+}
+
+TEST(Augment, DatasetViewActuallyChangesSamples) {
+  auto base = std::make_shared<SyntheticDvsCifar>(tiny_data(), Split::Train);
+  AugmentConfig cfg;
+  AugmentingDataset aug(base, cfg);
+  int changed = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (Tensor::max_abs_diff(aug.get(i).x, base->get(i).x) > 0.f) ++changed;
+  }
+  EXPECT_GT(changed, 5);
+}
+
+TEST(Augment, TrainsThroughTheLoaderPath) {
+  auto base = std::make_shared<SyntheticDvsCifar>(tiny_data(), Split::Train);
+  AugmentConfig acfg;
+  auto aug = std::make_shared<AugmentingDataset>(base, acfg);
+  ModelConfig mc;
+  mc.width = 4;
+  mc.in_channels = 2;
+  mc.max_timesteps = 4;
+  Network net = build_model("single_block", mc,
+                            default_adjacencies("single_block", mc));
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 10;
+  tc.lr = 0.05f;
+  const FitResult fr = fit(net, NeuronMode::Spiking, aug, nullptr, tc);
+  EXPECT_TRUE(std::isfinite(fr.epochs.back().train_loss));
+}
+
+}  // namespace
+}  // namespace snnskip

@@ -1,0 +1,576 @@
+// Tests for the post-reproduction extensions:
+//  * recurrent (backward) connections — the paper's future-work item —
+//    including a two-timestep finite-difference check of the BPTT carry;
+//  * network checkpointing;
+//  * the energy-aware search objective (accuracy/energy trade-off);
+//  * GP lengthscale model selection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/adapter.h"
+#include "core/evaluator.h"
+#include "graph/block.h"
+#include "models/zoo.h"
+#include "opt/gp.h"
+#include "train/checkpoint.h"
+#include "train/evaluate.h"
+
+namespace snnskip {
+namespace {
+
+// --- recurrent adjacency ----------------------------------------------------
+
+TEST(RecurrentAdjacency, SlotEnumerationAndCount) {
+  EXPECT_EQ(Adjacency::recurrent_slots(1).size(), 1u);   // (1,1)
+  EXPECT_EQ(Adjacency::recurrent_slots(2).size(), 3u);   // (1,1)(2,1)(2,2)
+  EXPECT_EQ(Adjacency::recurrent_slots(4).size(), 10u);  // d(d+1)/2
+}
+
+TEST(RecurrentAdjacency, SetAndGet) {
+  Adjacency adj(3);
+  adj.set_recurrent(3, 1, SkipType::ASC);
+  adj.set_recurrent(2, 2, SkipType::ASC);  // self-delay
+  EXPECT_EQ(adj.recurrent_at(3, 1), SkipType::ASC);
+  EXPECT_EQ(adj.recurrent_at(2, 2), SkipType::ASC);
+  EXPECT_EQ(adj.recurrent_at(3, 2), SkipType::None);
+  EXPECT_EQ(adj.total_recurrent(), 2);
+}
+
+TEST(RecurrentAdjacency, RejectsInvalid) {
+  Adjacency adj(3);
+  EXPECT_THROW(adj.set_recurrent(1, 2, SkipType::ASC),
+               std::invalid_argument);  // src < dst: that's a forward slot
+  EXPECT_THROW(adj.set_recurrent(2, 1, SkipType::DSC),
+               std::invalid_argument);  // concatenation across time
+  EXPECT_THROW(adj.set_recurrent(4, 1, SkipType::ASC),
+               std::invalid_argument);  // out of range
+}
+
+TEST(RecurrentAdjacency, IndependentOfForwardSlots) {
+  Adjacency adj(4);
+  adj.set(0, 2, SkipType::DSC);
+  adj.set_recurrent(4, 1, SkipType::ASC);
+  EXPECT_EQ(adj.at(0, 2), SkipType::DSC);
+  EXPECT_EQ(adj.total_skips(), 1);
+  EXPECT_EQ(adj.total_recurrent(), 1);
+  // Forward encoding is unaffected by recurrent entries.
+  const Adjacency decoded = Adjacency::decode(4, adj.encode());
+  EXPECT_EQ(decoded.at(0, 2), SkipType::DSC);
+}
+
+// --- recurrent block execution ----------------------------------------------
+
+BlockSpec rec_spec(std::int64_t c, int depth, bool spiking,
+                   const std::string& name) {
+  BlockSpec spec;
+  spec.name = name;
+  spec.in_channels = c;
+  for (int i = 0; i < depth; ++i) {
+    spec.nodes.push_back(NodePlan{NodeOp::Conv3x3, c, 1, spiking});
+  }
+  return spec;
+}
+
+TEST(RecurrentBlock, SlotAllowsRequiresEqualSpatial) {
+  BlockSpec spec = rec_spec(4, 3, true, "ra");
+  EXPECT_TRUE(spec.recurrent_slot_allows(3, 1, SkipType::ASC));
+  EXPECT_TRUE(spec.recurrent_slot_allows(2, 2, SkipType::ASC));
+  EXPECT_FALSE(spec.recurrent_slot_allows(1, 2, SkipType::ASC));  // src < dst
+  EXPECT_FALSE(spec.recurrent_slot_allows(3, 1, SkipType::DSC));
+
+  // With a stride in node 2, src=3 (half res) cannot feed dst=1 (full res).
+  BlockSpec strided = rec_spec(4, 3, true, "rs");
+  strided.nodes[1].stride = 2;
+  EXPECT_FALSE(strided.recurrent_slot_allows(3, 1, SkipType::ASC));
+  EXPECT_TRUE(strided.recurrent_slot_allows(3, 3, SkipType::ASC));
+}
+
+TEST(RecurrentBlock, ConstructionRejectsInvalidRecurrentEdge) {
+  Rng rng(1);
+  BlockSpec spec = rec_spec(4, 2, true, "rb");
+  spec.nodes[0].stride = 2;
+  Adjacency adj(2);
+  adj.set_recurrent(2, 1, SkipType::ASC);  // spatial mismatch
+  BlockConfig cfg;
+  EXPECT_THROW(Block(spec, adj, cfg, rng), std::invalid_argument);
+}
+
+TEST(RecurrentBlock, FirstStepIgnoresRecurrence) {
+  // With no previous outputs the recurrent edge contributes nothing, so
+  // step 0 must match a recurrence-free twin built from the same seed.
+  BlockSpec spec = rec_spec(3, 2, /*spiking=*/false, "rf");
+  BlockConfig cfg;
+  cfg.mode = NeuronMode::Analog;
+  cfg.max_timesteps = 1;
+
+  Rng rng1(7);
+  Adjacency with_rec(2);
+  with_rec.set_recurrent(2, 1, SkipType::ASC);
+  Block a(spec, with_rec, cfg, rng1);
+  Rng rng2(7);
+  Block b(spec, Adjacency::chain(2), cfg, rng2);
+
+  Rng xrng(9);
+  Tensor x = Tensor::randn(Shape{1, 3, 4, 4}, xrng);
+  Tensor ya = a.forward(x, false);
+  Tensor yb = b.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(ya, yb), 1e-6f);
+}
+
+TEST(RecurrentBlock, SecondStepUsesDelayedOutput) {
+  BlockSpec spec = rec_spec(3, 2, /*spiking=*/false, "rd");
+  BlockConfig cfg;
+  cfg.mode = NeuronMode::Analog;
+  cfg.max_timesteps = 2;
+
+  Rng rng1(7);
+  Adjacency with_rec(2);
+  with_rec.set_recurrent(2, 1, SkipType::ASC);
+  Block a(spec, with_rec, cfg, rng1);
+  Rng rng2(7);
+  Block b(spec, Adjacency::chain(2), cfg, rng2);
+
+  Rng xrng(9);
+  Tensor x = Tensor::randn(Shape{1, 3, 4, 4}, xrng);
+  a.forward(x, false);
+  b.forward(x, false);
+  Tensor ya = a.forward(x, false);
+  Tensor yb = b.forward(x, false);
+  EXPECT_GT(Tensor::max_abs_diff(ya, yb), 1e-6f);
+}
+
+TEST(RecurrentBlock, ResetClearsDelayedState) {
+  BlockSpec spec = rec_spec(3, 2, false, "rr");
+  BlockConfig cfg;
+  cfg.mode = NeuronMode::Analog;
+  cfg.max_timesteps = 2;
+  Rng rng(7);
+  Adjacency adj(2);
+  adj.set_recurrent(2, 1, SkipType::ASC);
+  Block block(spec, adj, cfg, rng);
+
+  Rng xrng(9);
+  Tensor x = Tensor::randn(Shape{1, 3, 4, 4}, xrng);
+  Tensor first = block.forward(x, false);
+  block.forward(x, false);
+  block.reset_state();
+  Tensor again = block.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(first, again), 1e-6f);
+}
+
+TEST(RecurrentBlock, ProjectionCreatedOnChannelMismatch) {
+  BlockSpec spec;
+  spec.name = "rp";
+  spec.in_channels = 3;
+  spec.nodes.push_back(NodePlan{NodeOp::Conv3x3, 5, 1, true});
+  spec.nodes.push_back(NodePlan{NodeOp::Conv3x3, 5, 1, true});
+  Rng rng(8);
+  Adjacency adj(2);
+  adj.set_recurrent(2, 1, SkipType::ASC);  // 5 channels onto 3-channel input
+  BlockConfig cfg;
+  Block block(spec, adj, cfg, rng);
+  ASSERT_EQ(block.recurrent_edges().size(), 1u);
+  EXPECT_NE(block.recurrent_edges()[0].proj, nullptr);
+  // Projections are trainable and counted.
+  const Shape in{1, 3, 4, 4};
+  Block plain(spec, Adjacency::chain(2), cfg, rng);
+  EXPECT_GT(block.parameters().size(), plain.parameters().size());
+  EXPECT_GT(block.macs(in), plain.macs(in));
+}
+
+TEST(RecurrentBlock, TwoStepGradientsMatchFiniteDifferences) {
+  // The BPTT carry across timesteps is the delicate part: check
+  // dL/dx1, dL/dx2 and a parameter gradient against central differences of
+  // a two-step unrolled loss L = <w1, y1> + <w2, y2>.
+  BlockSpec spec = rec_spec(2, 2, /*spiking=*/false, "rg");
+  BlockConfig cfg;
+  cfg.mode = NeuronMode::Analog;
+  cfg.max_timesteps = 2;
+  Rng rng(11);
+  Adjacency adj(2);
+  adj.set_recurrent(2, 1, SkipType::ASC);
+  adj.set_recurrent(1, 1, SkipType::ASC);  // self-delay too
+  Block block(spec, adj, cfg, rng);
+
+  Rng drng(12);
+  Tensor x1 = Tensor::randn(Shape{1, 2, 4, 4}, drng);
+  Tensor x2 = Tensor::randn(Shape{1, 2, 4, 4}, drng);
+  Tensor w1 = Tensor::randn(Shape{1, 2, 4, 4}, drng);
+  Tensor w2 = Tensor::randn(Shape{1, 2, 4, 4}, drng);
+
+  auto loss = [&](const Tensor& a, const Tensor& b) {
+    block.reset_state();
+    Tensor y1 = block.forward(a, true);
+    Tensor y2 = block.forward(b, true);
+    block.reset_state();
+    double s = 0.0;
+    for (std::int64_t i = 0; i < y1.numel(); ++i) {
+      s += static_cast<double>(y1[static_cast<std::size_t>(i)]) *
+               w1[static_cast<std::size_t>(i)] +
+           static_cast<double>(y2[static_cast<std::size_t>(i)]) *
+               w2[static_cast<std::size_t>(i)];
+    }
+    return s;
+  };
+
+  // Analytic gradients.
+  block.reset_state();
+  block.forward(x1, true);
+  block.forward(x2, true);
+  for (Parameter* p : block.parameters()) p->zero_grad();
+  Tensor g2 = block.backward(w2);
+  Tensor g1 = block.backward(w1);
+  // Snapshot a conv weight gradient before state reset.
+  Parameter* probe_param = block.parameters().front();
+  Tensor saved_grad = probe_param->grad;
+  block.reset_state();
+
+  const float eps = 1e-2f;
+  auto fd_check = [&](Tensor& target, const Tensor& analytic) {
+    const std::size_t stride =
+        std::max<std::size_t>(1,
+                              static_cast<std::size_t>(target.numel()) / 24);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(target.numel());
+         i += stride) {
+      const float orig = target[i];
+      target[i] = orig + eps;
+      const double lp = loss(x1, x2);
+      target[i] = orig - eps;
+      const double lm = loss(x1, x2);
+      target[i] = orig;
+      const double fd = (lp - lm) / (2.0 * eps);
+      const double an = analytic[i];
+      EXPECT_NEAR(fd, an, 4e-2 * std::max(1.0, std::abs(an)))
+          << "flat index " << i;
+    }
+  };
+  fd_check(x1, g1);
+  fd_check(x2, g2);
+  fd_check(probe_param->value, saved_grad);
+}
+
+// --- search space with recurrent slots ---------------------------------------
+
+TEST(RecurrentSearchSpace, AppendsRecurrentSlots) {
+  ModelConfig mc;
+  mc.width = 4;
+  const auto specs = single_block_specs(mc);
+  const SearchSpace forward_only(specs, false);
+  const SearchSpace with_rec(specs, true);
+  // single_block: depth 4, all nodes stride 1 -> all 10 recurrent slots.
+  EXPECT_EQ(with_rec.num_slots(), forward_only.num_slots() + 10);
+}
+
+TEST(RecurrentSearchSpace, RecurrentSlotsRejectDsc) {
+  ModelConfig mc;
+  mc.width = 4;
+  const SearchSpace space(single_block_specs(mc), true);
+  bool found = false;
+  for (std::size_t k = 0; k < space.num_slots(); ++k) {
+    if (!space.slots()[k].recurrent) continue;
+    EXPECT_FALSE(space.value_allowed(k, 1));  // DSC
+    EXPECT_TRUE(space.value_allowed(k, 2));   // ASC
+    EXPECT_TRUE(space.value_allowed(k, 0));
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RecurrentSearchSpace, DecodeBuildsRunnableNetworks) {
+  ModelConfig mc;
+  mc.width = 4;
+  mc.in_channels = 2;
+  mc.max_timesteps = 3;
+  const SearchSpace space(single_block_specs(mc), true);
+  Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const EncodingVec code = space.sample(rng);
+    ASSERT_TRUE(space.valid(code));
+    Network net = build_model("single_block", mc, space.decode(code));
+    Tensor x = Tensor::randn(Shape{1, 2, 8, 8}, rng);
+    net.reset_state();
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_EQ(net.forward(x, false).shape(), (Shape{1, 10}));
+    }
+    net.reset_state();
+  }
+}
+
+TEST(RecurrentSearchSpace, RecurrentNetworkTrainsWithBptt) {
+  // End-to-end: a network with active recurrent edges completes a
+  // multi-timestep training epoch with finite loss (the carry mechanism
+  // composes with the optimizer loop, not just isolated backward calls).
+  SyntheticConfig dc;
+  dc.height = 8;
+  dc.width = 8;
+  dc.timesteps = 4;
+  dc.train_size = 20;
+  dc.val_size = 10;
+  dc.test_size = 10;
+  dc.seed = 81;
+  const DatasetBundle data = make_datasets("cifar10-dvs", dc);
+
+  ModelConfig mc;
+  mc.width = 4;
+  mc.in_channels = 2;
+  mc.max_timesteps = 4;
+  Adjacency adj(4);
+  adj.set(0, 2, SkipType::ASC);
+  adj.set_recurrent(4, 1, SkipType::ASC);
+  adj.set_recurrent(2, 2, SkipType::ASC);
+  Network net = build_model("single_block", mc, {adj});
+
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 10;
+  tc.lr = 0.05f;
+  const FitResult fr = fit(net, NeuronMode::Spiking, data.train, data.val, tc);
+  EXPECT_TRUE(std::isfinite(fr.epochs.back().train_loss));
+  EXPECT_LT(fr.epochs.back().train_loss, 10.0);
+  const EvalResult res = evaluate(net, NeuronMode::Spiking, *data.test, tc);
+  EXPECT_GE(res.accuracy, 0.0);
+}
+
+TEST(RecurrentSearchSpace, StridedBlocksExposeFewerRecurrentSlots) {
+  ModelConfig mc;
+  mc.width = 4;
+  const auto specs = resnet18s_specs(mc);
+  const SearchSpace space(specs, true);
+  // Blocks whose node 1 strides lose the slots crossing the stride.
+  std::size_t rec_slots = 0;
+  for (const auto& slot : space.slots()) {
+    if (slot.recurrent) ++rec_slots;
+  }
+  // depth-2 stride-free block: slots (1,1),(2,1),(2,2) = 3. In a strided
+  // block node 1 halves the resolution, so (1,1) and (2,1) both cross the
+  // stride and only (2,2) survives. Five stride-free blocks, three strided.
+  EXPECT_EQ(rec_slots, 5u * 3u + 3u * 1u);
+}
+
+// --- checkpointing ------------------------------------------------------------
+
+TEST(Checkpoint, EntriesRoundTrip) {
+  const std::string path = testing::TempDir() + "ckpt_entries.bin";
+  Rng rng(31);
+  std::vector<CheckpointEntry> entries;
+  entries.push_back({"a", Tensor::randn(Shape{3, 4}, rng)});
+  entries.push_back({"b.weight", Tensor::randn(Shape{2, 2, 3, 3}, rng)});
+  ASSERT_TRUE(save_entries(path, entries));
+
+  std::vector<CheckpointEntry> loaded;
+  ASSERT_TRUE(load_entries(path, loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "a");
+  EXPECT_EQ(loaded[1].name, "b.weight");
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(loaded[0].value, entries[0].value),
+                  0.f);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(loaded[1].value, entries[1].value),
+                  0.f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, NetworkRoundTrip) {
+  const std::string path = testing::TempDir() + "ckpt_net.bin";
+  ModelConfig mc;
+  mc.width = 4;
+  mc.in_channels = 2;
+  Network a = build_model("single_block", mc,
+                          default_adjacencies("single_block", mc));
+  ASSERT_TRUE(save_network(path, a));
+
+  ModelConfig mc2 = mc;
+  mc2.seed = 999;
+  Network b = build_model("single_block", mc2,
+                          default_adjacencies("single_block", mc2));
+  const std::size_t restored = load_network(path, b);
+  EXPECT_EQ(restored, b.parameters().size());
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_FLOAT_EQ(Tensor::max_abs_diff(pa[i]->value, pb[i]->value), 0.f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PreservesEvalBehaviorIncludingRunningStats) {
+  // Regression: batch-norm running statistics are buffers, not
+  // parameters; a checkpoint that drops them restores a model whose
+  // eval-mode forward differs. Train briefly (so stats move), save,
+  // restore into a fresh net, and demand identical eval outputs.
+  const std::string path = testing::TempDir() + "ckpt_eval.bin";
+  const SyntheticConfig dc = [] {
+    SyntheticConfig cfg;
+    cfg.height = 8;
+    cfg.width = 8;
+    cfg.timesteps = 4;
+    cfg.train_size = 30;
+    cfg.val_size = 20;
+    cfg.test_size = 20;
+    cfg.seed = 71;
+    return cfg;
+  }();
+  const DatasetBundle data = make_datasets("cifar10-dvs", dc);
+  ModelConfig mc;
+  mc.width = 4;
+  mc.in_channels = 2;
+  mc.max_timesteps = 4;
+  Network a = build_model("single_block", mc,
+                          default_adjacencies("single_block", mc));
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 10;
+  tc.lr = 0.05f;
+  fit(a, NeuronMode::Spiking, data.train, nullptr, tc);
+  const EvalResult before = evaluate(a, NeuronMode::Spiking, *data.test, tc);
+  ASSERT_TRUE(save_network(path, a));
+
+  ModelConfig mc2 = mc;
+  mc2.seed = 4242;
+  Network b = build_model("single_block", mc2,
+                          default_adjacencies("single_block", mc2));
+  load_network(path, b);
+  const EvalResult after = evaluate(b, NeuronMode::Spiking, *data.test, tc);
+  EXPECT_DOUBLE_EQ(after.accuracy, before.accuracy);
+  EXPECT_NEAR(after.loss, before.loss, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptFiles) {
+  const std::string path = testing::TempDir() + "ckpt_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  std::vector<CheckpointEntry> entries;
+  EXPECT_FALSE(load_entries(path, entries));
+  EXPECT_FALSE(load_entries("/nonexistent/path.bin", entries));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ShapeMismatchIsSkippedNotFatal) {
+  const std::string path = testing::TempDir() + "ckpt_mismatch.bin";
+  ModelConfig small;
+  small.width = 4;
+  small.in_channels = 2;
+  Network a = build_model("single_block", small,
+                          default_adjacencies("single_block", small));
+  ASSERT_TRUE(save_network(path, a));
+
+  ModelConfig wide = small;
+  wide.width = 8;  // almost every shape differs...
+  Network b = build_model("single_block", wide,
+                          default_adjacencies("single_block", wide));
+  // ...except the class-count-sized head bias [10], which still restores.
+  EXPECT_EQ(load_network(path, b), 1u);
+  std::remove(path.c_str());
+}
+
+// --- energy-aware objective ----------------------------------------------------
+
+SyntheticConfig tiny_data() {
+  SyntheticConfig cfg;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.timesteps = 4;
+  cfg.train_size = 30;
+  cfg.val_size = 20;
+  cfg.test_size = 20;
+  cfg.seed = 51;
+  return cfg;
+}
+
+EvaluatorConfig tiny_eval_cfg() {
+  EvaluatorConfig cfg;
+  cfg.model = "single_block";
+  cfg.model_cfg.width = 4;
+  cfg.finetune.epochs = 1;
+  cfg.finetune.batch_size = 10;
+  cfg.finetune.lr = 0.05f;
+  cfg.scratch = cfg.finetune;
+  cfg.seed = 53;
+  return cfg;
+}
+
+TEST(EnergyObjective, ZeroLambdaMatchesAccuracyObjective) {
+  CandidateEvaluator ev(tiny_eval_cfg(),
+                        make_datasets("cifar10-dvs", tiny_data()));
+  Rng rng(55);
+  const CandidateResult res = ev.evaluate_shared(ev.space().sample(rng));
+  EXPECT_DOUBLE_EQ(res.objective, -res.val_accuracy);
+  EXPECT_GT(res.energy_pj, 0.0);
+}
+
+TEST(EnergyObjective, LambdaPenalizesEnergy) {
+  EvaluatorConfig cfg = tiny_eval_cfg();
+  cfg.energy_weight = 1.0;
+  CandidateEvaluator ev(cfg, make_datasets("cifar10-dvs", tiny_data()));
+  ev.set_energy_reference(1.0);  // 1 pJ reference: penalty = energy_pj
+  Rng rng(57);
+  const CandidateResult res = ev.evaluate_shared(ev.space().sample(rng));
+  EXPECT_NEAR(res.objective, -res.val_accuracy + res.energy_pj, 1e-6);
+}
+
+TEST(EnergyObjective, EnergyEstimateScalesWithMacsAndRate) {
+  CandidateEvaluator ev(tiny_eval_cfg(),
+                        make_datasets("cifar10-dvs", tiny_data()));
+  EXPECT_DOUBLE_EQ(ev.candidate_energy_pj(1000, 0.0), 0.0);
+  EXPECT_GT(ev.candidate_energy_pj(2000, 0.1),
+            ev.candidate_energy_pj(1000, 0.1));
+  EXPECT_GT(ev.candidate_energy_pj(1000, 0.2),
+            ev.candidate_energy_pj(1000, 0.1));
+}
+
+// --- GP model selection ----------------------------------------------------------
+
+TEST(GpModelSelection, PicksReasonableLengthscale) {
+  // Data drawn from a smooth function favors larger lengthscales over a
+  // tiny one that would interpolate noise.
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i * 0.5;
+    xs.push_back({x});
+    ys.push_back(std::sin(x));
+  }
+  GaussianProcess gp = GaussianProcess::fit_best_lengthscale(
+      xs, ys, {0.01, 1.0, 2.0}, 1.0, 1e-4);
+  // A 0.01 lengthscale cannot generalize between points half a unit apart:
+  // prediction midway between observations should still track sin.
+  const GpPrediction p = gp.predict({0.25});
+  EXPECT_NEAR(p.mean, std::sin(0.25), 0.15);
+}
+
+TEST(GpModelSelection, SingleCandidateGridWorks) {
+  GaussianProcess gp = GaussianProcess::fit_best_lengthscale(
+      {{0.0}, {1.0}}, {0.0, 1.0}, {1.5}, 1.0, 1e-4);
+  EXPECT_TRUE(gp.fitted());
+}
+
+TEST(BayesOptAutoLengthscale, RunsAndConverges) {
+  BoProblem problem;
+  problem.sample = [](Rng& rng) {
+    EncodingVec code(6);
+    for (auto& v : code) v = static_cast<int>(rng.uniform_int(3ULL));
+    return code;
+  };
+  problem.featurize = [](const EncodingVec& c) { return one_hot_features(c); };
+  problem.objective = [](const EncodingVec& c) {
+    double v = 0.0;
+    for (int x : c) v += (2 - x);
+    return v;
+  };
+  BoConfig cfg;
+  cfg.auto_lengthscale = true;
+  cfg.iterations = 6;
+  cfg.batch_k = 2;
+  cfg.seed = 61;
+  const SearchTrace trace = run_bayes_opt(problem, cfg);
+  EXPECT_LT(trace.best_value, 4.0);  // optimum 0, max 12
+}
+
+}  // namespace
+}  // namespace snnskip

@@ -1,0 +1,88 @@
+#pragma once
+// Finite-difference gradient checking utilities shared by the test suites.
+//
+// The library has no tape autograd, so every layer hand-writes its backward
+// pass; these checks are the ground truth that keeps them honest. The probe
+// loss is sum(w ⊙ forward(x)) for a fixed random w, differentiated wrt the
+// input and every parameter, and compared against central differences
+// through the *train-mode* forward (the function backward() actually
+// differentiates).
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace snnskip::testutil {
+
+inline double probe_loss(Layer& layer, const Tensor& x, const Tensor& w) {
+  layer.reset_state();
+  Tensor y = layer.forward(x, /*train=*/true);
+  layer.reset_state();
+  double s = 0.0;
+  EXPECT_EQ(y.numel(), w.numel());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    s += static_cast<double>(y[static_cast<std::size_t>(i)]) *
+         w[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+/// Check dloss/dx and dloss/dtheta against central differences.
+/// `eps` is the FD step; `tol` the max allowed abs error after scaling by
+/// max(1, |analytic|).
+inline void check_gradients(Layer& layer, Tensor x, std::uint64_t seed,
+                            float eps = 1e-2f, float tol = 2e-2f) {
+  Rng rng(seed);
+  layer.reset_state();
+  Tensor probe = layer.forward(x, /*train=*/true);
+  Tensor w = Tensor::randn(probe.shape(), rng);
+
+  // Analytic gradients.
+  for (Parameter* p : layer.parameters()) p->zero_grad();
+  Tensor gx = layer.backward(w);
+  layer.reset_state();
+
+  // Input gradient.
+  std::size_t checked = 0;
+  const std::size_t stride_x =
+      std::max<std::size_t>(1, static_cast<std::size_t>(x.numel()) / 64);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(x.numel());
+       i += stride_x) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double lp = probe_loss(layer, x, w);
+    x[i] = orig - eps;
+    const double lm = probe_loss(layer, x, w);
+    x[i] = orig;
+    const double fd = (lp - lm) / (2.0 * eps);
+    const double an = gx[i];
+    const double scale = std::max(1.0, std::abs(an));
+    EXPECT_NEAR(fd, an, tol * scale) << "input grad at flat index " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+
+  // Parameter gradients.
+  for (Parameter* p : layer.parameters()) {
+    const std::size_t stride_p =
+        std::max<std::size_t>(1,
+                              static_cast<std::size_t>(p->value.numel()) / 48);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(p->value.numel());
+         i += stride_p) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = probe_loss(layer, x, w);
+      p->value[i] = orig - eps;
+      const double lm = probe_loss(layer, x, w);
+      p->value[i] = orig;
+      const double fd = (lp - lm) / (2.0 * eps);
+      const double an = p->grad[i];
+      const double scale = std::max(1.0, std::abs(an));
+      EXPECT_NEAR(fd, an, tol * scale)
+          << p->name << " grad at flat index " << i;
+    }
+  }
+}
+
+}  // namespace snnskip::testutil

@@ -1,0 +1,433 @@
+// Tests for the topology machinery: adjacency matrices, DSC channel
+// subsets, block construction/widths under every join type, DAG execution,
+// MAC accounting, and the network container.
+
+#include <gtest/gtest.h>
+
+#include "graph/adjacency.h"
+#include "graph/block.h"
+#include "graph/join.h"
+#include "graph/mac_counter.h"
+#include "graph/network.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace snnskip {
+namespace {
+
+// --- adjacency -------------------------------------------------------------
+
+TEST(Adjacency, SlotCountIsTriangular) {
+  EXPECT_EQ(Adjacency::skip_slots(1).size(), 0u);
+  EXPECT_EQ(Adjacency::skip_slots(2).size(), 1u);
+  EXPECT_EQ(Adjacency::skip_slots(3).size(), 3u);
+  EXPECT_EQ(Adjacency::skip_slots(4).size(), 6u);
+  EXPECT_EQ(Adjacency::skip_slots(5).size(), 10u);
+}
+
+TEST(Adjacency, SetAndGet) {
+  Adjacency adj(4);
+  adj.set(0, 2, SkipType::DSC);
+  adj.set(1, 4, SkipType::ASC);
+  EXPECT_EQ(adj.at(0, 2), SkipType::DSC);
+  EXPECT_EQ(adj.at(1, 4), SkipType::ASC);
+  EXPECT_EQ(adj.at(0, 3), SkipType::None);
+}
+
+TEST(Adjacency, RejectsNonSkipSlots) {
+  Adjacency adj(3);
+  EXPECT_THROW(adj.set(0, 1, SkipType::ASC), std::invalid_argument);
+  EXPECT_THROW(adj.set(1, 2, SkipType::DSC), std::invalid_argument);
+  EXPECT_THROW(adj.set(2, 4, SkipType::ASC), std::invalid_argument);
+}
+
+TEST(Adjacency, NSkipInCountsIncomingSkips) {
+  Adjacency adj(4);
+  adj.set(0, 3, SkipType::DSC);
+  adj.set(1, 3, SkipType::ASC);
+  adj.set(0, 4, SkipType::ASC);
+  EXPECT_EQ(adj.n_skip_in(2), 0);
+  EXPECT_EQ(adj.n_skip_in(3), 2);
+  EXPECT_EQ(adj.n_skip_in(4), 1);
+  EXPECT_EQ(adj.total_skips(), 3);
+}
+
+TEST(Adjacency, CountType) {
+  Adjacency adj(4);
+  adj.set(0, 2, SkipType::DSC);
+  adj.set(0, 3, SkipType::DSC);
+  adj.set(1, 4, SkipType::ASC);
+  EXPECT_EQ(adj.count_type(SkipType::DSC), 2);
+  EXPECT_EQ(adj.count_type(SkipType::ASC), 1);
+  EXPECT_EQ(adj.count_type(SkipType::None), 3);
+}
+
+TEST(Adjacency, EncodeDecodeRoundTrip) {
+  Adjacency adj(4);
+  adj.set(0, 2, SkipType::DSC);
+  adj.set(2, 4, SkipType::ASC);
+  const auto code = adj.encode();
+  EXPECT_EQ(code.size(), 6u);
+  EXPECT_EQ(Adjacency::decode(4, code), adj);
+}
+
+TEST(Adjacency, DecodeRejectsBadInput) {
+  EXPECT_THROW(Adjacency::decode(4, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(Adjacency::decode(2, {7}), std::invalid_argument);
+}
+
+TEST(Adjacency, UniformBuilderRespectsNSkip) {
+  for (int n = 0; n <= 3; ++n) {
+    const Adjacency adj = Adjacency::uniform(4, SkipType::ASC, n);
+    // Layer j can have at most j-1 skips (nearest sources first).
+    EXPECT_EQ(adj.n_skip_in(2), std::min(n, 1));
+    EXPECT_EQ(adj.n_skip_in(3), std::min(n, 2));
+    EXPECT_EQ(adj.n_skip_in(4), std::min(n, 3));
+  }
+}
+
+TEST(Adjacency, AllBuilderFillsEverySlot) {
+  const Adjacency adj = Adjacency::all(4, SkipType::DSC);
+  EXPECT_EQ(adj.total_skips(), 6);
+  EXPECT_EQ(adj.count_type(SkipType::DSC), 6);
+}
+
+TEST(Adjacency, ChainHasNoSkips) {
+  EXPECT_EQ(Adjacency::chain(5).total_skips(), 0);
+}
+
+TEST(Adjacency, StrRendersMatrix) {
+  const Adjacency adj = Adjacency::all(2, SkipType::ASC);
+  const std::string s = adj.str();
+  EXPECT_NE(s.find('A'), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+// --- DSC channel subsets ----------------------------------------------------
+
+TEST(DscSubset, DeterministicForSameEdge) {
+  const auto a = dsc_channel_subset("blk", 0, 2, 16, 0.5);
+  const auto b = dsc_channel_subset("blk", 0, 2, 16, 0.5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DscSubset, DiffersAcrossEdges) {
+  const auto a = dsc_channel_subset("blk", 0, 2, 16, 0.5);
+  const auto b = dsc_channel_subset("blk", 0, 3, 16, 0.5);
+  const auto c = dsc_channel_subset("other", 0, 2, 16, 0.5);
+  EXPECT_TRUE(a != b || a != c);
+}
+
+TEST(DscSubset, SizeFollowsFraction) {
+  EXPECT_EQ(dsc_channel_subset("b", 0, 2, 16, 0.5).size(), 8u);
+  EXPECT_EQ(dsc_channel_subset("b", 0, 2, 16, 0.25).size(), 4u);
+  EXPECT_EQ(dsc_channel_subset("b", 0, 2, 16, 1.0).size(), 16u);
+  // Never fewer than one channel.
+  EXPECT_EQ(dsc_channel_subset("b", 0, 2, 4, 0.01).size(), 1u);
+}
+
+TEST(DscSubset, SortedUniqueInRange) {
+  const auto s = dsc_channel_subset("b", 1, 3, 10, 0.7);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s[i], 0);
+    EXPECT_LT(s[i], 10);
+    if (i > 0) {
+      EXPECT_LT(s[i - 1], s[i]);
+    }
+  }
+}
+
+// --- block ------------------------------------------------------------------
+
+BlockSpec conv_spec(const std::string& name, std::int64_t in_c,
+                    std::vector<std::int64_t> out_cs,
+                    std::vector<std::int64_t> strides = {}) {
+  BlockSpec spec;
+  spec.name = name;
+  spec.in_channels = in_c;
+  for (std::size_t i = 0; i < out_cs.size(); ++i) {
+    const std::int64_t stride =
+        strides.empty() ? 1 : strides[i];
+    spec.nodes.push_back(NodePlan{NodeOp::Conv3x3, out_cs[i], stride, true});
+  }
+  return spec;
+}
+
+BlockConfig spiking_cfg(std::int64_t t_max = 4) {
+  BlockConfig cfg;
+  cfg.mode = NeuronMode::Spiking;
+  cfg.max_timesteps = t_max;
+  return cfg;
+}
+
+TEST(BlockSpec, DerivedQuantities) {
+  BlockSpec spec = conv_spec("s", 4, {8, 8, 16}, {1, 2, 1});
+  EXPECT_EQ(spec.depth(), 3);
+  EXPECT_EQ(spec.node_out_channels(0), 4);
+  EXPECT_EQ(spec.node_out_channels(2), 8);
+  EXPECT_EQ(spec.node_out_channels(3), 16);
+  EXPECT_EQ(spec.spatial_div(0), 1);
+  EXPECT_EQ(spec.spatial_div(2), 2);
+  EXPECT_EQ(spec.spatial_div(3), 2);
+}
+
+TEST(BlockSpec, SlotAllowsRejectsDscIntoDepthwise) {
+  BlockSpec spec;
+  spec.name = "dw";
+  spec.in_channels = 4;
+  spec.nodes.push_back(NodePlan{NodeOp::Conv1x1, 8, 1, true});
+  spec.nodes.push_back(NodePlan{NodeOp::DwConv3x3, 8, 1, true});
+  spec.nodes.push_back(NodePlan{NodeOp::Conv1x1, 4, 1, true});
+  EXPECT_FALSE(spec.slot_allows(0, 2, SkipType::DSC));
+  EXPECT_TRUE(spec.slot_allows(0, 2, SkipType::ASC));
+  EXPECT_TRUE(spec.slot_allows(0, 3, SkipType::DSC));
+  EXPECT_FALSE(spec.slot_allows(0, 1, SkipType::ASC));  // not a skip slot
+}
+
+TEST(Block, ConstructionRejectsInvalidAdjacency) {
+  Rng rng(101);
+  BlockSpec spec;
+  spec.name = "bad";
+  spec.in_channels = 4;
+  spec.nodes.push_back(NodePlan{NodeOp::Conv1x1, 8, 1, true});
+  spec.nodes.push_back(NodePlan{NodeOp::DwConv3x3, 8, 1, true});
+  Adjacency adj(2);
+  adj.set(0, 2, SkipType::DSC);  // DSC into depthwise: invalid
+  EXPECT_THROW(Block(spec, adj, spiking_cfg(), rng), std::invalid_argument);
+}
+
+TEST(Block, DscWidensConvInput) {
+  Rng rng(102);
+  BlockSpec spec = conv_spec("widen", 8, {8, 8, 8});
+  Adjacency adj(3);
+  adj.set(0, 2, SkipType::DSC);
+  Block block(spec, adj, spiking_cfg(), rng);
+  // Node 2's conv input = main 8 + |subset of 8 at fraction 0.5| = 12.
+  EXPECT_EQ(block.nodes()[1].used_in_c, 12);
+  EXPECT_EQ(block.nodes()[0].used_in_c, 8);
+  // Supernet width covers all potential sources even when inactive.
+  EXPECT_EQ(block.nodes()[1].supernet_in_c, 12);
+  EXPECT_EQ(block.nodes()[2].supernet_in_c, 8 + 4 + 4);  // srcs 0 and 1
+}
+
+TEST(Block, AscKeepsConvInputNarrow) {
+  Rng rng(103);
+  BlockSpec spec = conv_spec("asc", 8, {8, 8});
+  Adjacency adj(2);
+  adj.set(0, 2, SkipType::ASC);
+  Block block(spec, adj, spiking_cfg(), rng);
+  EXPECT_EQ(block.nodes()[1].used_in_c, 8);
+  // Matching channels and spatial: identity skip, no projection layer.
+  ASSERT_EQ(block.skip_edges().size(), 1u);
+  EXPECT_EQ(block.skip_edges()[0].proj, nullptr);
+}
+
+TEST(Block, AscProjectionCreatedOnMismatch) {
+  Rng rng(104);
+  BlockSpec spec = conv_spec("ascp", 4, {8, 8}, {2, 1});
+  Adjacency adj(2);
+  adj.set(0, 2, SkipType::ASC);  // 4ch full-res -> 8ch half-res
+  Block block(spec, adj, spiking_cfg(), rng);
+  ASSERT_EQ(block.skip_edges().size(), 1u);
+  EXPECT_NE(block.skip_edges()[0].proj, nullptr);
+}
+
+TEST(Block, ForwardShapes) {
+  Rng rng(105);
+  BlockSpec spec = conv_spec("fs", 4, {8, 8, 16}, {1, 2, 1});
+  Block block(spec, Adjacency::all(3, SkipType::DSC), spiking_cfg(), rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 8, 8}, rng);
+  Tensor y = block.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 16, 4, 4}));
+  EXPECT_EQ(block.output_shape(x.shape()), y.shape());
+}
+
+TEST(Block, ForwardBackwardShapesMatch) {
+  Rng rng(106);
+  BlockSpec spec = conv_spec("fb", 4, {4, 4, 4});
+  Adjacency adj(3);
+  adj.set(0, 2, SkipType::DSC);
+  adj.set(0, 3, SkipType::ASC);
+  Block block(spec, adj, spiking_cfg(), rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 6, 6}, rng);
+  Tensor y = block.forward(x, true);
+  Tensor g = Tensor::randn(y.shape(), rng);
+  Tensor gx = block.backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Block, BptTwoTimestepsPopInReverse) {
+  Rng rng(107);
+  BlockSpec spec = conv_spec("bptt", 3, {3, 3});
+  Adjacency adj(2);
+  adj.set(0, 2, SkipType::ASC);
+  Block block(spec, adj, spiking_cfg(), rng);
+  Tensor x = Tensor::randn(Shape{1, 3, 5, 5}, rng);
+  Tensor y0 = block.forward(x, true);
+  Tensor y1 = block.forward(x, true);
+  Tensor g = Tensor::randn(y1.shape(), rng);
+  EXPECT_NO_THROW(block.backward(g));
+  EXPECT_NO_THROW(block.backward(g));
+  block.reset_state();
+}
+
+TEST(Block, ParametersIncludeProjections) {
+  Rng rng(108);
+  BlockSpec spec = conv_spec("params", 4, {8, 8}, {2, 1});
+  Adjacency plain_adj(2);
+  Block plain(spec, plain_adj, spiking_cfg(), rng);
+  Adjacency skip_adj(2);
+  skip_adj.set(0, 2, SkipType::ASC);
+  Block skipped(spec, skip_adj, spiking_cfg(), rng);
+  EXPECT_GT(skipped.parameters().size(), plain.parameters().size());
+}
+
+TEST(Block, DscAcrossStrideHandlesOddSpatialSizes) {
+  // Regression: with odd feature maps, stride-2 convs produce ceil(H/2)
+  // while a floor-mode pool on the skip path produced floor(H/2), making
+  // the DSC concat shapes disagree (heap corruption in release builds).
+  Rng rng(150);
+  BlockSpec spec = conv_spec("odd", 4, {4, 4}, {2, 1});
+  Adjacency adj(2);
+  adj.set(0, 2, SkipType::DSC);
+  Block block(spec, adj, spiking_cfg(), rng);
+  for (std::int64_t hw : {3, 5, 7, 9, 12, 13}) {
+    Tensor x = Tensor::randn(Shape{1, 4, hw, hw}, rng);
+    Tensor y = block.forward(x, true);
+    EXPECT_EQ(y.shape(), block.output_shape(x.shape())) << "hw=" << hw;
+    Tensor g = Tensor::randn(y.shape(), rng);
+    Tensor gx = block.backward(g);
+    EXPECT_EQ(gx.shape(), x.shape()) << "hw=" << hw;
+    block.reset_state();
+  }
+}
+
+TEST(Block, OutputShapeUsesCeilDivision) {
+  Rng rng(151);
+  BlockSpec spec = conv_spec("ceil", 2, {4, 4}, {2, 1});
+  Block block(spec, Adjacency::chain(2), spiking_cfg(), rng);
+  // 3x3/s2/p1 conv maps 5 -> 3, not floor(5/2) = 2.
+  EXPECT_EQ(block.output_shape(Shape{1, 2, 5, 5}), (Shape{1, 4, 3, 3}));
+  Tensor x = Tensor::randn(Shape{1, 2, 5, 5}, rng);
+  EXPECT_EQ(block.forward(x, false).shape(), (Shape{1, 4, 3, 3}));
+}
+
+TEST(Block, DscIncreasesMacs) {
+  Rng rng(109);
+  BlockSpec spec = conv_spec("macs", 8, {8, 8, 8});
+  Block chain(spec, Adjacency::chain(3), spiking_cfg(), rng);
+  Block dense(spec, Adjacency::all(3, SkipType::DSC), spiking_cfg(), rng);
+  const Shape in{1, 8, 8, 8};
+  EXPECT_GT(dense.macs(in), chain.macs(in));
+}
+
+TEST(Block, AscMacsOnlyGrowViaProjections) {
+  Rng rng(110);
+  BlockSpec spec = conv_spec("macs2", 8, {8, 8, 8});
+  Block chain(spec, Adjacency::chain(3), spiking_cfg(), rng);
+  Block asc(spec, Adjacency::all(3, SkipType::ASC), spiking_cfg(), rng);
+  const Shape in{1, 8, 8, 8};
+  // Equal widths, stride 1: identity ASC edges add zero MACs.
+  EXPECT_EQ(asc.macs(in), chain.macs(in));
+}
+
+TEST(Block, SkipChangesOutput) {
+  // Analog mode so the comparison is on continuous values (a spiking block
+  // can legitimately emit identical all-zero outputs on a weak input).
+  Rng rng(111);
+  BlockSpec spec = conv_spec("diff", 4, {4, 4});
+  BlockConfig cfg;
+  cfg.mode = NeuronMode::Analog;
+  cfg.max_timesteps = 1;
+  Block chain(spec, Adjacency::chain(2), cfg, rng);
+  Rng rng2(111);  // same init
+  Adjacency adj(2);
+  adj.set(0, 2, SkipType::ASC);
+  Block skipped(spec, adj, cfg, rng2);
+  Rng xrng(7);
+  Tensor x = Tensor::randn(Shape{1, 4, 5, 5}, xrng);
+  Tensor y1 = chain.forward(x, false);
+  Tensor y2 = skipped.forward(x, false);
+  EXPECT_GT(Tensor::max_abs_diff(y1, y2), 0.f);
+}
+
+// --- network ----------------------------------------------------------------
+
+Network tiny_network(Rng& rng, const Adjacency& adj) {
+  Network net;
+  net.add_layer(std::make_unique<Conv2d>(2, 4, 3, 1, 1, false, rng, "stem"));
+  BlockSpec spec = conv_spec("nb", 4, {4, 4});
+  BlockConfig bc = spiking_cfg();
+  net.add_block(std::make_unique<Block>(spec, adj, bc, rng));
+  net.add_layer(std::make_unique<GlobalAvgPool2d>());
+  net.add_layer(std::make_unique<Linear>(4, 3, true, rng, "head"));
+  return net;
+}
+
+TEST(Network, ForwardProducesLogits) {
+  Rng rng(112);
+  Network net = tiny_network(rng, Adjacency::chain(2));
+  Tensor x = Tensor::randn(Shape{2, 2, 6, 6}, rng);
+  Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+}
+
+TEST(Network, BackwardReturnsInputGrad) {
+  Rng rng(113);
+  Network net = tiny_network(rng, Adjacency::chain(2));
+  Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng);
+  net.forward(x, true);
+  Tensor g = Tensor::randn(Shape{1, 3}, rng);
+  Tensor gx = net.backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+  net.reset_state();
+}
+
+TEST(Network, BlocksAreExposedInOrder) {
+  Rng rng(114);
+  Network net = tiny_network(rng, Adjacency::chain(2));
+  ASSERT_EQ(net.blocks().size(), 1u);
+  EXPECT_EQ(net.blocks()[0]->name(), "nb");
+}
+
+TEST(Network, ParameterCountPositive) {
+  Rng rng(115);
+  Network net = tiny_network(rng, Adjacency::chain(2));
+  EXPECT_GT(net.parameter_count(), 0u);
+}
+
+TEST(Network, RecorderSeesSpikes) {
+  Rng rng(116);
+  Network net = tiny_network(rng, Adjacency::chain(2));
+  FiringRateRecorder rec;
+  net.set_recorder(&rec);
+  Tensor x = Tensor::randn(Shape{2, 2, 6, 6}, rng, 1.f, 1.f);
+  net.forward(x, false);
+  EXPECT_GT(rec.total_neuron_steps(), 0.0);
+  net.set_recorder(nullptr);
+}
+
+TEST(Network, OutputShapeWalksStages) {
+  Rng rng(117);
+  Network net = tiny_network(rng, Adjacency::chain(2));
+  EXPECT_EQ(net.output_shape(Shape{5, 2, 6, 6}), (Shape{5, 3}));
+}
+
+TEST(MacCounter, TotalsAndPerBlock) {
+  Rng rng(118);
+  Network net = tiny_network(rng, Adjacency::chain(2));
+  const MacReport report = count_macs(net, Shape{1, 2, 6, 6});
+  EXPECT_GT(report.total, 0);
+  ASSERT_EQ(report.per_block.size(), 1u);
+  EXPECT_GT(report.per_block.at("nb"), 0);
+  EXPECT_LT(report.per_block.at("nb"), report.total);
+}
+
+TEST(MacCounter, EffectiveSnnOps) {
+  EXPECT_DOUBLE_EQ(effective_snn_ops(1000, 0.1, 8), 800.0);
+  EXPECT_DOUBLE_EQ(effective_snn_ops(1000, 0.0, 8), 0.0);
+}
+
+}  // namespace
+}  // namespace snnskip

@@ -1,0 +1,213 @@
+// End-to-end integration tests: training actually learns the synthetic
+// tasks, the full adaptation pipeline completes, and its report is
+// internally consistent. Budgets are tiny (single-core CI scale); the
+// learning assertions are against chance level, not paper numbers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adapter.h"
+#include "models/zoo.h"
+#include "train/evaluate.h"
+#include "train/trainer.h"
+
+namespace snnskip {
+namespace {
+
+SyntheticConfig small_data() {
+  SyntheticConfig cfg;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.timesteps = 5;
+  cfg.train_size = 120;
+  cfg.val_size = 40;
+  cfg.test_size = 40;
+  cfg.seed = 1234;
+  cfg.noise = 0.1f;
+  return cfg;
+}
+
+ModelConfig small_model() {
+  ModelConfig cfg;
+  cfg.width = 6;
+  cfg.max_timesteps = 5;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TrainConfig small_train(std::int64_t epochs) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 20;
+  cfg.lr = 0.05f;
+  cfg.timesteps = 5;
+  cfg.seed = 19;
+  return cfg;
+}
+
+TEST(Integration, SnnLearnsEventDataAboveChance) {
+  const DatasetBundle data = make_datasets("cifar10-dvs", small_data());
+  ModelConfig mc = small_model();
+  mc.in_channels = 2;
+  mc.num_classes = 10;
+  Network net = build_model("single_block", mc,
+                            default_adjacencies("single_block", mc));
+  const TrainConfig cfg = small_train(4);
+  fit(net, NeuronMode::Spiking, data.train, nullptr, cfg);
+  const EvalResult res = evaluate(net, NeuronMode::Spiking, *data.test, cfg);
+  // Chance is 10%; the motion/texture signal should be learnable.
+  EXPECT_GT(res.accuracy, 0.2) << "SNN failed to learn the synthetic task";
+}
+
+TEST(Integration, AnnTwinLearnsStaticImages) {
+  const DatasetBundle data = make_datasets("cifar10", small_data());
+  ModelConfig mc = small_model();
+  mc.mode = NeuronMode::Analog;
+  mc.in_channels = 3;
+  mc.max_timesteps = 1;
+  Network net = build_model("single_block", mc,
+                            default_adjacencies("single_block", mc));
+  const TrainConfig cfg = small_train(4);
+  fit(net, NeuronMode::Analog, data.train, nullptr, cfg);
+  const EvalResult res = evaluate(net, NeuronMode::Analog, *data.test, cfg);
+  EXPECT_GT(res.accuracy, 0.25) << "ANN failed to learn the synthetic task";
+}
+
+TEST(Integration, SkipConnectionsHelpTraining) {
+  // The paper's core observation (Fig. 1): with everything else equal, a
+  // skip-connected block trains at least as well as the plain chain. At
+  // this CI-sized budget test-set accuracy is too granular (40 samples),
+  // so compare the continuous training loss instead: the skip version must
+  // descend from the initial ~log(10) and not lag far behind the chain.
+  const DatasetBundle data = make_datasets("cifar10-dvs", small_data());
+  ModelConfig mc = small_model();
+  const TrainConfig cfg = small_train(4);
+
+  Network chain = build_model("single_block", mc, {Adjacency::chain(4)});
+  const FitResult fr_chain =
+      fit(chain, NeuronMode::Spiking, data.train, nullptr, cfg);
+  const double loss_chain = fr_chain.epochs.back().train_loss;
+
+  Network skipped = build_model("single_block", mc,
+                                {Adjacency::uniform(4, SkipType::ASC, 3)});
+  const FitResult fr_skip =
+      fit(skipped, NeuronMode::Spiking, data.train, nullptr, cfg);
+  const double loss_skip = fr_skip.epochs.back().train_loss;
+
+  EXPECT_LT(loss_skip, std::log(10.0))
+      << "skip-connected block failed to train at all";
+  EXPECT_LT(loss_skip, loss_chain + 0.3)
+      << "skip connections degraded training far beyond noise";
+}
+
+TEST(Integration, AdaptationPipelineCompletesAndReports) {
+  AdapterConfig cfg;
+  cfg.model = "single_block";
+  cfg.dataset = "cifar10-dvs";
+  cfg.data_cfg = small_data();
+  cfg.data_cfg.train_size = 60;
+  cfg.data_cfg.val_size = 30;
+  cfg.data_cfg.test_size = 30;
+  cfg.model_cfg = small_model();
+  cfg.base_train = small_train(2);
+  cfg.finetune = small_train(1);
+  cfg.bo.initial_design = 2;
+  cfg.bo.iterations = 2;
+  cfg.bo.batch_k = 1;
+  cfg.bo.candidate_pool = 32;
+  cfg.bo.seed = 23;
+  cfg.seed = 29;
+
+  const AdaptationReport report = run_adaptation(cfg);
+
+  EXPECT_FALSE(report.has_ann);  // event data has no ANN reference
+  EXPECT_GE(report.snn_base_test_acc, 0.0);
+  EXPECT_GE(report.optimized_test_acc, 0.0);
+  EXPECT_GT(report.snn_base_macs, 0);
+  EXPECT_GT(report.optimized_macs, 0);
+  EXPECT_EQ(report.trace.observations.size(), 2u + 2u);
+  EXPECT_FALSE(report.best_code.empty());
+  EXPECT_GT(report.search_seconds, 0.0);
+  // The searched architecture should not be catastrophically worse than
+  // the baseline it warm-started from.
+  EXPECT_GT(report.optimized_test_acc, report.snn_base_test_acc - 0.25);
+}
+
+TEST(Integration, AdaptationWithAnnReferenceOnCifar10) {
+  AdapterConfig cfg;
+  cfg.model = "single_block";
+  cfg.dataset = "cifar10";
+  cfg.data_cfg = small_data();
+  cfg.data_cfg.train_size = 60;
+  cfg.data_cfg.val_size = 30;
+  cfg.data_cfg.test_size = 30;
+  cfg.model_cfg = small_model();
+  cfg.base_train = small_train(2);
+  cfg.base_train.timesteps = 4;
+  cfg.finetune = small_train(1);
+  cfg.finetune.timesteps = 4;
+  cfg.bo.initial_design = 2;
+  cfg.bo.iterations = 1;
+  cfg.bo.batch_k = 1;
+  cfg.bo.seed = 31;
+  cfg.seed = 37;
+
+  const AdaptationReport report = run_adaptation(cfg);
+  EXPECT_TRUE(report.has_ann);
+  EXPECT_GT(report.ann_test_acc, 0.0);
+}
+
+TEST(Integration, BoAndRsTracesOnSharedEvaluator) {
+  // Fig. 3's machinery: both searches run on the same space and produce
+  // monotone best-so-far curves of the requested length.
+  EvaluatorConfig ecfg;
+  ecfg.model = "single_block";
+  ecfg.model_cfg = small_model();
+  ecfg.finetune = small_train(1);
+  ecfg.scratch = small_train(1);
+  ecfg.seed = 41;
+  SyntheticConfig dc = small_data();
+  dc.train_size = 40;
+  dc.val_size = 20;
+  dc.test_size = 20;
+  CandidateEvaluator evaluator(ecfg, make_datasets("cifar10-dvs", dc));
+
+  BoConfig bo;
+  bo.initial_design = 2;
+  bo.iterations = 2;
+  bo.batch_k = 1;
+  bo.candidate_pool = 16;
+  bo.seed = 43;
+  const SearchTrace bt = bo_trace(evaluator, bo);
+  EXPECT_EQ(bt.observations.size(), 4u);
+
+  RsConfig rs;
+  rs.evaluations = 3;
+  rs.seed = 47;
+  const SearchTrace rt = rs_trace(evaluator, rs);
+  EXPECT_EQ(rt.observations.size(), 3u);
+
+  for (std::size_t i = 1; i < bt.best_so_far.size(); ++i) {
+    EXPECT_LE(bt.best_so_far[i], bt.best_so_far[i - 1]);
+  }
+}
+
+TEST(Integration, FiringRateIsInPlausibleRange) {
+  const DatasetBundle data = make_datasets("dvs128-gesture", small_data());
+  ModelConfig mc = small_model();
+  mc.num_classes = 11;
+  Network net = build_model("resnet18s", mc,
+                            default_adjacencies("resnet18s", mc));
+  const TrainConfig cfg = small_train(1);
+  fit(net, NeuronMode::Spiking, data.train, nullptr, cfg);
+  FiringRateRecorder rec;
+  const EvalResult res =
+      evaluate(net, NeuronMode::Spiking, *data.val, cfg, &rec);
+  // SNN firing rates live well below saturation (paper reports 6-22%).
+  EXPECT_GT(res.firing_rate, 0.0);
+  EXPECT_LT(res.firing_rate, 0.9);
+}
+
+}  // namespace
+}  // namespace snnskip

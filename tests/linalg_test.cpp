@@ -1,0 +1,148 @@
+// Tests for the double-precision linear algebra used by the GP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace snnskip {
+namespace {
+
+Matrix random_spd(std::int64_t n, std::uint64_t seed) {
+  // A = B B^T + n*I is SPD for any B.
+  Rng rng(seed);
+  Matrix b(n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  Matrix a = b * b.transpose();
+  a.add_diagonal(static_cast<double>(n));
+  return a;
+}
+
+TEST(Matrix, IdentityAndIndexing) {
+  Matrix m = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  m(2, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m(2, 1), 5.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 1) = 4.0;
+  m(1, 2) = -2.0;
+  Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -2.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MulVec) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const auto y = a.mul_vec({1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, AddDiagonal) {
+  Matrix a(3, 3);
+  a.add_diagonal(2.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  const Matrix a = random_spd(8, 31);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Matrix recon = (*l) * l->transpose();
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(recon(i, j), a(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Cholesky, LowerTriangular) {
+  const Matrix a = random_spd(5, 32);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = i + 1; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ((*l)(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const Matrix a = random_spd(6, 33);
+  std::vector<double> x_true(6);
+  Rng rng(34);
+  for (auto& v : x_true) v = rng.normal();
+  const std::vector<double> b = a.mul_vec(x_true);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const auto x = cholesky_solve(*l, b);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, TriangularSolves) {
+  const Matrix a = random_spd(4, 35);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const std::vector<double> b{1.0, -2.0, 0.5, 3.0};
+  const auto y = solve_lower(*l, b);
+  // L y should equal b.
+  const auto ly = l->mul_vec(y);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(ly[i], b[i], 1e-10);
+  const auto z = solve_lower_transpose(*l, b);
+  const auto ltz = l->transpose().mul_vec(z);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(ltz[i], b[i], 1e-10);
+}
+
+TEST(Cholesky, LogDetMatchesDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(1, 1) = 9.0;  // det = 36
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_NEAR(cholesky_logdet(*l), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, IdentityFactorsToItself) {
+  const auto l = cholesky(Matrix::identity(4));
+  ASSERT_TRUE(l.has_value());
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ((*l)(i, i), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace snnskip

@@ -1,0 +1,218 @@
+// Tests for the model zoo: every family builds, runs forward/backward,
+// reports sane shapes/MACs, and its default adjacencies match the paper's
+// native architectures.
+
+#include <gtest/gtest.h>
+
+#include "graph/mac_counter.h"
+#include "models/zoo.h"
+
+namespace snnskip {
+namespace {
+
+ModelConfig tiny_cfg(NeuronMode mode = NeuronMode::Spiking) {
+  ModelConfig cfg;
+  cfg.mode = mode;
+  cfg.in_channels = 2;
+  cfg.num_classes = 10;
+  cfg.max_timesteps = 4;
+  cfg.width = 4;
+  cfg.seed = 9;
+  return cfg;
+}
+
+class ModelFamily : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelFamily, BuildsAndRunsForward) {
+  const std::string name = GetParam();
+  const ModelConfig cfg = tiny_cfg();
+  Network net = build_model(name, cfg, default_adjacencies(name, cfg));
+  Rng rng(1);
+  Tensor x = Tensor::randn(Shape{2, 2, 16, 16}, rng);
+  Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 10}));
+}
+
+TEST_P(ModelFamily, BackwardRuns) {
+  const std::string name = GetParam();
+  const ModelConfig cfg = tiny_cfg();
+  Network net = build_model(name, cfg, default_adjacencies(name, cfg));
+  Rng rng(2);
+  Tensor x = Tensor::randn(Shape{1, 2, 16, 16}, rng);
+  net.forward(x, true);
+  Tensor g = Tensor::randn(Shape{1, 10}, rng);
+  Tensor gx = net.backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST_P(ModelFamily, MacsPositive) {
+  const std::string name = GetParam();
+  const ModelConfig cfg = tiny_cfg();
+  Network net = build_model(name, cfg, default_adjacencies(name, cfg));
+  EXPECT_GT(count_macs(net, Shape{1, 2, 16, 16}).total, 0);
+}
+
+TEST_P(ModelFamily, SpecsMatchBuiltBlocks) {
+  const std::string name = GetParam();
+  const ModelConfig cfg = tiny_cfg();
+  const auto specs = model_block_specs(name, cfg);
+  Network net = build_model(name, cfg, default_adjacencies(name, cfg));
+  ASSERT_EQ(net.blocks().size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(net.blocks()[i]->name(), specs[i].name);
+    EXPECT_EQ(net.blocks()[i]->spec().depth(), specs[i].depth());
+  }
+}
+
+TEST_P(ModelFamily, AnalogTwinBuilds) {
+  const std::string name = GetParam();
+  ModelConfig cfg = tiny_cfg(NeuronMode::Analog);
+  cfg.max_timesteps = 1;
+  cfg.in_channels = 3;
+  Network net = build_model(name, cfg, default_adjacencies(name, cfg));
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{2, 3, 16, 16}, rng);
+  EXPECT_EQ(net.forward(x, false).shape(), (Shape{2, 10}));
+}
+
+TEST_P(ModelFamily, SpikingModelEmitsSpikes) {
+  const std::string name = GetParam();
+  const ModelConfig cfg = tiny_cfg();
+  Network net = build_model(name, cfg, default_adjacencies(name, cfg));
+  FiringRateRecorder rec;
+  net.set_recorder(&rec);
+  Rng rng(4);
+  Tensor x = Tensor::rand(Shape{2, 2, 16, 16}, rng, 0.f, 2.f);
+  for (int t = 0; t < 3; ++t) net.forward(x, false);
+  EXPECT_GT(rec.total_neuron_steps(), 0.0);
+  EXPECT_GT(rec.total_spikes(), 0.0);  // strong input must fire something
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelFamily,
+                         ::testing::ValuesIn(model_names()));
+
+TEST(ModelZoo, NamesListedAndUnknownRejected) {
+  EXPECT_EQ(model_names().size(), 4u);
+  const ModelConfig cfg = tiny_cfg();
+  EXPECT_THROW(build_model("nope", cfg, {}), std::invalid_argument);
+  EXPECT_THROW(model_block_specs("nope", cfg), std::invalid_argument);
+  EXPECT_THROW(default_adjacencies("nope", cfg), std::invalid_argument);
+}
+
+TEST(SingleBlock, HasOneFourLayerBlock) {
+  const auto specs = single_block_specs(tiny_cfg());
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].depth(), 4);
+  // Fig. 1 probe: all conv layers keep the stem width.
+  for (const auto& n : specs[0].nodes) {
+    EXPECT_EQ(n.out_channels, 4);
+    EXPECT_EQ(n.stride, 1);
+  }
+}
+
+TEST(SingleBlock, DefaultAdjacencyIsChain) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto adjs = default_adjacencies("single_block", cfg);
+  ASSERT_EQ(adjs.size(), 1u);
+  EXPECT_EQ(adjs[0].total_skips(), 0);
+}
+
+TEST(Resnet18s, HasEightResidualBlocks) {
+  const auto specs = resnet18s_specs(tiny_cfg());
+  EXPECT_EQ(specs.size(), 8u);
+  for (const auto& spec : specs) EXPECT_EQ(spec.depth(), 2);
+}
+
+TEST(Resnet18s, DefaultAdjacencyIsIdentityResidual) {
+  const ModelConfig cfg = tiny_cfg();
+  for (const auto& adj : default_adjacencies("resnet18s", cfg)) {
+    EXPECT_EQ(adj.at(0, 2), SkipType::ASC);
+    EXPECT_EQ(adj.total_skips(), 1);
+  }
+}
+
+TEST(Resnet18s, StagesDownsample) {
+  const auto specs = resnet18s_specs(tiny_cfg());
+  // First block of stages 1..3 strides.
+  EXPECT_EQ(specs[0].spatial_div(2), 1);
+  EXPECT_EQ(specs[2].spatial_div(2), 2);
+  EXPECT_EQ(specs[4].spatial_div(2), 2);
+  EXPECT_EQ(specs[6].spatial_div(2), 2);
+}
+
+TEST(Densenet121s, DefaultAdjacencyIsAllDsc) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto specs = densenet121s_specs(cfg);
+  const auto adjs = default_adjacencies("densenet121s", cfg);
+  ASSERT_EQ(adjs.size(), specs.size());
+  for (std::size_t i = 0; i < adjs.size(); ++i) {
+    const int slots = static_cast<int>(
+        Adjacency::skip_slots(specs[i].depth()).size());
+    EXPECT_EQ(adjs[i].count_type(SkipType::DSC), slots);
+  }
+}
+
+TEST(Densenet121s, DepthsFollowScaledGrammar) {
+  const auto specs = densenet121s_specs(tiny_cfg());
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].depth(), 3);
+  EXPECT_EQ(specs[1].depth(), 4);
+  EXPECT_EQ(specs[2].depth(), 4);
+  EXPECT_EQ(specs[3].depth(), 3);
+}
+
+TEST(Mobilenetv2s, BlocksAreInvertedResiduals) {
+  const auto specs = mobilenetv2s_specs(tiny_cfg());
+  ASSERT_EQ(specs.size(), 5u);
+  for (const auto& spec : specs) {
+    ASSERT_EQ(spec.depth(), 3);
+    EXPECT_EQ(spec.nodes[0].op, NodeOp::Conv1x1);
+    EXPECT_EQ(spec.nodes[1].op, NodeOp::DwConv3x3);
+    EXPECT_EQ(spec.nodes[2].op, NodeOp::Conv1x1);
+    EXPECT_FALSE(spec.nodes[2].spiking);  // linear bottleneck
+    // Expansion widens then projects back down.
+    EXPECT_EQ(spec.nodes[0].out_channels, 2 * spec.in_channels);
+  }
+}
+
+TEST(Mobilenetv2s, DefaultResidualOnlyOnStride1SameWidth) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto specs = mobilenetv2s_specs(cfg);
+  const auto adjs = default_adjacencies("mobilenetv2s", cfg);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const bool stride1 = specs[i].spatial_div(3) == 1;
+    const bool same_c = specs[i].in_channels == specs[i].node_out_channels(3);
+    if (stride1 && same_c) {
+      EXPECT_EQ(adjs[i].at(0, 3), SkipType::ASC) << "block " << i;
+    } else {
+      EXPECT_EQ(adjs[i].total_skips(), 0) << "block " << i;
+    }
+  }
+}
+
+TEST(ModelZoo, DscSweepChangesMacsOnSingleBlock) {
+  // Fig. 1's x-axis: more DSC skips -> more MACs; ASC leaves MACs flat.
+  const ModelConfig cfg = tiny_cfg();
+  std::int64_t prev = 0;
+  for (int n = 0; n <= 3; ++n) {
+    Network net = build_model(
+        "single_block", cfg, {Adjacency::uniform(4, SkipType::DSC, n)});
+    const std::int64_t macs = count_macs(net, Shape{1, 2, 16, 16}).total;
+    EXPECT_GT(macs, prev);
+    prev = macs;
+  }
+}
+
+TEST(ModelZoo, WidthScalesParameters) {
+  ModelConfig small = tiny_cfg();
+  ModelConfig big = tiny_cfg();
+  big.width = 8;
+  Network a = build_model("resnet18s", small,
+                          default_adjacencies("resnet18s", small));
+  Network b =
+      build_model("resnet18s", big, default_adjacencies("resnet18s", big));
+  EXPECT_GT(b.parameter_count(), a.parameter_count());
+}
+
+}  // namespace
+}  // namespace snnskip

@@ -1,0 +1,341 @@
+// Behavioral tests for the layer library: shapes, known-value forwards,
+// batch-norm statistics, loss gradients, optimizers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/batchnorm_tt.h"
+#include "nn/conv2d.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+
+namespace snnskip {
+namespace {
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 2, 1, false, rng);
+  EXPECT_EQ(conv.output_shape(Shape{4, 3, 16, 16}), (Shape{4, 8, 8, 8}));
+}
+
+TEST(Conv2d, MacsFormula) {
+  Rng rng(2);
+  Conv2d conv(2, 4, 3, 1, 1, false, rng);
+  // N * out_c * (in_c*k*k) * (out_h*out_w) = 1*4*18*16
+  EXPECT_EQ(conv.macs(Shape{1, 2, 4, 4}), 4 * 18 * 16);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng(3);
+  Conv2d conv(1, 1, 1, 1, 0, false, rng);
+  conv.weight().value.fill(1.f);
+  Tensor x = Tensor::randn(Shape{1, 1, 3, 3}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(x, y), 1e-6f);
+}
+
+TEST(Conv2d, KnownAveragingKernel) {
+  Rng rng(4);
+  Conv2d conv(1, 1, 3, 1, 0, false, rng);
+  conv.weight().value.fill(1.f / 9.f);
+  Tensor x = Tensor::full(Shape{1, 1, 3, 3}, 2.f);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_NEAR(y[0], 2.f, 1e-6f);
+}
+
+TEST(Conv2d, BiasIsAdded) {
+  Rng rng(5);
+  Conv2d conv(1, 2, 1, 1, 0, true, rng);
+  conv.weight().value.fill(0.f);
+  conv.bias().value[0] = 1.5f;
+  conv.bias().value[1] = -0.5f;
+  Tensor x = Tensor::randn(Shape{1, 1, 2, 2}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 1.5f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 1, 1}), -0.5f);
+}
+
+TEST(Conv2d, EvalForwardSavesNoContext) {
+  Rng rng(6);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  Tensor x = Tensor::randn(Shape{1, 1, 4, 4}, rng);
+  conv.forward(x, /*train=*/false);
+  // A backward now would be a bug; reset_state keeps it legal to continue.
+  conv.reset_state();
+  conv.forward(x, /*train=*/true);
+  Tensor g = Tensor::randn(Shape{1, 1, 4, 4}, rng);
+  EXPECT_NO_THROW(conv.backward(g));
+}
+
+TEST(DepthwiseConv2d, OutputShapeAndMacs) {
+  Rng rng(7);
+  DepthwiseConv2d conv(4, 3, 2, 1, false, rng);
+  EXPECT_EQ(conv.output_shape(Shape{2, 4, 8, 8}), (Shape{2, 4, 4, 4}));
+  EXPECT_EQ(conv.macs(Shape{1, 4, 8, 8}), 4 * 9 * 16);
+}
+
+TEST(DepthwiseConv2d, ChannelsAreIndependent) {
+  Rng rng(8);
+  DepthwiseConv2d conv(2, 3, 1, 1, false, rng);
+  Tensor x(Shape{1, 2, 3, 3});
+  // Only channel 0 is non-zero; output channel 1 must stay zero.
+  for (std::int64_t i = 0; i < 9; ++i) x[static_cast<std::size_t>(i)] = 1.f;
+  Tensor y = conv.forward(x, false);
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(y[static_cast<std::size_t>(9 + i)], 0.f);
+  }
+}
+
+TEST(Linear, KnownForward) {
+  Rng rng(9);
+  Linear lin(2, 2, true, rng);
+  lin.weight().value = Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  lin.bias().value = Tensor(Shape{2}, std::vector<float>{0.5f, -0.5f});
+  Tensor x(Shape{1, 2}, std::vector<float>{1.f, 1.f});
+  Tensor y = lin.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.5f);   // 1+2+0.5
+  EXPECT_FLOAT_EQ(y[1], 6.5f);   // 3+4-0.5
+}
+
+TEST(Flatten, ShapeRoundTrip) {
+  Flatten fl;
+  Rng rng(10);
+  Tensor x = Tensor::randn(Shape{2, 3, 4, 5}, rng);
+  Tensor y = fl.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  Tensor gx = fl.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(AvgPool2d, AveragesWindows) {
+  AvgPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 3.f);
+}
+
+TEST(AvgPool2d, CeilModeRoundsUpAndAveragesPartialWindows) {
+  AvgPool2d pool(2, 2, /*ceil_mode=*/true);
+  // 3x3 input -> 2x2 output; the edge windows only cover valid elements.
+  Tensor x(Shape{1, 1, 3, 3},
+           std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(pool.output_shape(x.shape()), (Shape{1, 1, 2, 2}));
+  Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 3.f);    // (1+2+4+5)/4
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 1}), 4.5f);   // (3+6)/2
+  EXPECT_FLOAT_EQ(y.at({0, 0, 1, 0}), 7.5f);   // (7+8)/2
+  EXPECT_FLOAT_EQ(y.at({0, 0, 1, 1}), 9.f);    // (9)/1
+}
+
+TEST(AvgPool2d, CeilModeMatchesStridedConvArithmetic) {
+  // ceil-mode pool output == ceil(H/stride) for kernel == stride.
+  AvgPool2d pool(2, 2, true);
+  for (std::int64_t h : {2, 3, 4, 5, 7, 12, 13}) {
+    const Shape out = pool.output_shape(Shape{1, 1, h, h});
+    EXPECT_EQ(out[2], (h + 1) / 2) << "h=" << h;
+  }
+}
+
+TEST(AvgPool2d, CeilModeBackwardDistributesByWindowSize) {
+  AvgPool2d pool(2, 2, true);
+  Tensor x = Tensor::full(Shape{1, 1, 3, 3}, 1.f);
+  pool.forward(x, true);
+  Tensor g = Tensor::full(Shape{1, 1, 2, 2}, 1.f);
+  Tensor gx = pool.backward(g);
+  // Corner (2,2) window has one element: full gradient lands there.
+  EXPECT_FLOAT_EQ(gx.at({0, 0, 2, 2}), 1.f);
+  EXPECT_FLOAT_EQ(gx.at({0, 0, 0, 0}), 0.25f);
+  // Total gradient is conserved.
+  EXPECT_NEAR(gx.sum(), 4.0, 1e-6);
+}
+
+TEST(MaxPool2d, TakesMaxima) {
+  MaxPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 7, 3, 2});
+  Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 7.f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 7, 3, 2});
+  pool.forward(x, true);
+  Tensor g = Tensor::full(Shape{1, 1, 1, 1}, 2.f);
+  Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.f);
+  EXPECT_FLOAT_EQ(gx[1], 2.f);
+  EXPECT_FLOAT_EQ(gx[2], 0.f);
+}
+
+TEST(GlobalAvgPool2d, CollapsesPlanes) {
+  GlobalAvgPool2d gap;
+  Tensor x(Shape{1, 2, 2, 2},
+           std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor y = gap.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 10.f);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x(Shape{4}, std::vector<float>{-1.f, 0.f, 2.f, -3.f});
+  Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 2.f);
+  EXPECT_FLOAT_EQ(y[3], 0.f);
+}
+
+TEST(BatchNormTT, NormalizesTrainBatch) {
+  Rng rng(11);
+  BatchNormTT bn(2, 1);
+  Tensor x = Tensor::randn(Shape{8, 2, 4, 4}, rng, 3.f, 2.f);
+  Tensor y = bn.forward(x, true);
+  // Per-channel output should be ~N(0,1) (gamma=1, beta=0 at init).
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    std::int64_t count = 0;
+    for (std::int64_t n = 0; n < 8; ++n) {
+      for (std::int64_t i = 0; i < 16; ++i) {
+        const float v = y.at({n, c, i / 4, i % 4});
+        mean += v;
+        ++count;
+      }
+    }
+    mean /= count;
+    for (std::int64_t n = 0; n < 8; ++n) {
+      for (std::int64_t i = 0; i < 16; ++i) {
+        const double d = y.at({n, c, i / 4, i % 4}) - mean;
+        var += d * d;
+      }
+    }
+    var /= count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+  bn.reset_state();
+}
+
+TEST(BatchNormTT, PerTimestepParametersAreSeparate) {
+  BatchNormTT bn(3, 4);
+  // 4 timesteps x (gamma + beta) = 8 parameters of size 3.
+  EXPECT_EQ(bn.parameters().size(), 8u);
+}
+
+TEST(BatchNormTT, TimestepCounterAdvancesAndResets) {
+  Rng rng(12);
+  BatchNormTT bn(1, 2);
+  Tensor x = Tensor::randn(Shape{4, 1, 2, 2}, rng);
+  bn.forward(x, true);   // t=0
+  bn.forward(x, true);   // t=1
+  bn.forward(x, true);   // t=2 -> clamps to slot 1 without crashing
+  bn.reset_state();
+  EXPECT_NO_THROW(bn.forward(x, false));  // eval from t=0 again
+  bn.reset_state();
+}
+
+TEST(BatchNormTT, EvalUsesRunningStats) {
+  Rng rng(13);
+  BatchNormTT bn(1, 1);
+  // Train on shifted data a few times so running stats move.
+  for (int i = 0; i < 50; ++i) {
+    Tensor x = Tensor::randn(Shape{16, 1, 2, 2}, rng, 5.f, 1.f);
+    bn.forward(x, true);
+    bn.reset_state();
+  }
+  Tensor probe = Tensor::full(Shape{1, 1, 2, 2}, 5.f);
+  Tensor y = bn.forward(probe, false);
+  // A value at the running mean normalizes to ~0.
+  EXPECT_NEAR(y[0], 0.f, 0.2f);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits(Shape{2, 4});
+  const LossResult r = cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHotOverN) {
+  Tensor logits(Shape{1, 2}, std::vector<float>{0.f, 0.f});
+  const LossResult r = cross_entropy(logits, {1});
+  EXPECT_NEAR(r.grad_logits[0], 0.5f, 1e-5);
+  EXPECT_NEAR(r.grad_logits[1], -0.5f, 1e-5);
+}
+
+TEST(CrossEntropy, CountsCorrectPredictions) {
+  Tensor logits(Shape{2, 2}, std::vector<float>{3.f, 0.f, 0.f, 3.f});
+  const LossResult r = cross_entropy(logits, {0, 0});
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(Accuracy, Computes) {
+  Tensor logits(Shape{3, 2}, std::vector<float>{1, 0, 0, 1, 1, 0});
+  EXPECT_NEAR(accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Sgd, PlainStepMovesAgainstGradient) {
+  Parameter p("w", Tensor::full(Shape{1}, 1.f));
+  p.grad[0] = 2.f;
+  Sgd opt({&p}, 0.1f, 0.f, 0.f);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 0.8f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p("w", Tensor::full(Shape{1}, 0.f));
+  Sgd opt({&p}, 1.f, 0.5f, 0.f);
+  p.grad[0] = 1.f;
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(p.value[0], -1.f, 1e-6f);
+  p.grad[0] = 1.f;
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayShrinks) {
+  Parameter p("w", Tensor::full(Shape{1}, 10.f));
+  p.grad[0] = 0.f;
+  Sgd opt({&p}, 0.1f, 0.f, 0.5f);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 10.f - 0.1f * 0.5f * 10.f, 1e-5f);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction the first Adam step is ~lr * sign(grad).
+  Parameter p("w", Tensor::full(Shape{1}, 0.f));
+  p.grad[0] = 3.f;
+  Adam opt({&p}, 0.01f);
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 — gradient 2(w-3).
+  Parameter p("w", Tensor::full(Shape{1}, 0.f));
+  Adam opt({&p}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    p.zero_grad();
+    p.grad[0] = 2.f * (p.value[0] - 3.f);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.f, 0.05f);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  Parameter p("w", Tensor::full(Shape{3}, 1.f));
+  p.grad.fill(7.f);
+  Sgd opt({&p}, 0.1f);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.f);
+  EXPECT_FLOAT_EQ(p.grad[2], 0.f);
+}
+
+}  // namespace
+}  // namespace snnskip

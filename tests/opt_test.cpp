@@ -1,0 +1,301 @@
+// Tests for the optimization substrate: encodings, kernels, GP regression,
+// acquisition functions, Bayesian optimization and random search on cheap
+// synthetic objectives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "opt/acquisition.h"
+#include "opt/bayes_opt.h"
+#include "opt/encoding.h"
+#include "opt/gp.h"
+#include "opt/kernel.h"
+#include "opt/random_search.h"
+
+namespace snnskip {
+namespace {
+
+TEST(Encoding, OneHotLayout) {
+  const auto f = one_hot_features({0, 2, 1});
+  ASSERT_EQ(f.size(), 9u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[5], 1.0);
+  EXPECT_DOUBLE_EQ(f[7], 1.0);
+  EXPECT_DOUBLE_EQ(f[1] + f[2] + f[3] + f[4] + f[6] + f[8], 0.0);
+}
+
+TEST(Encoding, HammingDistance) {
+  EXPECT_EQ(hamming_distance({0, 1, 2}, {0, 1, 2}), 0);
+  EXPECT_EQ(hamming_distance({0, 1, 2}, {1, 1, 0}), 2);
+}
+
+TEST(Encoding, HashDistinguishes) {
+  EXPECT_NE(encoding_hash({0, 1}), encoding_hash({1, 0}));
+  EXPECT_EQ(encoding_hash({2, 2, 0}), encoding_hash({2, 2, 0}));
+}
+
+TEST(RbfKernel, SelfSimilarityIsVariance) {
+  RbfKernel k(1.5, 2.0);
+  const std::vector<double> x{1.0, -2.0, 0.5};
+  EXPECT_NEAR(k(x, x), 2.0, 1e-12);
+}
+
+TEST(RbfKernel, SymmetricAndDecaying) {
+  RbfKernel k(1.0, 1.0);
+  const std::vector<double> a{0.0}, b{1.0}, c{3.0};
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+  EXPECT_GT(k(a, b), k(a, c));
+  EXPECT_GT(k(a, c), 0.0);
+}
+
+TEST(RbfKernel, OneHotDistanceIsHamming) {
+  // ||onehot(a) - onehot(b)||^2 = 2 * hamming(a, b).
+  RbfKernel k(1.0, 1.0);
+  const EncodingVec a{0, 1, 2}, b{0, 2, 2};
+  const double expected = std::exp(-2.0 * 1.0 / 2.0);
+  EXPECT_NEAR(k(one_hot_features(a), one_hot_features(b)), expected, 1e-12);
+}
+
+TEST(Matern52Kernel, BasicProperties) {
+  Matern52Kernel k(1.0, 1.5);
+  const std::vector<double> a{0.0}, b{2.0};
+  EXPECT_NEAR(k(a, a), 1.5, 1e-12);
+  EXPECT_GT(k(a, b), 0.0);
+  EXPECT_LT(k(a, b), 1.5);
+}
+
+TEST(Gp, InterpolatesObservations) {
+  GaussianProcess gp(std::make_shared<RbfKernel>(1.0, 1.0), 1e-8);
+  const std::vector<std::vector<double>> x{{0.0}, {1.0}, {2.0}};
+  const std::vector<double> y{1.0, 3.0, 2.0};
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const GpPrediction p = gp.predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 1e-3);
+    EXPECT_LT(p.variance, 1e-3);
+  }
+}
+
+TEST(Gp, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp(std::make_shared<RbfKernel>(0.5, 1.0), 1e-6);
+  gp.fit({{0.0}}, {0.0});
+  const double var_near = gp.predict({0.1}).variance;
+  const double var_far = gp.predict({5.0}).variance;
+  EXPECT_LT(var_near, var_far);
+}
+
+TEST(Gp, UnfittedPredictsPrior) {
+  GaussianProcess gp(std::make_shared<RbfKernel>(1.0, 1.0), 1e-6);
+  const GpPrediction p = gp.predict({0.0});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_GT(p.variance, 0.0);
+}
+
+TEST(Gp, HandlesConstantTargets) {
+  GaussianProcess gp(std::make_shared<RbfKernel>(1.0, 1.0), 1e-6);
+  gp.fit({{0.0}, {1.0}}, {2.0, 2.0});
+  EXPECT_NEAR(gp.predict({0.5}).mean, 2.0, 0.1);
+}
+
+TEST(Gp, LogMarginalLikelihoodIsFinite) {
+  GaussianProcess gp(std::make_shared<RbfKernel>(1.0, 1.0), 1e-4);
+  gp.fit({{0.0}, {1.0}, {2.0}}, {0.0, 1.0, 0.5});
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+}
+
+TEST(Gp, StandardizationMakesScaleIrrelevant) {
+  // Two GPs on the same data at different scales should rank points the
+  // same way.
+  GaussianProcess small(std::make_shared<RbfKernel>(1.0, 1.0), 1e-6);
+  GaussianProcess big(std::make_shared<RbfKernel>(1.0, 1.0), 1e-6);
+  small.fit({{0.0}, {1.0}, {2.0}}, {0.1, 0.3, 0.2});
+  big.fit({{0.0}, {1.0}, {2.0}}, {100.0, 300.0, 200.0});
+  const double s_diff = small.predict({0.9}).mean - small.predict({0.1}).mean;
+  const double b_diff = big.predict({0.9}).mean - big.predict({0.1}).mean;
+  EXPECT_GT(s_diff, 0.0);
+  EXPECT_GT(b_diff, 0.0);
+}
+
+TEST(Acquisition, LcbMath) {
+  GpPrediction p;
+  p.mean = 1.0;
+  p.variance = 4.0;
+  EXPECT_DOUBLE_EQ(lcb(p, 2.0), 1.0 - 4.0);
+}
+
+TEST(Acquisition, EiNonNegativeAndMonotone) {
+  GpPrediction better;
+  better.mean = 0.0;
+  better.variance = 1.0;
+  GpPrediction worse;
+  worse.mean = 2.0;
+  worse.variance = 1.0;
+  const double best = 1.0;
+  EXPECT_GE(expected_improvement(better, best), 0.0);
+  EXPECT_GT(expected_improvement(better, best),
+            expected_improvement(worse, best));
+}
+
+TEST(Acquisition, EiZeroWhenCertainlyWorse) {
+  GpPrediction p;
+  p.mean = 5.0;
+  p.variance = 0.0;
+  EXPECT_DOUBLE_EQ(expected_improvement(p, 1.0), 0.0);
+}
+
+TEST(Acquisition, PiIsProbability) {
+  GpPrediction p;
+  p.mean = 0.5;
+  p.variance = 1.0;
+  const double v = probability_of_improvement(p, 0.5);
+  EXPECT_NEAR(v, 0.5, 1e-9);
+  p.variance = 0.0;
+  EXPECT_DOUBLE_EQ(probability_of_improvement(p, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(probability_of_improvement(p, 0.2), 0.0);
+}
+
+TEST(Acquisition, UnifiedScoreLargerIsBetter) {
+  GpPrediction good;
+  good.mean = 0.0;
+  good.variance = 1.0;
+  GpPrediction bad;
+  bad.mean = 3.0;
+  bad.variance = 1.0;
+  for (auto kind :
+       {AcquisitionKind::Ucb, AcquisitionKind::Ei, AcquisitionKind::Pi}) {
+    EXPECT_GT(acquisition_score(kind, good, 1.0, 2.0),
+              acquisition_score(kind, bad, 1.0, 2.0))
+        << to_string(kind);
+  }
+}
+
+TEST(Acquisition, StringRoundTrip) {
+  for (auto k :
+       {AcquisitionKind::Ucb, AcquisitionKind::Ei, AcquisitionKind::Pi}) {
+    EXPECT_EQ(acquisition_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(acquisition_from_string("zzz"), std::invalid_argument);
+}
+
+// --- search loops on a synthetic objective --------------------------------
+
+// Objective over 8 ternary slots: value = sum of per-slot penalties; global
+// optimum at all-2 with value 0. Smooth in Hamming distance, so the GP can
+// model it.
+BoProblem toy_problem(int slots = 8) {
+  BoProblem p;
+  p.sample = [slots](Rng& rng) {
+    EncodingVec code(static_cast<std::size_t>(slots));
+    for (auto& v : code) v = static_cast<int>(rng.uniform_int(3ULL));
+    return code;
+  };
+  p.featurize = [](const EncodingVec& code) {
+    return one_hot_features(code);
+  };
+  p.objective = [](const EncodingVec& code) {
+    double v = 0.0;
+    for (int c : code) v += (2 - c) * 0.5;
+    return v;
+  };
+  return p;
+}
+
+TEST(BayesOpt, FindsGoodSolutions) {
+  BoConfig cfg;
+  cfg.initial_design = 4;
+  cfg.iterations = 8;
+  cfg.batch_k = 2;
+  cfg.candidate_pool = 64;
+  cfg.seed = 5;
+  const SearchTrace trace = run_bayes_opt(toy_problem(), cfg);
+  EXPECT_EQ(trace.observations.size(), 4u + 16u);
+  // The optimum is 0; BO should get close with 20 evaluations out of 3^8.
+  EXPECT_LT(trace.best_value, 1.5);
+}
+
+TEST(BayesOpt, NeverReevaluatesPoints) {
+  BoConfig cfg;
+  cfg.initial_design = 3;
+  cfg.iterations = 6;
+  cfg.batch_k = 2;
+  cfg.seed = 6;
+  const SearchTrace trace = run_bayes_opt(toy_problem(4), cfg);
+  std::set<std::uint64_t> seen;
+  for (const auto& obs : trace.observations) {
+    EXPECT_TRUE(seen.insert(encoding_hash(obs.code)).second)
+        << "duplicate observation";
+  }
+}
+
+TEST(BayesOpt, BestSoFarIsMonotone) {
+  BoConfig cfg;
+  cfg.seed = 7;
+  const SearchTrace trace = run_bayes_opt(toy_problem(), cfg);
+  for (std::size_t i = 1; i < trace.best_so_far.size(); ++i) {
+    EXPECT_LE(trace.best_so_far[i], trace.best_so_far[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(trace.best_so_far.back(), trace.best_value);
+}
+
+TEST(BayesOpt, BeatsRandomSearchOnAverage) {
+  // Same evaluation budget; average final best over several seeds.
+  double bo_total = 0.0, rs_total = 0.0;
+  const int seeds = 5;
+  for (int s = 0; s < seeds; ++s) {
+    BoConfig bcfg;
+    bcfg.initial_design = 4;
+    bcfg.iterations = 6;
+    bcfg.batch_k = 2;
+    bcfg.candidate_pool = 64;
+    bcfg.seed = 100 + static_cast<std::uint64_t>(s);
+    bo_total += run_bayes_opt(toy_problem(), bcfg).best_value;
+
+    RsConfig rcfg;
+    rcfg.evaluations = 16;
+    rcfg.seed = 200 + static_cast<std::uint64_t>(s);
+    rs_total += run_random_search(toy_problem(), rcfg).best_value;
+  }
+  EXPECT_LT(bo_total / seeds, rs_total / seeds);
+}
+
+TEST(RandomSearch, SamplesWithoutReplacement) {
+  RsConfig cfg;
+  cfg.evaluations = 20;
+  cfg.seed = 8;
+  const SearchTrace trace = run_random_search(toy_problem(3), cfg);
+  std::set<std::uint64_t> seen;
+  for (const auto& obs : trace.observations) {
+    seen.insert(encoding_hash(obs.code));
+  }
+  // 3^3 = 27 points; 20 draws without replacement should mostly be unique.
+  EXPECT_GE(seen.size(), 18u);
+}
+
+TEST(RandomSearch, TraceBookkeeping) {
+  RsConfig cfg;
+  cfg.evaluations = 10;
+  cfg.seed = 9;
+  const SearchTrace trace = run_random_search(toy_problem(), cfg);
+  EXPECT_EQ(trace.observations.size(), 10u);
+  EXPECT_EQ(trace.best_so_far.size(), 10u);
+  double best = 1e18;
+  for (const auto& obs : trace.observations) best = std::min(best, obs.value);
+  EXPECT_DOUBLE_EQ(trace.best_value, best);
+}
+
+TEST(BayesOpt, DeterministicForSeed) {
+  BoConfig cfg;
+  cfg.seed = 42;
+  cfg.iterations = 4;
+  const SearchTrace a = run_bayes_opt(toy_problem(), cfg);
+  const SearchTrace b = run_bayes_opt(toy_problem(), cfg);
+  ASSERT_EQ(a.observations.size(), b.observations.size());
+  for (std::size_t i = 0; i < a.observations.size(); ++i) {
+    EXPECT_EQ(a.observations[i].code, b.observations[i].code);
+  }
+}
+
+}  // namespace
+}  // namespace snnskip

@@ -1,0 +1,125 @@
+// Unit tests for the thread pool and parallel_for helpers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace snnskip {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool touched = false;
+  parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  std::vector<int> hits(10, 0);
+  parallel_for(0, 10, [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ParallelForRange, ChunksPartitionTheRange) {
+  const std::size_t n = 50000;
+  std::atomic<std::size_t> total{0};
+  parallel_for_range(0, n, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), n);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  const std::size_t n = 20000;
+  auto f = [](std::size_t i) { return static_cast<double>(i) * 0.5; };
+  double serial = 0.0;
+  for (std::size_t i = 0; i < n; ++i) serial += f(i);
+  const double par = parallel_reduce_sum(0, n, f);
+  EXPECT_DOUBLE_EQ(par, serial);
+}
+
+TEST(ParallelReduce, DeterministicAcrossCalls) {
+  const std::size_t n = 30000;
+  auto f = [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); };
+  const double a = parallel_reduce_sum(0, n, f);
+  const double b = parallel_reduce_sum(0, n, f);
+  EXPECT_EQ(a, b);  // bitwise identical by design
+}
+
+TEST(ParallelReduce, EmptyRangeIsZero) {
+  EXPECT_EQ(parallel_reduce_sum(3, 3, [](std::size_t) { return 1.0; }), 0.0);
+}
+
+TEST(ParallelFor, ExceptionInBodyPropagates) {
+  EXPECT_THROW(
+      parallel_for_range(0, 100000,
+                         [](std::size_t b, std::size_t) {
+                           if (b == 0) throw std::runtime_error("body");
+                         }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snnskip

@@ -1,0 +1,255 @@
+// Property-based tests: invariants that must hold for EVERY admissible
+// topology, checked over seeded random samples of the search spaces —
+// shapes, gradient flow, spike binarity, firing-rate bounds, MAC
+// monotonicity, weight-store round trips, and search-trace consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adapter.h"
+#include "core/evaluator.h"
+#include "core/search_space.h"
+#include "graph/mac_counter.h"
+#include "models/zoo.h"
+#include "nn/loss.h"
+#include "train/evaluate.h"
+#include "train/trainer.h"
+#include "train/weight_store.h"
+
+namespace snnskip {
+namespace {
+
+ModelConfig prop_model_cfg(std::uint64_t seed) {
+  ModelConfig cfg;
+  cfg.width = 4;
+  cfg.in_channels = 2;
+  cfg.num_classes = 10;
+  cfg.max_timesteps = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct PropCase {
+  std::string model;
+  std::uint64_t seed;
+};
+
+void PrintTo(const PropCase& c, std::ostream* os) {
+  *os << c.model << "/seed" << c.seed;
+}
+
+class RandomTopology : public ::testing::TestWithParam<PropCase> {
+ protected:
+  // A random admissible candidate for the parameterized model family.
+  std::vector<Adjacency> random_adjacencies(const ModelConfig& cfg) {
+    const SearchSpace space(model_block_specs(GetParam().model, cfg));
+    Rng rng(GetParam().seed);
+    return space.decode(space.sample(rng));
+  }
+};
+
+TEST_P(RandomTopology, ForwardShapeIsAlwaysLogitsShaped) {
+  const ModelConfig cfg = prop_model_cfg(GetParam().seed);
+  Network net =
+      build_model(GetParam().model, cfg, random_adjacencies(cfg));
+  Rng rng(GetParam().seed + 1);
+  Tensor x = Tensor::randn(Shape{2, 2, 16, 16}, rng);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(net.forward(x, false).shape(), (Shape{2, 10}));
+  }
+  net.reset_state();
+}
+
+TEST_P(RandomTopology, BackwardShapeMatchesInputAndGradsFlow) {
+  const ModelConfig cfg = prop_model_cfg(GetParam().seed);
+  Network net =
+      build_model(GetParam().model, cfg, random_adjacencies(cfg));
+  Rng rng(GetParam().seed + 2);
+  Tensor x = Tensor::rand(Shape{2, 2, 16, 16}, rng, 0.f, 2.f);
+
+  auto params = net.parameters();
+  for (Parameter* p : params) p->zero_grad();
+  net.reset_state();
+  // Two unrolled steps, then BPTT.
+  net.forward(x, true);
+  Tensor out = net.forward(x, true);
+  Tensor g = Tensor::randn(out.shape(), rng);
+  Tensor gx2 = net.backward(g);
+  Tensor gx1 = net.backward(g);
+  net.reset_state();
+  EXPECT_EQ(gx1.shape(), x.shape());
+  EXPECT_EQ(gx2.shape(), x.shape());
+
+  // At least some parameter gradient must be non-zero (gradients flow
+  // through the surrogate path).
+  double grad_mass = 0.0;
+  for (Parameter* p : params) {
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+      grad_mass += std::abs(p->grad[static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_GT(grad_mass, 0.0);
+}
+
+TEST_P(RandomTopology, SpikingOutputsOfLifLayersAreBinary) {
+  const ModelConfig cfg = prop_model_cfg(GetParam().seed);
+  Network net =
+      build_model(GetParam().model, cfg, random_adjacencies(cfg));
+  FiringRateRecorder rec;
+  net.set_recorder(&rec);
+  Rng rng(GetParam().seed + 3);
+  Tensor x = Tensor::rand(Shape{2, 2, 16, 16}, rng, 0.f, 2.f);
+  for (int t = 0; t < 3; ++t) net.forward(x, false);
+  net.reset_state();
+  // Firing rate is a probability.
+  EXPECT_GE(rec.overall_rate(), 0.0);
+  EXPECT_LE(rec.overall_rate(), 1.0);
+  for (const auto& [layer, rate] : rec.per_layer_rates()) {
+    EXPECT_GE(rate, 0.0) << layer;
+    EXPECT_LE(rate, 1.0) << layer;
+  }
+}
+
+TEST_P(RandomTopology, MacsArePositiveAndShapeConsistent) {
+  const ModelConfig cfg = prop_model_cfg(GetParam().seed);
+  Network net =
+      build_model(GetParam().model, cfg, random_adjacencies(cfg));
+  const Shape in{1, 2, 16, 16};
+  const MacReport report = count_macs(net, in);
+  EXPECT_GT(report.total, 0);
+  EXPECT_EQ(net.output_shape(in), (Shape{1, 10}));
+}
+
+TEST_P(RandomTopology, WeightStoreRoundTripIsExact) {
+  const ModelConfig cfg = prop_model_cfg(GetParam().seed);
+  const auto adjs = random_adjacencies(cfg);
+  Network a = build_model(GetParam().model, cfg, adjs);
+  WeightStore store(GetParam().seed);
+  store.store_from(a);
+
+  ModelConfig cfg2 = cfg;
+  cfg2.seed ^= 0xBEEF;
+  Network b = build_model(GetParam().model, cfg2, adjs);
+  store.load_into(b);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_FLOAT_EQ(Tensor::max_abs_diff(pa[i]->value, pb[i]->value), 0.f)
+        << pa[i]->name;
+  }
+}
+
+TEST_P(RandomTopology, TrainStepIsFiniteAndDeterministic) {
+  const ModelConfig cfg = prop_model_cfg(GetParam().seed);
+  SyntheticConfig dc;
+  dc.height = 16;
+  dc.width = 16;
+  dc.timesteps = 3;
+  dc.train_size = 10;
+  dc.val_size = 10;
+  dc.test_size = 10;
+  dc.seed = GetParam().seed;
+  const DatasetBundle data = make_datasets("cifar10-dvs", dc);
+
+  auto run_once = [&]() {
+    Network net =
+        build_model(GetParam().model, cfg, random_adjacencies(cfg));
+    DataLoader loader(*data.train, 10, false, 1);
+    loader.start_epoch(0);
+    Batch batch;
+    EXPECT_TRUE(loader.next(batch));
+    EventEncoder enc(3, 2);
+    auto params = net.parameters();
+    Sgd opt(params, 0.05f, 0.9f, 0.f);
+    return train_batch(net, enc, batch, 3, opt, 5.f);
+  };
+  const double l1 = run_once();
+  const double l2 = run_once();
+  EXPECT_TRUE(std::isfinite(l1));
+  EXPECT_EQ(l1, l2);  // full determinism: same seeds, same loss
+}
+
+std::vector<PropCase> prop_cases() {
+  std::vector<PropCase> cases;
+  for (const auto& model : model_names()) {
+    for (std::uint64_t seed : {101ULL, 202ULL, 303ULL}) {
+      cases.push_back(PropCase{model, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModelsSeeds, RandomTopology,
+                         ::testing::ValuesIn(prop_cases()));
+
+// --- DSC monotonicity (property over the whole slot range) ------------------
+
+TEST(Property, MacsMonotoneInDscEdgeCount) {
+  // Adding any DSC edge to any topology can only add MACs.
+  const ModelConfig cfg = prop_model_cfg(7);
+  const auto specs = single_block_specs(cfg);
+  const SearchSpace space(specs);
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    EncodingVec code = space.sample(rng);
+    // Find a slot currently not DSC and flip it to DSC.
+    for (std::size_t k = 0; k < code.size(); ++k) {
+      if (code[k] == 1 || !space.value_allowed(k, 1)) continue;
+      EncodingVec denser = code;
+      denser[k] = 1;
+      Network a = build_model("single_block", cfg, space.decode(code));
+      Network b = build_model("single_block", cfg, space.decode(denser));
+      const Shape in{1, 2, 16, 16};
+      EXPECT_GT(count_macs(b, in).total, count_macs(a, in).total);
+      break;
+    }
+  }
+}
+
+TEST(Property, SearchTracesAreInternallyConsistent) {
+  // For any trace: best_so_far is the running min of observation values
+  // and best_value equals its final entry.
+  BoProblem p;
+  p.sample = [](Rng& rng) {
+    EncodingVec code(5);
+    for (auto& v : code) v = static_cast<int>(rng.uniform_int(3ULL));
+    return code;
+  };
+  p.featurize = [](const EncodingVec& c) { return one_hot_features(c); };
+  p.objective = [](const EncodingVec& c) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i) v += c[i] * (i + 1.0);
+    return v;
+  };
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    BoConfig cfg;
+    cfg.seed = seed;
+    cfg.iterations = 5;
+    const SearchTrace trace = run_bayes_opt(p, cfg);
+    double running = std::numeric_limits<double>::infinity();
+    ASSERT_EQ(trace.best_so_far.size(), trace.observations.size());
+    for (std::size_t i = 0; i < trace.observations.size(); ++i) {
+      running = std::min(running, trace.observations[i].value);
+      EXPECT_DOUBLE_EQ(trace.best_so_far[i], running);
+    }
+    EXPECT_DOUBLE_EQ(trace.best_value, running);
+  }
+}
+
+TEST(Property, EncodeDecodeIsIdentityOnSamples) {
+  for (const auto& model : model_names()) {
+    const ModelConfig cfg = prop_model_cfg(9);
+    const SearchSpace space(model_block_specs(model, cfg),
+                            /*include_recurrent=*/true);
+    Rng rng(11);
+    for (int trial = 0; trial < 10; ++trial) {
+      const EncodingVec code = space.sample(rng);
+      EXPECT_EQ(space.encode(space.decode(code)), code) << model;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snnskip

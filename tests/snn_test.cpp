@@ -1,0 +1,300 @@
+// Tests for the spiking runtime: LIF dynamics, surrogate gradients,
+// encoders, and firing-rate accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snn/encoders.h"
+#include "snn/lif.h"
+#include "snn/spike_stats.h"
+#include "snn/surrogate.h"
+
+namespace snnskip {
+namespace {
+
+LifConfig default_lif() {
+  LifConfig cfg;
+  cfg.beta = 0.9f;
+  cfg.threshold = 1.f;
+  return cfg;
+}
+
+TEST(Lif, SubthresholdInputNeverSpikes) {
+  Lif lif(default_lif());
+  Tensor x = Tensor::full(Shape{1, 1, 1, 1}, 0.05f);
+  for (int t = 0; t < 10; ++t) {
+    Tensor s = lif.forward(x, false);
+    EXPECT_FLOAT_EQ(s[0], 0.f) << "t=" << t;
+  }
+  // Steady state membrane = x / (1 - beta) = 0.5 < threshold.
+}
+
+TEST(Lif, StrongInputSpikesImmediately) {
+  Lif lif(default_lif());
+  Tensor x = Tensor::full(Shape{1, 1, 1, 1}, 1.5f);
+  Tensor s = lif.forward(x, false);
+  EXPECT_FLOAT_EQ(s[0], 1.f);
+}
+
+TEST(Lif, IntegratesOverTime) {
+  // 0.4 per step with beta 0.9: V = 0.4, 0.76, 1.084 -> spike at t=2.
+  Lif lif(default_lif());
+  Tensor x = Tensor::full(Shape{1}, 0.4f);
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 0.f);
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 0.f);
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 1.f);
+}
+
+TEST(Lif, SoftResetSubtractsThreshold) {
+  // After the t=2 spike above, V' = 1.084 - 1 = 0.084; next V = 0.4756 —
+  // no immediate second spike.
+  Lif lif(default_lif());
+  Tensor x = Tensor::full(Shape{1}, 0.4f);
+  lif.forward(x, false);
+  lif.forward(x, false);
+  lif.forward(x, false);  // spike
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 0.f);
+}
+
+TEST(Lif, ResetStateClearsMembrane) {
+  Lif lif(default_lif());
+  Tensor x = Tensor::full(Shape{1}, 0.9f);
+  lif.forward(x, false);  // V = 0.9
+  lif.reset_state();
+  // Same input from scratch: still below threshold on the first step.
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 0.f);
+}
+
+TEST(Lif, LeakDecaysMembrane) {
+  LifConfig cfg = default_lif();
+  cfg.beta = 0.5f;  // strong leak
+  Lif lif(cfg);
+  Tensor pulse = Tensor::full(Shape{1}, 0.9f);
+  Tensor silence(Shape{1});
+  lif.forward(pulse, false);    // V = 0.9
+  lif.forward(silence, false);  // V = 0.45
+  lif.forward(silence, false);  // V = 0.225
+  // A 0.7 input now only reaches 0.8125 < 1: no spike.
+  Tensor probe = Tensor::full(Shape{1}, 0.7f);
+  EXPECT_FLOAT_EQ(lif.forward(probe, false)[0], 0.f);
+}
+
+TEST(Lif, OutputIsBinary) {
+  Rng rng(41);
+  Lif lif(default_lif());
+  Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng, 0.5f, 1.f);
+  Tensor s = lif.forward(x, false);
+  for (std::int64_t i = 0; i < s.numel(); ++i) {
+    const float v = s[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(v == 0.f || v == 1.f);
+  }
+}
+
+TEST(Lif, BackwardSingleStepMatchesSurrogate) {
+  // One timestep: dS/dx = surrogate'(V - theta) and V = x.
+  LifConfig cfg = default_lif();
+  Lif lif(cfg);
+  Tensor x = Tensor::full(Shape{1}, 0.7f);
+  lif.forward(x, true);
+  Tensor g = Tensor::full(Shape{1}, 1.f);
+  Tensor gx = lif.backward(g);
+  const float expected = cfg.surrogate.grad(0.7f - 1.f);
+  EXPECT_NEAR(gx[0], expected, 1e-6f);
+}
+
+TEST(Lif, BackwardCarriesMembraneGradientThroughTime) {
+  // Two steps, no spikes. dS2/dx1 = sigma'(V2-theta) * beta.
+  LifConfig cfg = default_lif();
+  Lif lif(cfg);
+  Tensor x1 = Tensor::full(Shape{1}, 0.3f);
+  Tensor x2 = Tensor::full(Shape{1}, 0.2f);
+  lif.forward(x1, true);  // V1 = 0.3
+  lif.forward(x2, true);  // V2 = 0.47
+  // Only the second step's output matters in the probe loss.
+  Tensor g1 = Tensor::full(Shape{1}, 1.f);
+  Tensor g0(Shape{1});
+  Tensor gx2 = lif.backward(g1);  // t=1
+  Tensor gx1 = lif.backward(g0);  // t=0: receives only the carried path
+  const float s2 = cfg.surrogate.grad(0.47f - 1.f);
+  EXPECT_NEAR(gx2[0], s2, 1e-5f);
+  EXPECT_NEAR(gx1[0], cfg.beta * s2, 1e-5f);
+}
+
+TEST(Lif, DetachResetChangesGradient) {
+  // After a spike, detach_reset=false includes the -theta*sigma' term.
+  LifConfig cfg = default_lif();
+  cfg.detach_reset = false;
+  Lif lif_nd(cfg);
+  cfg.detach_reset = true;
+  Lif lif_d(cfg);
+
+  Tensor x1 = Tensor::full(Shape{1}, 1.2f);  // spikes at t=0
+  Tensor x2 = Tensor::full(Shape{1}, 0.8f);
+  Tensor g1 = Tensor::full(Shape{1}, 1.f);
+  Tensor g0(Shape{1});
+
+  lif_nd.forward(x1, true);
+  lif_nd.forward(x2, true);
+  lif_nd.backward(g1);
+  Tensor gnd = lif_nd.backward(g0);
+
+  lif_d.forward(x1, true);
+  lif_d.forward(x2, true);
+  lif_d.backward(g1);
+  Tensor gd = lif_d.backward(g0);
+
+  EXPECT_NE(gnd[0], gd[0]);
+}
+
+TEST(Lif, RefractoryPeriodSilencesAfterSpike) {
+  LifConfig cfg = default_lif();
+  cfg.refractory = 2;
+  Lif lif(cfg);
+  Tensor x = Tensor::full(Shape{1}, 1.5f);  // would spike every step
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 1.f);  // t0: spike
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 0.f);  // t1: refractory
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 0.f);  // t2: refractory
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 1.f);  // t3: live again
+}
+
+TEST(Lif, ZeroRefractoryMatchesLegacyBehavior) {
+  Lif lif(default_lif());
+  Tensor x = Tensor::full(Shape{1}, 1.5f);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 1.f) << "t=" << t;
+  }
+}
+
+TEST(Lif, RefractoryMasksSpikeGradient) {
+  LifConfig cfg = default_lif();
+  cfg.refractory = 3;
+  Lif lif(cfg);
+  Tensor x = Tensor::full(Shape{1}, 1.5f);
+  lif.forward(x, true);  // spike
+  lif.forward(x, true);  // silenced
+  Tensor g1 = Tensor::full(Shape{1}, 1.f);
+  // Backward at the silenced step: no surrogate path, only the carry
+  // (which is zero here since nothing flowed from later steps).
+  Tensor gx_silenced = lif.backward(g1);
+  EXPECT_FLOAT_EQ(gx_silenced[0], 0.f);
+  // Backward at the spiking step: normal surrogate gradient (plus carry).
+  Tensor gx_live = lif.backward(g1);
+  EXPECT_NE(gx_live[0], 0.f);
+  lif.reset_state();
+}
+
+TEST(Lif, RefractoryStateClearsOnReset) {
+  LifConfig cfg = default_lif();
+  cfg.refractory = 5;
+  Lif lif(cfg);
+  Tensor x = Tensor::full(Shape{1}, 1.5f);
+  lif.forward(x, false);  // spike -> refractory armed
+  lif.reset_state();
+  EXPECT_FLOAT_EQ(lif.forward(x, false)[0], 1.f);  // fresh neuron spikes
+}
+
+TEST(Surrogate, FastSigmoidPeaksAtThreshold) {
+  Surrogate s{SurrogateKind::FastSigmoid, 5.f};
+  EXPECT_FLOAT_EQ(s.grad(0.f), 1.f);
+  EXPECT_GT(s.grad(0.f), s.grad(0.5f));
+  EXPECT_FLOAT_EQ(s.grad(0.3f), s.grad(-0.3f));  // symmetric
+}
+
+TEST(Surrogate, AtanShape) {
+  Surrogate s{SurrogateKind::Atan, 2.f};
+  EXPECT_GT(s.grad(0.f), 0.f);
+  EXPECT_GT(s.grad(0.f), s.grad(1.f));
+  EXPECT_GT(s.grad(5.f), 0.f);  // heavy tails
+}
+
+TEST(Surrogate, BoxcarWindow) {
+  Surrogate s{SurrogateKind::Boxcar, 2.f};  // half-width 0.5
+  EXPECT_FLOAT_EQ(s.grad(0.f), 1.f);        // 0.5 / 0.5
+  EXPECT_FLOAT_EQ(s.grad(0.4f), 1.f);
+  EXPECT_FLOAT_EQ(s.grad(0.6f), 0.f);
+}
+
+TEST(Surrogate, StringRoundTrip) {
+  for (auto k : {SurrogateKind::FastSigmoid, SurrogateKind::Atan,
+                 SurrogateKind::Boxcar}) {
+    EXPECT_EQ(surrogate_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(surrogate_from_string("nope"), std::invalid_argument);
+}
+
+TEST(PoissonEncoder, RateTracksIntensity) {
+  PoissonEncoder enc(77);
+  Tensor x = Tensor::full(Shape{1, 1, 50, 50}, 0.3f);
+  double total = 0.0;
+  const int steps = 20;
+  for (int t = 0; t < steps; ++t) {
+    total += enc.encode(x, t).nonzero_fraction();
+  }
+  EXPECT_NEAR(total / steps, 0.3, 0.02);
+}
+
+TEST(PoissonEncoder, ResetRewindsStream) {
+  PoissonEncoder enc(78);
+  Tensor x = Tensor::full(Shape{1, 1, 8, 8}, 0.5f);
+  Tensor first = enc.encode(x, 0);
+  enc.reset();
+  Tensor again = enc.encode(x, 0);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(first, again), 0.f);
+}
+
+TEST(PoissonEncoder, ClampsOutOfRange) {
+  PoissonEncoder enc(79);
+  Tensor x = Tensor::full(Shape{1, 1, 10, 10}, 2.f);  // p clamps to 1
+  EXPECT_DOUBLE_EQ(enc.encode(x, 0).nonzero_fraction(), 1.0);
+}
+
+TEST(DirectEncoder, PassesInputThrough) {
+  DirectEncoder enc;
+  Rng rng(80);
+  Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(enc.encode(x, 0), x), 0.f);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(enc.encode(x, 5), x), 0.f);
+}
+
+TEST(EventEncoder, SlicesTimesteps) {
+  EventEncoder enc(3, 2);  // T=3, C=2
+  Tensor x(Shape{1, 6, 2, 2});
+  for (std::int64_t c = 0; c < 6; ++c) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      x[static_cast<std::size_t>(c * 4 + i)] = static_cast<float>(c);
+    }
+  }
+  Tensor t1 = enc.encode(x, 1);
+  EXPECT_EQ(t1.shape(), (Shape{1, 2, 2, 2}));
+  EXPECT_FLOAT_EQ(t1[0], 2.f);  // channels 2,3 belong to t=1
+  EXPECT_FLOAT_EQ(t1[4], 3.f);
+}
+
+TEST(FiringRateRecorder, AccumulatesAndResets) {
+  FiringRateRecorder rec;
+  rec.record("a", 10.0, 100.0);
+  rec.record("b", 5.0, 100.0);
+  EXPECT_NEAR(rec.overall_rate(), 15.0 / 200.0, 1e-12);
+  const auto per = rec.per_layer_rates();
+  EXPECT_NEAR(per.at("a"), 0.10, 1e-12);
+  EXPECT_NEAR(per.at("b"), 0.05, 1e-12);
+  rec.reset();
+  EXPECT_DOUBLE_EQ(rec.overall_rate(), 0.0);
+}
+
+TEST(FiringRateRecorder, LifReportsSpikes) {
+  FiringRateRecorder rec;
+  Lif lif(default_lif(), "probe");
+  lif.set_recorder(&rec);
+  Tensor x = Tensor::full(Shape{10}, 1.5f);  // all spike
+  lif.forward(x, false);
+  EXPECT_DOUBLE_EQ(rec.overall_rate(), 1.0);
+  lif.reset_state();
+  Tensor silent(Shape{10});
+  lif.forward(silent, false);
+  EXPECT_DOUBLE_EQ(rec.overall_rate(), 0.5);  // 10 spikes / 20 neuron-steps
+}
+
+}  // namespace
+}  // namespace snnskip

@@ -1,0 +1,385 @@
+// Tests for the tensor substrate: shapes, arithmetic, channel ops (the
+// primitives behind DSC/ASC joins), GEMM against a naive reference, and the
+// im2col/col2im adjoint property.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace snnskip {
+namespace {
+
+TEST(Shape, NumelAndStrides) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.numel(), 120);
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 4u);
+  EXPECT_EQ(strides[0], 60);
+  EXPECT_EQ(strides[1], 20);
+  EXPECT_EQ(strides[2], 5);
+  EXPECT_EQ(strides[3], 1);
+}
+
+TEST(Shape, EmptyShapeIsScalar) {
+  Shape s;
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.ndim(), 0u);
+}
+
+TEST(Shape, EqualityAndString) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_EQ((Shape{1, 2}).str(), "[1, 2]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[static_cast<std::size_t>(i)], 0.f);
+  }
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full(Shape{4}, 2.5f);
+  EXPECT_FLOAT_EQ(t[0], 2.5f);
+  t.fill(-1.f);
+  EXPECT_FLOAT_EQ(t[3], -1.f);
+}
+
+TEST(Tensor, AtIndexing) {
+  Tensor t(Shape{2, 3});
+  t.at({1, 2}) = 7.f;
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 7.f);
+  EXPECT_FLOAT_EQ(t[5], 7.f);  // row-major
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(5);
+  Tensor t = Tensor::randn(Shape{10000}, rng, 1.f, 2.f);
+  EXPECT_NEAR(t.mean(), 1.0, 0.1);
+}
+
+TEST(Tensor, RandBounds) {
+  Rng rng(6);
+  Tensor t = Tensor::rand(Shape{1000}, rng, -1.f, 1.f);
+  EXPECT_GE(t.min_value(), -1.f);
+  EXPECT_LT(t.max_value(), 1.f);
+}
+
+TEST(Tensor, BernoulliIsBinary) {
+  Rng rng(8);
+  Tensor t = Tensor::bernoulli(Shape{1000}, rng, 0.25f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float v = t[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(v == 0.f || v == 1.f);
+  }
+  EXPECT_NEAR(t.nonzero_fraction(), 0.25, 0.05);
+}
+
+TEST(Tensor, Arithmetic) {
+  Tensor a = Tensor::full(Shape{4}, 2.f);
+  Tensor b = Tensor::full(Shape{4}, 3.f);
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a[0], 5.f);
+  a.sub_(b);
+  EXPECT_FLOAT_EQ(a[0], 2.f);
+  a.mul_(4.f);
+  EXPECT_FLOAT_EQ(a[0], 8.f);
+  a.axpy_(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 9.5f);
+  a.hadamard_(b);
+  EXPECT_FLOAT_EQ(a[0], 28.5f);
+  a.clamp_(0.f, 10.f);
+  EXPECT_FLOAT_EQ(a[0], 10.f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t(Shape{4}, std::vector<float>{1.f, -2.f, 3.f, 0.f});
+  EXPECT_DOUBLE_EQ(t.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.5);
+  EXPECT_FLOAT_EQ(t.max_value(), 3.f);
+  EXPECT_FLOAT_EQ(t.min_value(), -2.f);
+  EXPECT_DOUBLE_EQ(t.nonzero_fraction(), 0.75);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape(Shape{3, 2});
+  EXPECT_FLOAT_EQ(r.at({2, 1}), 5.f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a(Shape{3}, std::vector<float>{1.f, 2.f, 3.f});
+  Tensor b(Shape{3}, std::vector<float>{1.f, 2.5f, 3.f});
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(a, b), 0.5f);
+}
+
+// --- channel operations -------------------------------------------------
+
+TEST(Ops, ConcatChannels) {
+  Tensor a = Tensor::full(Shape{2, 2, 2, 2}, 1.f);
+  Tensor b = Tensor::full(Shape{2, 3, 2, 2}, 2.f);
+  Tensor c = concat_channels({&a, &b});
+  EXPECT_EQ(c.shape(), (Shape{2, 5, 2, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 0, 0, 0}), 1.f);
+  EXPECT_FLOAT_EQ(c.at({0, 2, 0, 0}), 2.f);
+  EXPECT_FLOAT_EQ(c.at({1, 4, 1, 1}), 2.f);
+}
+
+TEST(Ops, SliceChannelsInvertsConcat) {
+  Rng rng(3);
+  Tensor a = Tensor::randn(Shape{1, 2, 3, 3}, rng);
+  Tensor b = Tensor::randn(Shape{1, 4, 3, 3}, rng);
+  Tensor c = concat_channels({&a, &b});
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(slice_channels(c, 0, 2), a), 0.f);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(slice_channels(c, 2, 6), b), 0.f);
+}
+
+TEST(Ops, GatherChannelsSelects) {
+  Tensor x(Shape{1, 4, 1, 1}, std::vector<float>{10, 11, 12, 13});
+  Tensor g = gather_channels(x, {3, 1});
+  EXPECT_EQ(g.shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(g[0], 13.f);
+  EXPECT_FLOAT_EQ(g[1], 11.f);
+}
+
+TEST(Ops, ScatterAddIsAdjointOfGather) {
+  // <gather(x), g> == <x, scatter(g)> for all x, g — the adjoint property
+  // the Block backward relies on.
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{2, 5, 3, 3}, rng);
+  const std::vector<std::int64_t> idx{4, 0, 2};
+  Tensor g = Tensor::randn(Shape{2, 3, 3, 3}, rng);
+
+  Tensor gx = gather_channels(x, idx);
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < gx.numel(); ++i) {
+    lhs += static_cast<double>(gx[static_cast<std::size_t>(i)]) *
+           g[static_cast<std::size_t>(i)];
+  }
+  Tensor sg(Shape{2, 5, 3, 3});
+  scatter_add_channels(sg, g, idx);
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[static_cast<std::size_t>(i)]) *
+           sg[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(Ops, ScatterAddAccumulates) {
+  Tensor acc = Tensor::full(Shape{1, 2, 1, 1}, 1.f);
+  Tensor g = Tensor::full(Shape{1, 1, 1, 1}, 2.f);
+  scatter_add_channels(acc, g, {1});
+  EXPECT_FLOAT_EQ(acc[0], 1.f);
+  EXPECT_FLOAT_EQ(acc[1], 3.f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(9);
+  Tensor logits = Tensor::randn(Shape{5, 7}, rng, 0.f, 3.f);
+  Tensor p = softmax(logits);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (std::int64_t j = 0; j < 7; ++j) row += p.at({i, j});
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+  EXPECT_GE(p.min_value(), 0.f);
+}
+
+TEST(Ops, SoftmaxHandlesLargeLogits) {
+  Tensor logits(Shape{1, 3}, std::vector<float>{1000.f, 1001.f, 999.f});
+  Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor logits(Shape{2, 3}, std::vector<float>{1, 5, 2, 9, 0, 3});
+  const auto idx = argmax_rows(logits);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, PadUnpadRoundTrip) {
+  Rng rng(10);
+  Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+  Tensor p = pad2d(x, 2);
+  EXPECT_EQ(p.shape(), (Shape{2, 3, 8, 8}));
+  EXPECT_FLOAT_EQ(p.at({0, 0, 0, 0}), 0.f);  // border is zero
+  Tensor u = unpad2d(p, 2);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(u, x), 0.f);
+}
+
+// --- GEMM ----------------------------------------------------------------
+
+void naive_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                const float* a, const float* b, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+class GemmSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(100 + m + n + k);
+  Tensor a = Tensor::randn(Shape{m, k}, rng);
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+  Tensor c(Shape{m, n});
+  Tensor ref(Shape{m, n});
+  gemm(m, n, k, 1.f, a.data(), b.data(), 0.f, c.data());
+  naive_gemm(m, n, k, a.data(), b.data(), ref.data());
+  EXPECT_LT(Tensor::max_abs_diff(c, ref), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GemmSizes,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(3, 5, 7),
+                                           std::make_tuple(16, 16, 16),
+                                           std::make_tuple(33, 17, 65),
+                                           std::make_tuple(8, 200, 150),
+                                           std::make_tuple(64, 1, 300)));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  const std::int64_t m = 4, n = 4, k = 4;
+  Rng rng(11);
+  Tensor a = Tensor::randn(Shape{m, k}, rng);
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+  Tensor c = Tensor::full(Shape{m, n}, 1.f);
+  Tensor ab(Shape{m, n});
+  naive_gemm(m, n, k, a.data(), b.data(), ab.data());
+  gemm(m, n, k, 2.f, a.data(), b.data(), 3.f, c.data());
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c[static_cast<std::size_t>(i)],
+                2.f * ab[static_cast<std::size_t>(i)] + 3.f, 1e-3f);
+  }
+}
+
+TEST(Gemm, TransposedAMatchesNaive) {
+  const std::int64_t m = 6, n = 9, k = 5;
+  Rng rng(12);
+  Tensor at = Tensor::randn(Shape{k, m}, rng);  // A stored transposed
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+  Tensor c(Shape{m, n});
+  gemm_tn(m, n, k, 1.f, at.data(), b.data(), 0.f, c.data());
+  // Build the untransposed A and compare.
+  Tensor a(Shape{m, k});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) a.at({i, p}) = at.at({p, i});
+  }
+  Tensor ref(Shape{m, n});
+  naive_gemm(m, n, k, a.data(), b.data(), ref.data());
+  EXPECT_LT(Tensor::max_abs_diff(c, ref), 1e-4f);
+}
+
+TEST(Gemm, TransposedBMatchesNaive) {
+  const std::int64_t m = 7, n = 4, k = 8;
+  Rng rng(13);
+  Tensor a = Tensor::randn(Shape{m, k}, rng);
+  Tensor bt = Tensor::randn(Shape{n, k}, rng);  // B stored transposed
+  Tensor c(Shape{m, n});
+  gemm_nt(m, n, k, 1.f, a.data(), bt.data(), 0.f, c.data());
+  Tensor b(Shape{k, n});
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t j = 0; j < n; ++j) b.at({p, j}) = bt.at({j, p});
+  }
+  Tensor ref(Shape{m, n});
+  naive_gemm(m, n, k, a.data(), b.data(), ref.data());
+  EXPECT_LT(Tensor::max_abs_diff(c, ref), 1e-4f);
+}
+
+TEST(Gemm, AccumulatesWithBetaOne) {
+  const std::int64_t m = 3, n = 3, k = 3;
+  Rng rng(14);
+  Tensor a = Tensor::randn(Shape{m, k}, rng);
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+  Tensor c1(Shape{m, n});
+  gemm(m, n, k, 1.f, a.data(), b.data(), 0.f, c1.data());
+  Tensor c2(Shape{m, n});
+  gemm(m, n, k, 1.f, a.data(), b.data(), 0.f, c2.data());
+  gemm(m, n, k, 1.f, a.data(), b.data(), 1.f, c2.data());
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c2[static_cast<std::size_t>(i)],
+                2.f * c1[static_cast<std::size_t>(i)], 1e-4f);
+  }
+}
+
+// --- im2col --------------------------------------------------------------
+
+class Im2ColGeom : public ::testing::TestWithParam<ConvGeometry> {};
+
+TEST_P(Im2ColGeom, AdjointProperty) {
+  // <im2col(x), c> == <x, col2im(c)>.
+  const ConvGeometry g = GetParam();
+  Rng rng(21);
+  Tensor x = Tensor::randn(Shape{g.in_c, g.in_h, g.in_w}, rng);
+  Tensor cols(Shape{g.col_rows(), g.col_cols()});
+  im2col(g, x.data(), cols.data());
+
+  Tensor c = Tensor::randn(Shape{g.col_rows(), g.col_cols()}, rng);
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[static_cast<std::size_t>(i)]) *
+           c[static_cast<std::size_t>(i)];
+  }
+  Tensor back(Shape{g.in_c, g.in_h, g.in_w});
+  col2im(g, c.data(), back.data());
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[static_cast<std::size_t>(i)]) *
+           back[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColGeom,
+    ::testing::Values(ConvGeometry{1, 4, 4, 3, 1, 1},
+                      ConvGeometry{3, 8, 8, 3, 1, 1},
+                      ConvGeometry{2, 8, 8, 3, 2, 1},
+                      ConvGeometry{4, 6, 6, 1, 1, 0},
+                      ConvGeometry{2, 5, 7, 3, 2, 1},
+                      ConvGeometry{1, 4, 4, 4, 2, 0}));
+
+TEST(Im2Col, IdentityKernelCopiesPixels) {
+  // 1x1 kernel, stride 1, no padding: cols == image.
+  const ConvGeometry g{2, 3, 3, 1, 1, 0};
+  Rng rng(22);
+  Tensor x = Tensor::randn(Shape{2, 3, 3}, rng);
+  Tensor cols(Shape{g.col_rows(), g.col_cols()});
+  im2col(g, x.data(), cols.data());
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(cols.reshape(x.shape()), x), 0.f);
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  const ConvGeometry g{1, 2, 2, 3, 1, 1};
+  Tensor x = Tensor::full(Shape{1, 2, 2}, 5.f);
+  Tensor cols(Shape{g.col_rows(), g.col_cols()});
+  im2col(g, x.data(), cols.data());
+  // Top-left output position, top-left kernel tap reads padding.
+  EXPECT_FLOAT_EQ(cols.at({0, 0}), 0.f);
+}
+
+TEST(ConvGeometry, OutputSizes) {
+  const ConvGeometry g{3, 16, 16, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 8);
+  EXPECT_EQ(g.out_w(), 8);
+  EXPECT_EQ(g.col_rows(), 27);
+  EXPECT_EQ(g.col_cols(), 64);
+}
+
+}  // namespace
+}  // namespace snnskip
