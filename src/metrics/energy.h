@@ -20,6 +20,9 @@ struct EnergyModel {
   double ann_energy_pj(std::int64_t macs) const;
 
   /// SNN inference energy: macs/step * rate * T accumulates.
+  /// `firing_rate` is nonzeros / elements — the same sparsity definition
+  /// FiringRateRecorder and SparseExec report, so measured densities can
+  /// be plugged in directly.
   double snn_energy_pj(std::int64_t macs_per_step, double firing_rate,
                        std::int64_t timesteps) const;
 };

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/workspace.h"
+
 namespace snnskip {
 
 BatchNormTT::BatchNormTT(std::int64_t channels, std::int64_t max_timesteps,
@@ -41,54 +43,72 @@ Tensor BatchNormTT::forward(const Tensor& x, bool train) {
   ctx.count = count;
   const std::size_t ti = static_cast<std::size_t>(t);
 
-  if (train) {
-    ctx.xhat = Tensor(s);
-    ctx.inv_std.resize(static_cast<std::size_t>(c_));
+  if (!train) {
+    // Eval hot path: fold (mean, var, gamma, beta) into per-channel scale
+    // and shift once, then run a single fused pass. The fold lives in the
+    // workspace arena, so the timestep loop stays allocation-free.
+    auto scope = Workspace::tls().scope();
+    float* scale = scope.floats(static_cast<std::size_t>(c_));
+    float* shift = scope.floats(static_cast<std::size_t>(c_));
+    for (std::int64_t ch = 0; ch < c_; ++ch) {
+      const std::size_t ci = static_cast<std::size_t>(ch);
+      const float mean = running_mean_[ti][ci];
+      const float inv_std = 1.f / std::sqrt(running_var_[ti][ci] + eps_);
+      const float g = gamma_[ti].value[ci];
+      scale[ch] = g * inv_std;
+      shift[ch] = beta_[ti].value[ci] - g * mean * inv_std;
+    }
+    for (std::int64_t img = 0; img < n; ++img) {
+      for (std::int64_t ch = 0; ch < c_; ++ch) {
+        const float* p = x.data() + (img * c_ + ch) * plane;
+        float* o = out.data() + (img * c_ + ch) * plane;
+        const float sc = scale[ch], sh = shift[ch];
+        for (std::int64_t j = 0; j < plane; ++j) o[j] = sc * p[j] + sh;
+      }
+    }
+    return out;
   }
 
+  ctx.xhat = Tensor(s);
+  ctx.inv_std.resize(static_cast<std::size_t>(c_));
+
   for (std::int64_t ch = 0; ch < c_; ++ch) {
-    float mean, var;
-    if (train) {
-      double acc = 0.0;
-      for (std::int64_t img = 0; img < n; ++img) {
-        const float* p = x.data() + (img * c_ + ch) * plane;
-        for (std::int64_t j = 0; j < plane; ++j) acc += p[j];
-      }
-      mean = static_cast<float>(acc / count);
-      double vacc = 0.0;
-      for (std::int64_t img = 0; img < n; ++img) {
-        const float* p = x.data() + (img * c_ + ch) * plane;
-        for (std::int64_t j = 0; j < plane; ++j) {
-          const double d = p[j] - mean;
-          vacc += d * d;
-        }
-      }
-      var = static_cast<float>(vacc / count);
-      auto& rm = running_mean_[ti][static_cast<std::size_t>(ch)];
-      auto& rv = running_var_[ti][static_cast<std::size_t>(ch)];
-      rm = (1.f - momentum_) * rm + momentum_ * mean;
-      rv = (1.f - momentum_) * rv + momentum_ * var;
-    } else {
-      mean = running_mean_[ti][static_cast<std::size_t>(ch)];
-      var = running_var_[ti][static_cast<std::size_t>(ch)];
+    double acc = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* p = x.data() + (img * c_ + ch) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) acc += p[j];
     }
+    const float mean = static_cast<float>(acc / count);
+    double vacc = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* p = x.data() + (img * c_ + ch) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        const double d = p[j] - mean;
+        vacc += d * d;
+      }
+    }
+    const float var = static_cast<float>(vacc / count);
+    auto& rm = running_mean_[ti][static_cast<std::size_t>(ch)];
+    auto& rv = running_var_[ti][static_cast<std::size_t>(ch)];
+    rm = (1.f - momentum_) * rm + momentum_ * mean;
+    rv = (1.f - momentum_) * rv + momentum_ * var;
     const float inv_std = 1.f / std::sqrt(var + eps_);
     const float g = gamma_[ti].value[static_cast<std::size_t>(ch)];
     const float b = beta_[ti].value[static_cast<std::size_t>(ch)];
     for (std::int64_t img = 0; img < n; ++img) {
       const float* p = x.data() + (img * c_ + ch) * plane;
       float* o = out.data() + (img * c_ + ch) * plane;
-      float* xh = train ? ctx.xhat.data() + (img * c_ + ch) * plane : nullptr;
+      float* xh = ctx.xhat.data() + (img * c_ + ch) * plane;
       for (std::int64_t j = 0; j < plane; ++j) {
         const float xhat = (p[j] - mean) * inv_std;
-        if (train) xh[j] = xhat;
+        xh[j] = xhat;
         o[j] = g * xhat + b;
       }
     }
-    if (train) ctx.inv_std[static_cast<std::size_t>(ch)] = inv_std;
+    ctx.inv_std[static_cast<std::size_t>(ch)] = inv_std;
   }
 
-  if (train) saved_.push_back(std::move(ctx));
+  saved_.push_back(std::move(ctx));
   return out;
 }
 

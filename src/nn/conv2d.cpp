@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "tensor/gemm.h"
+#include "tensor/spike_kernels.h"
+#include "tensor/workspace.h"
 
 namespace snnskip {
 
@@ -46,25 +48,43 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const ConvGeometry g{s[1], s[2], s[3], kernel_, stride_, pad_};
   const std::int64_t cr = g.col_rows(), cc = g.col_cols();
 
-  Tensor cols(Shape{n, cr, cc});
   Tensor out(Shape{n, out_c_, g.out_h(), g.out_w()});
 
-  for (std::int64_t img = 0; img < n; ++img) {
-    float* col_ptr = cols.data() + img * cr * cc;
-    im2col(g, x.data() + img * in_c_ * s[2] * s[3], col_ptr);
-    // out_img(O, HoWo) = W(O, CKK) * cols(CKK, HoWo)
-    gemm(out_c_, cc, cr, 1.f, weight_.value.data(), col_ptr, 0.f,
-         out.data() + img * out_c_ * cc);
-    if (has_bias_) {
-      float* o = out.data() + img * out_c_ * cc;
-      for (std::int64_t ch = 0; ch < out_c_; ++ch) {
-        const float b = bias_.value[static_cast<std::size_t>(ch)];
-        for (std::int64_t p = 0; p < cc; ++p) o[ch * cc + p] += b;
+  const std::int64_t row_len = in_c_ * s[2] * s[3];
+  bool sparse = false;
+  if (SparseExec::enabled()) {
+    const std::int64_t nnz = count_nonzero(x.data(), x.numel());
+    sparse = static_cast<double>(nnz) <
+             static_cast<double>(SparseExec::threshold()) *
+                 static_cast<double>(x.numel());
+    SparseExec::note(static_cast<double>(nnz),
+                     static_cast<double>(x.numel()), sparse);
+  }
+
+  if (sparse) {
+    csr_.build(x.data(), n, row_len);
+    spike_conv2d_forward(g, csr_, weight_.value.data(),
+                         has_bias_ ? bias_.value.data() : nullptr, out_c_,
+                         out.data(), Workspace::tls());
+  } else {
+    auto scope = Workspace::tls().scope();
+    float* col_ptr = scope.floats(static_cast<std::size_t>(cr * cc));
+    for (std::int64_t img = 0; img < n; ++img) {
+      im2col(g, x.data() + img * row_len, col_ptr);
+      // out_img(O, HoWo) = W(O, CKK) * cols(CKK, HoWo)
+      gemm(out_c_, cc, cr, 1.f, weight_.value.data(), col_ptr, 0.f,
+           out.data() + img * out_c_ * cc);
+      if (has_bias_) {
+        float* o = out.data() + img * out_c_ * cc;
+        for (std::int64_t ch = 0; ch < out_c_; ++ch) {
+          const float b = bias_.value[static_cast<std::size_t>(ch)];
+          for (std::int64_t p = 0; p < cc; ++p) o[ch * cc + p] += b;
+        }
       }
     }
   }
   if (train) {
-    saved_.push_back(Ctx{std::move(cols), s});
+    saved_.push_back(Ctx{x});
   }
   return out;
 }
@@ -74,18 +94,22 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Ctx ctx = std::move(saved_.back());
   saved_.pop_back();
 
-  const Shape& in_s = ctx.in_shape;
+  const Shape& in_s = ctx.input.shape();
   const std::int64_t n = in_s[0];
   const ConvGeometry g{in_s[1], in_s[2], in_s[3], kernel_, stride_, pad_};
   const std::int64_t cr = g.col_rows(), cc = g.col_cols();
   assert(grad_out.shape()[0] == n && grad_out.shape()[1] == out_c_);
 
   Tensor grad_in(in_s);
-  Tensor grad_cols(Shape{cr, cc});
+  auto scope = Workspace::tls().scope();
+  float* col_ptr = scope.floats(static_cast<std::size_t>(cr * cc));
+  float* grad_cols = scope.floats(static_cast<std::size_t>(cr * cc));
 
   for (std::int64_t img = 0; img < n; ++img) {
     const float* go = grad_out.data() + img * out_c_ * cc;
-    const float* col_ptr = ctx.cols.data() + img * cr * cc;
+    // Recompute this image's columns from the saved input — im2col is a
+    // pure gather, so the values match the forward pass bit-for-bit.
+    im2col(g, ctx.input.data() + img * in_s[1] * in_s[2] * in_s[3], col_ptr);
     // dW(O, CKK) += gO(O, HoWo) * cols(CKK, HoWo)^T
     gemm_nt(out_c_, cr, cc, 1.f, go, col_ptr, 1.f, weight_.grad.data());
     if (has_bias_) {
@@ -96,9 +120,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       }
     }
     // dcols(CKK, HoWo) = W(O, CKK)^T * gO(O, HoWo)
-    gemm_tn(cr, cc, out_c_, 1.f, weight_.value.data(), go, 0.f,
-            grad_cols.data());
-    col2im(g, grad_cols.data(),
+    gemm_tn(cr, cc, out_c_, 1.f, weight_.value.data(), go, 0.f, grad_cols);
+    col2im(g, grad_cols,
            grad_in.data() + img * in_s[1] * in_s[2] * in_s[3]);
   }
   return grad_in;

@@ -1,12 +1,18 @@
 #pragma once
-// 2-D convolution via im2col + GEMM.
+// 2-D convolution via im2col + GEMM, with an event-driven sparse path.
 //
 // Weight layout OIHW: (out_channels, in_channels, kernel, kernel).
-// Forward saves the unrolled column matrix per image so the backward pass
-// is two GEMMs (weight grad, input grad) plus a col2im scatter.
+// Forward scans the input's density: binary/sparse spike tensors below the
+// SparseExec threshold skip im2col entirely and scatter weight rows per
+// active spike (tensor/spike_kernels.h); denser inputs take the im2col +
+// GEMM path with the column buffer carved from the Workspace arena, so the
+// per-timestep loop never touches the heap in steady state. Forward saves
+// only the input; backward recomputes the column matrix into the arena
+// (K*K times less retained memory than saving the columns across T steps).
 
 #include "nn/layer.h"
 #include "tensor/im2col.h"
+#include "tensor/spike_csr.h"
 #include "util/rng.h"
 
 namespace snnskip {
@@ -37,8 +43,7 @@ class Conv2d final : public Layer {
 
  private:
   struct Ctx {
-    Tensor cols;  // (N, C*K*K, Ho*Wo)
-    Shape in_shape;
+    Tensor input;  // (N, C, H, W); columns are recomputed in backward
   };
 
   std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
@@ -47,6 +52,7 @@ class Conv2d final : public Layer {
   Parameter weight_;
   Parameter bias_;
   std::vector<Ctx> saved_;
+  SpikeCsr csr_;  // event-list scratch, capacity reused across timesteps
 };
 
 }  // namespace snnskip

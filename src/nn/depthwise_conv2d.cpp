@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/spike_kernels.h"
+
 namespace snnskip {
 
 DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel,
@@ -41,6 +43,25 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
   const Shape os = output_shape(s);
   const std::int64_t ho = os[2], wo = os[3];
   Tensor out(os);
+
+  bool sparse = false;
+  if (SparseExec::enabled()) {
+    const std::int64_t nnz = count_nonzero(x.data(), x.numel());
+    sparse = static_cast<double>(nnz) <
+             static_cast<double>(SparseExec::threshold()) *
+                 static_cast<double>(x.numel());
+    SparseExec::note(static_cast<double>(nnz),
+                     static_cast<double>(x.numel()), sparse);
+  }
+  if (sparse) {
+    const ConvGeometry g{c_, h, w, kernel_, stride_, pad_};
+    csr_.build(x.data(), n, c_ * h * w);
+    spike_depthwise_forward(g, csr_, weight_.value.data(),
+                            has_bias_ ? bias_.value.data() : nullptr,
+                            out.data());
+    if (train) saved_inputs_.push_back(x);
+    return out;
+  }
 
   for (std::int64_t img = 0; img < n; ++img) {
     for (std::int64_t ch = 0; ch < c_; ++ch) {

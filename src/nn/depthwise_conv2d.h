@@ -2,10 +2,13 @@
 // Depthwise 2-D convolution (groups == channels), the middle operation of
 // MobileNetV2's inverted-residual block. Implemented with direct loops —
 // the per-channel kernels are tiny, so im2col overhead isn't worth it.
+// Sparse spike inputs below the SparseExec density threshold take an
+// event-driven scatter path (K*K taps per active spike).
 //
 // Weight layout: (channels, 1, kernel, kernel).
 
 #include "nn/layer.h"
+#include "tensor/spike_csr.h"
 #include "util/rng.h"
 
 namespace snnskip {
@@ -33,6 +36,7 @@ class DepthwiseConv2d final : public Layer {
   Parameter weight_;
   Parameter bias_;
   std::vector<Tensor> saved_inputs_;
+  SpikeCsr csr_;  // event-list scratch, capacity reused across timesteps
 };
 
 }  // namespace snnskip

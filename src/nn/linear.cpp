@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "tensor/gemm.h"
+#include "tensor/spike_kernels.h"
+#include "tensor/workspace.h"
 
 namespace snnskip {
 
@@ -33,14 +35,34 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   assert(s.ndim() == 2 && s[1] == in_f_);
   const std::int64_t n = s[0];
   Tensor out(Shape{n, out_f_});
-  // out(N, O) = x(N, I) * W(O, I)^T
-  gemm_nt(n, out_f_, in_f_, 1.f, x.data(), weight_.value.data(), 0.f,
-          out.data());
-  if (has_bias_) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      float* row = out.data() + i * out_f_;
-      for (std::int64_t j = 0; j < out_f_; ++j) {
-        row[j] += bias_.value[static_cast<std::size_t>(j)];
+
+  bool sparse = false;
+  if (SparseExec::enabled()) {
+    const std::int64_t nnz = count_nonzero(x.data(), x.numel());
+    sparse = static_cast<double>(nnz) <
+             static_cast<double>(SparseExec::threshold()) *
+                 static_cast<double>(x.numel());
+    SparseExec::note(static_cast<double>(nnz),
+                     static_cast<double>(x.numel()), sparse);
+  }
+
+  if (sparse) {
+    // Event-driven path: per active input feature, one axpy of the
+    // corresponding (transposed) weight column.
+    csr_.build(x.data(), n, in_f_);
+    spike_linear_forward(csr_, weight_.value.data(),
+                         has_bias_ ? bias_.value.data() : nullptr, out_f_,
+                         out.data(), Workspace::tls());
+  } else {
+    // out(N, O) = x(N, I) * W(O, I)^T
+    gemm_nt(n, out_f_, in_f_, 1.f, x.data(), weight_.value.data(), 0.f,
+            out.data());
+    if (has_bias_) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        float* row = out.data() + i * out_f_;
+        for (std::int64_t j = 0; j < out_f_; ++j) {
+          row[j] += bias_.value[static_cast<std::size_t>(j)];
+        }
       }
     }
   }

@@ -1,7 +1,11 @@
 #pragma once
 // Fully connected layer. Input (N, in_features), weight (out, in).
+// Sparse spike inputs below the SparseExec density threshold take an
+// event-driven path (one weight-column axpy per active feature) instead of
+// the dense GEMM.
 
 #include "nn/layer.h"
+#include "tensor/spike_csr.h"
 #include "util/rng.h"
 
 namespace snnskip {
@@ -31,6 +35,7 @@ class Linear final : public Layer {
   Parameter weight_;
   Parameter bias_;
   std::vector<Tensor> saved_inputs_;
+  SpikeCsr csr_;  // event-list scratch, capacity reused across timesteps
 };
 
 /// Collapse (N, C, H, W) to (N, C*H*W); pure reshape with exact backward.

@@ -1,5 +1,6 @@
 #include "nn/pooling.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -93,6 +94,28 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   const std::int64_t n = s[0], c = s[1], h = s[2], w = s[3];
   const std::int64_t ho = os[2], wo = os[3];
   Tensor out(os);
+  if (!train) {
+    // Eval path: no argmax bookkeeping — the index buffer only exists to
+    // route gradients, so skipping it keeps the timestep loop heap-free.
+    for (std::int64_t i = 0; i < n * c; ++i) {
+      const float* plane = x.data() + i * h * w;
+      float* optr = out.data() + i * ho * wo;
+      for (std::int64_t oy = 0; oy < ho; ++oy) {
+        for (std::int64_t ox = 0; ox < wo; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              best = std::max(best,
+                              plane[(oy * stride_ + ky) * w + ox * stride_ +
+                                    kx]);
+            }
+          }
+          optr[oy * wo + ox] = best;
+        }
+      }
+    }
+    return out;
+  }
   Ctx ctx;
   ctx.in_shape = s;
   ctx.argmax.resize(static_cast<std::size_t>(os.numel()));
@@ -119,7 +142,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
       }
     }
   }
-  if (train) saved_.push_back(std::move(ctx));
+  saved_.push_back(std::move(ctx));
   return out;
 }
 

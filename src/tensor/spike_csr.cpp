@@ -1,0 +1,32 @@
+#include "tensor/spike_csr.h"
+
+#include <cassert>
+#include <limits>
+
+namespace snnskip {
+
+void SpikeCsr::build(const float* data, std::int64_t rows,
+                     std::int64_t row_len) {
+  assert(row_len <= std::numeric_limits<std::int32_t>::max());
+  row_ptr_.clear();
+  idx_.clear();
+  val_.clear();
+  row_len_ = row_len;
+  binary_ = true;
+  row_ptr_.reserve(static_cast<std::size_t>(rows) + 1);
+  row_ptr_.push_back(0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* p = data + r * row_len;
+    for (std::int64_t j = 0; j < row_len; ++j) {
+      const float v = p[j];
+      if (v != 0.f) {
+        idx_.push_back(static_cast<std::int32_t>(j));
+        val_.push_back(v);
+        binary_ &= (v == 1.f);
+      }
+    }
+    row_ptr_.push_back(static_cast<std::int32_t>(idx_.size()));
+  }
+}
+
+}  // namespace snnskip

@@ -1,0 +1,221 @@
+#include "tensor/spike_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace snnskip {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* e = std::getenv("SNNSKIP_SPARSE");
+  return !(e != nullptr && e[0] == '0');
+}()};
+
+std::atomic<float> g_threshold{[] {
+  const char* e = std::getenv("SNNSKIP_SPARSE_THRESHOLD");
+  if (e != nullptr) {
+    const float v = std::strtof(e, nullptr);
+    if (v > 0.f && v <= 1.f) return v;
+  }
+  return 0.25f;
+}()};
+
+std::mutex g_stats_mutex;
+SparseExec::Stats g_stats;
+
+}  // namespace
+
+bool SparseExec::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+float SparseExec::threshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+void SparseExec::set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+void SparseExec::set_threshold(float t) {
+  g_threshold.store(t, std::memory_order_relaxed);
+}
+
+SparseExec::Stats SparseExec::stats() {
+  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  return g_stats;
+}
+
+void SparseExec::reset_stats() {
+  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  g_stats = Stats{};
+}
+
+void SparseExec::note(double nnz, double elements, bool took_sparse_path) {
+  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  g_stats.nnz += nnz;
+  g_stats.elements += elements;
+  if (took_sparse_path) {
+    ++g_stats.sparse_calls;
+  } else {
+    ++g_stats.dense_calls;
+  }
+}
+
+std::int64_t count_nonzero(const float* data, std::int64_t n) {
+  std::int64_t nnz = 0;
+  for (std::int64_t i = 0; i < n; ++i) nnz += (data[i] != 0.f);
+  return nnz;
+}
+
+namespace {
+
+// Cache-blocked transpose: dst(c, r) = src(r, c) for src of (rows, cols).
+// The naive loop strides one full row per write and misses on every store
+// once the panel outgrows L2 (e.g. a 512x2304 conv weight); 32x32 tiles
+// keep both sides inside a handful of cache lines.
+void transpose_panel(const float* src, std::int64_t rows, std::int64_t cols,
+                     float* dst) {
+  constexpr std::int64_t kTile = 32;
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::int64_t r1 = std::min(rows, r0 + kTile);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::int64_t c1 = std::min(cols, c0 + kTile);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const float* s = src + r * cols;
+        for (std::int64_t c = c0; c < c1; ++c) dst[c * rows + r] = s[c];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void spike_conv2d_forward(const ConvGeometry& g, const SpikeCsr& csr,
+                          const float* weight, const float* bias,
+                          std::int64_t out_c, float* out, Workspace& ws) {
+  const std::int64_t ckk = g.col_rows();
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  const std::int64_t howo = ho * wo;
+  const std::int64_t hw = g.in_h * g.in_w;
+  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
+  const std::int64_t o_c = out_c;
+
+  auto scope = ws.scope();
+  // Weight transposed to ((c,ky,kx), o) so the per-spike accumulation is a
+  // unit-stride axpy of length O. Rebuilt per call: O(O*CKK) — negligible
+  // next to the conv itself and immune to weight-update staleness.
+  float* wt = scope.floats(static_cast<std::size_t>(ckk * o_c));
+  transpose_panel(weight, o_c, ckk, wt);
+  // Output accumulated transposed as (HoWo, O), then flipped back once.
+  float* outt = scope.floats(static_cast<std::size_t>(howo * o_c));
+
+  for (std::int64_t img = 0; img < csr.rows(); ++img) {
+    std::memset(outt, 0, static_cast<std::size_t>(howo * o_c) * sizeof(float));
+    const std::int32_t* idx = csr.row_indices(img);
+    const float* val = csr.row_values(img);
+    const std::int64_t cnt = csr.row_nnz(img);
+    for (std::int64_t e = 0; e < cnt; ++e) {
+      const std::int64_t flat = idx[e];
+      const float v = val[e];
+      const std::int64_t c = flat / hw;
+      const std::int64_t rem = flat - c * hw;
+      const std::int64_t iy = rem / g.in_w;
+      const std::int64_t ix = rem - iy * g.in_w;
+      // Every kernel tap (ky,kx) that maps this input pixel onto a valid
+      // output position receives one weight-row accumulation.
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t ty = iy + pad - ky;
+        if (ty < 0 || ty % s != 0) continue;
+        const std::int64_t oy = ty / s;
+        if (oy >= ho) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t tx = ix + pad - kx;
+          if (tx < 0 || tx % s != 0) continue;
+          const std::int64_t ox = tx / s;
+          if (ox >= wo) continue;
+          const float* wrow = wt + ((c * k + ky) * k + kx) * o_c;
+          float* orow = outt + (oy * wo + ox) * o_c;
+          for (std::int64_t o = 0; o < o_c; ++o) orow[o] += v * wrow[o];
+        }
+      }
+    }
+    float* oimg = out + img * o_c * howo;
+    for (std::int64_t o = 0; o < o_c; ++o) {
+      const float b = bias != nullptr ? bias[o] : 0.f;
+      float* orow = oimg + o * howo;
+      for (std::int64_t j = 0; j < howo; ++j) orow[j] = outt[j * o_c + o] + b;
+    }
+  }
+}
+
+void spike_linear_forward(const SpikeCsr& csr, const float* weight,
+                          const float* bias, std::int64_t out_f, float* out,
+                          Workspace& ws) {
+  const std::int64_t in_f = csr.row_len();
+  auto scope = ws.scope();
+  float* wt = scope.floats(static_cast<std::size_t>(in_f * out_f));
+  transpose_panel(weight, out_f, in_f, wt);
+  for (std::int64_t i = 0; i < csr.rows(); ++i) {
+    float* orow = out + i * out_f;
+    if (bias != nullptr) {
+      std::memcpy(orow, bias, static_cast<std::size_t>(out_f) * sizeof(float));
+    } else {
+      std::memset(orow, 0, static_cast<std::size_t>(out_f) * sizeof(float));
+    }
+    const std::int32_t* idx = csr.row_indices(i);
+    const float* val = csr.row_values(i);
+    const std::int64_t cnt = csr.row_nnz(i);
+    for (std::int64_t e = 0; e < cnt; ++e) {
+      const float* wrow = wt + static_cast<std::int64_t>(idx[e]) * out_f;
+      const float v = val[e];
+      for (std::int64_t o = 0; o < out_f; ++o) orow[o] += v * wrow[o];
+    }
+  }
+}
+
+void spike_depthwise_forward(const ConvGeometry& g, const SpikeCsr& csr,
+                             const float* weight, const float* bias,
+                             float* out) {
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  const std::int64_t howo = ho * wo;
+  const std::int64_t hw = g.in_h * g.in_w;
+  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
+  const std::int64_t c_ = g.in_c;
+
+  for (std::int64_t img = 0; img < csr.rows(); ++img) {
+    float* oimg = out + img * c_ * howo;
+    for (std::int64_t ch = 0; ch < c_; ++ch) {
+      const float b = bias != nullptr ? bias[ch] : 0.f;
+      float* plane = oimg + ch * howo;
+      for (std::int64_t j = 0; j < howo; ++j) plane[j] = b;
+    }
+    const std::int32_t* idx = csr.row_indices(img);
+    const float* val = csr.row_values(img);
+    const std::int64_t cnt = csr.row_nnz(img);
+    for (std::int64_t e = 0; e < cnt; ++e) {
+      const std::int64_t flat = idx[e];
+      const float v = val[e];
+      const std::int64_t c = flat / hw;
+      const std::int64_t rem = flat - c * hw;
+      const std::int64_t iy = rem / g.in_w;
+      const std::int64_t ix = rem - iy * g.in_w;
+      const float* ker = weight + c * k * k;
+      float* oplane = oimg + c * howo;
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t ty = iy + pad - ky;
+        if (ty < 0 || ty % s != 0) continue;
+        const std::int64_t oy = ty / s;
+        if (oy >= ho) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t tx = ix + pad - kx;
+          if (tx < 0 || tx % s != 0) continue;
+          const std::int64_t ox = tx / s;
+          if (ox >= wo) continue;
+          oplane[oy * wo + ox] += v * ker[ky * k + kx];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace snnskip

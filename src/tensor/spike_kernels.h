@@ -1,0 +1,87 @@
+#pragma once
+// Event-driven forward kernels for spiking activations.
+//
+// Rationale (ISSUE 1 / DESIGN.md "Performance: event-driven execution"):
+// SNN forward passes convolve binary, mostly-zero tensors T times per
+// sample. Instead of lowering to im2col + GEMM and multiplying by zeros,
+// these kernels walk the packed spike events (SpikeCsr) and accumulate
+// the corresponding weight rows directly — cost scales with the number of
+// spikes, not the tensor volume. Work per spike:
+//
+//   conv2d     K*K taps, each an O-length contiguous axpy into a
+//              (HoWo, O)-transposed output panel (transposed once at the
+//              end, so the inner loop is unit-stride in both operands)
+//   linear     one O-length axpy from a transposed weight panel
+//   depthwise  K*K scalar taps into the channel's own output plane
+//
+// Dispatch: layers scan the input with SpikeCsr and take this path only
+// when SparseExec::enabled() and density < SparseExec::threshold();
+// everything else (first encoder layer, BN outputs, gradients) falls back
+// to the dense GEMM path unchanged. Scratch comes from the Workspace
+// arena — steady-state timesteps allocate nothing.
+
+#include <cstdint>
+
+#include "tensor/im2col.h"
+#include "tensor/spike_csr.h"
+#include "tensor/workspace.h"
+
+namespace snnskip {
+
+/// Runtime switches for the sparse path. Defaults come from the
+/// environment once at startup: SNNSKIP_SPARSE=0 disables it,
+/// SNNSKIP_SPARSE_THRESHOLD=<frac> moves the density cutoff (default
+/// 0.25). Setters exist for tests and benchmarks.
+class SparseExec {
+ public:
+  static bool enabled();
+  static float threshold();
+  static void set_enabled(bool on);
+  static void set_threshold(float t);
+
+  /// Aggregate sparsity actually observed at sparse-eligible layer inputs.
+  /// density() here is the same spikes-per-element definition used by
+  /// FiringRateRecorder and EnergyModel::snn_energy_pj.
+  struct Stats {
+    double nnz = 0.0;
+    double elements = 0.0;
+    std::uint64_t sparse_calls = 0;
+    std::uint64_t dense_calls = 0;
+    double density() const { return elements > 0.0 ? nnz / elements : 0.0; }
+  };
+  static Stats stats();
+  static void reset_stats();
+  /// Called by the layers on every eligible forward.
+  static void note(double nnz, double elements, bool took_sparse_path);
+};
+
+/// Full-tensor nonzero count — the cheap sparsity scan behind the
+/// sparse-vs-dense dispatch (one streaming pass, negligible next to any
+/// kernel it gates).
+std::int64_t count_nonzero(const float* data, std::int64_t n);
+
+/// True when the packed input should take the event-driven path.
+inline bool use_sparse_path(const SpikeCsr& csr) {
+  return SparseExec::enabled() &&
+         csr.density() < static_cast<double>(SparseExec::threshold());
+}
+
+/// Event-driven Conv2d forward. `csr` packs the input as (N images,
+/// C*H*W); `weight` is OIHW; `bias` may be null; `out` is (N, O, Ho, Wo).
+void spike_conv2d_forward(const ConvGeometry& g, const SpikeCsr& csr,
+                          const float* weight, const float* bias,
+                          std::int64_t out_c, float* out, Workspace& ws);
+
+/// Event-driven Linear forward. `csr` packs the input as (N, in_f);
+/// `weight` is (out_f, in_f); `out` is (N, out_f).
+void spike_linear_forward(const SpikeCsr& csr, const float* weight,
+                          const float* bias, std::int64_t out_f, float* out,
+                          Workspace& ws);
+
+/// Event-driven depthwise conv forward. `csr` packs the input as
+/// (N images, C*H*W); `weight` is (C, 1, K, K); `out` is (N, C, Ho, Wo).
+void spike_depthwise_forward(const ConvGeometry& g, const SpikeCsr& csr,
+                             const float* weight, const float* bias,
+                             float* out);
+
+}  // namespace snnskip

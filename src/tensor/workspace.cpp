@@ -1,0 +1,73 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace snnskip {
+
+namespace {
+// Round requests to whole cache lines so consecutive buffers never share
+// one, and SIMD loops see aligned starts.
+constexpr std::size_t kAlignFloats = 16;  // 64 bytes
+constexpr std::size_t kMinBlockFloats = 1 << 12;
+
+std::size_t aligned(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+}  // namespace
+
+float* Workspace::alloc_floats(std::size_t n) {
+  const std::size_t need = aligned(std::max<std::size_t>(n, 1));
+  // Advance through existing blocks until one has room; leftover tails are
+  // reclaimed by release(), which rewinds block/offset together.
+  while (cur_block_ < blocks_.size() &&
+         blocks_[cur_block_].cap - cur_off_ < need) {
+    ++cur_block_;
+    cur_off_ = 0;
+  }
+  if (cur_block_ == blocks_.size()) {
+    // Grow by at least the whole current capacity so the block count stays
+    // O(log high_water) and coalescing below converges fast.
+    const std::size_t cap =
+        std::max({need, capacity_, kMinBlockFloats});
+    blocks_.push_back(Block{std::make_unique<float[]>(cap), cap});
+    capacity_ += cap;
+    ++heap_allocs_;
+  }
+  float* p = blocks_[cur_block_].data.get() + cur_off_;
+  cur_off_ += need;
+  used_ += need;
+  high_water_ = std::max(high_water_, used_);
+  return p;
+}
+
+void Workspace::release(const Mark& m) {
+  cur_block_ = m.block;
+  cur_off_ = m.offset;
+  used_ = m.used;
+  if (used_ == 0 && blocks_.size() > 1) {
+    // Fully unwound and fragmented: coalesce into one block big enough for
+    // the observed high-water mark, so steady state is a single bump
+    // pointer and no further heap traffic.
+    blocks_.clear();
+    const std::size_t cap = std::max(high_water_, kMinBlockFloats);
+    blocks_.push_back(Block{std::make_unique<float[]>(cap), cap});
+    capacity_ = cap;
+    ++heap_allocs_;
+    cur_block_ = 0;
+    cur_off_ = 0;
+  }
+}
+
+float* Workspace::Scope::zeroed_floats(std::size_t n) {
+  float* p = ws_.alloc_floats(n);
+  std::memset(p, 0, n * sizeof(float));
+  return p;
+}
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace snnskip

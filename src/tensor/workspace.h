@@ -1,0 +1,95 @@
+#pragma once
+// Bump-pointer workspace arena for per-timestep scratch buffers.
+//
+// The SNN hot loop re-runs every layer T times per forward pass, and the
+// im2col lowering used to heap-allocate a full (C*K*K, Ho*Wo) column
+// tensor on every call — the timestep loop spent as much time in the
+// allocator as in the kernels. The arena hands out scratch from blocks
+// that only ever grow (high-water-mark reuse): after the first timestep
+// the capacity has stabilized and every further acquire is a pointer
+// bump, so steady-state iterations perform zero heap allocations.
+//
+// Usage is scoped and stack-like; pointers stay valid until the scope
+// that produced them is destroyed (growth appends new blocks instead of
+// reallocating, so earlier pointers are never invalidated):
+//
+//   auto scope = Workspace::tls().scope();
+//   float* cols = scope.floats(cr * cc);      // uninitialized
+//   float* outt = scope.zeroed_floats(n);     // zero-filled
+//   ...                                       // released when scope dies
+//
+// Each thread owns its own arena via Workspace::tls(), so thread-pool
+// workers evaluating candidates in parallel never contend or alias.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace snnskip {
+
+class Workspace {
+ public:
+  /// Rollback point for stack-like release; obtain via mark().
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+    std::size_t used = 0;
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Uninitialized scratch of `n` floats, 64-byte aligned. Valid until the
+  /// enclosing mark is released.
+  float* alloc_floats(std::size_t n);
+
+  Mark mark() const { return Mark{cur_block_, cur_off_, used_}; }
+  void release(const Mark& m);
+
+  /// Peak simultaneous floats handed out since construction.
+  std::size_t high_water() const { return high_water_; }
+  /// Total floats reserved across blocks (the arena never shrinks).
+  std::size_t capacity() const { return capacity_; }
+  /// Cumulative heap allocations performed; stabilizes once the high-water
+  /// mark stops growing — the steady-state zero-alloc property tests hook
+  /// this counter.
+  std::size_t heap_allocs() const { return heap_allocs_; }
+
+  /// RAII frame: releases everything allocated through it on destruction.
+  class Scope {
+   public:
+    explicit Scope(Workspace& ws) : ws_(ws), mark_(ws.mark()) {}
+    ~Scope() { ws_.release(mark_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    float* floats(std::size_t n) { return ws_.alloc_floats(n); }
+    float* zeroed_floats(std::size_t n);
+
+   private:
+    Workspace& ws_;
+    Mark mark_;
+  };
+
+  Scope scope() { return Scope(*this); }
+
+  /// Per-thread arena; the single entry point for kernel scratch.
+  static Workspace& tls();
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    std::size_t cap = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t cur_block_ = 0;
+  std::size_t cur_off_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t heap_allocs_ = 0;
+};
+
+}  // namespace snnskip

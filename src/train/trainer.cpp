@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/loss.h"
+#include "tensor/spike_kernels.h"
 #include "util/logging.h"
 
 namespace snnskip {
@@ -115,6 +116,7 @@ double train_batch(Network& net, Encoder& enc, const Batch& batch,
 EvalResult evaluate(Network& net, NeuronMode mode, const Dataset& ds,
                     const TrainConfig& cfg, FiringRateRecorder* recorder) {
   EncodingPlan plan = make_encoding_plan(ds, mode, cfg);
+  const SparseExec::Stats sparse_before = SparseExec::stats();
   if (recorder != nullptr) {
     recorder->reset();
     net.set_recorder(recorder);
@@ -152,6 +154,15 @@ EvalResult evaluate(Network& net, NeuronMode mode, const Dataset& ds,
       total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
   res.loss = batches ? loss_acc / static_cast<double>(batches) : 0.0;
   if (recorder != nullptr) {
+    // Achieved input density at sparse-eligible layers over this eval —
+    // same nonzeros-per-element definition as the firing rate, so energy
+    // accounting and benchmark output agree on what "sparsity" means.
+    const SparseExec::Stats sparse_after = SparseExec::stats();
+    const double d_nnz = sparse_after.nnz - sparse_before.nnz;
+    const double d_elems = sparse_after.elements - sparse_before.elements;
+    if (d_elems > 0.0) {
+      recorder->record_density("sparse_eligible_inputs", d_nnz, d_elems);
+    }
     res.firing_rate = recorder->overall_rate();
     net.set_recorder(nullptr);
   }

@@ -13,9 +13,27 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/pooling.h"
+#include "tensor/spike_kernels.h"
+#include "tensor/workspace.h"
 
 namespace snnskip {
 namespace {
+
+// Restores the sparse-dispatch configuration on scope exit so tests can
+// force either path without leaking state into later tests.
+class SparseExecGuard {
+ public:
+  SparseExecGuard()
+      : enabled_(SparseExec::enabled()), threshold_(SparseExec::threshold()) {}
+  ~SparseExecGuard() {
+    SparseExec::set_enabled(enabled_);
+    SparseExec::set_threshold(threshold_);
+  }
+
+ private:
+  bool enabled_;
+  float threshold_;
+};
 
 TEST(Conv2d, OutputShape) {
   Rng rng(1);
@@ -335,6 +353,129 @@ TEST(Optimizer, ZeroGradClears) {
   opt.zero_grad();
   EXPECT_FLOAT_EQ(p.grad[0], 0.f);
   EXPECT_FLOAT_EQ(p.grad[2], 0.f);
+}
+
+// --- sparse-vs-dense path equivalence (ISSUE 1) --------------------------
+// Random binary spike tensors across the density sweep must produce the
+// same forward outputs whether the event-driven path or the dense GEMM
+// path runs. The sweep forces the sparse dispatch with threshold=1.0 and
+// compares against the same layer with the dispatch disabled.
+
+class SparsePathDensity : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparsePathDensity, Conv2dMatchesDense) {
+  const float density = static_cast<float>(GetParam());
+  SparseExecGuard guard;
+  Rng rng(901);
+  Conv2d conv(4, 6, 3, 1, 1, true, rng);
+  Tensor x = Tensor::bernoulli(Shape{2, 4, 7, 7}, rng, density);
+
+  SparseExec::set_enabled(true);
+  SparseExec::set_threshold(1.f);
+  Tensor sparse = conv.forward(x, false);
+  SparseExec::set_enabled(false);
+  Tensor dense = conv.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(sparse, dense), 1e-5f);
+}
+
+TEST_P(SparsePathDensity, LinearMatchesDense) {
+  const float density = static_cast<float>(GetParam());
+  SparseExecGuard guard;
+  Rng rng(902);
+  Linear lin(12, 9, true, rng);
+  Tensor x = Tensor::bernoulli(Shape{5, 12}, rng, density);
+
+  SparseExec::set_enabled(true);
+  SparseExec::set_threshold(1.f);
+  Tensor sparse = lin.forward(x, false);
+  SparseExec::set_enabled(false);
+  Tensor dense = lin.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(sparse, dense), 1e-5f);
+}
+
+TEST_P(SparsePathDensity, DepthwiseMatchesDense) {
+  const float density = static_cast<float>(GetParam());
+  SparseExecGuard guard;
+  Rng rng(903);
+  DepthwiseConv2d conv(5, 3, 2, 1, true, rng);
+  Tensor x = Tensor::bernoulli(Shape{2, 5, 8, 8}, rng, density);
+
+  SparseExec::set_enabled(true);
+  SparseExec::set_threshold(1.f);
+  Tensor sparse = conv.forward(x, false);
+  SparseExec::set_enabled(false);
+  Tensor dense = conv.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(sparse, dense), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(DensitySweep, SparsePathDensity,
+                         ::testing::Values(0.0, 0.05, 0.5, 1.0));
+
+TEST(SparsePath, Conv2dTrainBackwardMatchesDensePath) {
+  // The sparse forward must not change training: identical weights and
+  // inputs give identical gradients whichever forward path ran, because
+  // backward recomputes columns from the saved input either way.
+  SparseExecGuard guard;
+  Rng rng1(904), rng2(904);
+  Conv2d conv_s(3, 4, 3, 1, 1, true, rng1);
+  Conv2d conv_d(3, 4, 3, 1, 1, true, rng2);
+  Rng data_rng(77);
+  Tensor x = Tensor::bernoulli(Shape{2, 3, 6, 6}, data_rng, 0.1f);
+  Tensor go = Tensor::randn(Shape{2, 4, 6, 6}, data_rng);
+
+  SparseExec::set_enabled(true);
+  SparseExec::set_threshold(1.f);
+  (void)conv_s.forward(x, true);
+  Tensor gi_s = conv_s.backward(go);
+
+  SparseExec::set_enabled(false);
+  (void)conv_d.forward(x, true);
+  Tensor gi_d = conv_d.backward(go);
+
+  EXPECT_LT(Tensor::max_abs_diff(gi_s, gi_d), 1e-6f);
+  EXPECT_LT(Tensor::max_abs_diff(conv_s.weight().grad, conv_d.weight().grad),
+            1e-6f);
+  EXPECT_LT(Tensor::max_abs_diff(conv_s.bias().grad, conv_d.bias().grad),
+            1e-6f);
+}
+
+TEST(SparsePath, DispatchRespectsThreshold) {
+  SparseExecGuard guard;
+  SparseExec::set_enabled(true);
+  SparseExec::set_threshold(0.25f);
+  SparseExec::reset_stats();
+  Rng rng(906);
+  Conv2d conv(4, 4, 3, 1, 1, false, rng);
+  Tensor sparse_x = Tensor::bernoulli(Shape{1, 4, 8, 8}, rng, 0.05f);
+  Tensor dense_x = Tensor::full(Shape{1, 4, 8, 8}, 1.f);
+  (void)conv.forward(sparse_x, false);
+  (void)conv.forward(dense_x, false);
+  const SparseExec::Stats st = SparseExec::stats();
+  EXPECT_EQ(st.sparse_calls, 1u);
+  EXPECT_EQ(st.dense_calls, 1u);
+  // Achieved density pools both inputs — same nnz/elements definition as
+  // FiringRateRecorder::average_density().
+  EXPECT_GT(st.density(), 0.4);
+  EXPECT_LT(st.density(), 0.6);
+}
+
+TEST(SparsePath, EvalSteadyStateStopsAllocating) {
+  // The arena high-water mark must stabilize after the first timestep:
+  // repeated eval-mode forwards perform no further heap allocations for
+  // scratch (the im2col buffer used to be a fresh Tensor per call).
+  SparseExecGuard guard;
+  SparseExec::set_enabled(false);  // dense path exercises the cols buffer
+  Rng rng(907);
+  Conv2d conv(8, 8, 3, 1, 1, false, rng);
+  Tensor x = Tensor::randn(Shape{2, 8, 10, 10}, rng);
+  Workspace& ws = Workspace::tls();
+  (void)conv.forward(x, false);
+  (void)conv.forward(x, false);  // possible block coalesce
+  const std::size_t allocs = ws.heap_allocs();
+  const std::size_t hw = ws.high_water();
+  for (int t = 0; t < 10; ++t) (void)conv.forward(x, false);
+  EXPECT_EQ(ws.heap_allocs(), allocs);
+  EXPECT_EQ(ws.high_water(), hw);
 }
 
 }  // namespace

@@ -10,7 +10,10 @@
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
+#include "tensor/spike_csr.h"
+#include "tensor/spike_kernels.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace snnskip {
 namespace {
@@ -380,6 +383,161 @@ TEST(ConvGeometry, OutputSizes) {
   EXPECT_EQ(g.col_rows(), 27);
   EXPECT_EQ(g.col_cols(), 64);
 }
+
+TEST(Workspace, StackedScopesReleaseInOrder) {
+  Workspace ws;
+  {
+    auto outer = ws.scope();
+    float* a = outer.floats(100);
+    ASSERT_NE(a, nullptr);
+    a[0] = 1.f;
+    {
+      auto inner = ws.scope();
+      float* b = inner.zeroed_floats(50);
+      EXPECT_EQ(b[49], 0.f);
+      // Outer pointer stays valid while the inner scope is live.
+      a[99] = 2.f;
+    }
+    EXPECT_FLOAT_EQ(a[0], 1.f);
+    EXPECT_FLOAT_EQ(a[99], 2.f);
+  }
+  EXPECT_GE(ws.high_water(), 150u);
+}
+
+TEST(Workspace, SteadyStateStopsAllocating) {
+  Workspace ws;
+  auto iteration = [&ws] {
+    auto scope = ws.scope();
+    (void)scope.floats(1000);
+    (void)scope.floats(3000);
+  };
+  iteration();  // first pass grows the arena
+  iteration();  // possible coalesce
+  const std::size_t allocs = ws.heap_allocs();
+  const std::size_t hw = ws.high_water();
+  for (int i = 0; i < 10; ++i) iteration();
+  EXPECT_EQ(ws.heap_allocs(), allocs);  // zero heap traffic in steady state
+  EXPECT_EQ(ws.high_water(), hw);
+}
+
+TEST(Workspace, GrowthPreservesEarlierPointers) {
+  Workspace ws;
+  auto scope = ws.scope();
+  float* a = scope.floats(10);
+  a[0] = 42.f;
+  // Force a new block well past the first one's capacity.
+  float* b = scope.floats(1 << 20);
+  b[0] = 1.f;
+  EXPECT_FLOAT_EQ(a[0], 42.f);
+}
+
+TEST(SpikeCsr, PacksRowEvents) {
+  // 2 rows x 5 cols with known nonzeros.
+  const float data[10] = {0.f, 1.f, 0.f, 1.f, 0.f, 0.f, 0.f, 0.f, 0.f, 1.f};
+  SpikeCsr csr;
+  csr.build(data, 2, 5);
+  EXPECT_EQ(csr.rows(), 2);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_TRUE(csr.binary());
+  EXPECT_DOUBLE_EQ(csr.density(), 0.3);
+  ASSERT_EQ(csr.row_nnz(0), 2);
+  EXPECT_EQ(csr.row_indices(0)[0], 1);
+  EXPECT_EQ(csr.row_indices(0)[1], 3);
+  ASSERT_EQ(csr.row_nnz(1), 1);
+  EXPECT_EQ(csr.row_indices(1)[0], 4);
+}
+
+TEST(SpikeCsr, NonBinaryValuesAreKept) {
+  const float data[4] = {0.f, 2.5f, 0.f, 1.f};
+  SpikeCsr csr;
+  csr.build(data, 1, 4);
+  EXPECT_FALSE(csr.binary());
+  ASSERT_EQ(csr.row_nnz(0), 2);
+  EXPECT_FLOAT_EQ(csr.row_values(0)[0], 2.5f);
+  EXPECT_FLOAT_EQ(csr.row_values(0)[1], 1.f);
+}
+
+TEST(SpikeCsr, EmptyAndFullDensityExtremes) {
+  Tensor zeros(Shape{4, 8});
+  SpikeCsr csr;
+  csr.build(zeros.data(), 4, 8);
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_DOUBLE_EQ(csr.density(), 0.0);
+
+  Tensor ones = Tensor::full(Shape{4, 8}, 1.f);
+  csr.build(ones.data(), 4, 8);
+  EXPECT_EQ(csr.nnz(), 32);
+  EXPECT_DOUBLE_EQ(csr.density(), 1.0);
+  EXPECT_TRUE(csr.binary());
+}
+
+TEST(SparseExec, CountNonzeroAndToggle) {
+  const float data[6] = {0.f, 1.f, 0.f, 0.f, 3.f, 0.f};
+  EXPECT_EQ(count_nonzero(data, 6), 2);
+
+  const bool was = SparseExec::enabled();
+  SparseExec::set_enabled(false);
+  EXPECT_FALSE(SparseExec::enabled());
+  SparseExec::set_enabled(was);
+  EXPECT_GT(SparseExec::threshold(), 0.f);
+  EXPECT_LE(SparseExec::threshold(), 1.f);
+}
+
+// Dense reference conv via im2col + gemm, for the event-driven kernel.
+Tensor reference_conv(const ConvGeometry& g, const Tensor& x,
+                      const Tensor& w, std::int64_t out_c) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t cr = g.col_rows(), cc = g.col_cols();
+  Tensor out(Shape{n, out_c, g.out_h(), g.out_w()});
+  Tensor cols(Shape{cr, cc});
+  for (std::int64_t img = 0; img < n; ++img) {
+    im2col(g, x.data() + img * g.in_c * g.in_h * g.in_w, cols.data());
+    gemm(out_c, cc, cr, 1.f, w.data(), cols.data(), 0.f,
+         out.data() + img * out_c * cc);
+  }
+  return out;
+}
+
+class SpikeConvDensity : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpikeConvDensity, MatchesIm2colGemm) {
+  const double density = GetParam();
+  Rng rng(777);
+  const ConvGeometry g{6, 9, 9, 3, 1, 1};
+  const std::int64_t out_c = 5;
+  Tensor x = Tensor::bernoulli(Shape{2, 6, 9, 9}, rng,
+                               static_cast<float>(density));
+  Tensor w = Tensor::randn(Shape{out_c, 6, 3, 3}, rng);
+
+  SpikeCsr csr;
+  csr.build(x.data(), 2, 6 * 9 * 9);
+  Tensor got(Shape{2, out_c, g.out_h(), g.out_w()});
+  spike_conv2d_forward(g, csr, w.data(), nullptr, out_c, got.data(),
+                       Workspace::tls());
+  Tensor ref = reference_conv(g, x, w, out_c);
+  EXPECT_LT(Tensor::max_abs_diff(got, ref), 1e-5f);
+}
+
+TEST_P(SpikeConvDensity, StridedMatchesIm2colGemm) {
+  const double density = GetParam();
+  Rng rng(778);
+  const ConvGeometry g{4, 8, 8, 3, 2, 1};
+  const std::int64_t out_c = 7;
+  Tensor x = Tensor::bernoulli(Shape{1, 4, 8, 8}, rng,
+                               static_cast<float>(density));
+  Tensor w = Tensor::randn(Shape{out_c, 4, 3, 3}, rng);
+
+  SpikeCsr csr;
+  csr.build(x.data(), 1, 4 * 8 * 8);
+  Tensor got(Shape{1, out_c, g.out_h(), g.out_w()});
+  spike_conv2d_forward(g, csr, w.data(), nullptr, out_c, got.data(),
+                       Workspace::tls());
+  Tensor ref = reference_conv(g, x, w, out_c);
+  EXPECT_LT(Tensor::max_abs_diff(got, ref), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(DensitySweep, SpikeConvDensity,
+                         ::testing::Values(0.0, 0.05, 0.5, 1.0));
 
 }  // namespace
 }  // namespace snnskip
