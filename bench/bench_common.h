@@ -11,74 +11,20 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <utility>
 
 #include "data/dataset.h"
 #include "train/trainer.h"
 #include "util/cli.h"
+#include "util/json_writer.h"
 
 namespace snnskip::benchcfg {
 
-// --- JSON emission for benchmark artifacts -------------------------------
-// Minimal array-of-objects writer for BENCH_*.json files: numbers and
-// strings only, comma bookkeeping handled internally. Usage:
-//
-//   JsonArrayWriter json("BENCH_foo.json");
-//   json.begin_row();
-//   json.field("channels", 128.0);
-//   json.field("mode", "sparse");
-//   json.end_row();
-//   // destructor closes the array and the file
-class JsonArrayWriter {
- public:
-  explicit JsonArrayWriter(const std::string& path)
-      : f_(std::fopen(path.c_str(), "w")) {
-    if (f_ != nullptr) std::fputs("[\n", f_);
-  }
-  ~JsonArrayWriter() {
-    if (f_ != nullptr) {
-      std::fputs("\n]\n", f_);
-      std::fclose(f_);
-    }
-  }
-  JsonArrayWriter(const JsonArrayWriter&) = delete;
-  JsonArrayWriter& operator=(const JsonArrayWriter&) = delete;
-
-  bool ok() const { return f_ != nullptr; }
-
-  void begin_row() {
-    if (f_ == nullptr) return;
-    if (!first_row_) std::fputs(",\n", f_);
-    first_row_ = false;
-    first_field_ = true;
-    std::fputs("  {", f_);
-  }
-  void field(const char* key, double v) {
-    if (f_ == nullptr) return;
-    sep();
-    std::fprintf(f_, "\"%s\": %.6g", key, v);
-  }
-  void field(const char* key, const std::string& v) {
-    if (f_ == nullptr) return;
-    sep();
-    std::fprintf(f_, "\"%s\": \"%s\"", key, v.c_str());
-  }
-  void end_row() {
-    if (f_ != nullptr) std::fputs("}", f_);
-  }
-
- private:
-  void sep() {
-    if (!first_field_) std::fputs(", ", f_);
-    first_field_ = false;
-  }
-
-  std::FILE* f_ = nullptr;
-  bool first_row_ = true;
-  bool first_field_ = true;
-};
+// JSON emission for BENCH_*.json artifacts now lives in util/json_writer.h
+// (shared with the telemetry trace exporter); re-exported here so the
+// experiment binaries keep writing `benchcfg::JsonArrayWriter`.
+using ::snnskip::JsonArrayWriter;
 
 inline std::size_t scaled(std::size_t base, double scale) {
   const long long v = std::llround(static_cast<double>(base) * scale);

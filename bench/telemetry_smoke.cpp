@@ -1,0 +1,134 @@
+// ctest smoke for the telemetry subsystem: train a small single_block
+// model for 2 epochs with telemetry on, export the Chrome trace, validate
+// it with the shared validator, and check the span coverage invariants.
+//
+//   ./bench/telemetry_smoke --out trace.json [--epochs E]
+//
+// Exit code 0 only when the trace is well-formed, the training spans are
+// present, and the fit span covers (almost) the whole measured wall-clock.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "data/synthetic_dvs_cifar.h"
+#include "models/zoo.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
+#include "util/cli.h"
+
+using namespace snnskip;
+
+namespace {
+
+int fail(const char* what, const std::string& detail = "") {
+  std::fprintf(stderr, "telemetry_smoke FAILED: %s %s\n", what,
+               detail.c_str());
+  return 1;
+}
+
+const telemetry::SpanStat* find_span(const telemetry::Snapshot& snap,
+                                     const std::string& cat,
+                                     const std::string& name) {
+  for (const auto& s : snap.spans) {
+    if (s.cat == cat && s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string out = args.get("out", "BENCH_telemetry_trace.json");
+
+  Telemetry::set_enabled(true);
+  Telemetry::reset();
+
+  SyntheticConfig data_cfg;
+  data_cfg.height = 8;
+  data_cfg.width = 8;
+  data_cfg.timesteps = 4;
+  data_cfg.train_size = 40;
+  data_cfg.val_size = 20;
+  data_cfg.test_size = 20;
+  auto train_ds = std::make_shared<SyntheticDvsCifar>(data_cfg, Split::Train);
+  auto val_ds = std::make_shared<SyntheticDvsCifar>(data_cfg, Split::Val);
+
+  ModelConfig model_cfg;
+  model_cfg.mode = NeuronMode::Spiking;
+  model_cfg.in_channels = 2;
+  model_cfg.num_classes = 10;
+  model_cfg.max_timesteps = 4;
+  model_cfg.width = 4;
+  Network net = build_model("single_block", model_cfg,
+                            default_adjacencies("single_block", model_cfg));
+
+  TrainConfig train_cfg;
+  train_cfg.epochs = args.get_int("epochs", 2);
+  train_cfg.batch_size = 10;
+  train_cfg.lr = 0.05f;
+  train_cfg.timesteps = 4;
+  TelemetryObserver observer;
+  train_cfg.observers.push_back(&observer);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const FitResult fr =
+      fit(net, NeuronMode::Spiking, train_ds, val_ds, train_cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  if (fr.epochs.size() != static_cast<std::size_t>(train_cfg.epochs)) {
+    return fail("fit epoch history has wrong length");
+  }
+
+  // 1. The trace file must exist and parse as a chrome trace.
+  if (!write_chrome_trace(out)) return fail("could not write", out);
+  std::string error;
+  if (!validate_chrome_trace(out, &error)) {
+    return fail("trace validation:", error);
+  }
+
+  // 2. The span table must contain the training phases, the per-layer
+  //    work, and the epoch markers the observer emitted.
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  const telemetry::SpanStat* fit_span = find_span(snap, "train", "fit");
+  const telemetry::SpanStat* epoch = find_span(snap, "train", "epoch");
+  const telemetry::SpanStat* fwd = find_span(snap, "train", "batch.forward");
+  const telemetry::SpanStat* bwd = find_span(snap, "train", "batch.backward");
+  if (fit_span == nullptr || fit_span->count != 1) {
+    return fail("missing train/fit span");
+  }
+  if (epoch == nullptr ||
+      epoch->count != static_cast<std::uint64_t>(train_cfg.epochs)) {
+    return fail("missing or miscounted train/epoch spans");
+  }
+  if (fwd == nullptr || bwd == nullptr) {
+    return fail("missing batch.forward / batch.backward spans");
+  }
+  bool have_layer_span = false;
+  for (const auto& s : snap.spans) {
+    if (s.cat.rfind("conv.fwd", 0) == 0 || s.cat.rfind("lif.fwd", 0) == 0) {
+      have_layer_span = true;
+      break;
+    }
+  }
+  if (!have_layer_span) return fail("no per-layer forward spans recorded");
+  if (snap.counters.find("train.batches") == snap.counters.end() ||
+      snap.counters.find("train.timesteps") == snap.counters.end()) {
+    return fail("TelemetryObserver counters missing");
+  }
+
+  // 3. Coverage: the fit span must account for >=90% of the measured
+  //    wall-clock around the fit() call.
+  const double covered_s = static_cast<double>(fit_span->total_ns) * 1e-9;
+  if (covered_s < 0.9 * wall_s) {
+    return fail("fit span covers <90% of wall-clock");
+  }
+
+  std::printf("%s", telemetry_summary(wall_s).c_str());
+  std::printf("telemetry_smoke OK: %s valid, fit covers %.1f%% of %.2fs\n",
+              out.c_str(), 100.0 * covered_s / wall_s, wall_s);
+  return 0;
+}

@@ -2,15 +2,21 @@
 // dataset, and inspect accuracy / firing rate / MACs.
 //
 //   ./examples/quickstart [--epochs N] [--width W] [--timesteps T]
+//                         [--trace-out trace.json]
 //
 // This walks the library's main public API surface in ~60 lines:
 //   make_datasets -> build_model -> fit -> evaluate -> count_macs.
+// With --trace-out, telemetry is enabled for the run and a Chrome
+// trace_event file (chrome://tracing, Perfetto) plus an aggregate span
+// summary are produced at the end.
 
 #include <cstdio>
 
 #include "graph/mac_counter.h"
 #include "metrics/energy.h"
 #include "models/zoo.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
 #include "train/checkpoint.h"
 #include "train/evaluate.h"
 #include "train/trainer.h"
@@ -20,6 +26,9 @@ using namespace snnskip;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) Telemetry::set_enabled(true);
 
   // 1. A synthetic CIFAR-10-DVS-like event dataset (no files needed; every
   //    sample is generated deterministically from the seed).
@@ -50,6 +59,8 @@ int main(int argc, char** argv) {
   train_cfg.batch_size = 20;
   train_cfg.lr = 0.15f;
   train_cfg.verbose = true;
+  TelemetryObserver telemetry_observer;
+  if (!trace_out.empty()) train_cfg.observers.push_back(&telemetry_observer);
   const FitResult fr =
       fit(net, NeuronMode::Spiking, data.train, data.val, train_cfg);
   std::printf("best val accuracy: %.1f%%\n", fr.best_val_acc * 100.0);
@@ -82,6 +93,18 @@ int main(int argc, char** argv) {
         evaluate(restored, NeuronMode::Spiking, *data.test, train_cfg);
     std::printf("checkpoint    : saved to %s, restored model scores %.1f%%\n",
                 ckpt.c_str(), again.accuracy * 100.0);
+  }
+
+  // 6. Export the profiling trace + aggregate summary when requested.
+  if (!trace_out.empty()) {
+    if (write_chrome_trace(trace_out)) {
+      std::printf("trace         : wrote %s (load in chrome://tracing)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace         : failed to write %s\n",
+                   trace_out.c_str());
+    }
+    std::printf("%s", telemetry_summary().c_str());
   }
   return 0;
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the fast ctest smokes (the bench-binary cross-checks, not the full
+# gtest tier) against an existing build tree.
+#
+#   scripts/run_smokes.sh [build-dir]
+#
+# Default build dir is ./build. The smokes are also registered with ctest,
+# so `ctest -R smoke` inside the build dir is equivalent; this wrapper
+# exists so CI and humans invoke them the same way without remembering
+# binary paths or output-file flags.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: '${BUILD_DIR}' is not a build tree (run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+  exit 1
+fi
+
+echo "== micro_spike_conv smoke (sparse-vs-dense cross-check) =="
+"${BUILD_DIR}/bench/micro_spike_conv" --smoke 1 \
+  --out "${BUILD_DIR}/bench/BENCH_spike_conv_smoke.json"
+
+echo
+echo "== telemetry smoke (trace export + validation) =="
+"${BUILD_DIR}/bench/telemetry_smoke" \
+  --out "${BUILD_DIR}/bench/BENCH_telemetry_trace.json"
+
+echo
+echo "all smokes passed"

@@ -1,6 +1,7 @@
 #include "core/evaluator.h"
 
 #include "graph/mac_counter.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace snnskip {
@@ -78,11 +79,15 @@ CandidateResult CandidateEvaluator::finish(Network& net,
 }
 
 CandidateResult CandidateEvaluator::evaluate_shared(const EncodingVec& code) {
+  SNNSKIP_SPAN("bo", "evaluate_shared");
   ++evaluations_;
   Network net = build(code);
   store_.load_into(net);
-  const FitResult fr =
-      fit(net, NeuronMode::Spiking, data_.train, nullptr, cfg_.finetune);
+  Telemetry::count("bo.finetunes");
+  const FitResult fr = [&] {
+    SNNSKIP_SPAN("bo", "finetune");
+    return fit(net, NeuronMode::Spiking, data_.train, nullptr, cfg_.finetune);
+  }();
   store_.store_from(net);
   CandidateResult res = finish(net, fr, code);
   SNNSKIP_LOG(Debug) << "shared eval: acc=" << res.val_accuracy
@@ -92,10 +97,14 @@ CandidateResult CandidateEvaluator::evaluate_shared(const EncodingVec& code) {
 }
 
 CandidateResult CandidateEvaluator::evaluate_scratch(const EncodingVec& code) {
+  SNNSKIP_SPAN("bo", "evaluate_scratch");
   ++evaluations_;
   Network net = build(code);
-  const FitResult fr =
-      fit(net, NeuronMode::Spiking, data_.train, nullptr, cfg_.scratch);
+  Telemetry::count("bo.scratch_trainings");
+  const FitResult fr = [&] {
+    SNNSKIP_SPAN("bo", "scratch_train");
+    return fit(net, NeuronMode::Spiking, data_.train, nullptr, cfg_.scratch);
+  }();
   CandidateResult res = finish(net, fr, code);
   SNNSKIP_LOG(Debug) << "scratch eval: acc=" << res.val_accuracy
                      << " objective=" << res.objective;

@@ -8,6 +8,7 @@
 #include "nn/depthwise_conv2d.h"
 #include "nn/pooling.h"
 #include "snn/plif.h"
+#include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 
 namespace snnskip {
@@ -259,6 +260,7 @@ Tensor Block::assemble_input(int i, const std::vector<Tensor>& outs,
 }
 
 Tensor Block::forward(const Tensor& x, bool train) {
+  SNNSKIP_SPAN("block.fwd", spec_.name);
   const int d = spec_.depth();
   const bool had_prev = has_prev_;  // recurrence state entering this step
   std::vector<Tensor> outs;
@@ -289,6 +291,7 @@ Tensor Block::forward(const Tensor& x, bool train) {
 }
 
 Tensor Block::backward(const Tensor& grad_out) {
+  SNNSKIP_SPAN("block.bwd", spec_.name);
   assert(!saved_.empty() && "Block::backward without matching forward");
   Ctx ctx = std::move(saved_.back());
   saved_.pop_back();

@@ -2,6 +2,7 @@
 
 #include "snn/lif.h"
 #include "snn/plif.h"
+#include "telemetry/telemetry.h"
 
 namespace snnskip {
 
@@ -13,6 +14,7 @@ void Network::add_block(std::unique_ptr<Block> block) {
 }
 
 Tensor Network::forward(const Tensor& x, bool train) {
+  SNNSKIP_SPAN("net", "forward");
   Tensor cur = x;
   for (auto& stage : stages_) {
     cur = stage->forward(cur, train);
@@ -21,6 +23,7 @@ Tensor Network::forward(const Tensor& x, bool train) {
 }
 
 Tensor Network::backward(const Tensor& grad_out) {
+  SNNSKIP_SPAN("net", "backward");
   Tensor cur = grad_out;
   for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
     cur = (*it)->backward(cur);

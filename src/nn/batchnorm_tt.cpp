@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
 #include "tensor/workspace.h"
 
 namespace snnskip {
@@ -27,6 +28,7 @@ BatchNormTT::BatchNormTT(std::int64_t channels, std::int64_t max_timesteps,
 }
 
 Tensor BatchNormTT::forward(const Tensor& x, bool train) {
+  SNNSKIP_SPAN("bn.fwd", name_);
   const Shape& s = x.shape();
   assert(s.ndim() == 4 && s[1] == c_);
   const std::int64_t n = s[0], h = s[2], w = s[3];
@@ -113,6 +115,7 @@ Tensor BatchNormTT::forward(const Tensor& x, bool train) {
 }
 
 Tensor BatchNormTT::backward(const Tensor& grad_out) {
+  SNNSKIP_SPAN("bn.bwd", name_);
   assert(!saved_.empty());
   Ctx ctx = std::move(saved_.back());
   saved_.pop_back();

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
 #include "tensor/gemm.h"
 #include "tensor/spike_kernels.h"
 #include "tensor/workspace.h"
@@ -61,6 +62,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
                      static_cast<double>(x.numel()), sparse);
   }
 
+  SNNSKIP_SPAN(sparse ? "conv.fwd.sparse" : "conv.fwd.dense", name_);
   if (sparse) {
     csr_.build(x.data(), n, row_len);
     spike_conv2d_forward(g, csr_, weight_.value.data(),
@@ -90,6 +92,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  SNNSKIP_SPAN("conv.bwd", name_);
   assert(!saved_.empty() && "Conv2d::backward without matching forward");
   Ctx ctx = std::move(saved_.back());
   saved_.pop_back();

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
 #include "tensor/spike_kernels.h"
 
 namespace snnskip {
@@ -53,6 +54,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
     SparseExec::note(static_cast<double>(nnz),
                      static_cast<double>(x.numel()), sparse);
   }
+  SNNSKIP_SPAN(sparse ? "dwconv.fwd.sparse" : "dwconv.fwd.dense", name_);
   if (sparse) {
     const ConvGeometry g{c_, h, w, kernel_, stride_, pad_};
     csr_.build(x.data(), n, c_ * h * w);
@@ -91,6 +93,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  SNNSKIP_SPAN("dwconv.bwd", name_);
   assert(!saved_inputs_.empty());
   Tensor x = std::move(saved_inputs_.back());
   saved_inputs_.pop_back();

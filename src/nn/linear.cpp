@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
 #include "tensor/gemm.h"
 #include "tensor/spike_kernels.h"
 #include "tensor/workspace.h"
@@ -46,6 +47,7 @@ Tensor Linear::forward(const Tensor& x, bool train) {
                      static_cast<double>(x.numel()), sparse);
   }
 
+  SNNSKIP_SPAN(sparse ? "linear.fwd.sparse" : "linear.fwd.dense", name_);
   if (sparse) {
     // Event-driven path: per active input feature, one axpy of the
     // corresponding (transposed) weight column.
@@ -71,6 +73,7 @@ Tensor Linear::forward(const Tensor& x, bool train) {
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
+  SNNSKIP_SPAN("linear.bwd", name_);
   assert(!saved_inputs_.empty());
   Tensor x = std::move(saved_inputs_.back());
   saved_inputs_.pop_back();

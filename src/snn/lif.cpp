@@ -2,12 +2,15 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.h"
+
 namespace snnskip {
 
 Lif::Lif(LifConfig cfg, std::string layer_name)
     : cfg_(cfg), name_(std::move(layer_name)) {}
 
 Tensor Lif::forward(const Tensor& x, bool train) {
+  SNNSKIP_SPAN("lif.fwd", name_);
   if (!has_state_ || membrane_.shape() != x.shape()) {
     membrane_ = Tensor(x.shape());
     if (cfg_.refractory > 0) refrac_count_ = Tensor(x.shape());
@@ -52,11 +55,13 @@ Tensor Lif::forward(const Tensor& x, bool train) {
   if (recorder_ != nullptr) {
     recorder_->record(name_, spike_count, static_cast<double>(n));
   }
+  Telemetry::count("spikes", spike_count);
   if (train) saved_.push_back(std::move(ctx));
   return spikes;
 }
 
 Tensor Lif::backward(const Tensor& grad_out) {
+  SNNSKIP_SPAN("lif.bwd", name_);
   assert(!saved_.empty() && "Lif::backward without matching forward");
   TrainCtx ctx = std::move(saved_.back());
   saved_.pop_back();

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace snnskip {
 
 namespace {
@@ -22,6 +24,7 @@ Plif::Plif(LifConfig cfg, std::string layer_name)
 float Plif::beta() const { return sigmoid(leak_.value[0]); }
 
 Tensor Plif::forward(const Tensor& x, bool train) {
+  SNNSKIP_SPAN("plif.fwd", name_);
   if (!has_state_ || membrane_.shape() != x.shape()) {
     membrane_ = Tensor(x.shape());
     has_state_ = true;
@@ -56,11 +59,13 @@ Tensor Plif::forward(const Tensor& x, bool train) {
   if (recorder_ != nullptr) {
     recorder_->record(name_, spike_count, static_cast<double>(n));
   }
+  Telemetry::count("spikes", spike_count);
   if (train) saved_.push_back(std::move(ctx));
   return spikes;
 }
 
 Tensor Plif::backward(const Tensor& grad_out) {
+  SNNSKIP_SPAN("plif.bwd", name_);
   assert(!saved_.empty() && "Plif::backward without matching forward");
   Ctx ctx = std::move(saved_.back());
   saved_.pop_back();

@@ -1,0 +1,220 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/runtime_env.h"
+
+namespace snnskip {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point epoch_start() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+std::atomic<bool> g_enabled{[] {
+  (void)epoch_start();  // pin the epoch before any span can run
+  return env::get_bool("SNNSKIP_TELEMETRY", false);
+}()};
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+// Per-thread recording buffer. Owned jointly by the recording thread (via
+// thread_local shared_ptr) and the global registry, so events survive
+// thread exit until the next Telemetry::reset().
+struct ThreadBuf {
+  std::mutex m;  // writer vs. snapshot; uncontended in steady state
+  std::uint32_t tid = 0;
+  std::vector<telemetry::TraceEvent> events;
+  // key: "<cat>\x1f<name>"
+  std::unordered_map<std::string, SpanAgg> agg;
+  std::uint64_t dropped = 0;
+};
+
+struct Registry {
+  std::mutex m;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::uint32_t next_tid = 1;
+  std::map<std::string, double> counters;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+ThreadBuf& thread_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.m);
+    b->tid = r.next_tid++;
+    r.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::string agg_key(const char* cat, std::string_view name) {
+  std::string key(cat);
+  key.push_back('\x1f');
+  key.append(name);
+  return key;
+}
+
+}  // namespace
+
+bool Telemetry::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Telemetry::set_enabled(bool on) {
+  (void)epoch_start();
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Telemetry::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch_start())
+          .count());
+}
+
+void Telemetry::count(const char* name, double delta) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  r.counters[name] += delta;
+}
+
+void Telemetry::count_max(const char* name, double value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  double& cur = r.counters[name];
+  cur = std::max(cur, value);
+}
+
+std::map<std::string, double> Telemetry::counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  return r.counters;
+}
+
+void Telemetry::reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  for (auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> bl(buf->m);
+    buf->events.clear();
+    buf->agg.clear();
+    buf->dropped = 0;
+  }
+  r.counters.clear();
+}
+
+namespace telemetry {
+
+void ScopedSpan::begin(const char* cat, std::string_view name,
+                       bool emit_trace) {
+  active_ = true;
+  emit_trace_ = emit_trace;
+  cat_ = cat;
+  name_ = name;
+  start_ns_ = Telemetry::now_ns();
+}
+
+void ScopedSpan::end() {
+  const std::uint64_t now = Telemetry::now_ns();
+  ThreadBuf& buf = thread_buf();
+  std::lock_guard<std::mutex> lock(buf.m);
+  SpanAgg& agg = buf.agg[agg_key(cat_, name_)];
+  ++agg.count;
+  agg.total_ns += now - start_ns_;
+  if (!emit_trace_) return;
+  if (buf.events.size() >= kMaxTraceEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent ev;
+  ev.name.assign(name_);
+  ev.cat = cat_;
+  ev.ts_ns = start_ns_;
+  ev.dur_ns = now - start_ns_;
+  ev.tid = buf.tid;
+  ev.phase = 'X';
+  buf.events.push_back(std::move(ev));
+}
+
+void instant(const char* cat, std::string_view name) {
+  if (!Telemetry::enabled()) return;
+  ThreadBuf& buf = thread_buf();
+  std::lock_guard<std::mutex> lock(buf.m);
+  if (buf.events.size() >= kMaxTraceEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.cat = cat;
+  ev.ts_ns = Telemetry::now_ns();
+  ev.tid = buf.tid;
+  ev.phase = 'i';
+  buf.events.push_back(std::move(ev));
+}
+
+Snapshot snapshot() {
+  Snapshot snap;
+  Registry& r = registry();
+  // Copy the buffer list under the registry lock, then drain each buffer
+  // under its own lock (a recording thread only ever touches its own).
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(r.m);
+    bufs = r.bufs;
+    snap.counters = r.counters;
+  }
+  std::unordered_map<std::string, SpanAgg> merged;
+  for (auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->m);
+    snap.events.insert(snap.events.end(), buf->events.begin(),
+                       buf->events.end());
+    snap.dropped_events += buf->dropped;
+    for (const auto& [key, agg] : buf->agg) {
+      SpanAgg& m = merged[key];
+      m.count += agg.count;
+      m.total_ns += agg.total_ns;
+    }
+  }
+  std::sort(snap.events.begin(), snap.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  snap.spans.reserve(merged.size());
+  for (auto& [key, agg] : merged) {
+    SpanStat stat;
+    const std::size_t sep = key.find('\x1f');
+    stat.cat = key.substr(0, sep);
+    stat.name = key.substr(sep + 1);
+    stat.count = agg.count;
+    stat.total_ns = agg.total_ns;
+    snap.spans.push_back(std::move(stat));
+  }
+  std::sort(snap.spans.begin(), snap.spans.end(),
+            [](const SpanStat& a, const SpanStat& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return snap;
+}
+
+}  // namespace telemetry
+}  // namespace snnskip

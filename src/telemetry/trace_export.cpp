@@ -1,0 +1,376 @@
+#include "telemetry/trace_export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "metrics/report.h"
+#include "telemetry/telemetry.h"
+#include "util/json_writer.h"
+
+namespace snnskip {
+
+bool write_chrome_trace(const std::string& path) {
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  JsonArrayWriter json(path);
+  if (!json.ok()) return false;
+  for (const telemetry::TraceEvent& ev : snap.events) {
+    json.begin_row();
+    json.field("name", ev.name);
+    json.field("cat", ev.cat);
+    json.field("ph", ev.phase == 'i' ? "i" : "X");
+    json.field_fixed("ts", static_cast<double>(ev.ts_ns) / 1e3, 3);
+    if (ev.phase == 'i') {
+      json.field("s", "t");  // instant-event scope: thread
+    } else {
+      json.field_fixed("dur", static_cast<double>(ev.dur_ns) / 1e3, 3);
+    }
+    json.field("pid", static_cast<std::int64_t>(0));
+    json.field("tid", static_cast<std::int64_t>(ev.tid));
+    json.end_row();
+  }
+  return true;
+}
+
+std::string telemetry_summary(double wall_s) {
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  if (wall_s <= 0.0 && !snap.events.empty()) {
+    std::uint64_t lo = snap.events.front().ts_ns, hi = 0;
+    for (const telemetry::TraceEvent& ev : snap.events) {
+      lo = std::min(lo, ev.ts_ns);
+      hi = std::max(hi, ev.ts_ns + ev.dur_ns);
+    }
+    wall_s = static_cast<double>(hi - lo) / 1e9;
+  }
+
+  std::ostringstream out;
+  TextTable spans({"category", "name", "calls", "total_ms", "mean_us",
+                   "%wall"});
+  char buf[64];
+  for (const telemetry::SpanStat& s : snap.spans) {
+    const double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    const double mean_us =
+        s.count ? static_cast<double>(s.total_ns) / 1e3 /
+                      static_cast<double>(s.count)
+                : 0.0;
+    std::vector<std::string> row{s.cat, s.name, std::to_string(s.count)};
+    std::snprintf(buf, sizeof(buf), "%.3f", total_ms);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", mean_us);
+    row.push_back(buf);
+    if (wall_s > 0.0) {
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    100.0 * static_cast<double>(s.total_ns) / 1e9 / wall_s);
+    } else {
+      std::snprintf(buf, sizeof(buf), "-");
+    }
+    row.push_back(buf);
+    spans.add_row(std::move(row));
+  }
+  out << "telemetry spans (aggregate):\n" << spans.str();
+
+  if (!snap.counters.empty()) {
+    TextTable counters({"counter", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      std::snprintf(buf, sizeof(buf), "%.0f", value);
+      counters.add_row({name, buf});
+    }
+    out << "telemetry counters:\n" << counters.str();
+  }
+  if (snap.dropped_events > 0) {
+    out << "note: " << snap.dropped_events
+        << " trace events dropped (per-thread cap); aggregates are "
+           "complete\n";
+  }
+  return out.str();
+}
+
+// --- minimal JSON reader for validation ------------------------------------
+
+namespace {
+
+// Enough JSON to read back what we (and Chrome) accept: objects, arrays,
+// strings with escapes, numbers, true/false/null. Parsed into a tiny
+// variant; only the shapes the validator inspects are retained.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                        // Array
+  std::vector<std::pair<std::string, JsonValue>> kv;   // Object
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  JsonReader(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool parse(JsonValue& out, std::string& err) {
+    if (!value(out, err)) return false;
+    skip_ws();
+    if (p_ != end_) {
+      err = "trailing data after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ &&
+           std::isspace(static_cast<unsigned char>(*p_)) != 0) {
+      ++p_;
+    }
+  }
+
+  bool fail(std::string& err, const std::string& what) {
+    err = what + " at byte " + std::to_string(p_ - begin_);
+    return false;
+  }
+
+  bool value(JsonValue& out, std::string& err) {
+    skip_ws();
+    if (p_ == end_) return fail(err, "unexpected end of input");
+    switch (*p_) {
+      case '{': return object(out, err);
+      case '[': return array(out, err);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return string(out.str, err);
+      case 't':
+      case 'f': return boolean(out, err);
+      case 'n': return null(out, err);
+      default: return number(out, err);
+    }
+  }
+
+  bool object(JsonValue& out, std::string& err) {
+    out.kind = JsonValue::Kind::Object;
+    ++p_;  // '{'
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (p_ == end_ || *p_ != '"') return fail(err, "expected object key");
+      std::string key;
+      if (!string(key, err)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return fail(err, "expected ':'");
+      ++p_;
+      JsonValue v;
+      if (!value(v, err)) return false;
+      out.kv.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (p_ == end_) return fail(err, "unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return fail(err, "expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out, std::string& err) {
+    out.kind = JsonValue::Kind::Array;
+    ++p_;  // '['
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(v, err)) return false;
+      out.items.push_back(std::move(v));
+      skip_ws();
+      if (p_ == end_) return fail(err, "unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return fail(err, "expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out, std::string& err) {
+    ++p_;  // opening quote
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return fail(err, "unterminated escape");
+        switch (*p_) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (end_ - p_ < 5) return fail(err, "truncated \\u escape");
+            for (int i = 1; i <= 4; ++i) {
+              if (std::isxdigit(static_cast<unsigned char>(p_[i])) == 0) {
+                return fail(err, "bad \\u escape");
+              }
+            }
+            // Validation only: keep the escape verbatim.
+            out.append(p_, p_ + 5);
+            p_ += 4;
+            break;
+          }
+          default: return fail(err, "unknown escape");
+        }
+        ++p_;
+      } else if (static_cast<unsigned char>(*p_) < 0x20) {
+        return fail(err, "raw control character in string");
+      } else {
+        out.push_back(*p_);
+        ++p_;
+      }
+    }
+    if (p_ == end_) return fail(err, "unterminated string");
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool number(JsonValue& out, std::string& err) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false, dot = false, exp = false;
+    while (p_ != end_) {
+      const char c = *p_;
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        digits = true;
+        ++p_;
+      } else if (c == '.' && !dot && !exp) {
+        dot = true;
+        ++p_;
+      } else if ((c == 'e' || c == 'E') && digits && !exp) {
+        exp = true;
+        ++p_;
+        if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return fail(err, "malformed number");
+    out.kind = JsonValue::Kind::Number;
+    out.num = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return true;
+  }
+
+  bool boolean(JsonValue& out, std::string& err) {
+    out.kind = JsonValue::Kind::Bool;
+    if (end_ - p_ >= 4 && std::string(p_, p_ + 4) == "true") {
+      out.num = 1.0;
+      p_ += 4;
+      return true;
+    }
+    if (end_ - p_ >= 5 && std::string(p_, p_ + 5) == "false") {
+      p_ += 5;
+      return true;
+    }
+    return fail(err, "malformed literal");
+  }
+
+  bool null(JsonValue& out, std::string& err) {
+    out.kind = JsonValue::Kind::Null;
+    if (end_ - p_ >= 4 && std::string(p_, p_ + 4) == "null") {
+      p_ += 4;
+      return true;
+    }
+    return fail(err, "malformed literal");
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* begin_ = p_;
+};
+
+bool set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return set_error(error, "cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  JsonValue root;
+  std::string err;
+  JsonReader reader(text.data(), text.data() + text.size());
+  if (!reader.parse(root, err)) return set_error(error, "parse error: " + err);
+  if (root.kind != JsonValue::Kind::Array) {
+    return set_error(error, "top-level value is not an array");
+  }
+  if (root.items.empty()) {
+    return set_error(error, "trace contains no events");
+  }
+  for (std::size_t i = 0; i < root.items.size(); ++i) {
+    const JsonValue& ev = root.items[i];
+    const std::string at = "event " + std::to_string(i) + ": ";
+    if (ev.kind != JsonValue::Kind::Object) {
+      return set_error(error, at + "not an object");
+    }
+    const JsonValue* name = ev.find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::String ||
+        name->str.empty()) {
+      return set_error(error, at + "missing/empty string \"name\"");
+    }
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::String) {
+      return set_error(error, at + "missing string \"ph\"");
+    }
+    const JsonValue* ts = ev.find("ts");
+    if (ts == nullptr || ts->kind != JsonValue::Kind::Number ||
+        ts->num < 0.0) {
+      return set_error(error, at + "missing non-negative number \"ts\"");
+    }
+    if (ph->str == "X") {
+      const JsonValue* dur = ev.find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::Kind::Number ||
+          dur->num < 0.0) {
+        return set_error(error,
+                         at + "complete event missing non-negative \"dur\"");
+      }
+    }
+    for (const char* key : {"pid", "tid"}) {
+      const JsonValue* v = ev.find(key);
+      if (v == nullptr || v->kind != JsonValue::Kind::Number) {
+        return set_error(error,
+                         at + "missing number \"" + std::string(key) + "\"");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace snnskip

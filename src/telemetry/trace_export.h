@@ -1,0 +1,35 @@
+#pragma once
+// Consumers of the telemetry snapshot: Chrome trace_event JSON and the
+// aggregate summary table.
+//
+// The trace file is a bare JSON array of trace_event objects — directly
+// loadable in chrome://tracing and Perfetto. Complete spans use ph="X"
+// with microsecond ts/dur; epoch boundaries and similar markers are
+// instant events (ph="i"). Emission reuses util/json_writer.h, the same
+// writer (and string escaping) the bench binaries use for BENCH_*.json.
+//
+// validate_chrome_trace parses the file back with a small self-contained
+// JSON reader and checks the trace_event invariants; the telemetry tests
+// and the ctest telemetry smoke share it so "well-formed" means the same
+// thing everywhere.
+
+#include <string>
+
+namespace snnskip {
+
+/// Write all recorded trace events to `path`. Returns false when the file
+/// cannot be opened. Telemetry keeps recording afterwards.
+bool write_chrome_trace(const std::string& path);
+
+/// Render the aggregate span table (per (category, name): calls, total
+/// ms, mean us, share of `wall_s`) followed by the monotonic counters.
+/// `wall_s` <= 0 uses the observed event span of the trace instead.
+std::string telemetry_summary(double wall_s = 0.0);
+
+/// Parse `path` as JSON and verify it is a non-empty array of trace_event
+/// objects (required keys with correctly-typed values, non-negative
+/// timestamps). On failure returns false and, when `error` is non-null,
+/// stores a one-line reason.
+bool validate_chrome_trace(const std::string& path, std::string* error);
+
+}  // namespace snnskip

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "parallel/parallel_for.h"
+#include "telemetry/telemetry.h"
 
 namespace snnskip {
 
@@ -113,6 +114,9 @@ void gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, const float* b, float beta, float* c) {
+  // Aggregate-only: gemm runs at per-image granularity inside the timestep
+  // loop, so per-call trace events would dwarf the rest of the trace.
+  SNNSKIP_SPAN_AGG("gemm", "gemm");
   gemm_driver(
       m, n, k, alpha,
       [a, k](std::int64_t p, std::int64_t i) { return a[i * k + p]; }, b,
@@ -121,6 +125,7 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
+  SNNSKIP_SPAN_AGG("gemm", "gemm_tn");
   // A is stored (K, M); logical op is A^T(M,K) * B(K,N).
   gemm_driver(
       m, n, k, alpha,
@@ -130,6 +135,7 @@ void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
+  SNNSKIP_SPAN_AGG("gemm", "gemm_nt");
   // B is stored (N, K); logical op is A(M,K) * B^T(K,N). Row-times-row dot
   // products — both operands stream contiguously. 4x4 register tile (the
   // B operand is strided across columns, so a wide 16-column tile would

@@ -2,27 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 #include <mutex>
+
+#include "telemetry/telemetry.h"
+#include "util/runtime_env.h"
 
 namespace snnskip {
 
 namespace {
 
-std::atomic<bool> g_enabled{[] {
-  const char* e = std::getenv("SNNSKIP_SPARSE");
-  return !(e != nullptr && e[0] == '0');
-}()};
+std::atomic<bool> g_enabled{env::get_bool("SNNSKIP_SPARSE", true)};
 
-std::atomic<float> g_threshold{[] {
-  const char* e = std::getenv("SNNSKIP_SPARSE_THRESHOLD");
-  if (e != nullptr) {
-    const float v = std::strtof(e, nullptr);
-    if (v > 0.f && v <= 1.f) return v;
-  }
-  return 0.25f;
-}()};
+std::atomic<float> g_threshold{static_cast<float>(env::get_double(
+    "SNNSKIP_SPARSE_THRESHOLD", 0.25, /*lo=*/1e-9, /*hi=*/1.0))};
 
 std::mutex g_stats_mutex;
 SparseExec::Stats g_stats;
@@ -51,6 +44,12 @@ void SparseExec::reset_stats() {
 }
 
 void SparseExec::note(double nnz, double elements, bool took_sparse_path) {
+  // Mirror every dispatch decision into the telemetry counters (no-ops
+  // while telemetry is off) so traces carry sparse-vs-dense counts next to
+  // the per-layer spans.
+  Telemetry::count(took_sparse_path ? "dispatch.sparse" : "dispatch.dense");
+  Telemetry::count("dispatch.nnz", nnz);
+  Telemetry::count("dispatch.elements", elements);
   std::lock_guard<std::mutex> lock(g_stats_mutex);
   g_stats.nnz += nnz;
   g_stats.elements += elements;

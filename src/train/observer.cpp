@@ -1,0 +1,37 @@
+#include "train/observer.h"
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+#include "tensor/workspace.h"
+#include "util/logging.h"
+
+namespace snnskip {
+
+void ProgressPrinter::on_epoch_end(const EpochStats& stats) {
+  SNNSKIP_LOG(Info) << "epoch " << stats.epoch << " loss=" << stats.train_loss
+                    << " val_acc=" << stats.val_acc;
+}
+
+void TelemetryObserver::on_epoch_begin(std::int64_t epoch) {
+  telemetry::instant("train", "epoch " + std::to_string(epoch) + " begin");
+}
+
+void TelemetryObserver::on_batch_end(const BatchStats& stats) {
+  Telemetry::count("train.batches");
+  Telemetry::count("train.samples", static_cast<double>(stats.batch_size));
+}
+
+void TelemetryObserver::on_epoch_end(const EpochStats& stats) {
+  Telemetry::count("train.epochs");
+  // This thread's arena high-water mark: together with Workspace's
+  // zero-steady-state-alloc property it shows how much scratch the
+  // timestep loop actually pinned.
+  Telemetry::count_max(
+      "arena.high_water_floats",
+      static_cast<double>(Workspace::tls().high_water()));
+  telemetry::instant("train",
+                     "epoch " + std::to_string(stats.epoch) + " end");
+}
+
+}  // namespace snnskip

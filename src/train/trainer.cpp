@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "nn/loss.h"
+#include "telemetry/telemetry.h"
 #include "tensor/spike_kernels.h"
-#include "util/logging.h"
 
 namespace snnskip {
 
@@ -87,34 +87,46 @@ StepLoss readout_loss(LossKind kind, const Tensor& output_sum,
 double train_batch(Network& net, Encoder& enc, const Batch& batch,
                    std::int64_t timesteps, Optimizer& opt, float grad_clip,
                    LossKind loss_kind) {
+  SNNSKIP_SPAN("train", "batch");
   net.reset_state();
   enc.reset();
   opt.zero_grad();
+  Telemetry::count("train.timesteps", static_cast<double>(timesteps));
 
   Tensor output_sum;
-  for (std::int64_t t = 0; t < timesteps; ++t) {
-    Tensor in = enc.encode(batch.x, t);
-    Tensor out = net.forward(in, /*train=*/true);
-    if (t == 0) {
-      output_sum = std::move(out);
-    } else {
-      output_sum.add_(out);
+  {
+    SNNSKIP_SPAN("train", "batch.forward");
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+      Tensor in = enc.encode(batch.x, t);
+      Tensor out = net.forward(in, /*train=*/true);
+      if (t == 0) {
+        output_sum = std::move(out);
+      } else {
+        output_sum.add_(out);
+      }
     }
   }
 
   const StepLoss sl = readout_loss(loss_kind, output_sum, batch.y, timesteps);
-  for (std::int64_t t = timesteps; t-- > 0;) {
-    (void)net.backward(sl.grad_per_step);
+  {
+    SNNSKIP_SPAN("train", "batch.backward");
+    for (std::int64_t t = timesteps; t-- > 0;) {
+      (void)net.backward(sl.grad_per_step);
+    }
   }
-  auto params = net.parameters();
-  clip_grad_norm(params, grad_clip);
-  opt.step();
+  {
+    SNNSKIP_SPAN("train", "batch.step");
+    auto params = net.parameters();
+    clip_grad_norm(params, grad_clip);
+    opt.step();
+  }
   net.reset_state();
   return sl.result.loss;
 }
 
 EvalResult evaluate(Network& net, NeuronMode mode, const Dataset& ds,
                     const TrainConfig& cfg, FiringRateRecorder* recorder) {
+  SNNSKIP_SPAN("train", "evaluate");
   EncodingPlan plan = make_encoding_plan(ds, mode, cfg);
   const SparseExec::Stats sparse_before = SparseExec::stats();
   if (recorder != nullptr) {
@@ -130,6 +142,7 @@ EvalResult evaluate(Network& net, NeuronMode mode, const Dataset& ds,
   while (loader.next(batch)) {
     net.reset_state();
     plan.encoder->reset();
+    Telemetry::count("train.timesteps", static_cast<double>(plan.timesteps));
     Tensor output_sum;
     for (std::int64_t t = 0; t < plan.timesteps; ++t) {
       Tensor in = plan.encoder->encode(batch.x, t);
@@ -169,8 +182,29 @@ EvalResult evaluate(Network& net, NeuronMode mode, const Dataset& ds,
   return res;
 }
 
+namespace {
+
+/// Fan-out for the observer hooks; also owns the `verbose` shim printer.
+class ObserverList {
+ public:
+  ObserverList(const TrainConfig& cfg) : observers_(cfg.observers) {
+    if (cfg.verbose) observers_.push_back(&shim_printer_);
+  }
+  template <typename Fn>
+  void notify(Fn&& fn) {
+    for (TrainObserver* obs : observers_) fn(*obs);
+  }
+
+ private:
+  std::vector<TrainObserver*> observers_;
+  ProgressPrinter shim_printer_;  // installed only when cfg.verbose
+};
+
+}  // namespace
+
 FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
               const TrainConfig& cfg) {
+  SNNSKIP_SPAN("train", "fit");
   EncodingPlan plan = make_encoding_plan(*train, mode, cfg);
 
   auto params = net.parameters();
@@ -185,8 +219,12 @@ FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
 
   DataLoader loader(*train, cfg.batch_size, /*shuffle=*/true, cfg.seed);
   FitResult result;
+  ObserverList observers(cfg);
+  observers.notify([&](TrainObserver& o) { o.on_train_begin(cfg); });
 
   for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    SNNSKIP_SPAN("train", "epoch");
+    observers.notify([&](TrainObserver& o) { o.on_epoch_begin(epoch); });
     opt->set_lr(cfg.lr *
                 std::pow(cfg.lr_decay, static_cast<float>(epoch)));
     loader.start_epoch(static_cast<std::uint64_t>(epoch));
@@ -194,24 +232,31 @@ FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
     double loss_acc = 0.0;
     std::size_t batches = 0;
     while (loader.next(batch)) {
-      loss_acc += train_batch(net, *plan.encoder, batch, plan.timesteps, *opt,
-                              cfg.grad_clip, cfg.loss);
+      const double loss = train_batch(net, *plan.encoder, batch,
+                                      plan.timesteps, *opt, cfg.grad_clip,
+                                      cfg.loss);
+      loss_acc += loss;
+      BatchStats bs;
+      bs.epoch = epoch;
+      bs.batch = static_cast<std::int64_t>(batches);
+      bs.batch_size = static_cast<std::int64_t>(batch.y.size());
+      bs.loss = loss;
+      observers.notify([&](TrainObserver& o) { o.on_batch_end(bs); });
       ++batches;
     }
 
     EpochStats stats;
+    stats.epoch = epoch;
     stats.train_loss = batches ? loss_acc / static_cast<double>(batches) : 0.0;
     if (val) {
       stats.val_acc = evaluate(net, mode, *val, cfg).accuracy;
       result.best_val_acc = std::max(result.best_val_acc, stats.val_acc);
       result.final_val_acc = stats.val_acc;
     }
-    if (cfg.verbose) {
-      SNNSKIP_LOG(Info) << "epoch " << epoch << " loss=" << stats.train_loss
-                        << " val_acc=" << stats.val_acc;
-    }
+    observers.notify([&](TrainObserver& o) { o.on_epoch_end(stats); });
     result.epochs.push_back(stats);
   }
+  observers.notify([&](TrainObserver& o) { o.on_train_end(result); });
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "graph/network.h"
 #include "nn/optimizer.h"
 #include "snn/encoders.h"
+#include "train/observer.h"
 
 namespace snnskip {
 
@@ -43,19 +44,15 @@ struct TrainConfig {
   float grad_clip = 5.f;    ///< global-norm clip; <= 0 disables
   float lr_decay = 1.0f;    ///< multiplicative per-epoch decay
   std::uint64_t seed = 7;
+
+  /// Progress hooks invoked by fit() (train/observer.h). Non-owning; the
+  /// observers must outlive the fit() call.
+  std::vector<TrainObserver*> observers{};
+
+  /// Deprecated shim: installs a ProgressPrinter for the duration of
+  /// fit(), reproducing the historical per-epoch stderr line. Prefer
+  /// adding a ProgressPrinter to `observers` explicitly.
   bool verbose = false;
-};
-
-struct EpochStats {
-  double train_loss = 0.0;
-  double train_acc = 0.0;
-  double val_acc = 0.0;
-};
-
-struct FitResult {
-  std::vector<EpochStats> epochs;
-  double best_val_acc = 0.0;
-  double final_val_acc = 0.0;
 };
 
 struct EvalResult {

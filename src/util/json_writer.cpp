@@ -1,0 +1,87 @@
+#include "util/json_writer.h"
+
+namespace snnskip {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonArrayWriter::JsonArrayWriter(const std::string& path)
+    : f_(std::fopen(path.c_str(), "w")) {
+  if (f_ != nullptr) std::fputs("[\n", f_);
+}
+
+JsonArrayWriter::~JsonArrayWriter() {
+  if (f_ != nullptr) {
+    std::fputs("\n]\n", f_);
+    std::fclose(f_);
+  }
+}
+
+void JsonArrayWriter::begin_row() {
+  if (f_ == nullptr) return;
+  if (!first_row_) std::fputs(",\n", f_);
+  first_row_ = false;
+  first_field_ = true;
+  std::fputs("  {", f_);
+}
+
+void JsonArrayWriter::end_row() {
+  if (f_ != nullptr) std::fputs("}", f_);
+}
+
+void JsonArrayWriter::field(const char* key, double v) {
+  if (f_ == nullptr) return;
+  sep();
+  std::fprintf(f_, "\"%s\": %.6g", key, v);
+}
+
+void JsonArrayWriter::field_fixed(const char* key, double v, int decimals) {
+  if (f_ == nullptr) return;
+  sep();
+  std::fprintf(f_, "\"%s\": %.*f", key, decimals, v);
+}
+
+void JsonArrayWriter::field(const char* key, std::int64_t v) {
+  if (f_ == nullptr) return;
+  sep();
+  std::fprintf(f_, "\"%s\": %lld", key, static_cast<long long>(v));
+}
+
+void JsonArrayWriter::field(const char* key, const std::string& v) {
+  if (f_ == nullptr) return;
+  sep();
+  std::fprintf(f_, "\"%s\": \"%s\"", key, json_escape(v).c_str());
+}
+
+void JsonArrayWriter::field(const char* key, const char* v) {
+  field(key, std::string(v));
+}
+
+void JsonArrayWriter::sep() {
+  if (!first_field_) std::fputs(", ", f_);
+  first_field_ = false;
+}
+
+}  // namespace snnskip

@@ -1,0 +1,57 @@
+#pragma once
+// Streaming writer for JSON arrays of flat objects.
+//
+// Promoted out of bench/bench_common.h so the benchmark artifacts
+// (BENCH_*.json) and the telemetry Chrome-trace exporter share one JSON
+// emission (and, crucially, one string-escaping) implementation. The
+// format stays deliberately small: an array of objects whose values are
+// numbers or strings — exactly what both consumers need. Usage:
+//
+//   JsonArrayWriter json("BENCH_foo.json");
+//   json.begin_row();
+//   json.field("channels", 128.0);
+//   json.field("mode", "sparse");
+//   json.end_row();
+//   // destructor closes the array and the file
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace snnskip {
+
+/// Escape a string for embedding inside JSON double quotes (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+class JsonArrayWriter {
+ public:
+  explicit JsonArrayWriter(const std::string& path);
+  ~JsonArrayWriter();
+  JsonArrayWriter(const JsonArrayWriter&) = delete;
+  JsonArrayWriter& operator=(const JsonArrayWriter&) = delete;
+
+  /// False when the output file could not be opened (all writes no-op).
+  bool ok() const { return f_ != nullptr; }
+
+  void begin_row();
+  void end_row();
+
+  /// Shortest-round-trip float formatting (%.6g) — benchmark metrics.
+  void field(const char* key, double v);
+  /// Fixed-point with `decimals` fraction digits — timestamps, where %.6g
+  /// would truncate large microsecond values.
+  void field_fixed(const char* key, double v, int decimals);
+  void field(const char* key, std::int64_t v);
+  void field(const char* key, const std::string& v);
+  void field(const char* key, const char* v);
+
+ private:
+  void sep();
+
+  std::FILE* f_ = nullptr;
+  bool first_row_ = true;
+  bool first_field_ = true;
+};
+
+}  // namespace snnskip

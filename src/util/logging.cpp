@@ -1,9 +1,11 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <cstdlib>
+#include <cctype>
 #include <iostream>
 #include <mutex>
+
+#include "util/runtime_env.h"
 
 namespace snnskip {
 
@@ -11,9 +13,8 @@ namespace {
 
 std::atomic<LogLevel>& level_storage() {
   static std::atomic<LogLevel> level = [] {
-    if (const char* env = std::getenv("SNNSKIP_LOG_LEVEL")) {
-      return parse_log_level(env);
-    }
+    const std::optional<std::string> v = env::raw("SNNSKIP_LOG_LEVEL");
+    if (v.has_value()) return parse_log_level(*v);
     return LogLevel::Info;
   }();
   return level;
