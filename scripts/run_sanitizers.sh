@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build the library and test suites with AddressSanitizer + UBSan and run
+# the tier-1 ctest pass (which includes the fault-injection suite).
+#
+#   scripts/run_sanitizers.sh [build-dir]
+#
+# Default build dir is ./build-asan (kept separate from ./build so a
+# sanitizer run never dirties the regular tree). Uses the SNNSKIP_SANITIZE
+# CMake option, so any build system that sets -DSNNSKIP_SANITIZE=ON gets
+# the same instrumentation without this wrapper.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build-asan}"
+
+echo "== configure (${BUILD_DIR}, ASan+UBSan) =="
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSNNSKIP_SANITIZE=ON
+
+echo
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j
+
+echo
+echo "== ctest (tier-1 + fault suite) =="
+# halt_on_error keeps a UBSan report from being drowned out by later tests;
+# detect_leaks stays on (the default) to catch arena/workspace mistakes.
+(
+  cd "${BUILD_DIR}"
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --output-on-failure -j "$(nproc)"
+)
+
+echo
+echo "sanitizer pass clean"

@@ -17,6 +17,12 @@ BoProblem make_bo_problem(CandidateEvaluator& evaluator) {
   problem.objective = [&evaluator](const EncodingVec& code) {
     return evaluator.evaluate_shared(code).objective;
   };
+  // observe carries the failed flag into the search trace / journal, so a
+  // penalized candidate is distinguishable from a genuinely bad one.
+  problem.observe = [&evaluator](const EncodingVec& code) {
+    const CandidateResult r = evaluator.evaluate_shared(code);
+    return Observation{code, r.objective, r.failed};
+  };
   return problem;
 }
 
@@ -24,6 +30,10 @@ BoProblem make_scratch_problem(CandidateEvaluator& evaluator) {
   BoProblem problem = make_bo_problem(evaluator);
   problem.objective = [&evaluator](const EncodingVec& code) {
     return evaluator.evaluate_scratch(code).objective;
+  };
+  problem.observe = [&evaluator](const EncodingVec& code) {
+    const CandidateResult r = evaluator.evaluate_scratch(code);
+    return Observation{code, r.objective, r.failed};
   };
   return problem;
 }

@@ -1,5 +1,7 @@
 #include "core/evaluator.h"
 
+#include <cmath>
+
 #include "graph/mac_counter.h"
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
@@ -18,10 +20,23 @@ ModelConfig adjust_model_config(ModelConfig cfg, const DatasetBundle& data,
   return cfg;
 }
 
+EvaluatorConfig guard_config(EvaluatorConfig cfg) {
+  // A diverged candidate must fail a bounded retry loop, not crash the
+  // search; opt in both training budgets unless the caller configured
+  // health explicitly.
+  if (cfg.guard_candidates) {
+    HealthConfig guarded = default_health_config();
+    guarded.enabled = true;
+    if (!cfg.finetune.health.enabled) cfg.finetune.health = guarded;
+    if (!cfg.scratch.health.enabled) cfg.scratch.health = guarded;
+  }
+  return cfg;
+}
+
 }  // namespace
 
 CandidateEvaluator::CandidateEvaluator(EvaluatorConfig cfg, DatasetBundle data)
-    : cfg_(std::move(cfg)),
+    : cfg_(guard_config(std::move(cfg))),
       data_(std::move(data)),
       model_cfg_(adjust_model_config(cfg_.model_cfg, data_, cfg_.finetune)),
       space_(model_block_specs(cfg_.model, model_cfg_),
@@ -78,18 +93,45 @@ CandidateResult CandidateEvaluator::finish(Network& net,
   return res;
 }
 
+CandidateResult CandidateEvaluator::failed_result(const FitResult& fr,
+                                                  const char* regime) const {
+  CandidateResult res;
+  res.failed = true;
+  res.objective = cfg_.failure_penalty;
+  res.health_retries = fr.health_retries;
+  Telemetry::count("bo.failed_candidates");
+  SNNSKIP_LOG(Warn) << regime << " eval: candidate failed (diverged="
+                    << fr.diverged << ", retries=" << fr.health_retries
+                    << "), penalized objective=" << res.objective;
+  return res;
+}
+
 CandidateResult CandidateEvaluator::evaluate_shared(const EncodingVec& code) {
   SNNSKIP_SPAN("bo", "evaluate_shared");
   ++evaluations_;
   Network net = build(code);
+  // Snapshot so a diverged fine-tune can be rolled back wholesale: shared
+  // weights must only ever advance by healthy candidates.
+  WeightStore::Snapshot snap = store_.snapshot();
   store_.load_into(net);
   Telemetry::count("bo.finetunes");
   const FitResult fr = [&] {
     SNNSKIP_SPAN("bo", "finetune");
     return fit(net, NeuronMode::Spiking, data_.train, nullptr, cfg_.finetune);
   }();
+  CandidateResult res;
+  bool failed = fr.diverged;
+  if (!failed) {
+    res = finish(net, fr, code);
+    failed = !std::isfinite(res.objective) || !std::isfinite(res.val_accuracy);
+  }
+  if (failed) {
+    store_.restore(std::move(snap));
+    res = failed_result(fr, "shared");
+    return res;
+  }
   store_.store_from(net);
-  CandidateResult res = finish(net, fr, code);
+  res.health_retries = fr.health_retries;
   SNNSKIP_LOG(Debug) << "shared eval: acc=" << res.val_accuracy
                      << " rate=" << res.firing_rate
                      << " objective=" << res.objective;
@@ -105,7 +147,14 @@ CandidateResult CandidateEvaluator::evaluate_scratch(const EncodingVec& code) {
     SNNSKIP_SPAN("bo", "scratch_train");
     return fit(net, NeuronMode::Spiking, data_.train, nullptr, cfg_.scratch);
   }();
-  CandidateResult res = finish(net, fr, code);
+  CandidateResult res;
+  bool failed = fr.diverged;
+  if (!failed) {
+    res = finish(net, fr, code);
+    failed = !std::isfinite(res.objective) || !std::isfinite(res.val_accuracy);
+  }
+  if (failed) return failed_result(fr, "scratch");
+  res.health_retries = fr.health_retries;
   SNNSKIP_LOG(Debug) << "scratch eval: acc=" << res.val_accuracy
                      << " objective=" << res.objective;
   return res;

@@ -29,6 +29,12 @@ struct CandidateResult {
   std::int64_t macs = 0;       ///< per timestep, batch of one
   double energy_pj = 0.0;      ///< spike-driven inference energy estimate
   double objective = 0.0;      ///< what the optimizer minimizes
+  /// Training diverged past the health monitor's retry budget (or the
+  /// metrics came back non-finite). The objective is then the finite
+  /// failure penalty, and for shared evaluation the WeightStore was
+  /// restored to its pre-candidate state.
+  bool failed = false;
+  int health_retries = 0;      ///< rollbacks spent during the fine-tune
 };
 
 struct EvaluatorConfig {
@@ -51,6 +57,16 @@ struct EvaluatorConfig {
   /// Include one-step-delayed backward connections in the search space
   /// (the paper's future-work extension; see graph/adjacency.h).
   bool include_recurrent = false;
+
+  /// Objective assigned to failed (diverged) candidates: finite and worse
+  /// than any achievable value in both objective regimes (drop <= 1,
+  /// -accuracy <= 0), but moderate enough not to wreck the GP's target
+  /// standardization the way a 1e9 sentinel would.
+  double failure_penalty = 2.0;
+
+  /// Apply the health guard (with the SNNSKIP_MAX_RETRIES budget) to
+  /// candidate trainings unless the TrainConfigs already enable one.
+  bool guard_candidates = true;
 };
 
 class CandidateEvaluator {
@@ -90,6 +106,8 @@ class CandidateEvaluator {
  private:
   CandidateResult finish(Network& net, const FitResult& fit_result,
                          const EncodingVec& code);
+  CandidateResult failed_result(const FitResult& fit_result,
+                                const char* regime) const;
   Shape input_shape() const;
 
   EvaluatorConfig cfg_;

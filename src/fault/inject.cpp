@@ -1,0 +1,82 @@
+#include "fault/inject.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace snnskip::fault {
+
+namespace detail {
+std::atomic<int> armed_sites{0};
+}
+
+namespace {
+
+struct SiteState {
+  Spec spec;
+  bool armed = false;
+  std::int64_t hits = 0;
+};
+
+std::mutex& mu() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, SiteState>& sites() {
+  static std::unordered_map<std::string, SiteState> s;
+  return s;
+}
+
+}  // namespace
+
+void arm(const std::string& site, const Spec& spec) {
+  std::lock_guard<std::mutex> lock(mu());
+  SiteState& st = sites()[site];
+  if (!st.armed) detail::armed_sites.fetch_add(1, std::memory_order_relaxed);
+  st.spec = spec;
+  st.armed = true;
+  st.hits = 0;
+}
+
+void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu());
+  auto it = sites().find(site);
+  if (it == sites().end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(mu());
+  for (auto& [name, st] : sites()) {
+    if (st.armed) detail::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+  sites().clear();
+}
+
+bool should_fire(const char* site) {
+  std::lock_guard<std::mutex> lock(mu());
+  auto it = sites().find(site);
+  if (it == sites().end() || !it->second.armed) return false;
+  SiteState& st = it->second;
+  const std::int64_t occurrence = st.hits++;
+  if (occurrence < st.spec.fire_at) return false;
+  if (st.spec.count < 0) return true;
+  return occurrence < st.spec.fire_at + st.spec.count;
+}
+
+double payload(const char* site) {
+  std::lock_guard<std::mutex> lock(mu());
+  auto it = sites().find(site);
+  if (it == sites().end() || !it->second.armed) return 0.0;
+  return it->second.spec.payload;
+}
+
+std::int64_t hits(const char* site) {
+  std::lock_guard<std::mutex> lock(mu());
+  auto it = sites().find(site);
+  if (it == sites().end()) return 0;
+  return it->second.hits;
+}
+
+}  // namespace snnskip::fault

@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic fault-injection points (ISSUE 3).
+//
+// Robustness code is only trustworthy if every recovery path is exercised,
+// and real faults (NaN divergence, torn checkpoint writes, failed I/O) are
+// hard to trigger on demand. This registry lets tests arm named injection
+// sites that production code consults through SNNSKIP_FAULT(site):
+//
+//   fault::arm("train.nan", {.fire_at = 2});   // 3rd occurrence fires
+//   ... run the trainer ...
+//   fault::reset();
+//
+// Sites are identified by string literals and count their occurrences, so
+// a fault can be placed at an exact (site, occurrence) pair — "NaN at
+// fine-tune batch 2", "truncate the 1st checkpoint write" — which keeps
+// the failing runs reproducible.
+//
+// Cost model: like telemetry, the disarmed fast path is one relaxed
+// atomic load and a branch, so the sites stay in release builds. Building
+// with -DSNNSKIP_FAULT_POINTS=OFF compiles every SNNSKIP_FAULT() to a
+// literal `false` and the whole registry becomes dead code.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#ifndef SNNSKIP_FAULT_INJECTION
+#define SNNSKIP_FAULT_INJECTION 1
+#endif
+
+namespace snnskip::fault {
+
+/// What an armed site does. Occurrences are counted from arming (and from
+/// the last reset()); occurrence indices are 0-based.
+struct Spec {
+  std::int64_t fire_at = 0;  ///< first occurrence index that fires
+  std::int64_t count = 1;    ///< consecutive firing occurrences; -1 = all
+  double payload = 0.0;      ///< site-specific argument (e.g. bytes to cut)
+};
+
+namespace detail {
+extern std::atomic<int> armed_sites;  // fast-path gate; see any_armed()
+}
+
+/// True while at least one site is armed (single relaxed load).
+inline bool any_armed() {
+  return detail::armed_sites.load(std::memory_order_relaxed) > 0;
+}
+
+/// Arm `site`; re-arming replaces the spec and restarts its hit counter.
+void arm(const std::string& site, const Spec& spec = {});
+/// Disarm one site (its hit counter is kept for inspection).
+void disarm(const std::string& site);
+/// Disarm everything and forget all hit counters.
+void reset();
+
+/// Occurrence check for an armed site; increments its hit counter and
+/// returns whether this occurrence fires. Unarmed sites return false and
+/// count nothing. Call through SNNSKIP_FAULT(), not directly.
+bool should_fire(const char* site);
+
+/// Payload of the armed spec for `site` (0.0 when not armed).
+double payload(const char* site);
+
+/// Occurrences seen at `site` since arming (tests: prove a site was hit).
+std::int64_t hits(const char* site);
+
+}  // namespace snnskip::fault
+
+#if SNNSKIP_FAULT_INJECTION
+#define SNNSKIP_FAULT(site) \
+  (::snnskip::fault::any_armed() && ::snnskip::fault::should_fire(site))
+#else
+#define SNNSKIP_FAULT(site) false
+#endif

@@ -1,10 +1,14 @@
 #include "opt/bayes_opt.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <unordered_set>
 
+#include "opt/journal.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
+#include "util/runtime_env.h"
 
 namespace snnskip {
 
@@ -27,10 +31,41 @@ void append_observation(SearchTrace& trace, Observation obs) {
 
 }  // namespace
 
+std::string resolve_journal_path(const std::string& configured) {
+  return configured.empty() ? env::get_string("SNNSKIP_JOURNAL", "")
+                            : configured;
+}
+
+Observation evaluate_candidate(const BoProblem& problem,
+                               const EncodingVec& code,
+                               double nonfinite_penalty) {
+  Observation obs;
+  if (problem.observe) {
+    obs = problem.observe(code);
+  } else {
+    obs.value = problem.objective(code);
+  }
+  obs.code = code;
+  if (!std::isfinite(obs.value)) {
+    // Last-resort guard: the GP's Cholesky cannot digest NaN/Inf targets,
+    // and one poisoned row would invalidate every later proposal.
+    SNNSKIP_LOG(Warn) << "search: non-finite objective penalized to "
+                      << nonfinite_penalty;
+    Telemetry::count("bo.nonfinite_values");
+    obs.value = nonfinite_penalty;
+    obs.failed = true;
+  }
+  return obs;
+}
+
 SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg) {
-  Rng rng(cfg.seed);
   SearchTrace trace;
   std::unordered_set<std::uint64_t> seen;
+  const Rng root(cfg.seed);
+
+  const std::string journal_path = resolve_journal_path(cfg.journal_path);
+  std::vector<JournalEntry> replay = SearchJournal::replay(journal_path);
+  SearchJournal journal(journal_path);
 
   auto sample_unseen = [&](Rng& r) -> EncodingVec {
     // Rejection-sample a point not yet evaluated; give up after a bounded
@@ -43,19 +78,40 @@ SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg) {
   };
 
   auto evaluate = [&](const EncodingVec& code) {
+    const std::size_t idx = trace.observations.size();
     seen.insert(encoding_hash(code));
-    Observation obs{code, problem.objective(code)};
+    if (idx < replay.size()) {
+      if (replay[idx].code == code) {
+        Observation obs{code, replay[idx].value, replay[idx].failed};
+        ++trace.replayed;
+        append_observation(trace, std::move(obs));
+        return;
+      }
+      // The journal came from a different problem/config; proposals have
+      // diverged, so the remainder cannot be trusted.
+      SNNSKIP_LOG(Warn) << "journal: proposal mismatch at evaluation " << idx
+                        << ", discarding the remaining journal";
+      replay.resize(idx);
+    }
+    Observation obs = evaluate_candidate(problem, code, cfg.nonfinite_penalty);
     SNNSKIP_LOG(Debug) << "bo: observed value " << obs.value;
+    journal.append(idx, code, obs.value, obs.failed);
     append_observation(trace, std::move(obs));
   };
 
-  // Initial design: pure random.
+  // Initial design: pure random. Each step draws from its own split
+  // stream so the proposal sequence is independent of how many previous
+  // steps were replayed versus evaluated.
   for (int i = 0; i < cfg.initial_design; ++i) {
-    evaluate(sample_unseen(rng));
+    Rng step_rng = root.split(static_cast<std::uint64_t>(i));
+    evaluate(sample_unseen(step_rng));
   }
 
-  double beta = cfg.beta;
   for (int round = 0; round < cfg.iterations; ++round) {
+    Rng round_rng = root.split(
+        static_cast<std::uint64_t>(cfg.initial_design + round));
+    const double beta = cfg.beta * std::pow(cfg.beta_decay, round);
+
     // Fit the surrogate on everything observed so far.
     std::vector<std::vector<double>> xs;
     std::vector<double> ys;
@@ -86,7 +142,7 @@ SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg) {
       double best_score = -std::numeric_limits<double>::infinity();
       EncodingVec best_code;
       for (int c = 0; c < cfg.candidate_pool; ++c) {
-        EncodingVec code = sample_unseen(rng);
+        EncodingVec code = sample_unseen(round_rng);
         if (batch_seen.count(encoding_hash(code)) != 0) continue;
         const GpPrediction pred = gp.predict(problem.featurize(code));
         const double score =
@@ -109,7 +165,6 @@ SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg) {
     for (const EncodingVec& code : batch) {
       evaluate(code);
     }
-    beta *= cfg.beta_decay;
   }
   return trace;
 }

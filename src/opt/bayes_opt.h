@@ -7,8 +7,18 @@
 // results with the constant-liar value so batch members diversify) ->
 // evaluate the batch -> append observations. Evaluated points are never
 // re-proposed.
+//
+// Fault tolerance: proposal randomness is reseeded per step from split
+// streams of the config seed, so the trajectory is a pure function of
+// (config, observation values). Combined with the append-only journal
+// (opt/journal.h) this makes a killed search resumable: on restart the
+// journaled values replace the first N objective calls, the proposals are
+// recomputed identically, and evaluation N continues live. Candidates
+// whose evaluation failed report a finite penalized objective (observe /
+// the non-finite guard below), so the GP never ingests NaN.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "opt/acquisition.h"
@@ -17,12 +27,21 @@
 
 namespace snnskip {
 
+struct Observation {
+  EncodingVec code;
+  double value = 0.0;
+  bool failed = false;  ///< penalized (diverged / non-finite), not measured
+};
+
 /// The problem is abstract: how to sample a random point, featurize it for
 /// the GP, and (expensively) evaluate it. The optimizer MINIMIZES.
 struct BoProblem {
   std::function<EncodingVec(Rng&)> sample;
   std::function<std::vector<double>(const EncodingVec&)> featurize;
   std::function<double(const EncodingVec&)> objective;
+  /// Optional richer evaluation carrying the failed flag (code is filled
+  /// in by the optimizer). When set it is used instead of `objective`.
+  std::function<Observation(const EncodingVec&)> observe;
 };
 
 struct BoConfig {
@@ -40,11 +59,14 @@ struct BoConfig {
   /// small grid instead of using the fixed value above.
   bool auto_lengthscale = false;
   std::uint64_t seed = 11;
-};
 
-struct Observation {
-  EncodingVec code;
-  double value = 0.0;
+  /// Journal file for crash-safe resume; every evaluation is appended and
+  /// flushed, and existing rows are replayed before evaluating live.
+  /// Empty falls back to $SNNSKIP_JOURNAL, and empty again disables.
+  std::string journal_path;
+  /// Substitute for a non-finite objective value (guard of last resort —
+  /// the evaluator already penalizes failed candidates upstream).
+  double nonfinite_penalty = 2.0;
 };
 
 struct SearchTrace {
@@ -52,8 +74,19 @@ struct SearchTrace {
   std::vector<double> best_so_far;         ///< running minimum per evaluation
   EncodingVec best;
   double best_value = 0.0;
+  std::size_t replayed = 0;  ///< evaluations satisfied from the journal
 };
 
 SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg);
+
+/// Journal path resolution shared by BO and random search: the configured
+/// path wins, else $SNNSKIP_JOURNAL, else disabled (empty).
+std::string resolve_journal_path(const std::string& configured);
+
+/// One live evaluation via observe()/objective() with the non-finite
+/// guard applied (penalized + marked failed). Shared by BO and RS.
+Observation evaluate_candidate(const BoProblem& problem,
+                               const EncodingVec& code,
+                               double nonfinite_penalty);
 
 }  // namespace snnskip

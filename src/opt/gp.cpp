@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cmath>
-#include <stdexcept>
+
+#include "telemetry/telemetry.h"
+#include "util/logging.h"
 
 namespace snnskip {
 
@@ -38,17 +40,26 @@ void GaussianProcess::fit(std::vector<std::vector<double>> x,
   }
   k.add_diagonal(noise_);
 
-  // Escalating-jitter Cholesky.
-  double jitter = 1e-10;
-  std::optional<Matrix> chol;
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    chol = cholesky(k);
-    if (chol) break;
-    k.add_diagonal(jitter);
+  // Escalating-jitter Cholesky: retry from 1e-8 up to 1e-4 total added
+  // diagonal. If even that fails (duplicate rows with zero noise, or
+  // non-finite features), fall back to the unfitted prior instead of
+  // aborting the search — one bad surrogate round must not kill a
+  // multi-hour run.
+  std::optional<Matrix> chol = cholesky(k);
+  double jitter = 1e-8;
+  while (!chol && jitter <= 1e-4) {
+    Telemetry::count("gp.jitter_retries");
+    Matrix k_jittered = k;
+    k_jittered.add_diagonal(jitter);
+    chol = cholesky(k_jittered);
     jitter *= 10.0;
   }
   if (!chol) {
-    throw std::runtime_error("GaussianProcess::fit: kernel matrix not PD");
+    Telemetry::count("gp.fit_failures");
+    SNNSKIP_LOG(Warn) << "gp: kernel matrix not PD after jitter escalation; "
+                         "falling back to the prior";
+    fitted_ = false;
+    return;
   }
   chol_ = std::move(*chol);
 
@@ -92,11 +103,17 @@ GaussianProcess GaussianProcess::fit_best_lengthscale(
   for (double ls : grid) {
     GaussianProcess gp(std::make_shared<RbfKernel>(ls, variance), noise);
     gp.fit(x, y);
+    if (!gp.fitted()) continue;  // fit fell back to the prior
     const double lml = gp.log_marginal_likelihood();
     if (lml > best_lml) {
       best_lml = lml;
       best = std::move(gp);
     }
+  }
+  if (!best) {
+    // Every grid point failed; return an unfitted GP (prior predictions).
+    return GaussianProcess(std::make_shared<RbfKernel>(grid.front(), variance),
+                           noise);
   }
   return std::move(*best);
 }

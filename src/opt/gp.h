@@ -24,8 +24,11 @@ class GaussianProcess {
  public:
   GaussianProcess(std::shared_ptr<Kernel> kernel, double noise);
 
-  /// Fit to observations; throws std::runtime_error if the kernel matrix
-  /// is irreparably non-PD (after escalating jitter).
+  /// Fit to observations. A non-PD kernel matrix is retried with
+  /// escalating diagonal jitter (1e-8 .. 1e-4, counted as
+  /// gp.jitter_retries); if that still fails the GP stays unfitted and
+  /// predict() serves the prior — never throws, so one degenerate round
+  /// cannot abort a long search.
   void fit(std::vector<std::vector<double>> x, std::vector<double> y);
 
   bool fitted() const { return fitted_; }

@@ -3,14 +3,22 @@
 #include <limits>
 #include <unordered_set>
 
+#include "opt/journal.h"
+#include "util/logging.h"
+
 namespace snnskip {
 
 SearchTrace run_random_search(const BoProblem& problem, const RsConfig& cfg) {
-  Rng rng(cfg.seed);
   SearchTrace trace;
   std::unordered_set<std::uint64_t> seen;
+  const Rng root(cfg.seed);
+
+  const std::string journal_path = resolve_journal_path(cfg.journal_path);
+  std::vector<JournalEntry> replay = SearchJournal::replay(journal_path);
+  SearchJournal journal(journal_path);
 
   for (int i = 0; i < cfg.evaluations; ++i) {
+    Rng rng = root.split(static_cast<std::uint64_t>(i));
     EncodingVec code;
     for (int tries = 0; tries < 256; ++tries) {
       code = problem.sample(rng);
@@ -18,7 +26,21 @@ SearchTrace run_random_search(const BoProblem& problem, const RsConfig& cfg) {
     }
     seen.insert(encoding_hash(code));
 
-    Observation obs{code, problem.objective(code)};
+    const std::size_t idx = trace.observations.size();
+    Observation obs;
+    if (idx < replay.size() && replay[idx].code == code) {
+      obs = Observation{code, replay[idx].value, replay[idx].failed};
+      ++trace.replayed;
+    } else {
+      if (idx < replay.size()) {
+        SNNSKIP_LOG(Warn) << "journal: proposal mismatch at evaluation "
+                          << idx << ", discarding the remaining journal";
+        replay.resize(idx);
+      }
+      obs = evaluate_candidate(problem, code, cfg.nonfinite_penalty);
+      journal.append(idx, code, obs.value, obs.failed);
+    }
+
     const double v = obs.value;
     trace.observations.push_back(std::move(obs));
     const double prev_best = trace.best_so_far.empty()

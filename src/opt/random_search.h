@@ -2,6 +2,10 @@
 // Random-search baseline (paper §IV-B): samples adjacency configurations
 // without replacement and evaluates each; the paper's comparison trains
 // every RS candidate from scratch (the evaluator decides that).
+//
+// Like BO, each evaluation draws from its own split stream and is
+// journaled (opt/journal.h), so a killed baseline run resumes with the
+// identical trajectory.
 
 #include "opt/bayes_opt.h"
 
@@ -10,6 +14,11 @@ namespace snnskip {
 struct RsConfig {
   int evaluations = 16;
   std::uint64_t seed = 13;
+  /// Journal file for crash-safe resume; empty falls back to
+  /// $SNNSKIP_JOURNAL, and empty again disables.
+  std::string journal_path;
+  /// Substitute for a non-finite objective value.
+  double nonfinite_penalty = 2.0;
 };
 
 SearchTrace run_random_search(const BoProblem& problem, const RsConfig& cfg);

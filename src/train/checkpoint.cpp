@@ -1,18 +1,31 @@
 #include "train/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
+#include "fault/inject.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace snnskip {
 
 namespace {
-constexpr char kMagic[8] = {'S', 'N', 'N', 'S', 'K', 'I', 'P', '1'};
+constexpr char kMagicV1[8] = {'S', 'N', 'N', 'S', 'K', 'I', 'P', '1'};
+constexpr char kMagicV2[8] = {'S', 'N', 'N', 'S', 'K', 'I', 'P', '2'};
+
+// Header sanity bounds: generous for real models, tight enough that a
+// corrupted field cannot drive allocation sizes.
+constexpr std::uint32_t kMaxNameLen = 1u << 20;
+constexpr std::uint32_t kMaxNdim = 8;
 
 template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+bool write_pod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
 }
 
 template <typename T>
@@ -20,69 +33,180 @@ bool read_pod(std::ifstream& in, T& v) {
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
   return in.good();
 }
+
+/// Durably replace `path` with the bytes produced by `emit`: write to a
+/// temp file in the same directory, fsync, then atomically rename. A
+/// crash at any point leaves either the old file or the new one, never a
+/// torn mixture.
+template <typename Emit>
+bool atomic_write(const std::string& path, Emit&& emit) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    SNNSKIP_LOG(Warn) << "checkpoint: cannot open " << tmp << " for write";
+    return false;
+  }
+  bool ok = emit(f);
+  if (ok && SNNSKIP_FAULT("checkpoint.write_fail")) ok = false;  // injected I/O error
+  if (ok) {
+    ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    SNNSKIP_LOG(Warn) << "checkpoint: write to " << tmp << " failed";
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    SNNSKIP_LOG(Warn) << "checkpoint: rename to " << path << " failed";
+    return false;
+  }
+  if (SNNSKIP_FAULT("checkpoint.torn")) {
+    // Injected torn write (fault tests): chop trailing bytes off the
+    // final file, as a non-atomic filesystem could after a crash.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    const auto cut =
+        static_cast<std::uintmax_t>(fault::payload("checkpoint.torn"));
+    if (!ec && size > cut) std::filesystem::resize_file(path, size - cut, ec);
+  }
+  return true;
+}
+
 }  // namespace
 
 bool save_entries(const std::string& path,
                   const std::vector<CheckpointEntry>& entries) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    SNNSKIP_LOG(Warn) << "checkpoint: cannot open " << path << " for write";
-    return false;
-  }
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, static_cast<std::uint64_t>(entries.size()));
-  for (const auto& e : entries) {
-    write_pod(out, static_cast<std::uint32_t>(e.name.size()));
-    out.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
-    const auto& dims = e.value.shape().dims();
-    write_pod(out, static_cast<std::uint32_t>(dims.size()));
-    for (std::int64_t d : dims) write_pod(out, d);
-    out.write(reinterpret_cast<const char*>(e.value.data()),
-              static_cast<std::streamsize>(sizeof(float) *
-                                           static_cast<std::size_t>(
-                                               e.value.numel())));
-  }
-  return out.good();
+  return atomic_write(path, [&entries](std::FILE* f) {
+    if (std::fwrite(kMagicV2, sizeof(kMagicV2), 1, f) != 1) return false;
+    if (!write_pod(f, static_cast<std::uint64_t>(entries.size()))) {
+      return false;
+    }
+    for (const auto& e : entries) {
+      if (!write_pod(f, static_cast<std::uint32_t>(e.name.size()))) {
+        return false;
+      }
+      if (!e.name.empty() &&
+          std::fwrite(e.name.data(), e.name.size(), 1, f) != 1) {
+        return false;
+      }
+      const auto& dims = e.value.shape().dims();
+      if (!write_pod(f, static_cast<std::uint32_t>(dims.size()))) {
+        return false;
+      }
+      for (std::int64_t d : dims) {
+        if (!write_pod(f, d)) return false;
+      }
+      const std::size_t bytes =
+          sizeof(float) * static_cast<std::size_t>(e.value.numel());
+      if (!write_pod(f, crc32(e.value.data(), bytes))) return false;
+      if (bytes > 0 && std::fwrite(e.value.data(), bytes, 1, f) != 1) {
+        return false;
+      }
+    }
+    return true;
+  });
 }
 
 bool load_entries(const std::string& path,
                   std::vector<CheckpointEntry>& entries) {
+  entries.clear();
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     SNNSKIP_LOG(Warn) << "checkpoint: cannot open " << path;
     return false;
   }
+  in.seekg(0, std::ios::end);
+  const std::int64_t file_size = static_cast<std::int64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  // Every claimed size is checked against the bytes actually left in the
+  // file BEFORE any allocation: a corrupted header fails cleanly instead
+  // of driving a multi-gigabyte resize. On any failure the partial
+  // `loaded` vector is dropped, so callers never see a half checkpoint.
+  auto fail = [&entries, &path](const char* why) {
+    SNNSKIP_LOG(Warn) << "checkpoint: " << why << " in " << path;
+    entries.clear();
+    return false;
+  };
+
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    SNNSKIP_LOG(Warn) << "checkpoint: bad magic in " << path;
-    return false;
+  if (!in.good()) return fail("unreadable header");
+  bool has_crc;
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    has_crc = true;
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    has_crc = false;
+  } else {
+    return fail("bad magic");
   }
+
   std::uint64_t count = 0;
-  if (!read_pod(in, count)) return false;
-  entries.clear();
-  entries.reserve(count);
+  if (!read_pod(in, count)) return fail("unreadable entry count");
+  // Smallest possible entry: name_len + ndim (+ crc) with no name, no
+  // dims, no payload.
+  const std::int64_t min_entry = has_crc ? 12 : 8;
+  std::int64_t remaining = file_size - static_cast<std::int64_t>(in.tellg());
+  if (count > static_cast<std::uint64_t>(remaining / min_entry)) {
+    return fail("entry count exceeds file size");
+  }
+
+  std::vector<CheckpointEntry> loaded;
+  loaded.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     CheckpointEntry e;
     std::uint32_t name_len = 0;
-    if (!read_pod(in, name_len) || name_len > (1u << 20)) return false;
+    if (!read_pod(in, name_len)) return fail("truncated entry");
+    remaining = file_size - static_cast<std::int64_t>(in.tellg());
+    if (name_len > kMaxNameLen ||
+        static_cast<std::int64_t>(name_len) > remaining) {
+      return fail("name length exceeds file size");
+    }
     e.name.resize(name_len);
     in.read(e.name.data(), name_len);
     std::uint32_t ndim = 0;
-    if (!read_pod(in, ndim) || ndim > 8) return false;
-    std::vector<std::int64_t> dims(ndim);
-    for (auto& d : dims) {
-      if (!read_pod(in, d) || d < 0) return false;
+    if (!read_pod(in, ndim) || ndim > kMaxNdim) return fail("bad rank");
+    remaining = file_size - static_cast<std::int64_t>(in.tellg());
+    if (static_cast<std::int64_t>(ndim) * 8 > remaining) {
+      return fail("dims exceed file size");
     }
-    Shape shape(dims);
-    Tensor value(shape);
+    std::vector<std::int64_t> dims(ndim);
+    // The payload that could possibly follow bounds every dimension and
+    // the element product (also an overflow guard: numel stays below
+    // file_size, far under int64 range).
+    const std::int64_t max_elems =
+        (remaining - static_cast<std::int64_t>(ndim) * 8) /
+        static_cast<std::int64_t>(sizeof(float));
+    std::int64_t numel = 1;
+    for (auto& d : dims) {
+      if (!read_pod(in, d) || d < 0) return fail("bad dimension");
+      if (d > 0 && numel > max_elems / d) {
+        return fail("tensor size exceeds file size");
+      }
+      numel *= d;
+    }
+    std::uint32_t stored_crc = 0;
+    if (has_crc && !read_pod(in, stored_crc)) return fail("truncated crc");
+    remaining = file_size - static_cast<std::int64_t>(in.tellg());
+    const std::int64_t payload =
+        numel * static_cast<std::int64_t>(sizeof(float));
+    if (payload > remaining) return fail("payload exceeds file size");
+
+    Tensor value{Shape(dims)};
     in.read(reinterpret_cast<char*>(value.data()),
-            static_cast<std::streamsize>(
-                sizeof(float) * static_cast<std::size_t>(value.numel())));
-    if (!in.good()) return false;
+            static_cast<std::streamsize>(payload));
+    if (!in.good()) return fail("truncated payload");
+    if (has_crc &&
+        crc32(value.data(), static_cast<std::size_t>(payload)) !=
+            stored_crc) {
+      return fail("checksum mismatch");
+    }
     e.value = std::move(value);
-    entries.push_back(std::move(e));
+    loaded.push_back(std::move(e));
   }
+  entries = std::move(loaded);
   return true;
 }
 

@@ -3,9 +3,19 @@
 // simple self-describing binary format so long searches can be resumed and
 // trained models shipped.
 //
-// Format (little-endian):
-//   magic "SNNSKIP1" | u64 count | count x entry
-//   entry: u32 name_len | name bytes | u32 ndim | i64 dims[ndim] | f32 data
+// v2 format (little-endian), crash-safe (ISSUE 3):
+//   magic "SNNSKIP2" | u64 count | count x entry
+//   entry: u32 name_len | name bytes | u32 ndim | i64 dims[ndim]
+//          | u32 crc32(payload) | f32 data
+//
+// Writes go to `<path>.tmp`, are fsync'd, and atomically renamed over the
+// target, so a crash mid-write leaves the previous checkpoint intact.
+// Loading validates every header field against the actual file size
+// before allocating (a corrupted count/dims can no longer trigger huge
+// allocations), verifies each tensor's CRC-32, and on ANY error returns
+// false with `entries` cleared — a checkpoint is restored whole or not at
+// all. v1 files ("SNNSKIP1", no checksums) still load with the same
+// bounds validation.
 //
 // Loading matches entries to parameters BY NAME and checks shapes; extra
 // entries in the file are ignored, missing parameters are reported.

@@ -1,0 +1,108 @@
+#include "train/health.h"
+
+#include <cmath>
+
+#include "telemetry/telemetry.h"
+#include "util/logging.h"
+#include "util/runtime_env.h"
+
+namespace snnskip {
+
+namespace {
+
+bool tensor_finite(const Tensor& t) {
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HealthConfig default_health_config() {
+  HealthConfig cfg;
+  cfg.max_retries =
+      static_cast<int>(env::get_int("SNNSKIP_MAX_RETRIES", cfg.max_retries));
+  if (cfg.max_retries < 0) cfg.max_retries = 0;
+  return cfg;
+}
+
+void HealthMonitor::capture(Network& net) {
+  param_snapshot_.clear();
+  buffer_snapshot_.clear();
+  for (Parameter* p : net.parameters()) param_snapshot_.push_back(p->value);
+  for (auto& [name, tensor] : net.buffers()) {
+    (void)name;
+    buffer_snapshot_.push_back(*tensor);
+  }
+}
+
+bool HealthMonitor::check(Network& net, double loss, double grad_norm) {
+  ++batches_seen_;
+  if (!std::isfinite(loss)) {
+    reason_ = "non-finite loss";
+    return false;
+  }
+  if (loss > cfg_.abs_loss_limit) {
+    reason_ = "loss above absolute limit";
+    return false;
+  }
+  if (!std::isfinite(grad_norm)) {
+    reason_ = "non-finite gradient norm";
+    return false;
+  }
+  if (finite_losses_ >= cfg_.warmup_batches &&
+      loss > cfg_.loss_explode_factor * (loss_avg_ + 1e-12)) {
+    reason_ = "loss explosion";
+    return false;
+  }
+  // Running average over finite losses only (a diverged batch never gets
+  // to skew the baseline it is judged against).
+  loss_avg_ = finite_losses_ == 0 ? loss : 0.9 * loss_avg_ + 0.1 * loss;
+  ++finite_losses_;
+
+  if (cfg_.param_scan_interval > 0 &&
+      batches_seen_ % cfg_.param_scan_interval == 0) {
+    for (Parameter* p : net.parameters()) {
+      if (!tensor_finite(p->value)) {
+        reason_ = "non-finite parameter " + p->name;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool HealthMonitor::recover(Network& net) {
+  if (retries_ >= cfg_.max_retries) {
+    Telemetry::count("health.failures");
+    SNNSKIP_LOG(Warn) << "health: " << reason_ << "; retry budget ("
+                      << cfg_.max_retries << ") exhausted, fit failed";
+    return false;
+  }
+  ++retries_;
+  lr_scale_ *= 0.5;
+  auto params = net.parameters();
+  auto buffers = net.buffers();
+  // Snapshots are taken from the same network, so the orders match.
+  for (std::size_t i = 0; i < params.size() && i < param_snapshot_.size();
+       ++i) {
+    params[i]->value = param_snapshot_[i];
+    params[i]->zero_grad();
+  }
+  for (std::size_t i = 0; i < buffers.size() && i < buffer_snapshot_.size();
+       ++i) {
+    *buffers[i].second = buffer_snapshot_[i];
+  }
+  // The loss baseline belongs to the diverged trajectory; restart it.
+  loss_avg_ = 0.0;
+  finite_losses_ = 0;
+  Telemetry::count("health.rollbacks");
+  SNNSKIP_LOG(Warn) << "health: " << reason_ << "; rolled back to last-good "
+                    << "snapshot, lr scale now " << lr_scale_ << " (retry "
+                    << retries_ << "/" << cfg_.max_retries << ")";
+  return true;
+}
+
+}  // namespace snnskip

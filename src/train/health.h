@@ -1,0 +1,85 @@
+#pragma once
+// Numeric health guards for surrogate-gradient training (ISSUE 3).
+//
+// SNN training is notoriously divergence-prone: a bad candidate topology
+// or an LR spike can blow the loss up or write NaN/Inf into the weights,
+// and inside the BO loop that single candidate used to poison the shared
+// WeightStore or kill the whole search. The HealthMonitor makes fit()
+// self-healing:
+//
+//   * each batch it checks the loss, the (pre-clip) gradient norm, and —
+//     on a configurable interval — every parameter for NaN/Inf, plus a
+//     loss-explosion heuristic against a running loss average;
+//   * on divergence, fit() rolls the network back to the last known-good
+//     in-memory snapshot (refreshed per healthy epoch), halves the
+//     learning rate, resets optimizer state, and redoes the epoch;
+//   * after `max_retries` rollbacks the fit is declared failed
+//     (FitResult::diverged) instead of looping forever — the candidate
+//     evaluator then discards it without touching shared weights.
+//
+// The monitor is opt-in via TrainConfig::health; the candidate evaluator
+// enables it by default with the retry budget from SNNSKIP_MAX_RETRIES.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace snnskip {
+
+struct HealthConfig {
+  bool enabled = false;
+  /// Rollback budget per fit(); exceeding it marks the fit diverged.
+  int max_retries = 2;
+  /// Divergence when loss exceeds this factor times the running average
+  /// (checked after `warmup_batches` finite losses have been seen).
+  double loss_explode_factor = 1e3;
+  /// Divergence when loss exceeds this absolute bound, warmup or not.
+  double abs_loss_limit = 1e6;
+  /// Scan all parameters for NaN/Inf every N batches (1 = every batch;
+  /// <= 0 disables the parameter scan, loss/grad checks remain).
+  std::int64_t param_scan_interval = 1;
+  /// Batches of loss averaging before the explosion heuristic engages.
+  int warmup_batches = 3;
+};
+
+/// HealthConfig with the retry budget taken from SNNSKIP_MAX_RETRIES
+/// (util/runtime_env). `enabled` is left false; callers opt in.
+HealthConfig default_health_config();
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Refresh the last-good snapshot (parameters + buffers) from `net`.
+  /// Call once before training and after every healthy epoch.
+  void capture(Network& net);
+
+  /// Per-batch health check; false means the training state is diverged
+  /// (reason available via last_reason()).
+  bool check(Network& net, double loss, double grad_norm);
+
+  /// Roll `net` back to the last-good snapshot and halve the LR scale.
+  /// Returns false when the retry budget is exhausted (fit must stop).
+  bool recover(Network& net);
+
+  int retries() const { return retries_; }
+  /// Cumulative LR multiplier (0.5^retries); fit() applies it on top of
+  /// the schedule so the halving survives per-epoch LR updates.
+  double lr_scale() const { return lr_scale_; }
+  const std::string& last_reason() const { return reason_; }
+
+ private:
+  HealthConfig cfg_;
+  std::vector<Tensor> param_snapshot_;
+  std::vector<Tensor> buffer_snapshot_;
+  int retries_ = 0;
+  double lr_scale_ = 1.0;
+  double loss_avg_ = 0.0;
+  int finite_losses_ = 0;
+  std::int64_t batches_seen_ = 0;
+  std::string reason_;
+};
+
+}  // namespace snnskip

@@ -37,6 +37,11 @@ struct FitResult {
   std::vector<EpochStats> epochs;
   double best_val_acc = 0.0;
   double final_val_acc = 0.0;
+  /// True when the health monitor exhausted its rollback budget and the
+  /// fit stopped early (train/health.h); the result is then untrusted.
+  bool diverged = false;
+  /// Rollbacks the health monitor performed during this fit.
+  int health_retries = 0;
 };
 
 /// Per-batch progress payload for on_batch_end.
@@ -45,6 +50,7 @@ struct BatchStats {
   std::int64_t batch = 0;       ///< index within the epoch
   std::int64_t batch_size = 0;  ///< samples in this batch
   double loss = 0.0;            ///< this batch's training loss
+  double grad_norm = 0.0;       ///< pre-clip global gradient norm
 };
 
 class TrainObserver {

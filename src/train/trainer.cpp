@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <optional>
 
+#include "fault/inject.h"
 #include "nn/loss.h"
 #include "telemetry/telemetry.h"
 #include "tensor/spike_kernels.h"
@@ -86,7 +89,7 @@ StepLoss readout_loss(LossKind kind, const Tensor& output_sum,
 
 double train_batch(Network& net, Encoder& enc, const Batch& batch,
                    std::int64_t timesteps, Optimizer& opt, float grad_clip,
-                   LossKind loss_kind) {
+                   LossKind loss_kind, double* grad_norm_out) {
   SNNSKIP_SPAN("train", "batch");
   net.reset_state();
   enc.reset();
@@ -117,7 +120,8 @@ double train_batch(Network& net, Encoder& enc, const Batch& batch,
   {
     SNNSKIP_SPAN("train", "batch.step");
     auto params = net.parameters();
-    clip_grad_norm(params, grad_clip);
+    const double grad_norm = clip_grad_norm(params, grad_clip);
+    if (grad_norm_out != nullptr) *grad_norm_out = grad_norm;
     opt.step();
   }
   net.reset_state();
@@ -207,14 +211,23 @@ FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
   SNNSKIP_SPAN("train", "fit");
   EncodingPlan plan = make_encoding_plan(*train, mode, cfg);
 
-  auto params = net.parameters();
-  std::unique_ptr<Optimizer> opt;
-  if (cfg.opt == OptKind::Adam) {
-    opt = std::make_unique<Adam>(params, cfg.lr, 0.9f, 0.999f, 1e-8f,
+  // Rebuilt after a health rollback: contaminated momentum/moment buffers
+  // would re-poison the restored weights on the very next step.
+  auto make_optimizer = [&]() -> std::unique_ptr<Optimizer> {
+    auto params = net.parameters();
+    if (cfg.opt == OptKind::Adam) {
+      return std::make_unique<Adam>(params, cfg.lr, 0.9f, 0.999f, 1e-8f,
+                                    cfg.weight_decay);
+    }
+    return std::make_unique<Sgd>(params, cfg.lr, cfg.momentum,
                                  cfg.weight_decay);
-  } else {
-    opt = std::make_unique<Sgd>(params, cfg.lr, cfg.momentum,
-                                cfg.weight_decay);
+  };
+  std::unique_ptr<Optimizer> opt = make_optimizer();
+
+  std::optional<HealthMonitor> monitor;
+  if (cfg.health.enabled) {
+    monitor.emplace(cfg.health);
+    monitor->capture(net);
   }
 
   DataLoader loader(*train, cfg.batch_size, /*shuffle=*/true, cfg.seed);
@@ -225,24 +238,52 @@ FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
   for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     SNNSKIP_SPAN("train", "epoch");
     observers.notify([&](TrainObserver& o) { o.on_epoch_begin(epoch); });
-    opt->set_lr(cfg.lr *
-                std::pow(cfg.lr_decay, static_cast<float>(epoch)));
+    const double lr_scale = monitor ? monitor->lr_scale() : 1.0;
+    opt->set_lr(static_cast<float>(cfg.lr * lr_scale *
+                std::pow(cfg.lr_decay, static_cast<float>(epoch))));
     loader.start_epoch(static_cast<std::uint64_t>(epoch));
     Batch batch;
     double loss_acc = 0.0;
     std::size_t batches = 0;
+    bool rolled_back = false;
     while (loader.next(batch)) {
+      double grad_norm = 0.0;
       const double loss = train_batch(net, *plan.encoder, batch,
                                       plan.timesteps, *opt, cfg.grad_clip,
-                                      cfg.loss);
+                                      cfg.loss, &grad_norm);
+      if (SNNSKIP_FAULT("train.nan")) {
+        // Injected divergence (fault tests): poison one weight the way a
+        // blown-up surrogate gradient would.
+        auto ps = net.parameters();
+        if (!ps.empty() && ps[0]->value.numel() > 0) {
+          ps[0]->value.data()[0] = std::numeric_limits<float>::quiet_NaN();
+        }
+      }
+      if (monitor && !monitor->check(net, loss, grad_norm)) {
+        if (!monitor->recover(net)) {
+          result.diverged = true;
+          result.health_retries = monitor->retries();
+          observers.notify([&](TrainObserver& o) { o.on_train_end(result); });
+          return result;
+        }
+        opt = make_optimizer();
+        rolled_back = true;
+        break;
+      }
       loss_acc += loss;
       BatchStats bs;
       bs.epoch = epoch;
       bs.batch = static_cast<std::int64_t>(batches);
       bs.batch_size = static_cast<std::int64_t>(batch.y.size());
       bs.loss = loss;
+      bs.grad_norm = grad_norm;
       observers.notify([&](TrainObserver& o) { o.on_batch_end(bs); });
       ++batches;
+    }
+    if (rolled_back) {
+      // Redo this epoch from the restored last-good state at half the LR.
+      --epoch;
+      continue;
     }
 
     EpochStats stats;
@@ -255,7 +296,9 @@ FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
     }
     observers.notify([&](TrainObserver& o) { o.on_epoch_end(stats); });
     result.epochs.push_back(stats);
+    if (monitor) monitor->capture(net);  // this epoch is the new last-good
   }
+  if (monitor) result.health_retries = monitor->retries();
   observers.notify([&](TrainObserver& o) { o.on_train_end(result); });
   return result;
 }

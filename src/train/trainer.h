@@ -16,6 +16,7 @@
 #include "graph/network.h"
 #include "nn/optimizer.h"
 #include "snn/encoders.h"
+#include "train/health.h"
 #include "train/observer.h"
 
 namespace snnskip {
@@ -49,6 +50,12 @@ struct TrainConfig {
   /// observers must outlive the fit() call.
   std::vector<TrainObserver*> observers{};
 
+  /// Numeric health guard (train/health.h). Disabled by default; when
+  /// enabled, fit() rolls back to the last-good snapshot on NaN/Inf or
+  /// loss explosion, halves the LR, and gives up (FitResult::diverged)
+  /// after health.max_retries rollbacks.
+  HealthConfig health{};
+
   /// Deprecated shim: installs a ProgressPrinter for the duration of
   /// fit(), reproducing the historical per-epoch stderr line. Prefer
   /// adding a ProgressPrinter to `observers` explicitly.
@@ -75,9 +82,12 @@ FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
               const TrainConfig& cfg);
 
 /// One gradient step on a batch; returns the batch loss. Exposed for tests.
+/// `grad_norm_out`, when non-null, receives the pre-clip global gradient
+/// norm (the health monitor's divergence signal).
 double train_batch(Network& net, Encoder& enc, const Batch& batch,
                    std::int64_t timesteps, Optimizer& opt, float grad_clip,
-                   LossKind loss = LossKind::MeanLogitCE);
+                   LossKind loss = LossKind::MeanLogitCE,
+                   double* grad_norm_out = nullptr);
 
 /// Evaluate on a dataset; attaches `recorder` to spiking neurons for the
 /// duration when non-null (firing_rate is then populated).

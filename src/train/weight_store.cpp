@@ -120,4 +120,19 @@ void WeightStore::sync(Network& net, Dir dir) {
 void WeightStore::load_into(Network& net) { sync(net, Dir::Load); }
 void WeightStore::store_from(Network& net) { sync(net, Dir::Store); }
 
+bool WeightStore::identical_to(const WeightStore& other) const {
+  if (store_.size() != other.store_.size()) return false;
+  for (const auto& [key, tensor] : store_) {
+    auto it = other.store_.find(key);
+    if (it == other.store_.end()) return false;
+    if (it->second.shape() != tensor.shape()) return false;
+    if (std::memcmp(it->second.data(), tensor.data(),
+                    sizeof(float) *
+                        static_cast<std::size_t>(tensor.numel())) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace snnskip

@@ -1,0 +1,19 @@
+#pragma once
+// CRC-32 (IEEE 802.3, the zlib polynomial) over raw bytes.
+//
+// Used by the v2 checkpoint format (train/checkpoint.h) to give every
+// tensor payload an integrity checksum, so a flipped byte on disk is
+// rejected at load time instead of silently corrupting a restore. The
+// incremental form (pass the previous value as `seed`) lets callers
+// checksum streamed writes without buffering.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snnskip {
+
+/// CRC-32 of `n` bytes at `data`; chain calls by passing the previous
+/// result as `seed` (start from the default 0).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace snnskip

@@ -84,4 +84,58 @@ void JsonArrayWriter::sep() {
   first_field_ = false;
 }
 
+JsonLinesWriter::JsonLinesWriter(const std::string& path)
+    : f_(path.empty() ? nullptr : std::fopen(path.c_str(), "a")) {}
+
+JsonLinesWriter::~JsonLinesWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void JsonLinesWriter::begin_row() {
+  if (f_ == nullptr) return;
+  first_field_ = true;
+  std::fputs("{", f_);
+}
+
+void JsonLinesWriter::end_row() {
+  if (f_ == nullptr) return;
+  std::fputs("}\n", f_);
+  std::fflush(f_);
+}
+
+void JsonLinesWriter::field(const char* key, double v) {
+  if (f_ == nullptr) return;
+  sep();
+  // %.17g round-trips doubles exactly; the journal must replay the very
+  // objective values the GP saw, not 6-digit approximations.
+  std::fprintf(f_, "\"%s\": %.17g", key, v);
+}
+
+void JsonLinesWriter::field(const char* key, std::int64_t v) {
+  if (f_ == nullptr) return;
+  sep();
+  std::fprintf(f_, "\"%s\": %lld", key, static_cast<long long>(v));
+}
+
+void JsonLinesWriter::field(const char* key, const std::string& v) {
+  if (f_ == nullptr) return;
+  sep();
+  std::fprintf(f_, "\"%s\": \"%s\"", key, json_escape(v).c_str());
+}
+
+void JsonLinesWriter::field(const char* key, const std::vector<int>& v) {
+  if (f_ == nullptr) return;
+  sep();
+  std::fprintf(f_, "\"%s\": [", key);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::fprintf(f_, i == 0 ? "%d" : ", %d", v[i]);
+  }
+  std::fputs("]", f_);
+}
+
+void JsonLinesWriter::sep() {
+  if (!first_field_) std::fputs(", ", f_);
+  first_field_ = false;
+}
+
 }  // namespace snnskip

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace snnskip {
 
@@ -51,6 +52,39 @@ class JsonArrayWriter {
 
   std::FILE* f_ = nullptr;
   bool first_row_ = true;
+  bool first_field_ = true;
+};
+
+/// Streaming writer for JSON Lines (one flat object per line). Opens in
+/// append mode and flushes after every row, which is what an append-only
+/// crash-safe journal needs: a restarted process continues the same file,
+/// and a kill mid-write loses at most the final (partial, hence
+/// unparsable and ignored) line. Shares json_escape with JsonArrayWriter.
+class JsonLinesWriter {
+ public:
+  /// Empty path constructs a disabled writer (all calls no-op).
+  explicit JsonLinesWriter(const std::string& path);
+  ~JsonLinesWriter();
+  JsonLinesWriter(const JsonLinesWriter&) = delete;
+  JsonLinesWriter& operator=(const JsonLinesWriter&) = delete;
+
+  /// False when disabled or the file could not be opened.
+  bool ok() const { return f_ != nullptr; }
+
+  void begin_row();
+  /// Closes the object, writes the newline, and flushes to the OS.
+  void end_row();
+
+  void field(const char* key, double v);
+  void field(const char* key, std::int64_t v);
+  void field(const char* key, const std::string& v);
+  /// Integer array value, e.g. "code": [0, 2, 1].
+  void field(const char* key, const std::vector<int>& v);
+
+ private:
+  void sep();
+
+  std::FILE* f_ = nullptr;
   bool first_field_ = true;
 };
 

@@ -7,9 +7,14 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
 #include "data/synthetic_cifar10.h"
 #include "data/synthetic_dvs_cifar.h"
 #include "models/zoo.h"
+#include "train/checkpoint.h"
 #include "train/evaluate.h"
 #include "train/schedules.h"
 #include "train/trainer.h"
@@ -366,6 +371,63 @@ TEST(WeightStore, FirstSeenAdoptsCandidateValues) {
   WeightStore store(5);
   store.load_into(net);
   EXPECT_FLOAT_EQ(gamma->value[0], 2.5f);
+}
+
+// --- checkpoint corruption (fault_test.cpp has the full drill set) ------------
+
+TEST(Checkpoint, FlippedByteFailsCrcWithoutPartialRestore) {
+  const std::string path = testing::TempDir() + "train_ckpt_flip.bin";
+  Rng rng(41);
+  std::vector<CheckpointEntry> entries;
+  entries.push_back({"w", Tensor::randn(Shape{4, 4}, rng)});
+  ASSERT_TRUE(save_entries(path, entries));
+
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(-2, std::ios::end);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x55);  // guaranteed different byte
+  f.seekp(-2, std::ios::end);
+  f.write(&b, 1);
+  f.close();
+
+  std::vector<CheckpointEntry> loaded{{"stale", Tensor(Shape{1})}};
+  EXPECT_FALSE(load_entries(path, loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncationRejectedCleanly) {
+  const std::string path = testing::TempDir() + "train_ckpt_trunc.bin";
+  Rng rng(42);
+  std::vector<CheckpointEntry> entries;
+  entries.push_back({"w", Tensor::randn(Shape{8}, rng)});
+  ASSERT_TRUE(save_entries(path, entries));
+  const auto size = std::filesystem::file_size(path);
+  for (const auto cut : {std::uintmax_t{1}, size / 2, size - 9}) {
+    std::filesystem::resize_file(path, size - cut);
+    std::vector<CheckpointEntry> loaded;
+    EXPECT_FALSE(load_entries(path, loaded)) << "cut=" << cut;
+    EXPECT_TRUE(loaded.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SaveGoesThroughAtomicRename) {
+  // After a successful save no .tmp staging file may remain, and an
+  // existing checkpoint must survive a failed overwrite attempt intact.
+  const std::string path = testing::TempDir() + "train_ckpt_atomic.bin";
+  Rng rng(43);
+  std::vector<CheckpointEntry> entries;
+  entries.push_back({"w", Tensor::randn(Shape{3}, rng)});
+  ASSERT_TRUE(save_entries(path, entries));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::vector<CheckpointEntry> loaded;
+  EXPECT_TRUE(load_entries(path, loaded));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(loaded[0].value, entries[0].value),
+                  0.f);
+  std::remove(path.c_str());
 }
 
 // --- schedules ----------------------------------------------------------------
