@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Guard the sparse-kernel speedups against regressions.
+
+Re-runs the two spike-kernel microbenchmarks (forward: micro_spike_conv,
+ISSUE 1; train-mode fwd+bwd: micro_spike_bptt, ISSUE 4) from an existing
+build tree and compares each configuration's sparse-vs-dense speedup
+against the committed baselines (BENCH_spike_conv.json /
+BENCH_spike_bptt.json at the repo root).
+
+A configuration FAILS when its fresh speedup falls below
+(1 - tolerance) x baseline speedup, default tolerance 25%. Rows whose
+baseline speedup is below --min-speedup (default 1.5x) are informational
+only: near-threshold and dense-fallback rows are noise-dominated, and a
+"regression" from 1.1x to 0.9x is not a kernel problem.
+
+The fresh speedup is the best of --runs repetitions (default 2): a real
+kernel regression shows up in every run, while scheduler noise on a
+loaded box does not.
+
+Usage:
+    scripts/check_bench_regression.py [build-dir] [--tolerance 0.25]
+        [--min-speedup 1.5] [--min-ms 20] [--runs 2]
+
+stdlib only — no third-party imports.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BENCHES = [
+    ("micro_spike_conv", "BENCH_spike_conv.json"),
+    ("micro_spike_bptt", "BENCH_spike_bptt.json"),
+]
+
+
+def row_key(row):
+    return (row["channels"], row["hw"], row["firing_rate"])
+
+
+def load_rows(path):
+    with open(path) as f:
+        return {row_key(r): r for r in json.load(f)}
+
+
+def run_bench(binary, out_path, min_ms):
+    cmd = [str(binary), "--out", str(out_path), "--min-ms", str(min_ms)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"FAIL: {binary.name} exited {proc.returncode} "
+                         "(its internal sparse/dense cross-check failed?)")
+
+
+def check(name, baseline_path, fresh, tolerance, min_speedup):
+    baseline = load_rows(baseline_path)
+    failures = []
+    for key, base_row in sorted(baseline.items()):
+        if key not in fresh:
+            failures.append(f"{name} {key}: missing from fresh run")
+            continue
+        base = base_row["speedup_vs_dense"]
+        new = fresh[key]["speedup_vs_dense"]
+        floor = (1.0 - tolerance) * base
+        gated = base >= min_speedup
+        status = "ok"
+        if gated and new < floor:
+            status = "REGRESSED"
+            failures.append(
+                f"{name} C={key[0]} hw={key[1]} rate={key[2]}: "
+                f"speedup {new:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base:.2f}x)")
+        elif not gated:
+            status = "info-only"
+        print(f"  {name:18s} C={key[0]:<4} hw={key[1]:<3} rate={key[2]:<5} "
+              f"baseline={base:6.2f}x fresh={new:6.2f}x  [{status}]")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("build_dir", nargs="?", default="build")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional speedup drop (default 0.25)")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="only gate rows whose baseline speedup is at least "
+                         "this (default 1.5)")
+    ap.add_argument("--min-ms", type=float, default=20.0,
+                    help="per-config timing budget passed to the benches "
+                         "(default 20; the committed baselines used 50)")
+    ap.add_argument("--runs", type=int, default=2,
+                    help="fresh repetitions per bench; each row keeps its "
+                         "best speedup (default 2)")
+    args = ap.parse_args()
+
+    bench_dir = pathlib.Path(args.build_dir) / "bench"
+    if not bench_dir.is_dir():
+        raise SystemExit(f"error: '{args.build_dir}' is not a build tree "
+                         f"(run: cmake -B {args.build_dir} -S . && "
+                         f"cmake --build {args.build_dir} -j)")
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for binary_name, baseline_name in BENCHES:
+            binary = bench_dir / binary_name
+            baseline = REPO_ROOT / baseline_name
+            if not binary.exists():
+                raise SystemExit(f"error: {binary} not built")
+            if not baseline.exists():
+                raise SystemExit(f"error: baseline {baseline} missing")
+            print(f"== {binary_name} ({args.runs} fresh run(s), "
+                  f"--min-ms {args.min_ms}) ==")
+            best = {}
+            for i in range(max(1, args.runs)):
+                fresh = pathlib.Path(tmp) / f"{i}_{baseline_name}"
+                run_bench(binary, fresh, args.min_ms)
+                for key, row in load_rows(fresh).items():
+                    if (key not in best or row["speedup_vs_dense"] >
+                            best[key]["speedup_vs_dense"]):
+                        best[key] = row
+            failures += check(binary_name, baseline, best,
+                              args.tolerance, args.min_speedup)
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nall speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

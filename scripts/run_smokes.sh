@@ -23,6 +23,11 @@ echo "== micro_spike_conv smoke (sparse-vs-dense cross-check) =="
   --out "${BUILD_DIR}/bench/BENCH_spike_conv_smoke.json"
 
 echo
+echo "== micro_spike_bptt smoke (bit-for-bit backward cross-check) =="
+"${BUILD_DIR}/bench/micro_spike_bptt" --smoke 1 \
+  --out "${BUILD_DIR}/bench/BENCH_spike_bptt_smoke.json"
+
+echo
 echo "== telemetry smoke (trace export + validation) =="
 "${BUILD_DIR}/bench/telemetry_smoke" \
   --out "${BUILD_DIR}/bench/BENCH_telemetry_trace.json"

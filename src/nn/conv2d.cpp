@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "parallel/parallel_for.h"
+#include "telemetry/retained.h"
 #include "telemetry/telemetry.h"
 #include "tensor/gemm.h"
 #include "tensor/spike_kernels.h"
@@ -86,51 +88,124 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
     }
   }
   if (train) {
-    saved_.push_back(Ctx{x});
+    Ctx ctx;
+    ctx.in_shape = s;
+    // Keep the packed events instead of the dense input whenever the
+    // sparse forward ran them (and the backward gate allows using them) —
+    // the event-driven dW is bit-identical to gemm_nt, and the retained
+    // footprint drops from N*C*H*W floats to the event list.
+    ctx.sparse = sparse && SparseExec::bwd_enabled();
+    if (ctx.sparse) {
+      ctx.input_csr = std::move(csr_);
+      ctx.bytes = ctx.input_csr.retained_bytes();
+    } else {
+      ctx.input = x;
+      ctx.bytes = x.numel() * static_cast<std::int64_t>(sizeof(float));
+    }
+    RetainedActivations::add(ctx.bytes);
+    saved_.push_back(std::move(ctx));
   }
   return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  SNNSKIP_SPAN("conv.bwd", name_);
   assert(!saved_.empty() && "Conv2d::backward without matching forward");
   Ctx ctx = std::move(saved_.back());
   saved_.pop_back();
+  RetainedActivations::sub(ctx.bytes);
 
-  const Shape& in_s = ctx.input.shape();
+  const Shape& in_s = ctx.in_shape;
   const std::int64_t n = in_s[0];
   const ConvGeometry g{in_s[1], in_s[2], in_s[3], kernel_, stride_, pad_};
   const std::int64_t cr = g.col_rows(), cc = g.col_cols();
   assert(grad_out.shape()[0] == n && grad_out.shape()[1] == out_c_);
 
-  Tensor grad_in(in_s);
-  auto scope = Workspace::tls().scope();
-  float* col_ptr = scope.floats(static_cast<std::size_t>(cr * cc));
-  float* grad_cols = scope.floats(static_cast<std::size_t>(cr * cc));
+  // dX dispatch on the gradient's density — the surrogate active set. The
+  // LIF/PLIF layer above publishes its exact nonzero count; a mismatched
+  // or missing hint falls back to one streaming scan.
+  bool sparse_dx = false;
+  if (input_grad_needed_ && SparseExec::bwd_enabled()) {
+    std::int64_t gnnz =
+        GradDensityHint::take(grad_out.data(), grad_out.numel());
+    if (gnnz < 0) gnnz = count_nonzero(grad_out.data(), grad_out.numel());
+    sparse_dx = static_cast<double>(gnnz) <
+                static_cast<double>(SparseExec::threshold()) *
+                    static_cast<double>(grad_out.numel());
+    SparseExec::note_bwd(static_cast<double>(gnnz),
+                         static_cast<double>(grad_out.numel()), sparse_dx);
+  }
 
-  for (std::int64_t img = 0; img < n; ++img) {
-    const float* go = grad_out.data() + img * out_c_ * cc;
-    // Recompute this image's columns from the saved input — im2col is a
-    // pure gather, so the values match the forward pass bit-for-bit.
-    im2col(g, ctx.input.data() + img * in_s[1] * in_s[2] * in_s[3], col_ptr);
-    // dW(O, CKK) += gO(O, HoWo) * cols(CKK, HoWo)^T
-    gemm_nt(out_c_, cr, cc, 1.f, go, col_ptr, 1.f, weight_.grad.data());
-    if (has_bias_) {
-      for (std::int64_t ch = 0; ch < out_c_; ++ch) {
-        float acc = 0.f;
-        for (std::int64_t p = 0; p < cc; ++p) acc += go[ch * cc + p];
-        bias_.grad[static_cast<std::size_t>(ch)] += acc;
+  SNNSKIP_SPAN(ctx.sparse || sparse_dx ? "conv.bwd.sparse" : "conv.bwd.dense",
+               name_);
+  Workspace& ws = Workspace::tls();
+
+  if (ctx.sparse) {
+    // dW straight from the forward events (bit-identical to the gemm_nt
+    // accumulation, see spike_kernels.h).
+    spike_conv2d_backward_weight(g, ctx.input_csr, grad_out.data(), out_c_,
+                                 weight_.grad.data(), ws);
+  } else {
+    auto scope = ws.scope();
+    float* col_ptr = scope.floats(static_cast<std::size_t>(cr * cc));
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* go = grad_out.data() + img * out_c_ * cc;
+      // Recompute this image's columns from the saved input — im2col is a
+      // pure gather, so the values match the forward pass bit-for-bit.
+      im2col(g, ctx.input.data() + img * in_s[1] * in_s[2] * in_s[3],
+             col_ptr);
+      // dW(O, CKK) += gO(O, HoWo) * cols(CKK, HoWo)^T
+      gemm_nt(out_c_, cr, cc, 1.f, go, col_ptr, 1.f, weight_.grad.data());
+    }
+  }
+
+  if (has_bias_) {
+    // Per-channel reduction over (N, HoWo), channels partitioned across
+    // the pool. Each channel keeps the old image-major scalar accumulation
+    // order, so the hoisted pass is bitwise-identical to the per-image
+    // loop it replaces.
+    const float* gall = grad_out.data();
+    float* bgrad = bias_.grad.data();
+    parallel_for_range(
+        0, static_cast<std::size_t>(out_c_),
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t ch = b; ch < e; ++ch) {
+            for (std::int64_t img = 0; img < n; ++img) {
+              const float* go =
+                  gall + (img * out_c_ + static_cast<std::int64_t>(ch)) * cc;
+              float acc = 0.f;
+              for (std::int64_t p = 0; p < cc; ++p) acc += go[p];
+              bgrad[ch] += acc;
+            }
+          }
+        });
+  }
+
+  Tensor grad_in(in_s);
+  if (input_grad_needed_) {
+    if (sparse_dx) {
+      grad_csr_.build(grad_out.data(), n, out_c_ * cc);
+      spike_conv2d_backward_input(g, grad_csr_, weight_.value.data(), out_c_,
+                                  grad_in.data(), ws);
+    } else {
+      auto scope = ws.scope();
+      float* grad_cols = scope.floats(static_cast<std::size_t>(cr * cc));
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* go = grad_out.data() + img * out_c_ * cc;
+        // dcols(CKK, HoWo) = W(O, CKK)^T * gO(O, HoWo)
+        gemm_tn(cr, cc, out_c_, 1.f, weight_.value.data(), go, 0.f,
+                grad_cols);
+        col2im(g, grad_cols,
+               grad_in.data() + img * in_s[1] * in_s[2] * in_s[3]);
       }
     }
-    // dcols(CKK, HoWo) = W(O, CKK)^T * gO(O, HoWo)
-    gemm_tn(cr, cc, out_c_, 1.f, weight_.value.data(), go, 0.f, grad_cols);
-    col2im(g, grad_cols,
-           grad_in.data() + img * in_s[1] * in_s[2] * in_s[3]);
   }
   return grad_in;
 }
 
-void Conv2d::reset_state() { saved_.clear(); }
+void Conv2d::reset_state() {
+  for (const Ctx& c : saved_) RetainedActivations::sub(c.bytes);
+  saved_.clear();
+}
 
 std::vector<Parameter*> Conv2d::parameters() {
   if (has_bias_) return {&weight_, &bias_};

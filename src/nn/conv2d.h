@@ -1,14 +1,23 @@
 #pragma once
-// 2-D convolution via im2col + GEMM, with an event-driven sparse path.
+// 2-D convolution via im2col + GEMM, with event-driven sparse paths in
+// both directions.
 //
 // Weight layout OIHW: (out_channels, in_channels, kernel, kernel).
 // Forward scans the input's density: binary/sparse spike tensors below the
 // SparseExec threshold skip im2col entirely and scatter weight rows per
 // active spike (tensor/spike_kernels.h); denser inputs take the im2col +
 // GEMM path with the column buffer carved from the Workspace arena, so the
-// per-timestep loop never touches the heap in steady state. Forward saves
-// only the input; backward recomputes the column matrix into the arena
-// (K*K times less retained memory than saving the columns across T steps).
+// per-timestep loop never touches the heap in steady state.
+//
+// Backward (ISSUE 4): when the sparse forward fired (and SNNSKIP_SPARSE_BWD
+// allows), the Ctx keeps the forward SpikeCsr instead of the dense input —
+// dW comes straight from the packed events (work ∝ nnz·K²·O) and the
+// retained-activation footprint drops from N·C·H·W floats to the event
+// list. Dense contexts keep the input and recompute im2col into the arena
+// (K*K less retained memory than saving columns). dX dispatches on the
+// density of grad_out — the surrogate active set published by the LIF
+// layer above — choosing an event-driven scatter or gemm_tn + col2im.
+// Both sparse paths reproduce the dense accumulation order bit-for-bit.
 
 #include "nn/layer.h"
 #include "tensor/im2col.h"
@@ -41,18 +50,31 @@ class Conv2d final : public Layer {
   Parameter& bias() { return bias_; }
   bool has_bias() const { return has_bias_; }
 
+  /// First-layer optimization: when the layer's input gradient is known to
+  /// be discarded (the network's stem conv — nothing is below it),
+  /// backward skips the whole dX computation and returns zeros.
+  void set_input_grad_needed(bool needed) { input_grad_needed_ = needed; }
+  bool input_grad_needed() const { return input_grad_needed_; }
+
  private:
   struct Ctx {
-    Tensor input;  // (N, C, H, W); columns are recomputed in backward
+    Tensor input;        // dense fallback; empty when `sparse`
+    SpikeCsr input_csr;  // forward event packing when `sparse`
+    Shape in_shape;
+    bool sparse = false;
+    std::int64_t bytes = 0;  // retained-activation accounting
   };
 
   std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
   bool has_bias_;
+  bool input_grad_needed_ = true;
   std::string name_;
   Parameter weight_;
   Parameter bias_;
   std::vector<Ctx> saved_;
-  SpikeCsr csr_;  // event-list scratch, capacity reused across timesteps
+  SpikeCsr csr_;       // forward event-list scratch (moved into Ctx when
+                       // the sparse path fires in train mode)
+  SpikeCsr grad_csr_;  // backward event-list scratch, capacity reused
 };
 
 }  // namespace snnskip

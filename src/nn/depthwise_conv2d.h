@@ -3,7 +3,11 @@
 // MobileNetV2's inverted-residual block. Implemented with direct loops —
 // the per-channel kernels are tiny, so im2col overhead isn't worth it.
 // Sparse spike inputs below the SparseExec density threshold take an
-// event-driven scatter path (K*K taps per active spike).
+// event-driven scatter path (K*K taps per active spike). Sparse forward
+// contexts keep the SpikeCsr instead of the dense input (ISSUE 4): dW is
+// driven by the packed events, while dX and the bias gradient come from a
+// grad_out-driven loop identical to the dense one — the dense backward
+// already skips zero output gradients, so it needs no separate dispatch.
 //
 // Weight layout: (channels, 1, kernel, kernel).
 
@@ -30,13 +34,24 @@ class DepthwiseConv2d final : public Layer {
   Parameter& weight() { return weight_; }
 
  private:
+  void save_ctx(const Tensor& x, bool sparse);
+
+  struct Ctx {
+    Tensor input;        // dense fallback; empty when `sparse`
+    SpikeCsr input_csr;  // forward event packing when `sparse`
+    Shape in_shape;
+    bool sparse = false;
+    std::int64_t bytes = 0;  // retained-activation accounting
+  };
+
   std::int64_t c_, kernel_, stride_, pad_;
   bool has_bias_;
   std::string name_;
   Parameter weight_;
   Parameter bias_;
-  std::vector<Tensor> saved_inputs_;
-  SpikeCsr csr_;  // event-list scratch, capacity reused across timesteps
+  std::vector<Ctx> saved_;
+  SpikeCsr csr_;  // forward event-list scratch (moved into Ctx when the
+                  // sparse path fires in train mode)
 };
 
 }  // namespace snnskip

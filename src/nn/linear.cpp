@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/retained.h"
 #include "telemetry/telemetry.h"
 #include "tensor/gemm.h"
 #include "tensor/spike_kernels.h"
@@ -68,22 +69,56 @@ Tensor Linear::forward(const Tensor& x, bool train) {
       }
     }
   }
-  if (train) saved_inputs_.push_back(x);
+  if (train) {
+    Ctx ctx;
+    ctx.n = n;
+    ctx.sparse = sparse && SparseExec::bwd_enabled();
+    if (ctx.sparse) {
+      ctx.input_csr = std::move(csr_);
+      ctx.bytes = ctx.input_csr.retained_bytes();
+    } else {
+      ctx.input = x;
+      ctx.bytes = x.numel() * static_cast<std::int64_t>(sizeof(float));
+    }
+    RetainedActivations::add(ctx.bytes);
+    saved_.push_back(std::move(ctx));
+  }
   return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
-  SNNSKIP_SPAN("linear.bwd", name_);
-  assert(!saved_inputs_.empty());
-  Tensor x = std::move(saved_inputs_.back());
-  saved_inputs_.pop_back();
+  assert(!saved_.empty());
+  Ctx ctx = std::move(saved_.back());
+  saved_.pop_back();
+  RetainedActivations::sub(ctx.bytes);
 
-  const std::int64_t n = x.shape()[0];
+  const std::int64_t n = ctx.n;
   assert(grad_out.shape()[0] == n && grad_out.shape()[1] == out_f_);
 
-  // dW(O, I) += gO(N, O)^T * x(N, I)
-  gemm_tn(out_f_, in_f_, n, 1.f, grad_out.data(), x.data(), 1.f,
-          weight_.grad.data());
+  bool sparse_dx = false;
+  if (SparseExec::bwd_enabled()) {
+    std::int64_t gnnz =
+        GradDensityHint::take(grad_out.data(), grad_out.numel());
+    if (gnnz < 0) gnnz = count_nonzero(grad_out.data(), grad_out.numel());
+    sparse_dx = static_cast<double>(gnnz) <
+                static_cast<double>(SparseExec::threshold()) *
+                    static_cast<double>(grad_out.numel());
+    SparseExec::note_bwd(static_cast<double>(gnnz),
+                         static_cast<double>(grad_out.numel()), sparse_dx);
+  }
+
+  SNNSKIP_SPAN(
+      ctx.sparse || sparse_dx ? "linear.bwd.sparse" : "linear.bwd.dense",
+      name_);
+
+  if (ctx.sparse) {
+    spike_linear_backward_weight(ctx.input_csr, grad_out.data(), out_f_,
+                                 weight_.grad.data(), Workspace::tls());
+  } else {
+    // dW(O, I) += gO(N, O)^T * x(N, I)
+    gemm_tn(out_f_, in_f_, n, 1.f, grad_out.data(), ctx.input.data(), 1.f,
+            weight_.grad.data());
+  }
   if (has_bias_) {
     for (std::int64_t i = 0; i < n; ++i) {
       const float* row = grad_out.data() + i * out_f_;
@@ -92,14 +127,23 @@ Tensor Linear::backward(const Tensor& grad_out) {
       }
     }
   }
-  // dX(N, I) = gO(N, O) * W(O, I)
-  Tensor grad_in(x.shape());
-  gemm(n, in_f_, out_f_, 1.f, grad_out.data(), weight_.value.data(), 0.f,
-       grad_in.data());
+  Tensor grad_in(Shape{n, in_f_});
+  if (sparse_dx) {
+    grad_csr_.build(grad_out.data(), n, out_f_);
+    spike_linear_backward_input(grad_csr_, weight_.value.data(), in_f_,
+                                grad_in.data());
+  } else {
+    // dX(N, I) = gO(N, O) * W(O, I)
+    gemm(n, in_f_, out_f_, 1.f, grad_out.data(), weight_.value.data(), 0.f,
+         grad_in.data());
+  }
   return grad_in;
 }
 
-void Linear::reset_state() { saved_inputs_.clear(); }
+void Linear::reset_state() {
+  for (const Ctx& c : saved_) RetainedActivations::sub(c.bytes);
+  saved_.clear();
+}
 
 std::vector<Parameter*> Linear::parameters() {
   if (has_bias_) return {&weight_, &bias_};

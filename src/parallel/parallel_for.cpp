@@ -1,11 +1,23 @@
 #include "parallel/parallel_for.h"
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 
 #include "parallel/thread_pool.h"
 
 namespace snnskip {
+
+namespace {
+std::atomic<std::size_t> g_chunk_override{0};
+}  // namespace
+
+void set_parallel_chunk_override(std::size_t k) {
+  g_chunk_override.store(k, std::memory_order_relaxed);
+}
+std::size_t parallel_chunk_override() {
+  return g_chunk_override.load(std::memory_order_relaxed);
+}
 
 void parallel_for_range(
     std::size_t begin, std::size_t end,
@@ -14,11 +26,17 @@ void parallel_for_range(
   const std::size_t n = end - begin;
   ThreadPool& pool = ThreadPool::global();
   const std::size_t workers = pool.size();
-  if (n < kParallelForMinGrain || workers <= 1) {
+  const std::size_t forced = parallel_chunk_override();
+  if (forced == 0 && (n < kParallelForMinGrain || workers <= 1)) {
     body(begin, end);
     return;
   }
-  const std::size_t chunks = std::min(workers, n);
+  const std::size_t chunks =
+      forced != 0 ? std::min(forced, n) : std::min(workers, n);
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
   const std::size_t chunk = (n + chunks - 1) / chunks;
 
   std::vector<std::future<void>> futures;

@@ -19,6 +19,15 @@ namespace snnskip {
 /// Grain control: ranges smaller than this run inline on the caller.
 inline constexpr std::size_t kParallelForMinGrain = 1024;
 
+/// Test/tuning override: when nonzero, parallel_for partitions every range
+/// into exactly min(k, n) chunks, bypassing the grain and pool-size
+/// heuristics. The sparse/dense gradient-equivalence tests use this to
+/// exercise 1/2/4-way partitions on any machine (the kernels' bit-for-bit
+/// guarantee must hold for every partition, not just the one this host's
+/// core count happens to produce). 0 restores the default policy.
+void set_parallel_chunk_override(std::size_t k);
+std::size_t parallel_chunk_override();
+
 /// Invoke `body(begin, end)` over a partition of [begin, end).
 void parallel_for_range(
     std::size_t begin, std::size_t end,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/runtime_env.h"
+
 namespace snnskip {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -40,7 +42,11 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // SNNSKIP_THREADS pins the worker count; 0 / unset / invalid means
+  // hardware_concurrency (the ThreadPool ctor's 0 convention). Read via
+  // runtime_env like every other toggle — the only getenv site.
+  static ThreadPool pool(static_cast<std::size_t>(
+      std::max<std::int64_t>(0, env::get_int("SNNSKIP_THREADS", 0))));
   return pool;
 }
 

@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "telemetry/retained.h"
 #include "telemetry/telemetry.h"
+#include "tensor/spike_kernels.h"
 
 namespace snnskip {
 
@@ -56,7 +58,12 @@ Tensor Lif::forward(const Tensor& x, bool train) {
     recorder_->record(name_, spike_count, static_cast<double>(n));
   }
   Telemetry::count("spikes", spike_count);
-  if (train) saved_.push_back(std::move(ctx));
+  if (train) {
+    ctx.bytes = (ctx.u.numel() + ctx.live_mask.numel()) *
+                static_cast<std::int64_t>(sizeof(float));
+    RetainedActivations::add(ctx.bytes);
+    saved_.push_back(std::move(ctx));
+  }
   return spikes;
 }
 
@@ -65,6 +72,7 @@ Tensor Lif::backward(const Tensor& grad_out) {
   assert(!saved_.empty() && "Lif::backward without matching forward");
   TrainCtx ctx = std::move(saved_.back());
   saved_.pop_back();
+  RetainedActivations::sub(ctx.bytes);
   assert(grad_out.shape() == ctx.u.shape());
 
   if (!has_carry_ || grad_v_carry_.shape() != ctx.u.shape()) {
@@ -82,6 +90,7 @@ Tensor Lif::backward(const Tensor& grad_out) {
   const float theta = cfg_.threshold;
   const bool detach = cfg_.detach_reset;
 
+  std::int64_t active = 0;
   for (std::int64_t i = 0; i < n; ++i) {
     // Refractory-silenced steps contribute no spike gradient.
     const float gate = live ? live[i] : 1.f;
@@ -94,7 +103,15 @@ Tensor Lif::backward(const Tensor& grad_out) {
       dv += carry[i] * (1.f - theta * sg);
     }
     gi[i] = dv;
+    active += (dv != 0.f);
     carry[i] = cfg_.beta * dv;  // becomes dL/dV'_{t-1}
+  }
+  // Publish the surrogate active set: with Boxcar, sigma' is exactly zero
+  // outside its window, so most dL/dx entries are hard zeros — the layer
+  // below reads this count to dispatch its event-driven dX path without
+  // rescanning the tensor.
+  if (SparseExec::bwd_enabled()) {
+    GradDensityHint::publish(gi, n, active);
   }
   return grad_in;
 }
@@ -105,6 +122,7 @@ void Lif::reset_state() {
   membrane_ = Tensor();
   refrac_count_ = Tensor();
   grad_v_carry_ = Tensor();
+  for (const TrainCtx& c : saved_) RetainedActivations::sub(c.bytes);
   saved_.clear();
 }
 

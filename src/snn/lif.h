@@ -56,6 +56,7 @@ class Lif final : public Layer {
   struct TrainCtx {
     Tensor u;          // V_t - theta
     Tensor live_mask;  // 1 where not refractory (only kept if refractory>0)
+    std::int64_t bytes = 0;  // retained-activation accounting
   };
 
   LifConfig cfg_;

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/retained.h"
 #include "telemetry/telemetry.h"
+#include "tensor/spike_kernels.h"
 
 namespace snnskip {
 
@@ -60,7 +62,12 @@ Tensor Plif::forward(const Tensor& x, bool train) {
     recorder_->record(name_, spike_count, static_cast<double>(n));
   }
   Telemetry::count("spikes", spike_count);
-  if (train) saved_.push_back(std::move(ctx));
+  if (train) {
+    ctx.bytes = (ctx.u.numel() + ctx.prev_mem.numel()) *
+                static_cast<std::int64_t>(sizeof(float));
+    RetainedActivations::add(ctx.bytes);
+    saved_.push_back(std::move(ctx));
+  }
   return spikes;
 }
 
@@ -69,6 +76,7 @@ Tensor Plif::backward(const Tensor& grad_out) {
   assert(!saved_.empty() && "Plif::backward without matching forward");
   Ctx ctx = std::move(saved_.back());
   saved_.pop_back();
+  RetainedActivations::sub(ctx.bytes);
 
   if (!has_carry_ || grad_v_carry_.shape() != ctx.u.shape()) {
     grad_v_carry_ = Tensor(ctx.u.shape());
@@ -90,6 +98,7 @@ Tensor Plif::backward(const Tensor& grad_out) {
   const bool detach = cfg_.detach_reset;
   double dw = 0.0;
 
+  std::int64_t active = 0;
   for (std::int64_t i = 0; i < n; ++i) {
     const float sg = cfg_.surrogate.grad(uptr[i]);
     float dv = go[i] * sg;
@@ -99,10 +108,15 @@ Tensor Plif::backward(const Tensor& grad_out) {
       dv += carry[i] * (1.f - theta * sg);
     }
     gi[i] = dv;
+    active += (dv != 0.f);
     dw += static_cast<double>(dv) * pm[i];  // direct w-path: V'_{t-1}
     carry[i] = b * dv;
   }
   leak_.grad[0] += static_cast<float>(dw) * dsig;
+  // Surrogate active set for the layer below (see Lif::backward).
+  if (SparseExec::bwd_enabled()) {
+    GradDensityHint::publish(gi, n, active);
+  }
   return grad_in;
 }
 
@@ -111,6 +125,7 @@ void Plif::reset_state() {
   has_carry_ = false;
   membrane_ = Tensor();
   grad_v_carry_ = Tensor();
+  for (const Ctx& c : saved_) RetainedActivations::sub(c.bytes);
   saved_.clear();
 }
 

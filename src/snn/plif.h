@@ -36,6 +36,7 @@ class Plif final : public Layer {
   struct Ctx {
     Tensor u;         // V_t - theta
     Tensor prev_mem;  // V'_{t-1} (the direct-dependence factor for dw)
+    std::int64_t bytes = 0;  // retained-activation accounting
   };
 
   LifConfig cfg_;

@@ -1,0 +1,38 @@
+#include "telemetry/retained.h"
+
+#include <atomic>
+
+namespace snnskip {
+
+namespace {
+std::atomic<std::int64_t> g_current{0};
+std::atomic<std::int64_t> g_high_water{0};
+}  // namespace
+
+void RetainedActivations::add(std::int64_t bytes) {
+  const std::int64_t now =
+      g_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::int64_t hw = g_high_water.load(std::memory_order_relaxed);
+  while (now > hw && !g_high_water.compare_exchange_weak(
+                         hw, now, std::memory_order_relaxed)) {
+  }
+}
+
+void RetainedActivations::sub(std::int64_t bytes) {
+  g_current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::int64_t RetainedActivations::current() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+std::int64_t RetainedActivations::high_water() {
+  return g_high_water.load(std::memory_order_relaxed);
+}
+
+void RetainedActivations::reset_high_water() {
+  g_high_water.store(g_current.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+}  // namespace snnskip

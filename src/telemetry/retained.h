@@ -1,0 +1,40 @@
+#pragma once
+// Process-wide accounting of bytes retained by BPTT saved contexts.
+//
+// The timestep loop pushes one context per layer per forward step and
+// pops them in reverse during backward, so the retained footprint ramps
+// up across the T forward calls and back down across the T backward
+// calls. ISSUE 4 replaces the dense retained conv/linear inputs with the
+// forward pass's SpikeCsr packing; this counter is how that memory win is
+// observed. The event-path layers (Conv2d, Linear, DepthwiseConv2d, Lif,
+// Plif) add their context's byte size on push and subtract it on pop /
+// reset_state; TelemetryObserver mirrors the high-water mark into the
+// "bptt.retained_bytes.high_water" telemetry counter at epoch end (the
+// same pattern as the arena high-water counter), keeping the per-push
+// cost to two relaxed atomics.
+//
+// Accounting covers the spike-path layers above, not every layer with
+// state (batch-norm's per-timestep statistics are outside this PR's
+// scope), so treat the numbers as the spike-activation share of BPTT
+// memory, not total process RSS.
+
+#include <cstdint>
+
+namespace snnskip {
+
+class RetainedActivations {
+ public:
+  /// A layer pushed a saved context of `bytes` bytes.
+  static void add(std::int64_t bytes);
+  /// The matching pop (backward or reset_state).
+  static void sub(std::int64_t bytes);
+
+  /// Bytes currently retained across all live contexts.
+  static std::int64_t current();
+  /// Peak of current() since process start / last reset.
+  static std::int64_t high_water();
+  /// Tests only: forget the peak (current accounting is unaffected).
+  static void reset_high_water();
+};
+
+}  // namespace snnskip

@@ -38,6 +38,15 @@ class SpikeCsr {
   /// True when every packed value is exactly 1.f (a pure spike tensor).
   bool binary() const { return binary_; }
 
+  /// Bytes a backward Ctx holding this packing keeps alive (indices +
+  /// values + row pointers) — the number the BPTT retained-activation
+  /// telemetry reports instead of the dense rows*row_len*4.
+  std::int64_t retained_bytes() const {
+    return static_cast<std::int64_t>(idx_.size() * sizeof(std::int32_t) +
+                                     val_.size() * sizeof(float) +
+                                     row_ptr_.size() * sizeof(std::int32_t));
+  }
+
   std::int64_t row_nnz(std::int64_t r) const {
     return row_ptr_[static_cast<std::size_t>(r) + 1] -
            row_ptr_[static_cast<std::size_t>(r)];

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "parallel/parallel_for.h"
 #include "telemetry/telemetry.h"
 #include "util/runtime_env.h"
 
@@ -14,11 +15,22 @@ namespace {
 
 std::atomic<bool> g_enabled{env::get_bool("SNNSKIP_SPARSE", true)};
 
+std::atomic<bool> g_bwd_enabled{env::get_bool("SNNSKIP_SPARSE_BWD", true)};
+
 std::atomic<float> g_threshold{static_cast<float>(env::get_double(
     "SNNSKIP_SPARSE_THRESHOLD", 0.25, /*lo=*/1e-9, /*hi=*/1.0))};
 
 std::mutex g_stats_mutex;
 SparseExec::Stats g_stats;
+SparseExec::Stats g_bwd_stats;
+
+struct HintSlot {
+  const float* ptr = nullptr;
+  std::int64_t numel = 0;
+  std::int64_t nnz = 0;
+  bool valid = false;
+};
+thread_local HintSlot g_hint;
 
 }  // namespace
 
@@ -33,6 +45,13 @@ void SparseExec::set_threshold(float t) {
   g_threshold.store(t, std::memory_order_relaxed);
 }
 
+bool SparseExec::bwd_enabled() {
+  return enabled() && g_bwd_enabled.load(std::memory_order_relaxed);
+}
+void SparseExec::set_bwd_enabled(bool on) {
+  g_bwd_enabled.store(on, std::memory_order_relaxed);
+}
+
 SparseExec::Stats SparseExec::stats() {
   std::lock_guard<std::mutex> lock(g_stats_mutex);
   return g_stats;
@@ -41,7 +60,41 @@ SparseExec::Stats SparseExec::stats() {
 void SparseExec::reset_stats() {
   std::lock_guard<std::mutex> lock(g_stats_mutex);
   g_stats = Stats{};
+  g_bwd_stats = Stats{};
 }
+
+SparseExec::Stats SparseExec::bwd_stats() {
+  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  return g_bwd_stats;
+}
+
+void SparseExec::note_bwd(double nnz, double elements, bool took_sparse_path) {
+  Telemetry::count(took_sparse_path ? "dispatch.bwd.sparse"
+                                    : "dispatch.bwd.dense");
+  Telemetry::count("dispatch.bwd.nnz", nnz);
+  Telemetry::count("dispatch.bwd.elements", elements);
+  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  g_bwd_stats.nnz += nnz;
+  g_bwd_stats.elements += elements;
+  if (took_sparse_path) {
+    ++g_bwd_stats.sparse_calls;
+  } else {
+    ++g_bwd_stats.dense_calls;
+  }
+}
+
+void GradDensityHint::publish(const float* data, std::int64_t numel,
+                              std::int64_t nnz) {
+  g_hint = HintSlot{data, numel, nnz, true};
+}
+
+std::int64_t GradDensityHint::take(const float* data, std::int64_t numel) {
+  if (!g_hint.valid || g_hint.ptr != data || g_hint.numel != numel) return -1;
+  g_hint.valid = false;
+  return g_hint.nnz;
+}
+
+void GradDensityHint::clear() { g_hint.valid = false; }
 
 void SparseExec::note(double nnz, double elements, bool took_sparse_path) {
   // Mirror every dispatch decision into the telemetry counters (no-ops
@@ -211,6 +264,297 @@ void spike_depthwise_forward(const ConvGeometry& g, const SpikeCsr& csr,
           const std::int64_t ox = tx / s;
           if (ox >= wo) continue;
           oplane[oy * wo + ox] += v * ker[ky * k + kx];
+        }
+      }
+    }
+  }
+}
+
+// ---- BPTT backward (ISSUE 4) ----------------------------------------------
+//
+// Bit-for-bit contract with the dense path (see the header): every kernel
+// below accumulates each output element's nonzero terms in exactly the
+// order the dense GEMM uses (increasing image, then increasing reduction
+// index), forms products with the same operand values (float multiply is
+// commutative bitwise), and parallelizes by partitioning OUTPUT elements,
+// never the reduction. Dense accumulators start at +0 and only ever add
+// products, so they can never hold -0 (x + (-x) rounds to +0, and
+// +0 + (-0) == +0); skipping the dense path's zero terms is therefore an
+// exact no-op.
+
+namespace {
+
+// dst(c, r) += src(r, c); same tiling as transpose_panel. Each element is
+// touched exactly once, so this is order-free and exact.
+void transpose_add_panel(const float* src, std::int64_t rows,
+                         std::int64_t cols, float* dst) {
+  constexpr std::int64_t kTile = 32;
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::int64_t r1 = std::min(rows, r0 + kTile);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::int64_t c1 = std::min(cols, c0 + kTile);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const float* s = src + r * cols;
+        for (std::int64_t c = c0; c < c1; ++c) dst[c * rows + r] += s[c];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void spike_conv2d_backward_weight(const ConvGeometry& g, const SpikeCsr& csr,
+                                  const float* grad_out, std::int64_t out_c,
+                                  float* grad_weight, Workspace& ws) {
+  const std::int64_t ckk = g.col_rows();
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  const std::int64_t howo = ho * wo;
+  const std::int64_t hw = g.in_h * g.in_w;
+  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
+  const std::int64_t o_c = out_c;
+
+  auto scope = ws.scope();
+  // grad_out transposed to (HoWo, O) once per image so the per-event tap
+  // loop reads a unit-stride O-slice, mirroring the forward kernel.
+  float* got = scope.floats(static_cast<std::size_t>(howo * o_c));
+
+  for (std::int64_t img = 0; img < csr.rows(); ++img) {
+    transpose_panel(grad_out + img * o_c * howo, o_c, howo, got);
+    const std::int32_t* idx = csr.row_indices(img);
+    const float* val = csr.row_values(img);
+    const std::int64_t cnt = csr.row_nnz(img);
+    // Each chunk owns an O-slice [ob, oe): it accumulates a private
+    // (CKK, oe-ob) per-image partial from the events, then adds it into
+    // its own grad_weight rows. gemm_nt computes the same per-image
+    // partial (acc from +0, p ascending) before its single add, so the
+    // result matches the dense path bit-for-bit for any partition.
+    parallel_for_range(
+        0, static_cast<std::size_t>(o_c), [&](std::size_t b, std::size_t e) {
+          const std::int64_t ob = static_cast<std::int64_t>(b);
+          const std::int64_t ow = static_cast<std::int64_t>(e) - ob;
+          auto chunk_scope = Workspace::tls().scope();
+          float* dwt =
+              chunk_scope.floats(static_cast<std::size_t>(ckk * ow));
+          std::memset(dwt, 0,
+                      static_cast<std::size_t>(ckk * ow) * sizeof(float));
+          for (std::int64_t ev = 0; ev < cnt; ++ev) {
+            const std::int64_t flat = idx[ev];
+            const float v = val[ev];
+            const std::int64_t c = flat / hw;
+            const std::int64_t rem = flat - c * hw;
+            const std::int64_t iy = rem / g.in_w;
+            const std::int64_t ix = rem - iy * g.in_w;
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              const std::int64_t ty = iy + pad - ky;
+              if (ty < 0 || ty % s != 0) continue;
+              const std::int64_t oy = ty / s;
+              if (oy >= ho) continue;
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t tx = ix + pad - kx;
+                if (tx < 0 || tx % s != 0) continue;
+                const std::int64_t ox = tx / s;
+                if (ox >= wo) continue;
+                float* drow = dwt + ((c * k + ky) * k + kx) * ow;
+                const float* grow = got + (oy * wo + ox) * o_c + ob;
+                for (std::int64_t o = 0; o < ow; ++o) {
+                  drow[o] += grow[o] * v;
+                }
+              }
+            }
+          }
+          transpose_add_panel(dwt, ckk, ow, grad_weight + ob * ckk);
+        });
+  }
+}
+
+void spike_conv2d_backward_input(const ConvGeometry& g, const SpikeCsr& gcsr,
+                                 const float* weight, std::int64_t out_c,
+                                 float* grad_in, Workspace& ws) {
+  const std::int64_t ckk = g.col_rows();
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  const std::int64_t howo = ho * wo;
+  const std::int64_t hw = g.in_h * g.in_w;
+  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
+  const std::int64_t in_c = g.in_c;
+  (void)out_c;
+
+  auto scope = ws.scope();
+  // Integer scratch is carved from the float arena (same size/alignment).
+  std::int32_t* cnts =
+      reinterpret_cast<std::int32_t*>(scope.floats(static_cast<std::size_t>(howo)));
+  std::int32_t* pos =
+      reinterpret_cast<std::int32_t*>(scope.floats(static_cast<std::size_t>(howo)));
+  std::int32_t* active =
+      reinterpret_cast<std::int32_t*>(scope.floats(static_cast<std::size_t>(howo)));
+  std::int32_t* astart = reinterpret_cast<std::int32_t*>(
+      scope.floats(static_cast<std::size_t>(howo)));
+
+  for (std::int64_t img = 0; img < gcsr.rows(); ++img) {
+    const std::int32_t* idx = gcsr.row_indices(img);
+    const float* val = gcsr.row_values(img);
+    const std::int64_t cnt = gcsr.row_nnz(img);
+    if (cnt == 0) continue;  // dense would add only exact zeros here
+    auto img_scope = ws.scope();
+    // Bucket the gradient events by output column p (counting sort keeps
+    // the within-column order ascending in o — gemm_tn's reduction order).
+    std::memset(cnts, 0, static_cast<std::size_t>(howo) * sizeof(std::int32_t));
+    for (std::int64_t ev = 0; ev < cnt; ++ev) ++cnts[idx[ev] % howo];
+    std::int64_t na = 0;
+    std::int32_t run = 0;
+    for (std::int64_t p = 0; p < howo; ++p) {
+      if (cnts[p] == 0) continue;
+      active[na] = static_cast<std::int32_t>(p);
+      astart[na] = run;
+      pos[p] = run;
+      run += cnts[p];
+      ++na;
+    }
+    std::int32_t* bo = reinterpret_cast<std::int32_t*>(
+        img_scope.floats(static_cast<std::size_t>(cnt)));
+    float* bg = img_scope.floats(static_cast<std::size_t>(cnt));
+    for (std::int64_t ev = 0; ev < cnt; ++ev) {
+      const std::int64_t flat = idx[ev];
+      const std::int64_t p = flat % howo;
+      const std::int32_t at = pos[p]++;
+      bo[at] = static_cast<std::int32_t>(flat / howo);
+      bg[at] = val[ev];
+    }
+    // Phase 1: materialize only the active columns of the (CKK, HoWo)
+    // gradient-column matrix, compacted to (na, CKK). Each column is an
+    // independent output — safe to parallelize.
+    float* dcols = img_scope.floats(static_cast<std::size_t>(na * ckk));
+    parallel_for_range(
+        0, static_cast<std::size_t>(na), [&](std::size_t jb, std::size_t je) {
+          for (std::size_t j = jb; j < je; ++j) {
+            float* buf = dcols + static_cast<std::int64_t>(j) * ckk;
+            std::memset(buf, 0, static_cast<std::size_t>(ckk) * sizeof(float));
+            const std::int32_t b0 = astart[j];
+            const std::int32_t b1 = b0 + cnts[active[j]];
+            for (std::int32_t t = b0; t < b1; ++t) {
+              const float* wrow = weight + static_cast<std::int64_t>(bo[t]) * ckk;
+              const float gv = bg[t];
+              for (std::int64_t r = 0; r < ckk; ++r) buf[r] += wrow[r] * gv;
+            }
+          }
+        });
+    // Phase 2: scatter in col2im's exact order — kernel row r ascending,
+    // then column p ascending — restricted to the active columns (the
+    // inactive ones hold exact +0 in the dense path). Channels own
+    // disjoint planes, so the channel partition is deterministic.
+    float* gimg = grad_in + img * in_c * hw;
+    parallel_for_range(
+        0, static_cast<std::size_t>(in_c), [&](std::size_t cb, std::size_t ce) {
+          for (std::size_t c = cb; c < ce; ++c) {
+            float* plane = gimg + static_cast<std::int64_t>(c) * hw;
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t r =
+                    (static_cast<std::int64_t>(c) * k + ky) * k + kx;
+                for (std::int64_t j = 0; j < na; ++j) {
+                  const std::int64_t p = active[j];
+                  const std::int64_t oy = p / wo, ox = p % wo;
+                  const std::int64_t iy = oy * s - pad + ky;
+                  if (iy < 0 || iy >= g.in_h) continue;
+                  const std::int64_t ix = ox * s - pad + kx;
+                  if (ix < 0 || ix >= g.in_w) continue;
+                  plane[iy * g.in_w + ix] += dcols[j * ckk + r];
+                }
+              }
+            }
+          }
+        });
+  }
+}
+
+void spike_linear_backward_weight(const SpikeCsr& csr, const float* grad_out,
+                                  std::int64_t out_f, float* grad_weight,
+                                  Workspace& ws) {
+  const std::int64_t in_f = csr.row_len();
+  auto scope = ws.scope();
+  // Accumulate through a transposed (in_f, out_f) view so each event is a
+  // unit-stride axpy of length O. gemm_tn accumulates directly onto C in
+  // ascending batch-row order; the transposes are element-exact copies, so
+  // accumulating onto the transposed copy in the same row order matches.
+  float* wgt = scope.floats(static_cast<std::size_t>(in_f * out_f));
+  transpose_panel(grad_weight, out_f, in_f, wgt);
+  const std::int64_t rows = csr.rows();
+  parallel_for_range(
+      0, static_cast<std::size_t>(out_f), [&](std::size_t b, std::size_t e) {
+        const std::int64_t ob = static_cast<std::int64_t>(b);
+        const std::int64_t oe = static_cast<std::int64_t>(e);
+        for (std::int64_t row = 0; row < rows; ++row) {
+          const float* gorow = grad_out + row * out_f;
+          const std::int32_t* idx = csr.row_indices(row);
+          const float* val = csr.row_values(row);
+          const std::int64_t cnt = csr.row_nnz(row);
+          for (std::int64_t ev = 0; ev < cnt; ++ev) {
+            float* wrow = wgt + static_cast<std::int64_t>(idx[ev]) * out_f;
+            const float v = val[ev];
+            for (std::int64_t o = ob; o < oe; ++o) wrow[o] += gorow[o] * v;
+          }
+        }
+      });
+  transpose_panel(wgt, in_f, out_f, grad_weight);
+}
+
+void spike_linear_backward_input(const SpikeCsr& gcsr, const float* weight,
+                                 std::int64_t in_f, float* grad_in) {
+  const std::int64_t out_f = gcsr.row_len();
+  (void)out_f;
+  parallel_for_range(
+      0, static_cast<std::size_t>(gcsr.rows()),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t row = b; row < e; ++row) {
+          float* girow = grad_in + static_cast<std::int64_t>(row) * in_f;
+          const std::int32_t* idx =
+              gcsr.row_indices(static_cast<std::int64_t>(row));
+          const float* val = gcsr.row_values(static_cast<std::int64_t>(row));
+          const std::int64_t cnt =
+              gcsr.row_nnz(static_cast<std::int64_t>(row));
+          for (std::int64_t ev = 0; ev < cnt; ++ev) {
+            const float* wrow =
+                weight + static_cast<std::int64_t>(idx[ev]) * in_f;
+            const float gv = val[ev];
+            for (std::int64_t i = 0; i < in_f; ++i) girow[i] += gv * wrow[i];
+          }
+        }
+      });
+}
+
+void spike_depthwise_backward_weight(const ConvGeometry& g,
+                                     const SpikeCsr& csr,
+                                     const float* grad_out,
+                                     float* grad_weight) {
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  const std::int64_t howo = ho * wo;
+  const std::int64_t hw = g.in_h * g.in_w;
+  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
+  const std::int64_t c_ = g.in_c;
+
+  for (std::int64_t img = 0; img < csr.rows(); ++img) {
+    const std::int32_t* idx = csr.row_indices(img);
+    const float* val = csr.row_values(img);
+    const std::int64_t cnt = csr.row_nnz(img);
+    for (std::int64_t e = 0; e < cnt; ++e) {
+      const std::int64_t flat = idx[e];
+      const float v = val[e];
+      const std::int64_t c = flat / hw;
+      const std::int64_t rem = flat - c * hw;
+      const std::int64_t iy = rem / g.in_w;
+      const std::int64_t ix = rem - iy * g.in_w;
+      const float* gop = grad_out + (img * c_ + c) * howo;
+      float* gw = grad_weight + c * k * k;
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t ty = iy + pad - ky;
+        if (ty < 0 || ty % s != 0) continue;
+        const std::int64_t oy = ty / s;
+        if (oy >= ho) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t tx = ix + pad - kx;
+          if (tx < 0 || tx % s != 0) continue;
+          const std::int64_t ox = tx / s;
+          if (ox >= wo) continue;
+          gw[ky * k + kx] += gop[oy * wo + ox] * v;
         }
       }
     }

@@ -1,8 +1,8 @@
 #pragma once
-// Event-driven forward kernels for spiking activations.
+// Event-driven forward AND backward kernels for spiking activations.
 //
-// Rationale (ISSUE 1 / DESIGN.md "Performance: event-driven execution"):
-// SNN forward passes convolve binary, mostly-zero tensors T times per
+// Rationale (ISSUE 1 / ISSUE 4, DESIGN.md "Performance: event-driven
+// execution"): SNN passes convolve binary, mostly-zero tensors T times per
 // sample. Instead of lowering to im2col + GEMM and multiplying by zeros,
 // these kernels walk the packed spike events (SpikeCsr) and accumulate
 // the corresponding weight rows directly — cost scales with the number of
@@ -14,11 +14,30 @@
 //   linear     one O-length axpy from a transposed weight panel
 //   depthwise  K*K scalar taps into the channel's own output plane
 //
+// The BPTT backward uses the same event lists twice:
+//   dW         the forward input's SpikeCsr (saved in the layer Ctx, which
+//              also replaces the dense retained input) drives the weight
+//              gradient — work ∝ nnz * K*K * O instead of O * CKK * HoWo
+//   dX         the surrogate active set: Boxcar sigma' is exactly zero
+//              outside its window, so LIF/PLIF gradients are themselves
+//              sparse; a value-carrying gradient CSR drives an
+//              event-driven scatter instead of gemm_tn + col2im
+//
+// Every backward kernel reproduces the dense path's per-output-element
+// accumulation order exactly (increasing image, then increasing reduction
+// index, products formed the same way), and parallel variants partition
+// by OUTPUT ownership, so sparse and dense gradients agree bit-for-bit at
+// any thread count. Skipped zero terms are IEEE no-ops: accumulators
+// start at +0 and +0 + (-0) == +0 under round-to-nearest, so a signed
+// zero can never propagate a difference.
+//
 // Dispatch: layers scan the input with SpikeCsr and take this path only
 // when SparseExec::enabled() and density < SparseExec::threshold();
-// everything else (first encoder layer, BN outputs, gradients) falls back
-// to the dense GEMM path unchanged. Scratch comes from the Workspace
-// arena — steady-state timesteps allocate nothing.
+// the backward side is additionally gated by SparseExec::bwd_enabled()
+// (SNNSKIP_SPARSE_BWD). Everything else (first encoder layer, BN outputs,
+// dense gradients) falls back to the dense GEMM path unchanged. Scratch
+// comes from the Workspace arena — steady-state timesteps allocate
+// nothing.
 
 #include <cstdint>
 
@@ -39,6 +58,12 @@ class SparseExec {
   static void set_enabled(bool on);
   static void set_threshold(float t);
 
+  /// Backward-pass gate: true when both the master switch and the
+  /// SNNSKIP_SPARSE_BWD escape hatch (default on) allow the event-driven
+  /// dW/dX kernels. Layers only save CSR contexts while this holds.
+  static bool bwd_enabled();
+  static void set_bwd_enabled(bool on);
+
   /// Aggregate sparsity actually observed at sparse-eligible layer inputs.
   /// density() here is the same spikes-per-element definition used by
   /// FiringRateRecorder and EnergyModel::snn_energy_pj.
@@ -53,6 +78,30 @@ class SparseExec {
   static void reset_stats();
   /// Called by the layers on every eligible forward.
   static void note(double nnz, double elements, bool took_sparse_path);
+
+  /// Backward-dispatch twin of stats()/note(): achieved gradient density
+  /// and sparse-vs-dense dX dispatch counts (reset by reset_stats()).
+  static Stats bwd_stats();
+  static void note_bwd(double nnz, double elements, bool took_sparse_path);
+};
+
+/// Handoff of the surrogate active set from a neuron backward to the layer
+/// below it. LIF/PLIF count the nonzeros of the dL/dx tensor they emit
+/// (the Boxcar window makes most entries exactly zero) and publish
+/// (data pointer, numel, nnz); the consuming layer's backward takes the
+/// hint instead of re-scanning. The hint is advisory: consumers verify
+/// pointer AND numel, fall back to count_nonzero on mismatch, and always
+/// rebuild the value CSR from the actual gradient tensor — a stale hint
+/// (the producer's tensor was freed and its address recycled) can at worst
+/// mis-estimate density and pick the slower dispatch, never corrupt a
+/// gradient. Thread-local, so pool workers training candidates in
+/// parallel never cross wires.
+class GradDensityHint {
+ public:
+  static void publish(const float* data, std::int64_t numel, std::int64_t nnz);
+  /// Consume the hint if it matches this tensor; -1 when absent/mismatched.
+  static std::int64_t take(const float* data, std::int64_t numel);
+  static void clear();
 };
 
 /// Full-tensor nonzero count — the cheap sparsity scan behind the
@@ -83,5 +132,47 @@ void spike_linear_forward(const SpikeCsr& csr, const float* weight,
 void spike_depthwise_forward(const ConvGeometry& g, const SpikeCsr& csr,
                              const float* weight, const float* bias,
                              float* out);
+
+// ---- BPTT backward (ISSUE 4) ----------------------------------------------
+
+/// Conv2d weight gradient from the forward input's events. `csr` packs the
+/// saved input as (N, C*H*W); `grad_out` is (N, O, Ho, Wo); ACCUMULATES
+/// into `grad_weight` (O, C, K, K). Matches gemm_nt's per-image
+/// partial-then-add accumulation bit-for-bit.
+void spike_conv2d_backward_weight(const ConvGeometry& g, const SpikeCsr& csr,
+                                  const float* grad_out, std::int64_t out_c,
+                                  float* grad_weight, Workspace& ws);
+
+/// Conv2d input gradient from packed OUTPUT-gradient events. `gcsr` packs
+/// grad_out as (N, O*Ho*Wo) with values; `weight` is (O, C, K, K); writes
+/// into zero-initialized `grad_in` (N, C, H, W). Two phases per image:
+/// build the active output columns (per column, events in increasing-o
+/// order — gemm_tn's reduction order), then scatter them in col2im's
+/// (kernel-row, ascending-column) order, so the result matches the dense
+/// gemm_tn + col2im path bit-for-bit.
+void spike_conv2d_backward_input(const ConvGeometry& g, const SpikeCsr& gcsr,
+                                 const float* weight, std::int64_t out_c,
+                                 float* grad_in, Workspace& ws);
+
+/// Linear weight gradient from the forward input's events. `csr` packs the
+/// saved input as (N, in_f); `grad_out` is (N, out_f); ACCUMULATES into
+/// `grad_weight` (out_f, in_f) in gemm_tn's direct-onto-C order.
+void spike_linear_backward_weight(const SpikeCsr& csr, const float* grad_out,
+                                  std::int64_t out_f, float* grad_weight,
+                                  Workspace& ws);
+
+/// Linear input gradient from packed output-gradient events. `gcsr` packs
+/// grad_out as (N, out_f); `weight` is (out_f, in_f); writes into
+/// zero-initialized `grad_in` (N, in_f).
+void spike_linear_backward_input(const SpikeCsr& gcsr, const float* weight,
+                                 std::int64_t in_f, float* grad_in);
+
+/// Depthwise weight gradient from the forward input's events. `csr` packs
+/// the saved input as (N, C*H*W); `grad_out` is (N, C, Ho, Wo);
+/// ACCUMULATES into `grad_weight` (C, 1, K, K).
+void spike_depthwise_backward_weight(const ConvGeometry& g,
+                                     const SpikeCsr& csr,
+                                     const float* grad_out,
+                                     float* grad_weight);
 
 }  // namespace snnskip

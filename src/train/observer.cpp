@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "telemetry/retained.h"
 #include "telemetry/telemetry.h"
 #include "tensor/workspace.h"
 #include "util/logging.h"
@@ -30,6 +31,11 @@ void TelemetryObserver::on_epoch_end(const EpochStats& stats) {
   Telemetry::count_max(
       "arena.high_water_floats",
       static_cast<double>(Workspace::tls().high_water()));
+  // Peak bytes of BPTT contexts held across the epoch's timestep windows —
+  // the number the sparse-context retention (ISSUE 4) is meant to shrink.
+  Telemetry::count_max(
+      "bptt.retained_bytes.high_water",
+      static_cast<double>(RetainedActivations::high_water()));
   telemetry::instant("train",
                      "epoch " + std::to_string(stats.epoch) + " end");
 }

@@ -13,6 +13,7 @@
 #include "nn/depthwise_conv2d.h"
 #include "nn/linear.h"
 #include "nn/pooling.h"
+#include "tensor/spike_kernels.h"
 
 namespace snnskip {
 namespace {
@@ -41,6 +42,59 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{3, 2, 1, 1, 0, 4, 4, true},
                       ConvCase{2, 4, 1, 2, 0, 4, 4, false},
                       ConvCase{4, 2, 3, 1, 1, 3, 3, false}));
+
+// --- sparse (event-driven) paths -------------------------------------------
+// Bernoulli inputs with the density threshold forced to 1.0 keep every
+// layer on the sparse kernels (forward AND the ISSUE 4 sparse-ctx dW)
+// through the whole finite-difference sweep.
+
+struct ForceSparse {
+  bool enabled = SparseExec::enabled();
+  float threshold = SparseExec::threshold();
+  bool bwd = SparseExec::bwd_enabled();
+  ForceSparse() {
+    SparseExec::set_enabled(true);
+    SparseExec::set_bwd_enabled(true);
+    SparseExec::set_threshold(1.f);
+  }
+  ~ForceSparse() {
+    SparseExec::set_enabled(enabled);
+    SparseExec::set_threshold(threshold);
+    SparseExec::set_bwd_enabled(bwd);
+  }
+};
+
+TEST(ConvGradCheckSparse, SpikeInputEventPath) {
+  ForceSparse force;
+  Rng rng(141);
+  Conv2d conv(2, 3, 3, 1, 1, true, rng);
+  Tensor x = Tensor::bernoulli(Shape{2, 2, 5, 5}, rng, 0.2f);
+  check_gradients(conv, x, 142);
+}
+
+TEST(ConvGradCheckSparse, Stride2SpikeInput) {
+  ForceSparse force;
+  Rng rng(143);
+  Conv2d conv(2, 3, 3, 2, 1, false, rng);
+  Tensor x = Tensor::bernoulli(Shape{1, 2, 6, 6}, rng, 0.2f);
+  check_gradients(conv, x, 144);
+}
+
+TEST(LinearGradCheckSparse, SpikeInputEventPath) {
+  ForceSparse force;
+  Rng rng(145);
+  Linear lin(8, 4, true, rng);
+  Tensor x = Tensor::bernoulli(Shape{3, 8}, rng, 0.2f);
+  check_gradients(lin, x, 146);
+}
+
+TEST(DepthwiseConvGradCheckSparse, SpikeInputEventPath) {
+  ForceSparse force;
+  Rng rng(147);
+  DepthwiseConv2d conv(3, 3, 1, 1, true, rng);
+  Tensor x = Tensor::bernoulli(Shape{2, 3, 5, 5}, rng, 0.2f);
+  check_gradients(conv, x, 148);
+}
 
 TEST(DepthwiseConvGradCheck, Stride1) {
   Rng rng(53);

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "parallel/parallel_for.h"
@@ -89,6 +92,47 @@ TEST(ParallelForRange, ChunksPartitionTheRange) {
     total.fetch_add(e - b);
   });
   EXPECT_EQ(total.load(), n);
+}
+
+TEST(ParallelForRange, ChunkOverrideForcesPartitionCount) {
+  // The override bypasses both the grain and the pool-size heuristics, so
+  // tests can exercise 2- or 4-way partition boundaries on any machine
+  // (the chunks may still run serially through a 1-worker pool).
+  const std::size_t n = 10;  // far below the inline grain
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  auto record = [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  };
+
+  parallel_for_range(0, n, record);
+  EXPECT_EQ(chunks.size(), 1u);  // small range runs inline by default
+
+  for (std::size_t k : {2u, 4u}) {
+    chunks.clear();
+    set_parallel_chunk_override(k);
+    parallel_for_range(0, n, record);
+    set_parallel_chunk_override(0);
+    EXPECT_EQ(chunks.size(), k);
+    std::sort(chunks.begin(), chunks.end());
+    std::size_t covered = 0;
+    std::size_t expect_begin = 0;
+    for (const auto& [b, e] : chunks) {
+      EXPECT_EQ(b, expect_begin);  // contiguous, non-overlapping
+      EXPECT_LT(b, e);
+      covered += e - b;
+      expect_begin = e;
+    }
+    EXPECT_EQ(covered, n);
+  }
+
+  // Forcing more chunks than elements clamps to one per element.
+  set_parallel_chunk_override(64);
+  chunks.clear();
+  parallel_for_range(0, 3, record);
+  set_parallel_chunk_override(0);
+  EXPECT_EQ(chunks.size(), 3u);
 }
 
 TEST(ParallelReduce, MatchesSerialSum) {
