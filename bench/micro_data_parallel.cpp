@@ -1,0 +1,228 @@
+// Micro-benchmark for the deterministic data-parallel engine (ISSUE 5).
+//
+// Sweeps shard count x worker count over a small spiking block and times
+// one sharded train_batch step against the legacy serial step, emitting
+// BENCH_data_parallel.json (ns/batch per config, speedup vs serial, and
+// the host's hardware_threads so the regression gate can tell a real
+// slowdown from a box that simply lacks the cores to go faster).
+//
+// The engine's contract is bitwise worker invariance: before timing, each
+// worker count takes one step from an identical initial state and the
+// resulting parameters are memcmp'd against the 1-worker reference. Any
+// mismatch fails the binary with exit code 1 — the ctest smoke variant
+// (--smoke 1) keeps one tiny config so tier-1 runs exercise this check
+// without paying for the timing sweep.
+//
+// Usage: micro_data_parallel [--smoke 1] [--out BENCH_data_parallel.json]
+//                            [--min-ms 50]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/synthetic_dvs_cifar.h"
+#include "models/zoo.h"
+#include "train/data_parallel.h"
+#include "train/trainer.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+namespace snnskip {
+namespace {
+
+struct BenchSetup {
+  SyntheticConfig data;
+  ModelConfig model;
+  std::int64_t batch_size;
+  std::int64_t timesteps;
+};
+
+BenchSetup make_setup(bool smoke) {
+  BenchSetup s;
+  s.data.height = smoke ? 8 : 12;
+  s.data.width = smoke ? 8 : 12;
+  s.data.timesteps = 4;
+  s.data.train_size = 64;
+  s.data.seed = 31;
+  s.model.mode = NeuronMode::Spiking;
+  s.model.in_channels = 2;
+  s.model.num_classes = 10;
+  s.model.max_timesteps = 4;
+  s.model.width = smoke ? 4 : 8;
+  s.model.seed = 5;
+  s.batch_size = smoke ? 16 : 32;
+  s.timesteps = 4;
+  return s;
+}
+
+Network make_net(const BenchSetup& s) {
+  return build_model("single_block", s.model,
+                     default_adjacencies("single_block", s.model));
+}
+
+Batch load_batch(const BenchSetup& s) {
+  SyntheticDvsCifar ds(s.data, Split::Train);
+  DataLoader loader(ds, s.batch_size, /*shuffle=*/false, 0);
+  loader.start_epoch(0);
+  Batch batch;
+  if (!loader.next(batch)) std::abort();
+  return batch;
+}
+
+/// One sharded step from a fresh net; fills `params` with the post-step
+/// parameter bytes for the bitwise cross-check.
+void dp_step_params(const BenchSetup& s, const Batch& batch,
+                    std::int64_t shards, std::int64_t workers,
+                    std::vector<std::vector<float>>& params) {
+  Network net = make_net(s);
+  EventEncoder enc(s.timesteps, s.model.in_channels);
+  DataParallelConfig cfg;
+  cfg.workers = workers;
+  cfg.shards = shards;
+  cfg.replica_factory = [&s] { return make_net(s); };
+  DataParallelEngine engine(net, cfg, enc, s.timesteps,
+                            LossKind::MeanLogitCE);
+  auto ps = net.parameters();
+  Sgd opt(ps, 0.01f, 0.9f, 0.f);
+  engine.train_batch(batch, opt, 5.f);
+  params.clear();
+  for (const Parameter* p : ps) {
+    params.emplace_back(p->value.data(),
+                        p->value.data() + p->value.numel());
+  }
+}
+
+/// Mean ns per sharded train_batch, timing until `min_ms` of work. The
+/// weights drift across reps (each rep is a real SGD step), which is fine
+/// for timing — the determinism check above uses single fresh steps.
+double time_dp_ns(const BenchSetup& s, const Batch& batch,
+                  std::int64_t shards, std::int64_t workers, double min_ms) {
+  Network net = make_net(s);
+  EventEncoder enc(s.timesteps, s.model.in_channels);
+  DataParallelConfig cfg;
+  cfg.workers = workers;
+  cfg.shards = shards;
+  cfg.replica_factory = [&s] { return make_net(s); };
+  DataParallelEngine engine(net, cfg, enc, s.timesteps,
+                            LossKind::MeanLogitCE);
+  auto ps = net.parameters();
+  Sgd opt(ps, 0.01f, 0.9f, 0.f);
+  engine.train_batch(batch, opt, 5.f);  // warm up the workspace arena
+  std::int64_t reps = 0;
+  Timer t;
+  do {
+    engine.train_batch(batch, opt, 5.f);
+    ++reps;
+  } while (t.elapsed_ms() < min_ms);
+  return t.elapsed_s() * 1e9 / static_cast<double>(reps);
+}
+
+/// Mean ns per legacy (unsharded) train_batch on the same problem.
+double time_serial_ns(const BenchSetup& s, const Batch& batch,
+                      double min_ms) {
+  Network net = make_net(s);
+  EventEncoder enc(s.timesteps, s.model.in_channels);
+  auto ps = net.parameters();
+  Sgd opt(ps, 0.01f, 0.9f, 0.f);
+  train_batch(net, enc, batch, s.timesteps, opt, 5.f);
+  std::int64_t reps = 0;
+  Timer t;
+  do {
+    train_batch(net, enc, batch, s.timesteps, opt, 5.f);
+    ++reps;
+  } while (t.elapsed_ms() < min_ms);
+  return t.elapsed_s() * 1e9 / static_cast<double>(reps);
+}
+
+bool params_equal(const std::vector<std::vector<float>>& a,
+                  const std::vector<std::vector<float>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    if (std::memcmp(a[i].data(), b[i].data(),
+                    a[i].size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool smoke = args.get_int("smoke", 0) != 0;
+  const double min_ms = args.get_double("min-ms", smoke ? 2.0 : 50.0);
+  const std::string out_path = args.get("out", "BENCH_data_parallel.json");
+
+  std::vector<std::int64_t> shard_counts;
+  std::vector<std::int64_t> worker_counts;
+  if (smoke) {
+    shard_counts = {4};
+    worker_counts = {1, 4};
+  } else {
+    shard_counts = {4, 8};
+    worker_counts = {1, 2, 4, 8};
+  }
+  const double hardware_threads =
+      static_cast<double>(std::thread::hardware_concurrency());
+
+  const BenchSetup setup = make_setup(smoke);
+  const Batch batch = load_batch(setup);
+
+  benchcfg::JsonArrayWriter json(out_path);
+  if (!json.ok()) {
+    std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("%8s %8s %14s %14s %9s %10s %9s\n", "shards", "workers",
+              "dp_ns", "serial_ns", "speedup", "bitwise", "hw_thr");
+
+  bool all_identical = true;
+  const double serial_ns = time_serial_ns(setup, batch, min_ms);
+  for (std::int64_t shards : shard_counts) {
+    std::vector<std::vector<float>> reference;
+    dp_step_params(setup, batch, shards, /*workers=*/1, reference);
+    for (std::int64_t workers : worker_counts) {
+      std::vector<std::vector<float>> got;
+      dp_step_params(setup, batch, shards, workers, got);
+      const bool identical = params_equal(reference, got);
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: worker-invariance violated (shards=%lld "
+                     "workers=%lld differs from workers=1)\n",
+                     static_cast<long long>(shards),
+                     static_cast<long long>(workers));
+        all_identical = false;
+      }
+      const double dp_ns = time_dp_ns(setup, batch, shards, workers, min_ms);
+      const double speedup = dp_ns > 0.0 ? serial_ns / dp_ns : 0.0;
+      std::printf("%8lld %8lld %14.0f %14.0f %8.2fx %10s %9.0f\n",
+                  static_cast<long long>(shards),
+                  static_cast<long long>(workers), dp_ns, serial_ns, speedup,
+                  identical ? "ok" : "MISMATCH", hardware_threads);
+
+      json.begin_row();
+      json.field("shards", static_cast<double>(shards));
+      json.field("workers", static_cast<double>(workers));
+      json.field("dp_ns_per_batch", dp_ns);
+      json.field("serial_ns_per_batch", serial_ns);
+      json.field("speedup_vs_serial", speedup);
+      json.field("bitwise_identical", identical ? 1.0 : 0.0);
+      json.field("hardware_threads", hardware_threads);
+      json.end_row();
+    }
+  }
+
+  if (!all_identical) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace snnskip
+
+int main(int argc, char** argv) { return snnskip::run(argc, argv); }

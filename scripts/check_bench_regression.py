@@ -1,21 +1,32 @@
 #!/usr/bin/env python3
-"""Guard the sparse-kernel speedups against regressions.
+"""Guard the benchmark speedups against regressions.
 
-Re-runs the two spike-kernel microbenchmarks (forward: micro_spike_conv,
-ISSUE 1; train-mode fwd+bwd: micro_spike_bptt, ISSUE 4) from an existing
-build tree and compares each configuration's sparse-vs-dense speedup
-against the committed baselines (BENCH_spike_conv.json /
-BENCH_spike_bptt.json at the repo root).
+Re-runs the committed microbenchmarks from an existing build tree and
+compares each configuration's speedup against the committed baselines at
+the repo root:
+
+  micro_spike_conv    BENCH_spike_conv.json     sparse-vs-dense forward
+  micro_spike_bptt    BENCH_spike_bptt.json     sparse-vs-dense fwd+bwd
+  micro_data_parallel BENCH_data_parallel.json  sharded-vs-serial step
 
 A configuration FAILS when its fresh speedup falls below
 (1 - tolerance) x baseline speedup, default tolerance 25%. Rows whose
 baseline speedup is below --min-speedup (default 1.5x) are informational
-only: near-threshold and dense-fallback rows are noise-dominated, and a
-"regression" from 1.1x to 0.9x is not a kernel problem.
+only: near-threshold and fallback rows are noise-dominated, and a
+"regression" from 1.1x to 0.9x is not a kernel problem. Rows that carry a
+`hardware_threads` field are additionally gated on the host actually
+having the cores the row needs (workers <= hardware_threads on BOTH the
+baseline host and this one) — a 1-core runner cannot regress an 8-worker
+speedup it never had.
 
 The fresh speedup is the best of --runs repetitions (default 2): a real
-kernel regression shows up in every run, while scheduler noise on a
-loaded box does not.
+regression shows up in every run, while scheduler noise on a loaded box
+does not.
+
+The last stdout line is a one-line JSON summary, e.g.
+  {"status": "pass", "gated": 12, "info_only": 8, "regressions": 0}
+so CI steps can consume the result without parsing the human report; the
+exit code is 0 on pass, 1 on any regression or harness failure.
 
 Usage:
     scripts/check_bench_regression.py [build-dir] [--tolerance 0.25]
@@ -33,19 +44,42 @@ import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+# One spec per gated benchmark: the binary (under <build>/bench), the
+# committed baseline at the repo root, the fields identifying a row, and
+# the speedup metric to gate. `threads_field`, when set, names the row
+# field that must not exceed `hardware_threads` for the row to be gated.
 BENCHES = [
-    ("micro_spike_conv", "BENCH_spike_conv.json"),
-    ("micro_spike_bptt", "BENCH_spike_bptt.json"),
+    {
+        "binary": "micro_spike_conv",
+        "baseline": "BENCH_spike_conv.json",
+        "key": ("channels", "hw", "firing_rate"),
+        "metric": "speedup_vs_dense",
+        "threads_field": None,
+    },
+    {
+        "binary": "micro_spike_bptt",
+        "baseline": "BENCH_spike_bptt.json",
+        "key": ("channels", "hw", "firing_rate"),
+        "metric": "speedup_vs_dense",
+        "threads_field": None,
+    },
+    {
+        "binary": "micro_data_parallel",
+        "baseline": "BENCH_data_parallel.json",
+        "key": ("shards", "workers"),
+        "metric": "speedup_vs_serial",
+        "threads_field": "workers",
+    },
 ]
 
 
-def row_key(row):
-    return (row["channels"], row["hw"], row["firing_rate"])
+def row_key(spec, row):
+    return tuple(row[f] for f in spec["key"])
 
 
-def load_rows(path):
+def load_rows(spec, path):
     with open(path) as f:
-        return {row_key(r): r for r in json.load(f)}
+        return {row_key(spec, r): r for r in json.load(f)}
 
 
 def run_bench(binary, out_path, min_ms):
@@ -55,31 +89,43 @@ def run_bench(binary, out_path, min_ms):
         sys.stderr.write(proc.stdout)
         sys.stderr.write(proc.stderr)
         raise SystemExit(f"FAIL: {binary.name} exited {proc.returncode} "
-                         "(its internal sparse/dense cross-check failed?)")
+                         "(its internal cross-check failed?)")
 
 
-def check(name, baseline_path, fresh, tolerance, min_speedup):
-    baseline = load_rows(baseline_path)
+def has_needed_threads(spec, row):
+    """True when the row's host had the cores its worker count asks for."""
+    field = spec["threads_field"]
+    if field is None or "hardware_threads" not in row:
+        return True
+    return row[field] <= row["hardware_threads"]
+
+
+def check(spec, baseline_path, fresh, tolerance, min_speedup, counts):
+    name = spec["binary"]
+    metric = spec["metric"]
+    baseline = load_rows(spec, baseline_path)
     failures = []
     for key, base_row in sorted(baseline.items()):
         if key not in fresh:
             failures.append(f"{name} {key}: missing from fresh run")
             continue
-        base = base_row["speedup_vs_dense"]
-        new = fresh[key]["speedup_vs_dense"]
+        base = base_row[metric]
+        new = fresh[key][metric]
         floor = (1.0 - tolerance) * base
-        gated = base >= min_speedup
+        gated = (base >= min_speedup and has_needed_threads(spec, base_row)
+                 and has_needed_threads(spec, fresh[key]))
         status = "ok"
         if gated and new < floor:
             status = "REGRESSED"
             failures.append(
-                f"{name} C={key[0]} hw={key[1]} rate={key[2]}: "
-                f"speedup {new:.2f}x < floor {floor:.2f}x "
+                f"{name} {key}: {metric} {new:.2f}x < floor {floor:.2f}x "
                 f"(baseline {base:.2f}x)")
         elif not gated:
             status = "info-only"
-        print(f"  {name:18s} C={key[0]:<4} hw={key[1]:<3} rate={key[2]:<5} "
-              f"baseline={base:6.2f}x fresh={new:6.2f}x  [{status}]")
+        counts["gated" if gated else "info_only"] += 1
+        label = " ".join(f"{f}={v}" for f, v in zip(spec["key"], key))
+        print(f"  {name:20s} {label:28s} baseline={base:6.2f}x "
+              f"fresh={new:6.2f}x  [{status}]")
     return failures
 
 
@@ -106,34 +152,42 @@ def main():
                          f"cmake --build {args.build_dir} -j)")
 
     failures = []
+    counts = {"gated": 0, "info_only": 0}
     with tempfile.TemporaryDirectory() as tmp:
-        for binary_name, baseline_name in BENCHES:
-            binary = bench_dir / binary_name
-            baseline = REPO_ROOT / baseline_name
+        for spec in BENCHES:
+            binary = bench_dir / spec["binary"]
+            baseline = REPO_ROOT / spec["baseline"]
             if not binary.exists():
                 raise SystemExit(f"error: {binary} not built")
             if not baseline.exists():
                 raise SystemExit(f"error: baseline {baseline} missing")
-            print(f"== {binary_name} ({args.runs} fresh run(s), "
+            print(f"== {spec['binary']} ({args.runs} fresh run(s), "
                   f"--min-ms {args.min_ms}) ==")
             best = {}
             for i in range(max(1, args.runs)):
-                fresh = pathlib.Path(tmp) / f"{i}_{baseline_name}"
+                fresh = pathlib.Path(tmp) / f"{i}_{spec['baseline']}"
                 run_bench(binary, fresh, args.min_ms)
-                for key, row in load_rows(fresh).items():
-                    if (key not in best or row["speedup_vs_dense"] >
-                            best[key]["speedup_vs_dense"]):
+                for key, row in load_rows(spec, fresh).items():
+                    if (key not in best or
+                            row[spec["metric"]] > best[key][spec["metric"]]):
                         best[key] = row
-            failures += check(binary_name, baseline, best,
-                              args.tolerance, args.min_speedup)
+            failures += check(spec, baseline, best,
+                              args.tolerance, args.min_speedup, counts)
 
     if failures:
         print(f"\n{len(failures)} regression(s):")
         for f in failures:
             print(f"  {f}")
-        return 1
-    print("\nall speedups within tolerance")
-    return 0
+    else:
+        print("\nall speedups within tolerance")
+    summary = {
+        "status": "fail" if failures else "pass",
+        "gated": counts["gated"],
+        "info_only": counts["info_only"],
+        "regressions": len(failures),
+    }
+    print(json.dumps(summary))
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -10,8 +10,14 @@
 # the same instrumentation without this wrapper.
 
 set -euo pipefail
+trap 'echo "error: ${BASH_SOURCE[0]}:${LINENO}: \`${BASH_COMMAND}\` failed" >&2' ERR
 
 BUILD_DIR="${1:-build-asan}"
+
+if [[ ! -f CMakeLists.txt ]]; then
+  echo "error: run from the repository root (CMakeLists.txt not found)" >&2
+  exit 1
+fi
 
 echo "== configure (${BUILD_DIR}, ASan+UBSan) =="
 cmake -B "${BUILD_DIR}" -S . \

@@ -10,6 +10,7 @@
 # binary paths or output-file flags.
 
 set -euo pipefail
+trap 'echo "error: ${BASH_SOURCE[0]}:${LINENO}: \`${BASH_COMMAND}\` failed" >&2' ERR
 
 BUILD_DIR="${1:-build}"
 
@@ -17,6 +18,13 @@ if [[ ! -d "${BUILD_DIR}/bench" ]]; then
   echo "error: '${BUILD_DIR}' is not a build tree (run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
   exit 1
 fi
+
+for bin in micro_spike_conv micro_spike_bptt micro_data_parallel telemetry_smoke; do
+  if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
+    echo "error: ${BUILD_DIR}/bench/${bin} not built (stale tree? re-run cmake --build ${BUILD_DIR} -j)" >&2
+    exit 1
+  fi
+done
 
 echo "== micro_spike_conv smoke (sparse-vs-dense cross-check) =="
 "${BUILD_DIR}/bench/micro_spike_conv" --smoke 1 \
@@ -26,6 +34,11 @@ echo
 echo "== micro_spike_bptt smoke (bit-for-bit backward cross-check) =="
 "${BUILD_DIR}/bench/micro_spike_bptt" --smoke 1 \
   --out "${BUILD_DIR}/bench/BENCH_spike_bptt_smoke.json"
+
+echo
+echo "== micro_data_parallel smoke (bitwise worker-invariance cross-check) =="
+"${BUILD_DIR}/bench/micro_data_parallel" --smoke 1 \
+  --out "${BUILD_DIR}/bench/BENCH_data_parallel_smoke.json"
 
 echo
 echo "== telemetry smoke (trace export + validation) =="

@@ -2,6 +2,7 @@
 
 #include "graph/mac_counter.h"
 #include "util/logging.h"
+#include "util/runtime_env.h"
 #include "util/timer.h"
 
 namespace snnskip {
@@ -38,8 +39,34 @@ BoProblem make_scratch_problem(CandidateEvaluator& evaluator) {
   return problem;
 }
 
+BoProblem make_parallel_bo_problem(CandidateEvaluator& evaluator,
+                                   ParallelCandidateEvaluator& parallel) {
+  BoProblem problem = make_bo_problem(evaluator);
+  problem.observe_batch = [&parallel](std::size_t start_idx,
+                                      const std::vector<EncodingVec>& codes) {
+    const std::vector<CandidateResult> results =
+        parallel.evaluate_shared_batch(start_idx, codes);
+    std::vector<Observation> observations;
+    observations.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      observations.push_back(
+          Observation{codes[i], results[i].objective, results[i].failed});
+    }
+    return observations;
+  };
+  return problem;
+}
+
 SearchTrace bo_trace(CandidateEvaluator& evaluator, const BoConfig& cfg) {
   const BoProblem problem = make_bo_problem(evaluator);
+  return run_bayes_opt(problem, cfg);
+}
+
+SearchTrace bo_trace_parallel(CandidateEvaluator& evaluator,
+                              const BoConfig& cfg,
+                              const ParallelEvalConfig& pcfg) {
+  ParallelCandidateEvaluator parallel(evaluator, pcfg);
+  const BoProblem problem = make_parallel_bo_problem(evaluator, parallel);
   return run_bayes_opt(problem, cfg);
 }
 
@@ -106,7 +133,14 @@ AdaptationReport run_adaptation(const AdapterConfig& cfg) {
   }
 
   // (3) Bayesian optimization over the skip-connection space.
-  report.trace = bo_trace(evaluator, cfg.bo);
+  // SNNSKIP_WORKERS > 1 opts the round batches into concurrent candidate
+  // fine-tunes (batch-entry snapshot semantics, core/parallel_evaluator.h);
+  // the default stays the serial reference trajectory.
+  if (env::workers(1) > 1) {
+    report.trace = bo_trace_parallel(evaluator, cfg.bo, ParallelEvalConfig{});
+  } else {
+    report.trace = bo_trace(evaluator, cfg.bo);
+  }
   report.best_code = report.trace.best;
 
   // (4) Final training of the winner from the shared weights.

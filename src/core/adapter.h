@@ -14,6 +14,7 @@
 // two search regimes separately for the Fig. 3 comparison.
 
 #include "core/evaluator.h"
+#include "core/parallel_evaluator.h"
 #include "opt/bayes_opt.h"
 #include "opt/random_search.h"
 
@@ -51,9 +52,18 @@ struct AdaptationReport {
 BoProblem make_bo_problem(CandidateEvaluator& evaluator);
 /// Same space but the objective trains from scratch (RS baseline regime).
 BoProblem make_scratch_problem(CandidateEvaluator& evaluator);
+/// Shared-weights problem with observe_batch wired to a parallel candidate
+/// evaluator, so each BO round's batch fine-tunes concurrently. Borrows
+/// both evaluators; they must outlive the problem.
+BoProblem make_parallel_bo_problem(CandidateEvaluator& evaluator,
+                                   ParallelCandidateEvaluator& parallel);
 
 SearchTrace bo_trace(CandidateEvaluator& evaluator, const BoConfig& cfg);
 SearchTrace rs_trace(CandidateEvaluator& evaluator, const RsConfig& cfg);
+/// bo_trace with parallel candidate evaluation (core/parallel_evaluator.h).
+SearchTrace bo_trace_parallel(CandidateEvaluator& evaluator,
+                              const BoConfig& cfg,
+                              const ParallelEvalConfig& pcfg);
 
 AdaptationReport run_adaptation(const AdapterConfig& cfg);
 

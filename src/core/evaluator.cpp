@@ -70,7 +70,7 @@ double CandidateEvaluator::candidate_energy_pj(std::int64_t macs,
 
 CandidateResult CandidateEvaluator::finish(Network& net,
                                            const FitResult& fit_result,
-                                           const EncodingVec& code) {
+                                           const EncodingVec& code) const {
   (void)fit_result;
   FiringRateRecorder recorder;
   const EvalResult val = evaluate(net, NeuronMode::Spiking, *data_.val,

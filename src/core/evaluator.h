@@ -99,15 +99,25 @@ class CandidateEvaluator {
 
   /// Number of candidate trainings performed so far (cost accounting).
   std::size_t evaluations() const { return evaluations_; }
+  /// Attribute trainings performed outside evaluate_shared/evaluate_scratch
+  /// (the parallel candidate evaluator runs the fine-tunes itself but the
+  /// cost ledger stays here).
+  void add_evaluations(std::size_t n) { evaluations_ += n; }
 
   /// MACs for one timestep at batch-1 input shape.
   std::int64_t candidate_macs(const EncodingVec& code) const;
 
- private:
+  /// Post-training measurement: validation accuracy, firing rate, MACs,
+  /// energy, and the minimized objective for an already fine-tuned `net`.
+  /// Shared by evaluate_shared/evaluate_scratch and the parallel candidate
+  /// evaluator (core/parallel_evaluator.h); touches no evaluator state.
   CandidateResult finish(Network& net, const FitResult& fit_result,
-                         const EncodingVec& code);
+                         const EncodingVec& code) const;
+  /// Penalized result for a diverged/non-finite candidate.
   CandidateResult failed_result(const FitResult& fit_result,
                                 const char* regime) const;
+
+ private:
   Shape input_shape() const;
 
   EvaluatorConfig cfg_;

@@ -1,0 +1,113 @@
+#include "core/parallel_evaluator.h"
+
+#include <atomic>
+#include <cmath>
+#include <future>
+
+#include "parallel/thread_pool.h"
+#include "telemetry/telemetry.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/runtime_env.h"
+
+namespace snnskip {
+
+ParallelCandidateEvaluator::ParallelCandidateEvaluator(CandidateEvaluator& base,
+                                                       ParallelEvalConfig cfg)
+    : base_(&base),
+      cfg_(cfg),
+      workers_(cfg.workers > 0 ? cfg.workers : env::workers(1)) {}
+
+std::uint64_t ParallelCandidateEvaluator::candidate_seed(
+    std::uint64_t base_seed, std::size_t idx) {
+  // Same derivation style as Encoder::clone_shard: a splitmix step off a
+  // golden-ratio-spread state is a pure function of (base_seed, idx) and
+  // decorrelates nearby indices.
+  std::uint64_t state =
+      base_seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(idx) + 1));
+  return splitmix64(state);
+}
+
+std::vector<CandidateResult> ParallelCandidateEvaluator::evaluate_shared_batch(
+    std::size_t start_idx, const std::vector<EncodingVec>& codes) {
+  SNNSKIP_SPAN("bo", "evaluate_batch");
+  const std::size_t k = codes.size();
+  std::vector<CandidateResult> results(k);
+  if (k == 0) return results;
+  Telemetry::count_max("bo.parallel_candidates", static_cast<double>(k));
+
+  // Every candidate starts from the store as it stands at batch entry —
+  // the snapshot is read-only from here; per-candidate get_or_init happens
+  // in private copies.
+  const WeightStore::Snapshot entry = base_->store().snapshot();
+  const EvaluatorConfig& ecfg = base_->config();
+
+  // Candidates that survive keep their fine-tuned network here for the
+  // ordered merge after the batch completes.
+  std::vector<Network> nets(k);
+  std::vector<char> merge(k, 0);
+
+  auto run_candidate = [&](std::size_t c) {
+    SNNSKIP_SPAN("bo", "parallel_candidate");
+    Telemetry::count("bo.finetunes");
+    Network net = base_->build(codes[c]);
+    WeightStore ws(ecfg.seed);
+    ws.restore(entry);  // copy; the shared snapshot stays untouched
+    ws.load_into(net);
+    TrainConfig finetune = ecfg.finetune;
+    if (cfg_.reseed_candidates) {
+      finetune.seed = candidate_seed(finetune.seed, start_idx + c);
+    }
+    const FitResult fr = [&] {
+      SNNSKIP_SPAN("bo", "finetune");
+      return fit(net, NeuronMode::Spiking, base_->data().train, nullptr,
+                 finetune);
+    }();
+    CandidateResult res;
+    bool failed = fr.diverged;
+    if (!failed) {
+      res = base_->finish(net, fr, codes[c]);
+      failed =
+          !std::isfinite(res.objective) || !std::isfinite(res.val_accuracy);
+    }
+    if (failed) {
+      results[c] = base_->failed_result(fr, "parallel-shared");
+      return;
+    }
+    res.health_retries = fr.health_retries;
+    results[c] = res;
+    nets[c] = std::move(net);
+    merge[c] = 1;
+    SNNSKIP_LOG(Debug) << "parallel-shared eval[" << (start_idx + c)
+                       << "]: acc=" << res.val_accuracy
+                       << " objective=" << res.objective;
+  };
+
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (std::size_t c; (c = next.fetch_add(1)) < k;) run_candidate(c);
+  };
+  const std::size_t concurrency =
+      std::min<std::size_t>(static_cast<std::size_t>(workers_), k);
+  if (concurrency <= 1 || ThreadPool::on_worker_thread()) {
+    drain();
+  } else {
+    std::vector<std::future<void>> helpers;
+    helpers.reserve(concurrency - 1);
+    for (std::size_t i = 0; i < concurrency - 1; ++i) {
+      helpers.push_back(ThreadPool::global().submit(drain));
+    }
+    drain();
+    for (auto& h : helpers) h.get();
+  }
+
+  // Ordered merge on the calling thread: later candidates win where slices
+  // overlap, exactly as sequential evaluate_shared calls would compose.
+  for (std::size_t c = 0; c < k; ++c) {
+    if (merge[c]) base_->store().store_from(nets[c]);
+  }
+  base_->add_evaluations(k);
+  return results;
+}
+
+}  // namespace snnskip

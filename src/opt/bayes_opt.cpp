@@ -36,16 +36,7 @@ std::string resolve_journal_path(const std::string& configured) {
                             : configured;
 }
 
-Observation evaluate_candidate(const BoProblem& problem,
-                               const EncodingVec& code,
-                               double nonfinite_penalty) {
-  Observation obs;
-  if (problem.observe) {
-    obs = problem.observe(code);
-  } else {
-    obs.value = problem.objective(code);
-  }
-  obs.code = code;
+Observation guard_nonfinite(Observation obs, double nonfinite_penalty) {
   if (!std::isfinite(obs.value)) {
     // Last-resort guard: the GP's Cholesky cannot digest NaN/Inf targets,
     // and one poisoned row would invalidate every later proposal.
@@ -56,6 +47,19 @@ Observation evaluate_candidate(const BoProblem& problem,
     obs.failed = true;
   }
   return obs;
+}
+
+Observation evaluate_candidate(const BoProblem& problem,
+                               const EncodingVec& code,
+                               double nonfinite_penalty) {
+  Observation obs;
+  if (problem.observe) {
+    obs = problem.observe(code);
+  } else {
+    obs.value = problem.objective(code);
+  }
+  obs.code = code;
+  return guard_nonfinite(std::move(obs), nonfinite_penalty);
 }
 
 SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg) {
@@ -99,12 +103,61 @@ SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg) {
     append_observation(trace, std::move(obs));
   };
 
+  // Batched evaluation: satisfy the replayable prefix from the journal
+  // one-by-one (identical to the serial path), then hand the remaining
+  // suffix to observe_batch in one call so its candidates train
+  // concurrently. The suffix's start index is the journal index of its
+  // first live evaluation — batched evaluators key replay-stable
+  // per-candidate seeds off it.
+  auto evaluate_batch = [&](const std::vector<EncodingVec>& codes) {
+    std::size_t i = 0;
+    while (i < codes.size() && trace.observations.size() < replay.size() &&
+           replay[trace.observations.size()].code == codes[i]) {
+      evaluate(codes[i]);
+      ++i;
+    }
+    if (i == codes.size()) return;
+    if (!problem.observe_batch || codes.size() - i == 1) {
+      for (; i < codes.size(); ++i) evaluate(codes[i]);
+      return;
+    }
+    const std::size_t start = trace.observations.size();
+    if (start < replay.size()) {
+      SNNSKIP_LOG(Warn) << "journal: proposal mismatch at evaluation "
+                        << start << ", discarding the remaining journal";
+      replay.resize(start);
+    }
+    std::vector<EncodingVec> suffix(codes.begin() + static_cast<std::ptrdiff_t>(i),
+                                    codes.end());
+    for (const EncodingVec& code : suffix) seen.insert(encoding_hash(code));
+    std::vector<Observation> observed = problem.observe_batch(start, suffix);
+    for (std::size_t j = 0; j < suffix.size(); ++j) {
+      Observation obs = j < observed.size() ? std::move(observed[j])
+                                            : Observation{};
+      obs.code = suffix[j];
+      obs = guard_nonfinite(std::move(obs), cfg.nonfinite_penalty);
+      SNNSKIP_LOG(Debug) << "bo: observed value " << obs.value << " (batch)";
+      journal.append(start + j, obs.code, obs.value, obs.failed);
+      append_observation(trace, std::move(obs));
+    }
+  };
+
   // Initial design: pure random. Each step draws from its own split
   // stream so the proposal sequence is independent of how many previous
-  // steps were replayed versus evaluated.
-  for (int i = 0; i < cfg.initial_design; ++i) {
-    Rng step_rng = root.split(static_cast<std::uint64_t>(i));
-    evaluate(sample_unseen(step_rng));
+  // steps were replayed versus evaluated — which also makes the whole
+  // design batchable (no proposal depends on an earlier design value).
+  {
+    std::vector<EncodingVec> design;
+    design.reserve(static_cast<std::size_t>(cfg.initial_design));
+    for (int i = 0; i < cfg.initial_design; ++i) {
+      Rng step_rng = root.split(static_cast<std::uint64_t>(i));
+      EncodingVec code = sample_unseen(step_rng);
+      // Marked seen immediately so the next design point rejects against
+      // it, exactly as the serial evaluate-as-you-go loop did.
+      seen.insert(encoding_hash(code));
+      design.push_back(std::move(code));
+    }
+    evaluate_batch(design);
   }
 
   for (int round = 0; round < cfg.iterations; ++round) {
@@ -162,9 +215,7 @@ SearchTrace run_bayes_opt(const BoProblem& problem, const BoConfig& cfg) {
 
     // Evaluate the batch for real (the paper trains the k architectures in
     // parallel; evaluation order within the batch does not affect the GP).
-    for (const EncodingVec& code : batch) {
-      evaluate(code);
-    }
+    evaluate_batch(batch);
   }
   return trace;
 }

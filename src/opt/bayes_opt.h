@@ -42,6 +42,16 @@ struct BoProblem {
   /// Optional richer evaluation carrying the failed flag (code is filled
   /// in by the optimizer). When set it is used instead of `objective`.
   std::function<Observation(const EncodingVec&)> observe;
+  /// Optional batched evaluation (parallel candidate training, see
+  /// core/parallel_evaluator.h): evaluate all codes concurrently, return
+  /// one Observation per code in order. `start_idx` is the global
+  /// evaluation index of codes[0] — the journal index the search loop
+  /// will record, which batched evaluators use to derive replay-stable
+  /// per-candidate seeds. When set it is preferred over observe/objective
+  /// for the non-replayed suffix of each proposed batch.
+  std::function<std::vector<Observation>(std::size_t start_idx,
+                                         const std::vector<EncodingVec>&)>
+      observe_batch;
 };
 
 struct BoConfig {
@@ -88,5 +98,9 @@ std::string resolve_journal_path(const std::string& configured);
 Observation evaluate_candidate(const BoProblem& problem,
                                const EncodingVec& code,
                                double nonfinite_penalty);
+
+/// The non-finite guard alone (for observations produced by
+/// observe_batch): penalize and mark failed when value is NaN/Inf.
+Observation guard_nonfinite(Observation obs, double nonfinite_penalty);
 
 }  // namespace snnskip

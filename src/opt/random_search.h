@@ -13,6 +13,12 @@ namespace snnskip {
 
 struct RsConfig {
   int evaluations = 16;
+  /// Candidates proposed and evaluated per round. Proposals are value-
+  /// independent (pure split streams), so batching never changes WHICH
+  /// codes are evaluated — only that each round's non-replayed suffix
+  /// goes through BoProblem::observe_batch (concurrent training) when
+  /// that hook is set. 1 reproduces the serial loop exactly.
+  int batch_k = 1;
   std::uint64_t seed = 13;
   /// Journal file for crash-safe resume; empty falls back to
   /// $SNNSKIP_JOURNAL, and empty again disables.

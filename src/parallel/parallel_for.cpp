@@ -39,6 +39,23 @@ void parallel_for_range(
   }
   const std::size_t chunk = (n + chunks - 1) / chunks;
 
+  if (ThreadPool::on_worker_thread()) {
+    // Nested parallel region (e.g. a tensor kernel inside a data-parallel
+    // shard or candidate task already running ON a pool thread). Submitting
+    // sub-chunks here could deadlock: every pool thread may be blocked in
+    // this same f.get() with the sub-chunks stuck behind them in the queue.
+    // Run the identical chunk decomposition inline instead — same
+    // partition boundaries (the bit-for-bit guarantees of chunked kernels
+    // are partition-determined), zero extra threads.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t b = begin + c * chunk;
+      const std::size_t e = std::min(end, b + chunk);
+      if (b >= e) break;
+      body(b, e);
+    }
+    return;
+  }
+
   std::vector<std::future<void>> futures;
   futures.reserve(chunks - 1);
   // Chunks 1..k-1 go to the pool; chunk 0 runs on the caller.
@@ -58,12 +75,14 @@ double parallel_reduce_sum(std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   ThreadPool& pool = ThreadPool::global();
   const std::size_t workers = pool.size();
-  if (n < kParallelForMinGrain || workers <= 1) {
+  const std::size_t forced = parallel_chunk_override();
+  if (forced == 0 && (n < kParallelForMinGrain || workers <= 1)) {
     double acc = 0.0;
     for (std::size_t i = begin; i < end; ++i) acc += f(i);
     return acc;
   }
-  const std::size_t chunks = std::min(workers, n);
+  const std::size_t chunks =
+      forced != 0 ? std::min(forced, n) : std::min(workers, n);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   std::vector<double> partial(chunks, 0.0);
 
@@ -75,13 +94,20 @@ double parallel_reduce_sum(std::size_t begin, std::size_t end,
     partial[c] = acc;
   };
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks - 1);
-  for (std::size_t c = 1; c < chunks; ++c) {
-    futures.push_back(pool.submit([&run_chunk, c] { run_chunk(c); }));
+  if (ThreadPool::on_worker_thread()) {
+    // Nested-submit guard (see parallel_for_range): same chunked partials,
+    // computed serially — the chunk-ordered merge below keeps the result
+    // bitwise identical to the pooled execution.
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks - 1);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      futures.push_back(pool.submit([&run_chunk, c] { run_chunk(c); }));
+    }
+    run_chunk(0);
+    for (auto& fut : futures) fut.get();
   }
-  run_chunk(0);
-  for (auto& fut : futures) fut.get();
 
   // Merge in fixed chunk order => bitwise-deterministic result.
   double total = 0.0;

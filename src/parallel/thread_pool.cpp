@@ -6,6 +6,14 @@
 
 namespace snnskip {
 
+namespace {
+// Set for the lifetime of every pool worker thread (any pool instance);
+// queried by ThreadPool::on_worker_thread / parallel_for's nesting guard.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -28,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -41,12 +50,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
-ThreadPool& ThreadPool::global() {
+std::size_t ThreadPool::threads_from_env() {
   // SNNSKIP_THREADS pins the worker count; 0 / unset / invalid means
-  // hardware_concurrency (the ThreadPool ctor's 0 convention). Read via
-  // runtime_env like every other toggle — the only getenv site.
-  static ThreadPool pool(static_cast<std::size_t>(
-      std::max<std::int64_t>(0, env::get_int("SNNSKIP_THREADS", 0))));
+  // hardware_concurrency (min 1). Read via runtime_env like every other
+  // toggle — the only getenv site.
+  const std::int64_t pinned =
+      std::max<std::int64_t>(0, env::get_int("SNNSKIP_THREADS", 0));
+  if (pinned > 0) return static_cast<std::size_t>(pinned);
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(threads_from_env());
   return pool;
 }
 

@@ -31,6 +31,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True on a thread owned by ANY ThreadPool (thread-local flag). The
+  /// parallel_for helpers consult this to run nested parallel regions
+  /// inline: a pool task that submitted sub-tasks and blocked on their
+  /// futures could starve the queue of runnable threads (classic nested-
+  /// submit deadlock), so nesting degrades to serial execution instead.
+  static bool on_worker_thread();
+
   /// Enqueue a task; the returned future reports its result or exception.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -48,6 +55,12 @@ class ThreadPool {
 
   /// Process-wide default pool (lazily constructed; sized to hardware).
   static ThreadPool& global();
+
+  /// The thread count global() uses: SNNSKIP_THREADS when set to a positive
+  /// value, else hardware concurrency (min 1). Exposed separately so tests
+  /// can verify the env contract without constructing the (process-wide,
+  /// construct-once) global pool under a modified environment.
+  static std::size_t threads_from_env();
 
  private:
   void worker_loop();

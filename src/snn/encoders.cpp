@@ -20,6 +20,16 @@ Tensor PoissonEncoder::encode(const Tensor& x, std::int64_t t) {
   return out;
 }
 
+std::unique_ptr<Encoder> PoissonEncoder::clone_shard(
+    std::uint64_t shard) const {
+  // Splitmix-derived per-shard seed: decorrelated streams, pure function of
+  // (seed, shard). Shard 0 deliberately does NOT reuse the parent stream —
+  // a shard sees only its slice of the batch, so "same stream" would not
+  // reproduce the unsharded encoding anyway.
+  std::uint64_t state = seed_ ^ (0xb5ad4eceda1ce2a9ULL * (shard + 1));
+  return std::make_unique<PoissonEncoder>(splitmix64(state), gain_);
+}
+
 Tensor DirectEncoder::encode(const Tensor& x, std::int64_t t) {
   (void)t;
   return x;

@@ -10,6 +10,7 @@
 //                    (T, C, H, W) — each step is a slice (DVS datasets)
 
 #include <cstdint>
+#include <memory>
 
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -25,18 +26,31 @@ class Encoder {
   virtual Tensor encode(const Tensor& x, std::int64_t t) = 0;
   /// Reset any per-sequence randomness (called at sequence start).
   virtual void reset() {}
+
+  /// Independent encoder for data-parallel shard `shard` (train/
+  /// data_parallel.h). Stateless encoders return a plain copy; stochastic
+  /// ones (Poisson) derive a decorrelated split stream so concurrent
+  /// shards never share mutable RNG state and the encoding is a pure
+  /// function of (seed, shard) — independent of worker count. Returns
+  /// nullptr when the encoder cannot be sharded.
+  virtual std::unique_ptr<Encoder> clone_shard(std::uint64_t shard) const {
+    (void)shard;
+    return nullptr;
+  }
 };
 
 class PoissonEncoder final : public Encoder {
  public:
   /// `gain` scales intensities into spike probabilities (clamped to [0,1]).
   PoissonEncoder(std::uint64_t seed, float gain = 1.f)
-      : base_rng_(seed), rng_(seed), gain_(gain) {}
+      : seed_(seed), base_rng_(seed), rng_(seed), gain_(gain) {}
 
   Tensor encode(const Tensor& x, std::int64_t t) override;
   void reset() override { rng_ = base_rng_; }
+  std::unique_ptr<Encoder> clone_shard(std::uint64_t shard) const override;
 
  private:
+  std::uint64_t seed_;
   Rng base_rng_;
   Rng rng_;
   float gain_;
@@ -45,6 +59,10 @@ class PoissonEncoder final : public Encoder {
 class DirectEncoder final : public Encoder {
  public:
   Tensor encode(const Tensor& x, std::int64_t t) override;
+  std::unique_ptr<Encoder> clone_shard(std::uint64_t shard) const override {
+    (void)shard;
+    return std::make_unique<DirectEncoder>();
+  }
 };
 
 class EventEncoder final : public Encoder {
@@ -54,6 +72,10 @@ class EventEncoder final : public Encoder {
       : t_(timesteps), c_(channels) {}
 
   Tensor encode(const Tensor& x, std::int64_t t) override;
+  std::unique_ptr<Encoder> clone_shard(std::uint64_t shard) const override {
+    (void)shard;
+    return std::make_unique<EventEncoder>(t_, c_);
+  }
 
  private:
   std::int64_t t_, c_;
@@ -69,6 +91,10 @@ class LatencyEncoder final : public Encoder {
       : t_(timesteps), min_intensity_(min_intensity) {}
 
   Tensor encode(const Tensor& x, std::int64_t t) override;
+  std::unique_ptr<Encoder> clone_shard(std::uint64_t shard) const override {
+    (void)shard;
+    return std::make_unique<LatencyEncoder>(t_, min_intensity_);
+  }
 
  private:
   std::int64_t t_;

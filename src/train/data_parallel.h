@@ -1,0 +1,89 @@
+#pragma once
+// Deterministic data-parallel training engine (DESIGN.md §5f).
+//
+// A minibatch is cut into a FIXED number of contiguous sample shards; each
+// shard runs the standard unrolled forward + BPTT on its own model replica
+// (with its own split-stream encoder), and per-shard gradients / batch-norm
+// buffers / losses are combined with a fixed-shape binary tree reduction.
+//
+// The determinism contract: the shard decomposition, the per-shard
+// computation, and the reduction tree depend only on (batch size, shards)
+// — never on how many workers execute them. The worker count merely bounds
+// how many shard tasks run concurrently on ThreadPool::global(), so the
+// result is bit-for-bit identical at 1, 2, 4, or 8 workers.
+//
+// Semantics relative to the legacy whole-batch step:
+//   * gradients   — each shard computes grads of ITS mean loss; scaling by
+//     w_s = n_s / N before the tree-add reproduces the whole-batch mean
+//     decomposition  grad(L) = Σ_s w_s · grad(L_s).
+//   * batch norm  — micro-batch semantics: each shard normalizes with its
+//     own shard statistics (the standard multi-device BN behaviour), and
+//     running buffers combine as the w_s-weighted tree sum.
+//   * encoders    — stochastic encoders draw from per-shard split streams
+//     (Encoder::clone_shard), a pure function of (seed, shard).
+// shards == 1 delegates to the legacy train_batch (exact legacy numbers).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "train/trainer.h"
+
+namespace snnskip {
+
+/// Default fixed shard decomposition when DataParallelConfig::shards == 0.
+/// Eight shards keeps the tree reduction shape stable across every worker
+/// count the acceptance tests exercise (1/2/4/8).
+inline constexpr std::int64_t kDataParallelDefaultShards = 8;
+
+class DataParallelEngine {
+ public:
+  /// Builds `shards` replicas via cfg.replica_factory and per-shard
+  /// encoders via enc.clone_shard(). The engine disables itself (enabled()
+  /// == false) when cfg.replica_factory is null, resolved shards <= 1, or
+  /// the encoder cannot be sharded; a structurally mismatched replica
+  /// (different parameter/buffer layout) throws.
+  ///
+  /// `primary` and `enc` are borrowed and must outlive the engine.
+  DataParallelEngine(Network& primary, const DataParallelConfig& cfg,
+                     Encoder& enc, std::int64_t timesteps, LossKind loss);
+
+  bool enabled() const { return !replicas_.empty(); }
+  std::int64_t shards() const { return shards_; }
+  std::int64_t workers() const { return workers_; }
+
+  /// One sharded optimization step; drop-in for snnskip::train_batch
+  /// (same loss / grad-norm reporting, optimizer stepped once on the
+  /// primary's tree-reduced gradients). Batches smaller than the shard
+  /// count use min(shards, N) shards; N == 1 falls back to the legacy
+  /// path. Must not be called when enabled() is false.
+  double train_batch(const Batch& batch, Optimizer& opt, float grad_clip,
+                     double* grad_norm_out = nullptr);
+
+  /// Resolved configuration knobs (0 -> default / SNNSKIP_WORKERS).
+  static std::int64_t resolve_shards(const DataParallelConfig& cfg);
+  static std::int64_t resolve_workers(const DataParallelConfig& cfg);
+
+  /// Contiguous ceil-div shard bounds: shard `s` of `shards` over [0, n).
+  /// Exposed for tests — the decomposition IS the determinism contract.
+  static std::pair<std::int64_t, std::int64_t> shard_range(std::int64_t n,
+                                                           std::int64_t shards,
+                                                           std::int64_t s);
+
+ private:
+  void run_shard(std::int64_t s, std::int64_t effective_shards,
+                 const Batch& batch);
+
+  Network* primary_;
+  Encoder* base_encoder_;
+  std::int64_t timesteps_;
+  LossKind loss_;
+  std::int64_t shards_ = 0;
+  std::int64_t workers_ = 1;
+
+  std::vector<Network> replicas_;                   // one per shard
+  std::vector<std::unique_ptr<Encoder>> encoders_;  // one per shard
+  std::vector<double> shard_loss_;                  // w_s-scaled, tree-added
+};
+
+}  // namespace snnskip

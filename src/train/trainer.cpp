@@ -9,6 +9,7 @@
 #include "nn/loss.h"
 #include "telemetry/telemetry.h"
 #include "tensor/spike_kernels.h"
+#include "train/data_parallel.h"
 
 namespace snnskip {
 
@@ -58,15 +59,6 @@ double clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
   return norm;
 }
 
-namespace {
-
-/// Loss on the T-step accumulated head outputs plus the uniform
-/// per-timestep gradient to feed BPTT with.
-struct StepLoss {
-  LossResult result;
-  Tensor grad_per_step;
-};
-
 StepLoss readout_loss(LossKind kind, const Tensor& output_sum,
                       const std::vector<std::int64_t>& targets,
                       std::int64_t timesteps) {
@@ -84,8 +76,6 @@ StepLoss readout_loss(LossKind kind, const Tensor& output_sum,
   }
   return sl;
 }
-
-}  // namespace
 
 double train_batch(Network& net, Encoder& enc, const Batch& batch,
                    std::int64_t timesteps, Optimizer& opt, float grad_clip,
@@ -224,6 +214,16 @@ FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
   };
   std::unique_ptr<Optimizer> opt = make_optimizer();
 
+  // Deterministic data-parallel engine: engaged only when the caller
+  // supplies a replica factory AND the encoder supports shard streams;
+  // otherwise the legacy serial path runs untouched.
+  std::optional<DataParallelEngine> dp;
+  if (cfg.data_parallel.replica_factory) {
+    dp.emplace(net, cfg.data_parallel, *plan.encoder, plan.timesteps,
+               cfg.loss);
+    if (!dp->enabled()) dp.reset();
+  }
+
   std::optional<HealthMonitor> monitor;
   if (cfg.health.enabled) {
     monitor.emplace(cfg.health);
@@ -248,9 +248,10 @@ FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
     bool rolled_back = false;
     while (loader.next(batch)) {
       double grad_norm = 0.0;
-      const double loss = train_batch(net, *plan.encoder, batch,
-                                      plan.timesteps, *opt, cfg.grad_clip,
-                                      cfg.loss, &grad_norm);
+      const double loss =
+          dp ? dp->train_batch(batch, *opt, cfg.grad_clip, &grad_norm)
+             : train_batch(net, *plan.encoder, batch, plan.timesteps, *opt,
+                           cfg.grad_clip, cfg.loss, &grad_norm);
       if (SNNSKIP_FAULT("train.nan")) {
         // Injected divergence (fault tests): poison one weight the way a
         // blown-up surrogate gradient would.

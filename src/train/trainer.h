@@ -14,6 +14,7 @@
 
 #include "data/dataloader.h"
 #include "graph/network.h"
+#include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "snn/encoders.h"
 #include "train/health.h"
@@ -30,6 +31,30 @@ enum class EncodingKind { Direct, Poisson, Latency, Event };
 ///   CountMse    — spike-count MSE on summed head outputs (use with
 ///                 ModelConfig::spiking_head, snnTorch's mse_count_loss).
 enum class LossKind { MeanLogitCE, CountMse };
+
+/// Deterministic data-parallel execution (train/data_parallel.h).
+///
+/// Providing `replica_factory` opts a fit() into the sharded engine: each
+/// minibatch is cut into a FIXED number of contiguous shards, every shard
+/// runs forward+BPTT on its own model replica, and the per-shard gradients
+/// (and batch-norm statistics) are combined with a fixed-shape binary tree
+/// reduction. Because the decomposition and the reduction shape depend only
+/// on (batch size, shards) — never on `workers` — the resulting gradients,
+/// weights, and losses are bit-for-bit identical at 1, 2, 4, or 8 workers
+/// (DESIGN.md §5f). `workers` only bounds how many shards run concurrently
+/// on ThreadPool::global().
+struct DataParallelConfig {
+  /// Concurrent shard tasks; 0 reads SNNSKIP_WORKERS (unset => 1 = serial
+  /// execution of the same sharded computation).
+  std::int64_t workers = 0;
+  /// Fixed shard decomposition; 0 selects the default (8, clamped to the
+  /// batch size). 1 disables sharding (legacy whole-batch semantics).
+  std::int64_t shards = 0;
+  /// Builds a structurally identical Network (same architecture, any
+  /// init — replicas are re-synced from the primary every batch). Null
+  /// disables the engine entirely.
+  std::function<Network()> replica_factory;
+};
 
 struct TrainConfig {
   std::int64_t epochs = 5;
@@ -60,6 +85,10 @@ struct TrainConfig {
   /// fit(), reproducing the historical per-epoch stderr line. Prefer
   /// adding a ProgressPrinter to `observers` explicitly.
   bool verbose = false;
+
+  /// Deterministic data-parallel engine; inert unless
+  /// data_parallel.replica_factory is set (see DataParallelConfig).
+  DataParallelConfig data_parallel{};
 };
 
 struct EvalResult {
@@ -80,6 +109,17 @@ EncodingPlan make_encoding_plan(const Dataset& ds, NeuronMode mode,
 /// `val` may be null (no validation tracking).
 FitResult fit(Network& net, NeuronMode mode, DatasetPtr train, DatasetPtr val,
               const TrainConfig& cfg);
+
+/// Loss on the T-step accumulated head outputs plus the uniform
+/// per-timestep gradient to feed BPTT with. Shared by train_batch, the
+/// evaluation loop, and the data-parallel shard tasks.
+struct StepLoss {
+  LossResult result;
+  Tensor grad_per_step;
+};
+StepLoss readout_loss(LossKind kind, const Tensor& output_sum,
+                      const std::vector<std::int64_t>& targets,
+                      std::int64_t timesteps);
 
 /// One gradient step on a batch; returns the batch loss. Exposed for tests.
 /// `grad_norm_out`, when non-null, receives the pre-clip global gradient

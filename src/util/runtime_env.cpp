@@ -51,4 +51,9 @@ std::int64_t get_int(const char* name, std::int64_t def) {
   return static_cast<std::int64_t>(parsed);
 }
 
+std::int64_t workers(std::int64_t def) {
+  const std::int64_t v = get_int("SNNSKIP_WORKERS", 0);
+  return v > 0 ? v : def;
+}
+
 }  // namespace snnskip::env

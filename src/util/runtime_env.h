@@ -33,4 +33,11 @@ double get_double(const char* name, double def);
 double get_double(const char* name, double def, double lo, double hi);
 std::int64_t get_int(const char* name, std::int64_t def);
 
+/// SNNSKIP_WORKERS: data-parallel worker count for the training engine and
+/// the parallel candidate evaluator. Unset / 0 / negative falls back to
+/// `def` (callers pass 1 for "serial unless asked"). The worker count only
+/// changes how many shard/candidate tasks run concurrently — never the
+/// numeric result (DESIGN.md §5f).
+std::int64_t workers(std::int64_t def);
+
 }  // namespace snnskip::env

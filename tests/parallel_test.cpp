@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
@@ -163,6 +166,111 @@ TEST(ParallelFor, ExceptionInBodyPropagates) {
                            if (b == 0) throw std::runtime_error("body");
                          }),
       std::runtime_error);
+}
+
+// --- nested-submit deadlock guard -------------------------------------------
+
+TEST(ThreadPool, WorkerThreadFlagIsSetOnlyOnPoolThreads) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(1);
+  auto f = pool.submit([] { return ThreadPool::on_worker_thread(); });
+  EXPECT_TRUE(f.get());
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, NestedParallelForInsidePoolTaskDoesNotDeadlock) {
+  // A pool task that calls parallel_for over the GLOBAL pool used to risk
+  // the classic nested-submit deadlock: the task blocks on chunk futures
+  // that only the (fully occupied) pool could run. The worker-thread guard
+  // runs nested regions inline instead. Saturate the global pool so every
+  // worker is inside a task simultaneously.
+  const std::size_t tasks = ThreadPool::global().size() + 2;
+  std::vector<std::future<double>> futures;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(ThreadPool::global().submit([] {
+      // Large enough to pass the inline grain; would submit sub-tasks
+      // without the guard.
+      return parallel_reduce_sum(0, 50000, [](std::size_t i) {
+        return static_cast<double>(i % 7);
+      });
+    }));
+  }
+  const double expected = parallel_reduce_sum(
+      0, 50000, [](std::size_t i) { return static_cast<double>(i % 7); });
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get(), expected);  // same partition -> bitwise identical
+  }
+}
+
+TEST(ThreadPool, NestedParallelForKeepsPartitionDeterminedResults) {
+  // The inline fallback must execute the IDENTICAL chunk decomposition,
+  // not a serial reformulation — otherwise nested and top-level calls
+  // could differ bitwise in floating point.
+  auto f = [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); };
+  const double top_level = parallel_reduce_sum(0, 30000, f);
+  auto nested = ThreadPool::global().submit(
+      [&] { return parallel_reduce_sum(0, 30000, f); });
+  EXPECT_EQ(nested.get(), top_level);
+}
+
+// --- env-driven sizing -------------------------------------------------------
+
+TEST(ThreadPool, ThreadsFromEnvHonorsPin) {
+  // global() is construct-once, so the env contract is tested through the
+  // resolution helper rather than by mutating the live pool.
+  const char* saved = std::getenv("SNNSKIP_THREADS");
+  const std::string saved_value = saved ? saved : "";
+  setenv("SNNSKIP_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(), 1u);
+  setenv("SNNSKIP_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(), 3u);
+  setenv("SNNSKIP_THREADS", "0", 1);  // 0 / negative -> hardware fallback
+  EXPECT_GE(ThreadPool::threads_from_env(), 1u);
+  setenv("SNNSKIP_THREADS", "-2", 1);
+  EXPECT_GE(ThreadPool::threads_from_env(), 1u);
+  if (saved) {
+    setenv("SNNSKIP_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("SNNSKIP_THREADS");
+  }
+}
+
+TEST(ParallelFor, SingleThreadPoolMatchesMultiChunkResults) {
+  // SNNSKIP_THREADS=1 equivalence: chunk results merge in chunk order, so
+  // a 1-worker pool (or any worker count) yields bitwise-identical sums
+  // for the same forced partition.
+  auto f = [](std::size_t i) { return std::sqrt(static_cast<double>(i)); };
+  set_parallel_chunk_override(4);
+  const double four_chunks = parallel_reduce_sum(0, 4096, f);
+  set_parallel_chunk_override(0);
+  ThreadPool solo(1);
+  // Same forced partition evaluated from a pool worker thread (inline
+  // serial path) — the chunk-ordered merge must reproduce it exactly.
+  set_parallel_chunk_override(4);
+  auto nested = solo.submit([&] { return parallel_reduce_sum(0, 4096, f); });
+  const double inline_chunks = nested.get();
+  set_parallel_chunk_override(0);
+  EXPECT_EQ(inline_chunks, four_chunks);
+}
+
+TEST(ParallelReduce, ChunkOverrideChangesPartitionNotDeterminism) {
+  // The override interacts with worker sharding: any forced partition must
+  // stay self-consistent across repeated calls, and the 1-chunk partition
+  // must equal the plain serial loop.
+  auto f = [](std::size_t i) { return 1.0 / (3.0 + static_cast<double>(i)); };
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    set_parallel_chunk_override(k);
+    const double a = parallel_reduce_sum(0, 9999, f);
+    const double b = parallel_reduce_sum(0, 9999, f);
+    set_parallel_chunk_override(0);
+    EXPECT_EQ(a, b) << "k=" << k;
+  }
+  double serial = 0.0;
+  for (std::size_t i = 0; i < 9999; ++i) serial += f(i);
+  set_parallel_chunk_override(1);
+  const double one_chunk = parallel_reduce_sum(0, 9999, f);
+  set_parallel_chunk_override(0);
+  EXPECT_EQ(one_chunk, serial);
 }
 
 }  // namespace
