@@ -17,14 +17,12 @@
 #include "data/dataset.h"
 #include "train/trainer.h"
 #include "util/cli.h"
-#include "util/json_writer.h"
 
 namespace snnskip::benchcfg {
 
-// JSON emission for BENCH_*.json artifacts now lives in util/json_writer.h
-// (shared with the telemetry trace exporter); re-exported here so the
-// experiment binaries keep writing `benchcfg::JsonArrayWriter`.
-using ::snnskip::JsonArrayWriter;
+// JSON emission for BENCH_*.json artifacts lives in util/json_writer.h
+// (shared with the telemetry trace exporter); binaries that emit rows
+// include it and use `snnskip::JsonArrayWriter` directly.
 
 inline std::size_t scaled(std::size_t base, double scale) {
   const long long v = std::llround(static_cast<double>(base) * scale);

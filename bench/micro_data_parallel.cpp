@@ -28,6 +28,7 @@
 #include "train/data_parallel.h"
 #include "train/trainer.h"
 #include "util/cli.h"
+#include "util/json_writer.h"
 #include "util/timer.h"
 
 namespace snnskip {
@@ -173,7 +174,7 @@ int run(int argc, char** argv) {
   const BenchSetup setup = make_setup(smoke);
   const Batch batch = load_batch(setup);
 
-  benchcfg::JsonArrayWriter json(out_path);
+  JsonArrayWriter json(out_path);
   if (!json.ok()) {
     std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
                  out_path.c_str());

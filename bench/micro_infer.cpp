@@ -1,0 +1,235 @@
+// Micro-benchmark for the compiled inference engine (ISSUE 6).
+//
+// Freezes a ResNet-18S-shaped spiking network into an infer::Plan (BN
+// folded into per-timestep weights, LIF fused into the conv epilogues,
+// all buffers preplanned) and times Engine::step against the training
+// graph's eval-mode forward — the event-driven SpikeCsr path the repo
+// already ships — over a theta x input-rate sweep. Raising the LIF
+// threshold theta lowers every layer's firing rate, so the sweep covers
+// the packed bit-kernel regime (low density), the near-threshold band,
+// and the dense fallback (high density), emitting BENCH_infer.json with
+// the achieved density measured from the engine's exact popcounts.
+//
+// Every configuration also cross-checks the compiled plan's per-step
+// outputs against the training eval forward (1e-4, the documented BN-fold
+// reassociation tolerance), so the ctest smoke variant (--smoke 1,
+// registered in bench/CMakeLists) runs compile + execute end-to-end under
+// the sanitizer job on every tier-1 run.
+//
+// Usage: micro_infer [--smoke 1] [--out BENCH_infer.json] [--min-ms 50]
+//                    [--width 16]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "infer/compile.h"
+#include "infer/engine.h"
+#include "models/zoo.h"
+#include "tensor/spike_kernels.h"
+#include "tensor/tensor.h"
+#include "util/cli.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace snnskip {
+namespace {
+
+// One sweep point: LIF threshold (scales every layer's firing rate down
+// as it rises) x Bernoulli input rate.
+struct SweepPoint {
+  float theta;
+  double rate;
+};
+
+std::vector<Tensor> spike_inputs(const Shape& s, std::int64_t steps,
+                                 double p, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> xs;
+  for (std::int64_t t = 0; t < steps; ++t) {
+    xs.push_back(Tensor::bernoulli(s, rng, static_cast<float>(p)));
+  }
+  return xs;
+}
+
+// Train-mode steps so BNTT accumulates per-timestep running stats
+// (otherwise folding is a near-identity), then clear state for eval.
+void warm_bn_stats(Network& net, const Shape& in_shape, std::int64_t steps) {
+  Rng rng(99);
+  net.reset_state();
+  for (std::int64_t t = 0; t < steps; ++t) {
+    net.forward(Tensor::bernoulli(in_shape, rng, 0.3f), /*train=*/true);
+  }
+  net.reset_state();
+}
+
+// Mean ns per timestep for the engine, whole sequences at a time (reset()
+// at each sequence boundary, like the training loop resets state).
+double time_engine_ns(infer::Engine& eng, const std::vector<Tensor>& xs,
+                      Tensor* out, double min_ms) {
+  for (int i = 0; i < 3; ++i) {  // warm up caches / branch history
+    eng.reset();
+    for (const Tensor& x : xs) eng.step(x, out);
+  }
+  std::int64_t steps = 0;
+  Timer t;
+  do {
+    eng.reset();
+    for (const Tensor& x : xs) eng.step(x, out);
+    steps += static_cast<std::int64_t>(xs.size());
+  } while (t.elapsed_ms() < min_ms);
+  return t.elapsed_s() * 1e9 / static_cast<double>(steps);
+}
+
+// Mean ns per timestep for the training graph's eval forward (its own
+// dispatch — the event-driven CSR path below SparseExec::threshold).
+double time_training_ns(Network& net, const std::vector<Tensor>& xs,
+                        double min_ms) {
+  for (int i = 0; i < 3; ++i) {
+    net.reset_state();
+    for (const Tensor& x : xs) (void)net.forward(x, /*train=*/false);
+  }
+  std::int64_t steps = 0;
+  Timer t;
+  do {
+    net.reset_state();
+    for (const Tensor& x : xs) (void)net.forward(x, /*train=*/false);
+    steps += static_cast<std::int64_t>(xs.size());
+  } while (t.elapsed_ms() < min_ms);
+  return t.elapsed_s() * 1e9 / static_cast<double>(steps);
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool smoke = args.get_int("smoke", 0) != 0;
+  const double min_ms = args.get_double("min-ms", smoke ? 2.0 : 50.0);
+  const std::string out_path = args.get("out", "BENCH_infer.json");
+  const std::int64_t width = args.get_int("width", smoke ? 8 : 16);
+  const std::int64_t hw = smoke ? 8 : 16;
+  const std::int64_t steps = 6;
+
+  // Thetas span quiet (packed regime) to saturated (dense fallback);
+  // the achieved density is measured, not assumed, and lands in the
+  // committed JSON so the regression gate keys on the configuration
+  // while humans read the density column.
+  std::vector<SweepPoint> sweep;
+  if (smoke) {
+    sweep = {{1.0f, 0.15}};
+  } else {
+    sweep = {{2.0f, 0.05}, {2.0f, 0.15}, {1.0f, 0.05}, {1.0f, 0.15},
+             {0.5f, 0.15}, {0.5f, 0.50}, {0.25f, 0.50}};
+  }
+
+  JsonArrayWriter json(out_path);
+  if (!json.ok()) {
+    std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("%6s %6s %6s %6s %9s %12s %12s %9s\n", "width", "hw", "theta",
+              "rate", "density", "infer_ns", "train_ns", "speedup");
+
+  const double hardware_threads =
+      static_cast<double>(std::thread::hardware_concurrency());
+  const Shape in_shape{1, 2, hw, hw};
+  bool all_equal = true;
+
+  float last_theta = -1.f;
+  Network net;  // rebuilt per theta, shared across input rates
+  infer::PlanPtr plan;
+  for (const SweepPoint& pt : sweep) {
+    if (pt.theta != last_theta) {
+      ModelConfig cfg;
+      cfg.width = width;
+      cfg.in_channels = 2;
+      cfg.max_timesteps = steps;
+      cfg.seed = 7;
+      cfg.lif.threshold = pt.theta;
+      net = build_model("resnet18s", cfg, default_adjacencies("resnet18s", cfg));
+      warm_bn_stats(net, in_shape, steps);
+      infer::Plan p = infer::compile_plan(net, in_shape);
+      p.model_name = "resnet18s";
+      plan = std::make_shared<const infer::Plan>(std::move(p));
+      last_theta = pt.theta;
+    }
+    infer::Engine eng(plan);
+    const std::vector<Tensor> xs = spike_inputs(in_shape, steps, pt.rate, 17);
+
+    // Cross-check: compiled plan vs training eval, every timestep. 1e-4
+    // covers the BN-fold reassociation (DESIGN.md §5g); any dispatch bug
+    // (wrong chrow map, stale packed mask, ...) trips this far earlier.
+    net.reset_state();
+    eng.reset();
+    float worst = 0.f;
+    for (const Tensor& x : xs) {
+      const Tensor ref = net.forward(x, /*train=*/false);
+      const Tensor got = eng.step(x);
+      worst = std::max(worst, Tensor::max_abs_diff(ref, got));
+    }
+    if (worst > 1e-4f) {
+      std::fprintf(stderr,
+                   "FAIL: engine/training mismatch %.3g (theta=%.2f rate=%.2f)\n",
+                   static_cast<double>(worst), static_cast<double>(pt.theta),
+                   pt.rate);
+      all_equal = false;
+    }
+
+    // Achieved density over every spiking value (network input included),
+    // from the engine's exact popcounts — the quantity dispatch gates on.
+    eng.reset();
+    eng.reset_stats();
+    std::int64_t input_nnz = 0;
+    for (const Tensor& x : xs) {
+      (void)eng.step(x);
+      input_nnz += count_nonzero(x.data(), x.numel());
+    }
+    std::int64_t spiking_floats = 0;
+    for (const infer::ValuePlan& v : plan->values) {
+      if (v.spiking) spiking_floats += v.floats;
+    }
+    const double density =
+        static_cast<double>(eng.stats().spikes + input_nnz) /
+        static_cast<double>(steps * spiking_floats);
+    const infer::ExecStats stats = eng.stats();
+
+    Tensor out;
+    const double infer_ns = time_engine_ns(eng, xs, &out, min_ms);
+    const double train_ns = time_training_ns(net, xs, min_ms);
+    const double speedup = infer_ns > 0.0 ? train_ns / infer_ns : 0.0;
+
+    std::printf("%6lld %6lld %6.2f %6.2f %9.3f %12.0f %12.0f %8.2fx\n",
+                static_cast<long long>(width), static_cast<long long>(hw),
+                static_cast<double>(pt.theta), pt.rate, density, infer_ns,
+                train_ns, speedup);
+
+    json.begin_row();
+    json.field("width", static_cast<double>(width));
+    json.field("hw", static_cast<double>(hw));
+    json.field("theta", static_cast<double>(pt.theta));
+    json.field("firing_rate", pt.rate);
+    json.field("achieved_density", density);
+    json.field("infer_ns_per_step", infer_ns);
+    json.field("train_ns_per_step", train_ns);
+    json.field("speedup_vs_training", speedup);
+    json.field("packed_dispatches", static_cast<double>(stats.packed_dispatches));
+    json.field("dense_dispatches", static_cast<double>(stats.dense_dispatches));
+    json.field("energy_pj_per_step",
+               stats.energy_pj() / static_cast<double>(steps));
+    json.field("hardware_threads", hardware_threads);
+    json.end_row();
+  }
+
+  if (!all_equal) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace snnskip
+
+int main(int argc, char** argv) { return snnskip::run(argc, argv); }

@@ -30,6 +30,7 @@
 #include "tensor/spike_kernels.h"
 #include "tensor/tensor.h"
 #include "util/cli.h"
+#include "util/json_writer.h"
 #include "util/timer.h"
 
 namespace snnskip {
@@ -98,7 +99,7 @@ int run(int argc, char** argv) {
     rates = {0.01, 0.05, 0.10, 0.15, 0.25, 0.50};
   }
 
-  benchcfg::JsonArrayWriter json(out_path);
+  JsonArrayWriter json(out_path);
   if (!json.ok()) {
     std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
                  out_path.c_str());

@@ -8,6 +8,7 @@ the repo root:
   micro_spike_conv    BENCH_spike_conv.json     sparse-vs-dense forward
   micro_spike_bptt    BENCH_spike_bptt.json     sparse-vs-dense fwd+bwd
   micro_data_parallel BENCH_data_parallel.json  sharded-vs-serial step
+  micro_infer         BENCH_infer.json          compiled-vs-training eval
 
 A configuration FAILS when its fresh speedup falls below
 (1 - tolerance) x baseline speedup, default tolerance 25%. Rows whose
@@ -69,6 +70,13 @@ BENCHES = [
         "key": ("shards", "workers"),
         "metric": "speedup_vs_serial",
         "threads_field": "workers",
+    },
+    {
+        "binary": "micro_infer",
+        "baseline": "BENCH_infer.json",
+        "key": ("width", "hw", "theta", "firing_rate"),
+        "metric": "speedup_vs_training",
+        "threads_field": None,
     },
 ]
 

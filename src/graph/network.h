@@ -43,6 +43,10 @@ class Network {
   /// Searchable blocks in network order.
   const std::vector<Block*>& blocks() const { return blocks_; }
 
+  /// All stages (plain layers and blocks) in execution order — the walk
+  /// the inference compiler (infer/compile.h) freezes into a plan.
+  const std::vector<LayerPtr>& stages() const { return stages_; }
+
   /// Attach/detach a firing-rate recorder on every spiking neuron.
   void set_recorder(FiringRateRecorder* rec);
 

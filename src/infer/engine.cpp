@@ -1,0 +1,646 @@
+#include "infer/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/spike_kernels.h"
+#include "tensor/spike_packed.h"
+#include "tensor/workspace.h"
+#include "telemetry/telemetry.h"
+#include "util/runtime_env.h"
+
+namespace snnskip::infer {
+
+namespace {
+
+struct InferCfg {
+  bool packed;
+  float threshold;
+};
+
+InferCfg& cfg() {
+  static InferCfg c{
+      env::get_bool("SNNSKIP_INFER_PACKED", true),
+      static_cast<float>(
+          env::get_double("SNNSKIP_INFER_THRESHOLD", 0.25, 0.0, 1.0))};
+  return c;
+}
+
+}  // namespace
+
+bool InferExec::packed_enabled() { return cfg().packed; }
+float InferExec::threshold() { return cfg().threshold; }
+void InferExec::set_packed_enabled(bool on) { cfg().packed = on; }
+void InferExec::set_threshold(float t) { cfg().threshold = t; }
+
+Engine::Engine(PlanPtr plan) : plan_(std::move(plan)) {
+  farena_.assign(static_cast<std::size_t>(plan_->float_arena), 0.f);
+  warena_.assign(static_cast<std::size_t>(plan_->word_arena), 0u);
+  sarena_.assign(static_cast<std::size_t>(plan_->state_arena), 0.f);
+  scratch_.assign(static_cast<std::size_t>(plan_->scratch_floats), 0.f);
+  popcnt_.assign(plan_->values.size(), 0);
+  pvalid_.assign(plan_->values.size(), 0);
+}
+
+float* Engine::dense(int v) {
+  return farena_.data() + val(v).dense_off;
+}
+
+std::uint64_t* Engine::words(int v) {
+  return warena_.data() + val(v).packed_off;
+}
+
+void Engine::reset() {
+  std::fill(sarena_.begin(), sarena_.end(), 0.f);
+  t_ = 0;
+}
+
+Tensor Engine::step(const Tensor& x) {
+  Tensor out(plan_->output_shape);
+  step(x, &out);
+  return out;
+}
+
+void Engine::step(const Tensor& x, Tensor* out) {
+  SNNSKIP_SPAN("infer.step", plan_->model_name);
+  if (x.shape() != plan_->input_shape) {
+    throw std::invalid_argument(
+        "infer::Engine::step: input shape does not match the compiled plan");
+  }
+  const std::int64_t spikes0 = stats_.spikes;
+  const std::int64_t synops0 = stats_.synops;
+
+  write_input(x);
+  for (const OpPlan& op : plan_->ops) exec_op(op);
+
+  const ValuePlan& ov = val(plan_->output_value);
+  if (out->shape() != ov.shape) *out = Tensor(ov.shape);
+  std::memcpy(out->data(), dense(plan_->output_value),
+              static_cast<std::size_t>(ov.floats) * sizeof(float));
+
+  ++t_;
+  ++stats_.steps;
+  Telemetry::count("infer.steps");
+  Telemetry::count("infer.spikes_popcount",
+                   static_cast<double>(stats_.spikes - spikes0));
+  Telemetry::count("infer.synops",
+                   static_cast<double>(stats_.synops - synops0));
+}
+
+void Engine::write_input(const Tensor& x) {
+  const int iv = plan_->input_value;
+  const ValuePlan& v = val(iv);
+  std::memcpy(dense(iv), x.data(),
+              static_cast<std::size_t>(v.floats) * sizeof(float));
+  const std::int64_t n = v.shape[0];
+  const std::int64_t img_f = v.floats / n;
+  const std::int64_t img_w = v.words / n;
+  std::int64_t total = 0;
+  bool binary = true;
+  for (std::int64_t img = 0; img < n && binary; ++img) {
+    const std::int64_t r =
+        spike_pack(x.data() + img * img_f, img_f, words(iv) + img * img_w);
+    if (r < 0) {
+      binary = false;
+    } else {
+      total += r;
+    }
+  }
+  if (binary) {
+    pvalid_[static_cast<std::size_t>(iv)] = 1;
+    popcnt_[static_cast<std::size_t>(iv)] = total;
+  } else {
+    // Non-binary input (e.g. raw analog frames): dense mirror only; the
+    // nonzero count still feeds the CSR-vs-dense density gate.
+    pvalid_[static_cast<std::size_t>(iv)] = 0;
+    popcnt_[static_cast<std::size_t>(iv)] =
+        count_nonzero(x.data(), x.numel());
+  }
+}
+
+void Engine::exec_op(const OpPlan& op) {
+  SNNSKIP_SPAN_AGG("infer.op", op.name);
+  switch (op.kind) {
+    case OpKind::Conv: exec_conv(op); break;
+    case OpKind::DwConv: exec_dwconv(op); break;
+    case OpKind::Linear: exec_linear(op); break;
+    case OpKind::DscGather: exec_dsc_gather(op); break;
+    case OpKind::AvgPool: exec_avgpool(op); break;
+    case OpKind::GlobalAvgPool: exec_gap(op); break;
+    case OpKind::Neuron:
+    case OpKind::Relu: exec_neuron(op); break;
+    case OpKind::Copy: exec_copy(op); break;
+  }
+}
+
+namespace {
+
+/// Term-input density decision shared by Conv and DwConv dispatch.
+struct Dispatch {
+  bool all_spiking = true;  ///< every term produces binary spikes
+  bool all_packed = true;   ///< ...and its packed mask is valid
+  double density = 1.0;
+};
+
+}  // namespace
+
+// Measures the op's input density from the terms' exact popcounts and
+// classifies the step's dispatch mode.
+static Dispatch classify(const Plan& plan, const OpPlan& op,
+                         const std::vector<std::int64_t>& popcnt,
+                         const std::vector<char>& pvalid) {
+  Dispatch d;
+  std::int64_t nnz = 0, elems = 0;
+  for (const TermPlan& t : op.terms) {
+    const std::size_t v = static_cast<std::size_t>(t.value);
+    d.all_spiking = d.all_spiking && t.spiking;
+    d.all_packed = d.all_packed && t.spiking && pvalid[v] != 0;
+    nnz += popcnt[v];
+    elems += plan.values[v].floats;
+  }
+  if (d.all_spiking && elems > 0) {
+    d.density = static_cast<double>(nnz) / static_cast<double>(elems);
+  }
+  return d;
+}
+
+void Engine::assemble_image(const OpPlan& op, std::int64_t img, float* dst) {
+  const std::int64_t hw = op.geom.in_h * op.geom.in_w;
+  for (const TermPlan& t : op.terms) {
+    if (t.sunk) continue;  // own geometry; added after the main compute
+    const ValuePlan& sv = val(t.value);
+    const std::int64_t src_img_f = sv.floats / sv.shape[0];
+    const float* src = dense(t.value) + img * src_img_f;
+    float* d = dst + t.offset * hw;
+    if (t.add_join) {
+      const std::int64_t n = t.channels * hw;
+      for (std::int64_t i = 0; i < n; ++i) d[i] += src[i];
+    } else if (!t.gather.empty()) {
+      for (std::size_t k = 0; k < t.gather.size(); ++k) {
+        std::memcpy(d + static_cast<std::int64_t>(k) * hw,
+                    src + t.gather[k] * hw,
+                    static_cast<std::size_t>(hw) * sizeof(float));
+      }
+    } else {
+      std::memcpy(d, src,
+                  static_cast<std::size_t>(t.channels * hw) * sizeof(float));
+    }
+  }
+}
+
+void Engine::add_sunk_terms(const OpPlan& op, std::int64_t img,
+                            std::size_t wi, float* rows, float* outr) {
+  const std::int64_t p = op.geom.out_h() * op.geom.out_w();
+  for (const TermPlan& t : op.terms) {
+    if (!t.sunk) continue;
+    const ValuePlan& sv = val(t.value);
+    const float* src = dense(t.value) + img * (sv.floats / sv.shape[0]);
+    const std::size_t twi = t.wd.size() <= 1 ? 0 : wi;
+    const std::int64_t tckk = t.geom.col_rows();
+    if (p < 16) {
+      im2row(t.geom, src, rows);
+      gemm_nt(op.out_c, p, tckk, 1.f, t.wd[twi].data(), rows, 1.f, outr);
+    } else {
+      im2col(t.geom, src, rows);
+      gemm(op.out_c, p, tckk, 1.f, t.wd[twi].data(), rows, 1.f, outr);
+    }
+    stats_.dense_macs += t.macs;
+  }
+}
+
+void Engine::exec_conv(const OpPlan& op) {
+  const ValuePlan& ov = val(op.out);
+  const std::int64_t n = ov.shape[0];
+  const std::int64_t p = op.geom.out_h() * op.geom.out_w();
+  const std::int64_t o_c = op.out_c;
+  const std::int64_t in_img = op.geom.in_c * op.geom.in_h * op.geom.in_w;
+  const std::int64_t ckk = op.geom.col_rows();
+  const std::size_t wi =
+      op.wt.size() <= 1 ? 0 : static_cast<std::size_t>(op.copy_index(t_));
+  const float* wt = op.wt[wi].data();
+
+  const Dispatch d = classify(*plan_, op, popcnt_, pvalid_);
+  const bool sparse_ok =
+      d.all_spiking && d.density < static_cast<double>(InferExec::threshold());
+
+  if (InferExec::packed_enabled() && d.all_packed && sparse_ok) {
+    ++stats_.packed_dispatches;
+    Telemetry::count("infer.packed_layers");
+    float* panel = scratch_.data();  // (P, O) transposed accumulator
+    for (std::int64_t img = 0; img < n; ++img) {
+      std::memset(panel, 0, static_cast<std::size_t>(p * o_c) * sizeof(float));
+      for (const TermPlan& t : op.terms) {
+        const ValuePlan& sv = val(t.value);
+        const std::int64_t src_c = sv.shape[1];
+        const std::uint64_t* w =
+            words(t.value) + img * (sv.words / sv.shape[0]);
+        if (t.sunk) {
+          // Sunk projection: composite kernel over the original spiking
+          // source, same output grid, accumulated into the same panel.
+          const std::size_t twi =
+              t.wt.size() <= 1 ? 0 : static_cast<std::size_t>(wi);
+          stats_.synops += spike_packed_conv2d_term(
+              t.geom, src_c, w, nullptr, t.wt[twi].data(), o_c, panel);
+        } else {
+          stats_.synops += spike_packed_conv2d_term(
+              op.geom, src_c, w, t.chrow.empty() ? nullptr : t.chrow.data(),
+              wt, o_c, panel);
+        }
+      }
+      epilogue(op, img, panel, /*so=*/1, /*sp=*/o_c);
+    }
+    return;
+  }
+
+  if (sparse_ok) {
+    // CSR fallback: the training graph's event kernel on a per-image
+    // assembled input (the packed path's correctness baseline).
+    ++stats_.csr_dispatches;
+    Telemetry::count("infer.csr_layers");
+    float* w_oihw = scratch_.data();
+    float* assembled = w_oihw + ckk * o_c;
+    float* outr = assembled + in_img;
+    const float* wptr;
+    if (!op.wd.empty()) {
+      wptr = op.wd[op.wd.size() <= 1 ? 0 : wi].data();
+    } else {
+      // Folded mode keeps only the transposed panel; rebuild OIHW here
+      // (non-default path — the packed kernels consume wt directly).
+      for (std::int64_t o = 0; o < o_c; ++o) {
+        for (std::int64_t r = 0; r < ckk; ++r) {
+          w_oihw[o * ckk + r] = wt[r * o_c + o];
+        }
+      }
+      wptr = w_oihw;
+    }
+    std::int64_t nnz = 0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      assemble_image(op, img, assembled);
+      csr_.build(assembled, 1, in_img);
+      nnz += csr_.nnz();
+      spike_conv2d_forward(op.geom, csr_, wptr, nullptr, o_c, outr,
+                           Workspace::tls());
+      add_sunk_terms(op, img, wi, outr + o_c * p, outr);
+      epilogue(op, img, outr, /*so=*/p, /*sp=*/1);
+    }
+    stats_.synops += static_cast<std::int64_t>(std::llround(
+        static_cast<double>(op.macs) * static_cast<double>(nnz) /
+        static_cast<double>(n * in_img)));
+    return;
+  }
+
+  ++stats_.dense_dispatches;
+  Telemetry::count("infer.dense_layers");
+  stats_.dense_macs += op.macs;
+  float* assembled = scratch_.data();
+  float* cols = assembled + in_img;
+  // The cols region doubles as the sunk projections' 1x1 patch matrix
+  // (op_scratch sizes it to the max of both uses).
+  std::int64_t cols_f = ckk * p;
+  for (const TermPlan& t : op.terms) {
+    if (!t.sunk) continue;
+    cols_f = std::max(cols_f,
+                      t.pgeom.col_rows() * t.pgeom.out_h() * t.pgeom.out_w());
+  }
+  float* outr = cols + cols_f;
+  for (std::int64_t img = 0; img < n; ++img) {
+    assemble_image(op, img, assembled);
+    // Dense dispatch undoes the sinking: the composite kernel's zero
+    // rows are free on the event path but real GEMM work here, so run
+    // the raw 1x1 projection and ADD it into the assembled input — the
+    // training graph's exact compute shape (one GEMM over the sum).
+    for (const TermPlan& t : op.terms) {
+      if (!t.sunk) continue;
+      const ValuePlan& sv = val(t.value);
+      const float* src = dense(t.value) + img * (sv.floats / sv.shape[0]);
+      const std::int64_t pp = t.pgeom.out_h() * t.pgeom.out_w();
+      im2col(t.pgeom, src, cols);
+      gemm(t.proj_c, pp, t.pgeom.in_c, 1.f, t.pw.data(), cols, 1.f,
+           assembled + t.offset * pp);
+      stats_.dense_macs += t.proj_c * t.pgeom.in_c * pp;
+    }
+    if (!op.wd.empty() && p < 16) {
+      // Few-pixel outputs (deep stages): gemm's 16-column microkernel
+      // degrades to scalar edge loops, so lower to weight rows x
+      // contiguous patch rows instead. Per-element summation stays in
+      // ascending-k order either way, so the no-fold plan remains
+      // bitwise equal to the training eval forward.
+      im2row(op.geom, assembled, cols);
+      gemm_nt(o_c, p, ckk, 1.f, op.wd[op.wd.size() <= 1 ? 0 : wi].data(),
+              cols, 0.f, outr);
+    } else if (!op.wd.empty()) {
+      // The exact im2col + GEMM the training graph runs.
+      im2col(op.geom, assembled, cols);
+      gemm(o_c, p, ckk, 1.f, op.wd[op.wd.size() <= 1 ? 0 : wi].data(), cols,
+           0.f, outr);
+    } else {
+      im2col(op.geom, assembled, cols);
+      gemm_tn(o_c, p, ckk, 1.f, wt, cols, 0.f, outr);
+    }
+    epilogue(op, img, outr, /*so=*/p, /*sp=*/1);
+  }
+}
+
+void Engine::exec_dwconv(const OpPlan& op) {
+  const ValuePlan& ov = val(op.out);
+  const std::int64_t n = ov.shape[0];
+  const std::int64_t p = op.geom.out_h() * op.geom.out_w();
+  const std::int64_t c = op.geom.in_c;
+  const std::int64_t k = op.geom.kernel;
+  const std::int64_t in_img = c * op.geom.in_h * op.geom.in_w;
+  const std::size_t wi =
+      op.wt.size() <= 1 ? 0 : static_cast<std::size_t>(op.copy_index(t_));
+  const float* w = op.wt[wi].data();  // (C, K, K) bank, folded or raw
+
+  const Dispatch d = classify(*plan_, op, popcnt_, pvalid_);
+  const bool sparse_ok =
+      d.all_spiking && d.density < static_cast<double>(InferExec::threshold());
+
+  if (InferExec::packed_enabled() && d.all_packed && sparse_ok) {
+    ++stats_.packed_dispatches;
+    Telemetry::count("infer.packed_layers");
+    float* acc = scratch_.data();  // (C, Ho, Wo)
+    for (std::int64_t img = 0; img < n; ++img) {
+      std::memset(acc, 0, static_cast<std::size_t>(c * p) * sizeof(float));
+      for (const TermPlan& t : op.terms) {
+        const ValuePlan& sv = val(t.value);
+        const std::uint64_t* wsrc =
+            words(t.value) + img * (sv.words / sv.shape[0]);
+        stats_.synops += spike_packed_depthwise_term(
+            op.geom, sv.shape[1], wsrc,
+            t.chrow.empty() ? nullptr : t.chrow.data(), w, acc);
+      }
+      epilogue(op, img, acc, /*so=*/p, /*sp=*/1);
+    }
+    return;
+  }
+
+  if (sparse_ok) {
+    ++stats_.csr_dispatches;
+    Telemetry::count("infer.csr_layers");
+    float* assembled = scratch_.data();
+    float* outr = assembled + in_img;
+    std::int64_t nnz = 0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      assemble_image(op, img, assembled);
+      csr_.build(assembled, 1, in_img);
+      nnz += csr_.nnz();
+      spike_depthwise_forward(op.geom, csr_, w, nullptr, outr);
+      epilogue(op, img, outr, /*so=*/p, /*sp=*/1);
+    }
+    stats_.synops += static_cast<std::int64_t>(std::llround(
+        static_cast<double>(op.macs) * static_cast<double>(nnz) /
+        static_cast<double>(n * in_img)));
+    return;
+  }
+
+  ++stats_.dense_dispatches;
+  Telemetry::count("infer.dense_layers");
+  stats_.dense_macs += op.macs;
+  float* assembled = scratch_.data();
+  float* outr = assembled + in_img;
+  const std::int64_t h = op.geom.in_h, wd = op.geom.in_w;
+  const std::int64_t ho = op.geom.out_h(), wo = op.geom.out_w();
+  const std::int64_t stride = op.geom.stride, pad = op.geom.pad;
+  for (std::int64_t img = 0; img < n; ++img) {
+    assemble_image(op, img, assembled);
+    // Same per-tap loop as DepthwiseConv2d's dense forward (bias and BN
+    // live in the epilogue).
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = assembled + ch * h * wd;
+      const float* ker = w + ch * k * k;
+      float* optr = outr + ch * p;
+      for (std::int64_t oy = 0; oy < ho; ++oy) {
+        for (std::int64_t ox = 0; ox < wo; ++ox) {
+          float acc = 0.f;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = ox * stride - pad + kx;
+              if (ix < 0 || ix >= wd) continue;
+              acc += ker[ky * k + kx] * plane[iy * wd + ix];
+            }
+          }
+          optr[oy * wo + ox] = acc;
+        }
+      }
+    }
+    epilogue(op, img, outr, /*so=*/p, /*sp=*/1);
+  }
+}
+
+void Engine::exec_linear(const OpPlan& op) {
+  const TermPlan& t = op.terms.front();
+  const ValuePlan& iv = val(t.value);
+  const std::int64_t n = iv.shape[0];
+  const std::int64_t in_f = t.channels;
+  const std::int64_t o_f = op.out_c;
+  ++stats_.dense_dispatches;
+  Telemetry::count("infer.dense_layers");
+  stats_.dense_macs += op.macs;
+  float* outr = scratch_.data();  // (N, O)
+  // out(N, O) = x(N, I) * W(O, I)^T — Linear::forward's dense GEMM; the
+  // bias moves to the epilogue.
+  gemm_nt(n, o_f, in_f, 1.f, dense(t.value), op.wt[0].data(), 0.f, outr);
+  for (std::int64_t img = 0; img < n; ++img) {
+    epilogue(op, img, outr + img * o_f, /*so=*/1, /*sp=*/1);
+  }
+}
+
+void Engine::exec_dsc_gather(const OpPlan& op) {
+  const TermPlan& t = op.terms.front();
+  const ValuePlan& sv = val(t.value);
+  const ValuePlan& ov = val(op.out);
+  const std::int64_t n = sv.shape[0];
+  const std::int64_t h = sv.shape[2], w = sv.shape[3];
+  const std::int64_t len = t.channels;
+  const std::int64_t ho = ov.shape[2], wo = ov.shape[3];
+  const std::int64_t src_img_f = sv.floats / n;
+  float* g = scratch_.data();  // (len, H, W) gathered image
+  for (std::int64_t img = 0; img < n; ++img) {
+    const float* src = dense(t.value) + img * src_img_f;
+    for (std::size_t kk = 0; kk < t.gather.size(); ++kk) {
+      std::memcpy(g + static_cast<std::int64_t>(kk) * h * w,
+                  src + t.gather[kk] * h * w,
+                  static_cast<std::size_t>(h * w) * sizeof(float));
+    }
+    // AvgPool2d::forward's partial-window averaging (ceil-mode output
+    // size was fixed at compile time).
+    float* optr = dense(op.out) + img * len * ho * wo;
+    for (std::int64_t ch = 0; ch < len; ++ch) {
+      const float* plane = g + ch * h * w;
+      float* od = optr + ch * ho * wo;
+      for (std::int64_t oy = 0; oy < ho; ++oy) {
+        const std::int64_t y_end =
+            std::min(h, oy * op.pool_stride + op.pool_kernel);
+        for (std::int64_t ox = 0; ox < wo; ++ox) {
+          const std::int64_t x_end =
+              std::min(w, ox * op.pool_stride + op.pool_kernel);
+          float acc = 0.f;
+          std::int64_t count = 0;
+          for (std::int64_t y = oy * op.pool_stride; y < y_end; ++y) {
+            for (std::int64_t xx = ox * op.pool_stride; xx < x_end; ++xx) {
+              acc += plane[y * w + xx];
+              ++count;
+            }
+          }
+          od[oy * wo + ox] = count ? acc / static_cast<float>(count) : 0.f;
+        }
+      }
+    }
+  }
+}
+
+void Engine::exec_avgpool(const OpPlan& op) {
+  const TermPlan& t = op.terms.front();
+  const ValuePlan& sv = val(t.value);
+  const ValuePlan& ov = val(op.out);
+  const std::int64_t n = sv.shape[0], c = sv.shape[1];
+  const std::int64_t h = sv.shape[2], w = sv.shape[3];
+  const std::int64_t ho = ov.shape[2], wo = ov.shape[3];
+  const float* src = dense(t.value);
+  float* dst = dense(op.out);
+  for (std::int64_t i = 0; i < n * c; ++i) {
+    const float* plane = src + i * h * w;
+    float* optr = dst + i * ho * wo;
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      const std::int64_t y_end =
+          std::min(h, oy * op.pool_stride + op.pool_kernel);
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        const std::int64_t x_end =
+            std::min(w, ox * op.pool_stride + op.pool_kernel);
+        float acc = 0.f;
+        std::int64_t count = 0;
+        for (std::int64_t y = oy * op.pool_stride; y < y_end; ++y) {
+          for (std::int64_t xx = ox * op.pool_stride; xx < x_end; ++xx) {
+            acc += plane[y * w + xx];
+            ++count;
+          }
+        }
+        optr[oy * wo + ox] = count ? acc / static_cast<float>(count) : 0.f;
+      }
+    }
+  }
+}
+
+void Engine::exec_gap(const OpPlan& op) {
+  const TermPlan& t = op.terms.front();
+  const ValuePlan& sv = val(t.value);
+  const std::int64_t n = sv.shape[0], c = sv.shape[1];
+  const std::int64_t plane = sv.shape[2] * sv.shape[3];
+  const float* src = dense(t.value);
+  float* dst = dense(op.out);
+  const float inv = 1.f / static_cast<float>(plane);
+  for (std::int64_t i = 0; i < n * c; ++i) {
+    const float* pl = src + i * plane;
+    float acc = 0.f;
+    for (std::int64_t j = 0; j < plane; ++j) acc += pl[j];
+    dst[i] = acc * inv;
+  }
+}
+
+void Engine::exec_neuron(const OpPlan& op) {
+  const TermPlan& t = op.terms.front();
+  const ValuePlan& sv = val(t.value);
+  const std::int64_t n = sv.shape[0];
+  const std::int64_t img_f = sv.floats / n;
+  for (std::int64_t img = 0; img < n; ++img) {
+    epilogue(op, img, dense(t.value) + img * img_f, /*so=*/1, /*sp=*/1);
+  }
+}
+
+void Engine::exec_copy(const OpPlan& op) {
+  const TermPlan& t = op.terms.front();
+  const ValuePlan& sv = val(t.value);
+  std::memcpy(dense(op.out), dense(t.value),
+              static_cast<std::size_t>(sv.floats) * sizeof(float));
+  const ValuePlan& ov = val(op.out);
+  if (ov.spiking && sv.spiking) {
+    std::memcpy(words(op.out), words(t.value),
+                static_cast<std::size_t>(sv.words) * sizeof(std::uint64_t));
+    pvalid_[static_cast<std::size_t>(op.out)] =
+        pvalid_[static_cast<std::size_t>(t.value)];
+    popcnt_[static_cast<std::size_t>(op.out)] =
+        popcnt_[static_cast<std::size_t>(t.value)];
+  }
+}
+
+void Engine::epilogue(const OpPlan& op, std::int64_t img, const float* acc,
+                      std::int64_t so, std::int64_t sp) {
+  const ValuePlan& ov = val(op.out);
+  const std::int64_t n = ov.shape[0];
+  const std::int64_t img_f = ov.floats / n;
+  const std::int64_t o_c = op.out_c;
+  const std::int64_t p = img_f / o_c;
+  float* dst = dense(op.out) + img * img_f;
+  const std::size_t bi = static_cast<std::size_t>(op.copy_index(t_));
+  const float* bias = op.bias[bi].data();
+  const float* sc = op.scale.empty() ? nullptr : op.scale[bi].data();
+
+  std::uint64_t* wbits = nullptr;
+  if (ov.spiking) {
+    const std::int64_t img_w = ov.words / n;
+    wbits = words(op.out) + img * img_w;
+    std::memset(wbits, 0,
+                static_cast<std::size_t>(img_w) * sizeof(std::uint64_t));
+  }
+
+  if (op.epi == Epi::Lif) {
+    float* m = sarena_.data() + op.state_off + img * img_f;
+    float* rc = op.refrac_off >= 0
+                    ? sarena_.data() + op.refrac_off + img * img_f
+                    : nullptr;
+    std::int64_t spk = 0;
+    for (std::int64_t o = 0; o < o_c; ++o) {
+      const float* ab = acc + o * so;
+      const float b = bias[o];
+      for (std::int64_t j = 0; j < p; ++j) {
+        const std::int64_t idx = o * p + j;
+        const float a = ab[j * sp];
+        const float in = (sc != nullptr ? sc[o] * a : a) + b;
+        // Lif::forward's exact update: leaky integrate, refractory gate,
+        // threshold compare, soft reset.
+        const float vt = op.beta * m[idx] + in;
+        const float dist = vt - op.theta;
+        bool live = true;
+        if (rc != nullptr && rc[idx] > 0.f) {
+          live = false;
+          rc[idx] -= 1.f;
+        }
+        if (live && dist >= 0.f) {
+          dst[idx] = 1.f;
+          m[idx] = vt - op.theta;
+          if (rc != nullptr) rc[idx] = static_cast<float>(op.refractory);
+          wbits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+          ++spk;
+        } else {
+          dst[idx] = 0.f;
+          m[idx] = vt;
+        }
+      }
+    }
+    if (img == 0) popcnt_[static_cast<std::size_t>(op.out)] = 0;
+    popcnt_[static_cast<std::size_t>(op.out)] += spk;
+    pvalid_[static_cast<std::size_t>(op.out)] = 1;
+    stats_.spikes += spk;
+    return;
+  }
+
+  for (std::int64_t o = 0; o < o_c; ++o) {
+    const float* ab = acc + o * so;
+    const float b = bias[o];
+    for (std::int64_t j = 0; j < p; ++j) {
+      const std::int64_t idx = o * p + j;
+      const float a = ab[j * sp];
+      const float in = (sc != nullptr ? sc[o] * a : a) + b;
+      dst[idx] = op.epi == Epi::Relu ? (in > 0.f ? in : 0.f) : in;
+    }
+  }
+}
+
+}  // namespace snnskip::infer

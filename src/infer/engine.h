@@ -1,0 +1,155 @@
+#pragma once
+// Interpreter for frozen execution plans (ISSUE 6).
+//
+// Engine executes an infer::Plan one timestep at a time. All buffers —
+// the dense-mirror float arena, the packed-word arena, persistent neuron
+// state, and a shared per-op scratch block — are allocated once in the
+// constructor from the plan's precomputed high-water sizes, so step()
+// performs zero heap allocations on the default (packed) path
+// (tests/infer_test.cpp pins this with Workspace heap-alloc counters).
+//
+// Per conv/depthwise op, dispatch picks one of three modes each step from
+// the measured input density (exact, via the packed masks' popcounts):
+//
+//   Packed  bit-packed event kernels (tensor/spike_packed.h). Requires
+//           every input term to carry a valid packed mask, the packed
+//           path to be enabled, and density < threshold. Skip joins run
+//           directly on the source masks — ADD joins accumulate each
+//           term into the same output panel (conv is linear), concat
+//           joins select weight rows through the term's chrow map — so
+//           no assembled input is ever materialized.
+//   CSR     the training graph's event kernels (spike_conv2d_forward et
+//           al.) on a per-image assembled input. Taken when the packed
+//           path is disabled (SNNSKIP_INFER_PACKED=0) but the density
+//           gate still passes — this is the apples-to-apples baseline
+//           the packed path is benchmarked against.
+//   Dense   assembled input + im2col + GEMM, for dense inputs (analog
+//           values, projection outputs) or high firing rates.
+//
+// Every mode feeds the same fused epilogue: BN scale/shift (folded into
+// the weights, or applied here in no-fold mode), bias, and the LIF/PLIF
+// threshold-compare / soft-reset / refractory update, which writes the
+// output's dense mirror, its packed mask, and the exact spike popcount in
+// one pass.
+//
+// Runtime configuration (read once at startup through util/runtime_env,
+// setters for tests — mirrors SparseExec):
+//   SNNSKIP_INFER_PACKED=0          disable the packed path (CSR baseline)
+//   SNNSKIP_INFER_THRESHOLD=<frac>  density cutoff for the event paths
+//                                   (default 0.25, valid range [0, 1])
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/plan.h"
+#include "metrics/energy.h"
+#include "tensor/spike_csr.h"
+#include "tensor/tensor.h"
+
+namespace snnskip::infer {
+
+/// Runtime switches for compiled-inference dispatch.
+class InferExec {
+ public:
+  static bool packed_enabled();
+  static float threshold();
+  static void set_packed_enabled(bool on);
+  static void set_threshold(float t);
+};
+
+/// Per-engine execution statistics (reset with Engine::reset_stats).
+struct ExecStats {
+  std::int64_t steps = 0;
+  std::int64_t packed_dispatches = 0;  ///< ops run on the packed kernels
+  std::int64_t csr_dispatches = 0;     ///< ops run on the CSR fallback
+  std::int64_t dense_dispatches = 0;   ///< ops run dense (GEMM / loops)
+  std::int64_t spikes = 0;   ///< exact spike count (packed popcounts)
+  std::int64_t synops = 0;   ///< accumulates on event paths (exact for
+                             ///< packed; density * MACs estimate for CSR)
+  std::int64_t dense_macs = 0;  ///< MACs charged to dense-dispatched ops
+
+  /// Energy proxy: ac_pj per event-path accumulate, mac_pj per dense MAC
+  /// (same 45 nm constants as metrics/energy.h).
+  double energy_pj(const EnergyModel& m = {}) const {
+    return m.ac_pj * static_cast<double>(synops) +
+           m.mac_pj * static_cast<double>(dense_macs);
+  }
+};
+
+class Engine {
+ public:
+  /// Preallocates every arena from the plan's high-water sizes.
+  explicit Engine(PlanPtr plan);
+
+  const Plan& plan() const { return *plan_; }
+
+  /// Zero all persistent neuron state and rewind the timestep counter
+  /// (sequence boundary — the analogue of Network::reset_state()).
+  void reset();
+
+  /// Run one timestep. `x` must match the plan's frozen input shape;
+  /// `out` is resized only if its shape mismatches the plan's output
+  /// shape, so a correctly-sized tensor makes this call allocation-free
+  /// on the packed path.
+  void step(const Tensor& x, Tensor* out);
+
+  /// Convenience wrapper that allocates the output tensor.
+  Tensor step(const Tensor& x);
+
+  const ExecStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ExecStats{}; }
+
+ private:
+  float* dense(int v);
+  std::uint64_t* words(int v);
+  const ValuePlan& val(int v) const {
+    return plan_->values[static_cast<std::size_t>(v)];
+  }
+
+  void write_input(const Tensor& x);
+  void exec_op(const OpPlan& op);
+  void exec_conv(const OpPlan& op);
+  void exec_dwconv(const OpPlan& op);
+  void exec_linear(const OpPlan& op);
+  void exec_dsc_gather(const OpPlan& op);
+  void exec_avgpool(const OpPlan& op);
+  void exec_gap(const OpPlan& op);
+  void exec_neuron(const OpPlan& op);
+  void exec_copy(const OpPlan& op);
+
+  /// Dense-assemble one image's op input (main copy, ADD-join axpys,
+  /// concat gathers — the training graph's assemble_input, bitwise).
+  /// Sunk projection terms are excluded (own geometry; see below).
+  void assemble_image(const OpPlan& op, std::int64_t img, float* dst);
+
+  /// Accumulate every sunk projection term (composite conv over its own
+  /// source) into the dense (O, P) accumulator `outr`, lowering each via
+  /// a patch matrix built in `rows`. CSR dispatch only: the packed mode
+  /// accumulates sunk events into the panel directly, and the dense mode
+  /// re-materializes the raw 1x1 projection into the assembled input
+  /// instead (the composite kernel's zero rows are free for event
+  /// kernels but real GEMM work).
+  void add_sunk_terms(const OpPlan& op, std::int64_t img, std::size_t wi,
+                      float* rows, float* outr);
+
+  /// Fused epilogue: scale/bias (+LIF or ReLU) over the accumulator of
+  /// one image, writing the output's dense mirror, packed mask bits, and
+  /// popcount. `so`/`sp` are the accumulator's channel/spatial strides
+  /// (packed panels are (P, O): so=1, sp=O; dense outputs are (O, P):
+  /// so=P, sp=1).
+  void epilogue(const OpPlan& op, std::int64_t img, const float* acc,
+                std::int64_t so, std::int64_t sp);
+
+  PlanPtr plan_;
+  std::vector<float> farena_;          // shared value dense mirrors
+  std::vector<std::uint64_t> warena_;  // shared packed masks
+  std::vector<float> sarena_;          // persistent neuron state
+  std::vector<float> scratch_;         // per-op scratch high-water block
+  std::vector<std::int64_t> popcnt_;   // per value: exact nonzero count
+  std::vector<char> pvalid_;           // per value: packed mask is valid
+  SpikeCsr csr_;                       // CSR fallback (capacity reused)
+  std::int64_t t_ = 0;                 // timestep (BNTT copy selection)
+  ExecStats stats_;
+};
+
+}  // namespace snnskip::infer

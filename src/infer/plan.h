@@ -1,0 +1,174 @@
+#pragma once
+// Frozen execution plan for compiled inference (ISSUE 6).
+//
+// compile() (infer/compile.h) walks a trained Network once and lowers it
+// into this flat program: a value table (every intermediate tensor, with
+// its liveness interval and preassigned arena offset) and an op list
+// (every layer, with BatchNormTT already folded and the LIF/PLIF update
+// fused into the op's epilogue). The split mirrors hannk's
+// graph-construction / execute() separation: all shape inference, weight
+// re-layout, and buffer planning happens here, so the Engine's per-step
+// loop is a dumb interpreter that never allocates.
+//
+// Value representation at runtime: every value owns a slice of one shared
+// float arena (the dense mirror); spiking values additionally own a slice
+// of a word arena holding the bit-packed spike mask (64 spikes/word, NCHW
+// flat order — tensor/spike_packed.h). Skip joins never materialize an
+// assembled input on the event path: each source is a TermPlan of the
+// consuming op, and conv linearity (conv(a + b) == conv(a) + conv(b))
+// turns an ADD join into "accumulate both terms' events into one panel"
+// and a concat join into a chrow-mapped weight-row selection.
+//
+// Liveness intervals [def, last_use] drive a first-fit interval
+// allocation over both arenas; overlapping lifetimes get disjoint slices
+// (asserted by tests/infer_test.cpp's aliasing check). Persistent neuron
+// state (membranes, refractory counters) lives in a separate state arena
+// that is never reused within a step and is zeroed at sequence
+// boundaries.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/im2col.h"
+#include "tensor/shape.h"
+
+namespace snnskip::infer {
+
+enum class OpKind : std::uint8_t {
+  Conv,       ///< conv2d over 1+ terms (main / ADD-skip / concat-skip)
+  DwConv,     ///< depthwise conv over 1+ ADD terms
+  Linear,     ///< fully connected on the dense mirror
+  DscGather,  ///< gather a DSC channel subset (+ ceil-mode avgpool)
+  AvgPool,
+  GlobalAvgPool,
+  Neuron,     ///< standalone LIF/PLIF on a dense value
+  Relu,       ///< standalone ReLU (analog twins)
+  Copy,       ///< identity / reshape
+};
+
+/// Fused epilogue applied to the op's accumulator in the same pass that
+/// writes the output value (BN scale/shift folded in either way).
+enum class Epi : std::uint8_t { None, Lif, Relu };
+
+/// One input source of a Conv/DwConv op.
+struct TermPlan {
+  int value = -1;  ///< producing value id
+  /// Source-channel -> consumer-input-channel map for the packed kernels;
+  /// empty means identity (source channels == rows [0, channels)).
+  std::vector<std::int32_t> chrow;
+  /// Consumer input channels [offset, offset + channels) this term feeds
+  /// (dense assembly destination; ADD terms share offset 0).
+  std::int64_t offset = 0;
+  std::int64_t channels = 0;
+  /// DSC only: source channels gathered during dense assembly (chrow's
+  /// inverse, kept so assembly is a straight gather loop).
+  std::vector<std::int64_t> gather;
+  /// True when the term adds onto channels also fed by another term (ADD
+  /// join) rather than owning its channel range (concat join / main path).
+  bool add_join = false;
+  /// Producer emits a packed spike mask (event path eligible).
+  bool spiking = false;
+
+  // ASC-projection sinking (fold mode). conv(proj(s)) with a 1x1 no-bias
+  // projection is itself a convolution over the original SPIKING source
+  // s, so the compiler composes the projection into the consumer's
+  // main-segment weights: taps land on a grid dilated by the projection
+  // stride, emulated as an enlarged (k-1)*s+1 kernel whose off-grid rows
+  // are zero (the event kernels have no dilation support; zero rows only
+  // cost event-proportional accumulates). Without sinking the
+  // projection's analog output would force the consumer dense every
+  // step — the single biggest cost on ResNet-shaped stacks at low
+  // density. A sunk term carries its own geometry and per-timestep
+  // weight copies; `value` is the projection's input.
+  bool sunk = false;
+  ConvGeometry geom{};                 ///< composite geometry over source
+  std::vector<std::vector<float>> wt;  ///< per-t ((c,ky,kx), o) panels
+  std::vector<std::vector<float>> wd;  ///< per-t (o, ckk) rows (CSR path)
+  std::int64_t macs = 0;  ///< true-tap dense-equivalent MACs (accounting)
+  // Dense-dispatch route: the composite kernel's zero rows are free on
+  // the event path but real GEMM work when dense, so at dense dispatch
+  // the engine instead materializes the projection into the assembled
+  // input with the RAW 1x1 weights — exactly the training graph's
+  // compute (one GEMM over the summed input).
+  std::vector<float> pw;   ///< raw (proj_c, src_c) 1x1 projection weights
+  ConvGeometry pgeom{};    ///< 1x1 stride-s1 geometry over the source
+  std::int64_t proj_c = 0; ///< projection output channels (== main in_c)
+};
+
+struct ValuePlan {
+  Shape shape;
+  std::int64_t floats = 0;      ///< dense numel (whole batch)
+  std::int64_t words = 0;       ///< packed words (0: dense-only value)
+  std::int64_t dense_off = -1;  ///< float-arena offset
+  std::int64_t packed_off = -1; ///< word-arena offset
+  int def = -1;                 ///< producing op index (-1: network input)
+  int last_use = -1;            ///< last consuming op index
+  bool spiking = false;         ///< carries a packed mask
+};
+
+struct OpPlan {
+  OpKind kind = OpKind::Copy;
+  Epi epi = Epi::None;
+  std::string name;  ///< layer name (telemetry span label)
+  int out = -1;      ///< output value id
+  std::vector<TermPlan> terms;
+
+  // Geometry. For Conv/DwConv, `geom.in_c` is the op's TOTAL input
+  // channels (main + active concat segments). For pools, kernel/stride/
+  // ceil_mode below apply.
+  ConvGeometry geom{};
+  std::int64_t out_c = 0;
+  std::int64_t pool_kernel = 0, pool_stride = 0;
+  bool pool_ceil = false;
+
+  // Weights. `wt[i]` is the transposed ((c,ky,kx), o) panel the event
+  // kernels consume; DwConv stores its (C, K, K) bank here unchanged;
+  // Linear stores (O, I) row-major. With BN folding there is one copy per
+  // BNTT timestep (weights differ per t); without, a single copy plus
+  // per-timestep epilogue scale. For convs `wd` additionally keeps the
+  // (O, C*K*K) row-major layout (folded per-timestep, or the single raw
+  // copy in no-fold mode) so the dense and CSR dispatches run the exact
+  // GEMM / event kernel the training graph runs.
+  std::vector<std::vector<float>> wt;
+  std::vector<std::vector<float>> wd;
+  std::vector<std::vector<float>> bias;   ///< folded bias/shift per copy
+  std::vector<std::vector<float>> scale;  ///< no-fold mode: BN scale per t
+
+  // Fused neuron parameters (epi == Lif).
+  float beta = 0.9f;
+  float theta = 1.f;
+  std::int64_t refractory = 0;
+  std::int64_t state_off = -1;   ///< membrane offset in the state arena
+  std::int64_t refrac_off = -1;  ///< refractory counters (refractory > 0)
+
+  std::int64_t macs = 0;  ///< dense MACs per step (energy accounting)
+
+  /// Weight/bias copy for engine timestep `t` (BNTT wrap semantics).
+  std::int64_t copy_index(std::int64_t t) const {
+    const auto n = static_cast<std::int64_t>(bias.size());
+    return n <= 1 ? 0 : (t < n ? t : n - 1);
+  }
+};
+
+struct Plan {
+  std::string model_name;  ///< telemetry label
+  Shape input_shape;       ///< (N, C, H, W) frozen at compile time
+  Shape output_shape;
+  int input_value = 0;
+  int output_value = -1;
+  bool bn_folded = true;
+
+  std::vector<ValuePlan> values;
+  std::vector<OpPlan> ops;
+
+  std::int64_t float_arena = 0;    ///< floats, shared/reused across values
+  std::int64_t word_arena = 0;     ///< words, shared/reused across values
+  std::int64_t state_arena = 0;    ///< floats, persistent neuron state
+  std::int64_t scratch_floats = 0; ///< per-op scratch high-water
+};
+
+using PlanPtr = std::shared_ptr<const Plan>;
+
+}  // namespace snnskip::infer

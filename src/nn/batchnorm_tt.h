@@ -30,6 +30,23 @@ class BatchNormTT final : public Layer {
   std::int64_t channels() const { return c_; }
   std::int64_t max_timesteps() const { return t_max_; }
 
+  // Foldable parameters (ISSUE 6): the inference compiler reads one
+  // timestep's (gamma, beta, running stats, eps) to fold the eval-mode
+  // scale/shift into the preceding layer's weights and bias.
+  float eps() const { return eps_; }
+  const Tensor& gamma(std::int64_t t) const {
+    return gamma_[static_cast<std::size_t>(t)].value;
+  }
+  const Tensor& shift_beta(std::int64_t t) const {
+    return beta_[static_cast<std::size_t>(t)].value;
+  }
+  const Tensor& running_mean(std::int64_t t) const {
+    return running_mean_[static_cast<std::size_t>(t)];
+  }
+  const Tensor& running_var(std::int64_t t) const {
+    return running_var_[static_cast<std::size_t>(t)];
+  }
+
  private:
   struct Ctx {
     Tensor xhat;                 // normalized input

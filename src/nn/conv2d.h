@@ -45,6 +45,7 @@ class Conv2d final : public Layer {
   std::int64_t out_channels() const { return out_c_; }
   std::int64_t kernel() const { return kernel_; }
   std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
 
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }

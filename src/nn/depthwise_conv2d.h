@@ -32,6 +32,12 @@ class DepthwiseConv2d final : public Layer {
   Shape output_shape(const Shape& in) const override;
 
   Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+  std::int64_t channels() const { return c_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
 
  private:
   void save_ctx(const Tensor& x, bool sparse);

@@ -28,6 +28,7 @@ class Linear final : public Layer {
 
   std::int64_t in_features() const { return in_f_; }
   std::int64_t out_features() const { return out_f_; }
+  bool has_bias() const { return has_bias_; }
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
 

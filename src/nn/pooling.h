@@ -25,6 +25,10 @@ class AvgPool2d final : public Layer {
   std::string name() const override { return "avgpool2d"; }
   Shape output_shape(const Shape& in) const override;
 
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  bool ceil_mode() const { return ceil_mode_; }
+
  private:
   std::int64_t kernel_, stride_;
   bool ceil_mode_;

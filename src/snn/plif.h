@@ -30,6 +30,10 @@ class Plif final : public Layer {
   /// Current effective leak beta = sigma(w).
   float beta() const;
 
+  /// Static neuron parameters (threshold, refractory); the learned leak is
+  /// read through beta(), NOT config().beta.
+  const LifConfig& config() const { return cfg_; }
+
   void set_recorder(FiringRateRecorder* rec) { recorder_ = rec; }
 
  private:

@@ -28,6 +28,35 @@ void im2col(const ConvGeometry& g, const float* img, float* cols) {
   }
 }
 
+void im2row(const ConvGeometry& g, const float* img, float* rows) {
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  const std::int64_t cr = g.col_rows();
+  const std::int64_t hw = g.in_h * g.in_w;
+  for (std::int64_t oy = 0; oy < ho; ++oy) {
+    for (std::int64_t ox = 0; ox < wo; ++ox) {
+      float* patch = rows + (oy * wo + ox) * cr;
+      std::int64_t row = 0;
+      for (std::int64_t c = 0; c < g.in_c; ++c) {
+        const float* plane = img + c * hw;
+        for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+          const std::int64_t iy = oy * g.stride - g.pad + ky;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+              patch[row] = 0.f;
+            }
+            continue;
+          }
+          for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+            const std::int64_t ix = ox * g.stride - g.pad + kx;
+            patch[row] =
+                (ix < 0 || ix >= g.in_w) ? 0.f : plane[iy * g.in_w + ix];
+          }
+        }
+      }
+    }
+  }
+}
+
 void col2im(const ConvGeometry& g, const float* cols, float* img) {
   const std::int64_t ho = g.out_h(), wo = g.out_w();
   const std::int64_t cc = ho * wo;

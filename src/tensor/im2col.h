@@ -25,6 +25,14 @@ struct ConvGeometry {
 /// Unroll one image `img` (C*H*W floats) into `cols` (col_rows x col_cols).
 void im2col(const ConvGeometry& g, const float* img, float* cols);
 
+/// Transposed unroll: `rows` has layout (col_cols x col_rows) — one
+/// contiguous receptive-field patch per output pixel. Pairs with gemm_nt
+/// (weight rows x patch rows, both streaming contiguously), which stays in
+/// its register tile even when the output is only a handful of pixels —
+/// the regime where gemm's 16-column microkernel degrades to scalar edge
+/// loops. Same element values as im2col, just the (row, pixel) transpose.
+void im2row(const ConvGeometry& g, const float* img, float* rows);
+
 /// Adjoint of im2col: accumulate `cols` back into `img` (must be zeroed by
 /// the caller if a fresh gradient is wanted).
 void col2im(const ConvGeometry& g, const float* cols, float* img);

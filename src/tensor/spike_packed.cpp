@@ -1,0 +1,138 @@
+#include "tensor/spike_packed.h"
+
+#include <bit>
+
+namespace snnskip {
+
+std::int64_t spike_pack(const float* src, std::int64_t n,
+                        std::uint64_t* words) {
+  const std::int64_t nwords = packed_words(n);
+  std::int64_t nnz = 0;
+  bool binary = true;
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    const std::int64_t base = w << 6;
+    const std::int64_t lim = (n - base) < 64 ? (n - base) : 64;
+    std::uint64_t bits = 0;
+    for (std::int64_t k = 0; k < lim; ++k) {
+      const float v = src[base + k];
+      if (v != 0.f) {
+        bits |= std::uint64_t{1} << k;
+        ++nnz;
+        if (v != 1.f) binary = false;
+      }
+    }
+    words[w] = bits;
+  }
+  return binary ? nnz : -1;
+}
+
+std::int64_t popcount_words(const std::uint64_t* words, std::int64_t nwords) {
+  std::int64_t total = 0;
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    total += std::popcount(words[w]);
+  }
+  return total;
+}
+
+std::int64_t spike_packed_conv2d_term(const ConvGeometry& g,
+                                      std::int64_t src_c,
+                                      const std::uint64_t* words,
+                                      const std::int32_t* chrow,
+                                      const float* wt, std::int64_t out_c,
+                                      float* outt) {
+  const std::int64_t h = g.in_h, w = g.in_w;
+  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  const std::int64_t plane = h * w;
+  const std::int64_t numel = src_c * plane;
+  const std::int64_t nwords = packed_words(numel);
+  std::int64_t synops = 0;
+
+  for (std::int64_t wi = 0; wi < nwords; ++wi) {
+    std::uint64_t bits = words[wi];
+    if (bits == 0) continue;  // popcount-guided: skip 64 positions at once
+    const std::int64_t base = wi << 6;
+    while (bits != 0) {
+      const std::int64_t flat = base + std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::int64_t c = flat / plane;
+      const std::int64_t rem = flat - c * plane;
+      const std::int64_t iy = rem / w;
+      const std::int64_t ix = rem - iy * w;
+      const std::int64_t row = chrow != nullptr
+                                   ? static_cast<std::int64_t>(chrow[c])
+                                   : c;
+      if (row < 0) continue;
+      // Same tap walk as spike_conv2d_forward: each valid (ky, kx) is one
+      // contiguous out_c-length axpy of a transposed weight row.
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t ty = iy + pad - ky;
+        if (ty < 0 || ty % s != 0) continue;
+        const std::int64_t oy = ty / s;
+        if (oy >= ho) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t tx = ix + pad - kx;
+          if (tx < 0 || tx % s != 0) continue;
+          const std::int64_t ox = tx / s;
+          if (ox >= wo) continue;
+          const float* wrow = wt + ((row * k + ky) * k + kx) * out_c;
+          float* orow = outt + (oy * wo + ox) * out_c;
+          for (std::int64_t o = 0; o < out_c; ++o) orow[o] += wrow[o];
+          synops += out_c;
+        }
+      }
+    }
+  }
+  return synops;
+}
+
+std::int64_t spike_packed_depthwise_term(const ConvGeometry& g,
+                                         std::int64_t src_c,
+                                         const std::uint64_t* words,
+                                         const std::int32_t* chrow,
+                                         const float* weight, float* acc) {
+  const std::int64_t h = g.in_h, w = g.in_w;
+  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  const std::int64_t plane = h * w;
+  const std::int64_t numel = src_c * plane;
+  const std::int64_t nwords = packed_words(numel);
+  std::int64_t synops = 0;
+
+  for (std::int64_t wi = 0; wi < nwords; ++wi) {
+    std::uint64_t bits = words[wi];
+    if (bits == 0) continue;
+    const std::int64_t base = wi << 6;
+    while (bits != 0) {
+      const std::int64_t flat = base + std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::int64_t c = flat / plane;
+      const std::int64_t rem = flat - c * plane;
+      const std::int64_t iy = rem / w;
+      const std::int64_t ix = rem - iy * w;
+      const std::int64_t row = chrow != nullptr
+                                   ? static_cast<std::int64_t>(chrow[c])
+                                   : c;
+      if (row < 0) continue;
+      const float* ker = weight + row * k * k;
+      float* oplane = acc + row * ho * wo;
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t ty = iy + pad - ky;
+        if (ty < 0 || ty % s != 0) continue;
+        const std::int64_t oy = ty / s;
+        if (oy >= ho) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t tx = ix + pad - kx;
+          if (tx < 0 || tx % s != 0) continue;
+          const std::int64_t ox = tx / s;
+          if (ox >= wo) continue;
+          oplane[oy * wo + ox] += ker[ky * k + kx];
+          ++synops;
+        }
+      }
+    }
+  }
+  return synops;
+}
+
+}  // namespace snnskip

@@ -11,9 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/adjacency.h"
+#include "infer/compile.h"
+#include "infer/engine.h"
+#include "models/zoo.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_export.h"
 #include "util/json_writer.h"
+#include "util/rng.h"
 
 namespace snnskip {
 namespace {
@@ -152,6 +157,58 @@ TEST_F(TelemetryTest, ChromeTraceRoundTripsThroughValidator) {
   telemetry::instant("train", "epoch 0 end");
 
   const std::string path = "telemetry_test_trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(path, &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, CompiledInferenceEmitsSpansAndCounters) {
+  // The compiled-inference engine (ISSUE 6) instruments each step with an
+  // infer.step span plus infer.* counters; the whole run must also export
+  // as a valid Chrome trace (round-trip through the validator).
+  ModelConfig cfg;
+  cfg.width = 8;
+  cfg.in_channels = 2;
+  cfg.num_classes = 10;
+  cfg.max_timesteps = 10;
+  cfg.seed = 7;
+  Network net =
+      build_model("single_block", cfg, default_adjacencies("single_block", cfg));
+  const Shape in_shape{1, 2, 8, 8};
+  infer::Plan plan = infer::compile_plan(net, in_shape);
+  plan.model_name = "single_block";  // the infer.step span label
+  infer::Engine eng(
+      std::make_shared<const infer::Plan>(std::move(plan)));
+
+  Telemetry::set_enabled(true);
+  Rng rng(3);
+  const std::int64_t steps = 4;
+  for (std::int64_t t = 0; t < steps; ++t) {
+    eng.step(Tensor::bernoulli(in_shape, rng, 0.1f));
+  }
+
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  const telemetry::SpanStat* s = find_span(snap, "infer.step", "single_block");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, static_cast<std::uint64_t>(steps));
+  EXPECT_DOUBLE_EQ(snap.counters.at("infer.steps"),
+                   static_cast<double>(steps));
+  // Dispatch counters mirror the engine's own stats exactly.
+  const auto& st = eng.stats();
+  double layers = 0.0;
+  for (const char* k :
+       {"infer.packed_layers", "infer.csr_layers", "infer.dense_layers"}) {
+    auto it = snap.counters.find(k);
+    if (it != snap.counters.end()) layers += it->second;
+  }
+  EXPECT_DOUBLE_EQ(layers, static_cast<double>(st.packed_dispatches +
+                                               st.csr_dispatches +
+                                               st.dense_dispatches));
+  EXPECT_DOUBLE_EQ(snap.counters.at("infer.spikes_popcount"),
+                   static_cast<double>(st.spikes));
+
+  const std::string path = "telemetry_test_infer_trace.json";
   ASSERT_TRUE(write_chrome_trace(path));
   std::string error;
   EXPECT_TRUE(validate_chrome_trace(path, &error)) << error;
