@@ -16,8 +16,13 @@
 // registered in bench/CMakeLists) runs compile + execute end-to-end under
 // the sanitizer job on every tier-1 run.
 //
+// Models are loaded through serve::ModelRegistry (ISSUE 7) — the same
+// build -> warm -> compile -> engine-pool path the serving daemon uses —
+// and engines carry per-engine infer::ExecOptions (overridable with
+// --packed / --dispatch-threshold) instead of mutating process globals.
+//
 // Usage: micro_infer [--smoke 1] [--out BENCH_infer.json] [--min-ms 50]
-//                    [--width 16]
+//                    [--width 16] [--packed 0|1] [--dispatch-threshold T]
 
 #include <cmath>
 #include <cstdio>
@@ -29,6 +34,7 @@
 #include "infer/compile.h"
 #include "infer/engine.h"
 #include "models/zoo.h"
+#include "serve/model_registry.h"
 #include "tensor/spike_kernels.h"
 #include "tensor/tensor.h"
 #include "util/cli.h"
@@ -140,25 +146,46 @@ int run(int argc, char** argv) {
   const Shape in_shape{1, 2, hw, hw};
   bool all_equal = true;
 
+  // Per-engine execution options for every engine the registry pools;
+  // env vars still seed the process defaults, CLI flags override both.
+  infer::ExecOptions exec = infer::ExecOptions::defaults();
+  exec.packed = args.get_int("packed", exec.packed ? 1 : 0) != 0;
+  exec.threshold = static_cast<float>(
+      args.get_double("dispatch-threshold", static_cast<double>(exec.threshold)));
+
+  serve::ModelRegistry registry;
+
   float last_theta = -1.f;
-  Network net;  // rebuilt per theta, shared across input rates
-  infer::PlanPtr plan;
+  // Training-graph twin rebuilt per theta (shared across input rates);
+  // warm_bn_stats matches the registry's warmup stream (Rng(99),
+  // Bernoulli 0.3, batch-1), so the twin's weights are bitwise identical
+  // to the registry-compiled plan's.
+  Network net;
+  serve::ModelHandle model;
   for (const SweepPoint& pt : sweep) {
     if (pt.theta != last_theta) {
-      ModelConfig cfg;
-      cfg.width = width;
-      cfg.in_channels = 2;
-      cfg.max_timesteps = steps;
-      cfg.seed = 7;
-      cfg.lif.threshold = pt.theta;
-      net = build_model("resnet18s", cfg, default_adjacencies("resnet18s", cfg));
+      serve::ModelSpec spec;
+      spec.name = "resnet18s-t" + std::to_string(pt.theta);
+      spec.config.width = width;
+      spec.config.in_channels = 2;
+      spec.config.max_timesteps = steps;
+      spec.config.seed = 7;
+      spec.config.lif.threshold = pt.theta;
+      spec.warm_bn_steps = steps;
+      spec.batch = 1;
+      spec.in_h = hw;
+      spec.in_w = hw;
+      spec.exec = exec;
+      model = registry.load(spec);
+
+      net = build_model("resnet18s", spec.config,
+                        default_adjacencies("resnet18s", spec.config));
       warm_bn_stats(net, in_shape, steps);
-      infer::Plan p = infer::compile_plan(net, in_shape);
-      p.model_name = "resnet18s";
-      plan = std::make_shared<const infer::Plan>(std::move(p));
       last_theta = pt.theta;
     }
-    infer::Engine eng(plan);
+    const infer::PlanPtr& plan = model->plan();
+    serve::LoadedModel::Lease lease = model->lease();
+    infer::Engine& eng = *lease;
     const std::vector<Tensor> xs = spike_inputs(in_shape, steps, pt.rate, 17);
 
     // Cross-check: compiled plan vs training eval, every timestep. 1e-4

@@ -1,0 +1,299 @@
+// Closed-loop load generator for the snnskip-serve core (ISSUE 7).
+//
+// Sweeps model count x client concurrency against a Server with dynamic
+// batching and compares sustained throughput to a serial
+// request-at-a-time baseline: one thread driving a batch-1 compiled
+// Engine directly, one sequence after another — the pre-serve deployment
+// model. The served configuration wins on two axes the baseline lacks:
+// concurrent batch execution on the worker pool and batched kernels
+// amortizing per-step dispatch/im2col overhead.
+//
+// Every served response is cross-checked against a precomputed direct
+// Engine reference for the same request at 1e-4 (the documented BN-fold
+// tolerance); any mismatch fails the binary. The smoke variant
+// (--smoke 1) runs in ctest, so the full submit -> batch -> lease ->
+// execute -> future path is exercised under the sanitizer jobs on every
+// tier-1 run.
+//
+// Emitted rows (BENCH_serve.json) are keyed on (models, clients) with
+// metric throughput_vs_serial; `workers` is the gate's threads_field so
+// smaller machines skip rows they cannot reproduce.
+//
+// Usage: serve_load [--smoke 1] [--out BENCH_serve.json] [--min-ms 400]
+//                   [--workers N]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "infer/engine.h"
+#include "serve/model_registry.h"
+#include "serve/options.h"
+#include "serve/server.h"
+#include "tensor/tensor.h"
+#include "util/cli.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace snnskip {
+namespace {
+
+using serve::LoadedModel;
+using serve::ModelHandle;
+using serve::ModelRegistry;
+using serve::ModelSpec;
+using serve::ServeOptions;
+using serve::Server;
+
+constexpr std::int64_t kTimesteps = 6;
+constexpr std::int64_t kBatch = 8;
+constexpr std::size_t kRequestsPerModel = 16;
+
+struct SweepPoint {
+  int models;
+  int clients;
+};
+
+ModelSpec make_spec(int idx, std::int64_t batch) {
+  ModelSpec spec;
+  spec.name = "m" + std::to_string(idx) + (batch == 1 ? ".serial" : "");
+  spec.config.width = 8;
+  spec.config.in_channels = 2;
+  spec.config.max_timesteps = kTimesteps;
+  spec.config.seed = 7;  // same seed both batch shapes -> same weights
+  spec.config.lif.threshold = idx % 2 == 0 ? 1.0f : 2.0f;
+  spec.warm_bn_steps = kTimesteps;
+  spec.batch = batch;
+  spec.in_h = 12;
+  spec.in_w = 12;
+  return spec;
+}
+
+struct RequestSet {
+  std::string model;
+  std::vector<std::vector<Tensor>> frames;  // per request: T x (C,H,W)
+  std::vector<Tensor> reference;            // rate-accumulated head output
+};
+
+// Precompute requests + references with a batch-1 engine: slot 0 is the
+// whole batch, so the reference IS the request-at-a-time answer.
+RequestSet build_requests(const ModelHandle& serial_model, int model_idx) {
+  RequestSet rs;
+  rs.model = "m" + std::to_string(model_idx);
+  const infer::Plan& plan = *serial_model->plan();
+  const Shape frame{plan.input_shape[1], plan.input_shape[2],
+                    plan.input_shape[3]};
+  const std::int64_t classes = plan.output_shape.numel();
+  Rng rng(500 + static_cast<std::uint64_t>(model_idx));
+  LoadedModel::Lease lease = serial_model->lease();
+  Tensor out;
+  for (std::size_t r = 0; r < kRequestsPerModel; ++r) {
+    std::vector<Tensor> frames;
+    for (std::int64_t t = 0; t < kTimesteps; ++t) {
+      frames.push_back(Tensor::bernoulli(frame, rng, 0.4f));
+    }
+    Tensor ref(Shape{classes});
+    ref.fill(0.f);
+    lease->reset();
+    for (const Tensor& x : frames) {
+      lease->step(x.reshape(plan.input_shape), &out);
+      for (std::int64_t c = 0; c < classes; ++c) {
+        ref.data()[c] += out.data()[c];
+      }
+    }
+    rs.frames.push_back(std::move(frames));
+    rs.reference.push_back(std::move(ref));
+  }
+  return rs;
+}
+
+// Serial baseline: one thread, one batch-1 engine per model, requests
+// executed to completion one at a time round-robin across models.
+double serial_throughput(const std::vector<ModelHandle>& serial_models,
+                         const std::vector<RequestSet>& sets, double min_ms) {
+  std::vector<LoadedModel::Lease> leases;
+  leases.reserve(serial_models.size());
+  for (const ModelHandle& m : serial_models) leases.push_back(m->lease());
+  Tensor out;
+  std::int64_t done = 0;
+  Timer t;
+  do {
+    const std::size_t m = static_cast<std::size_t>(done) % sets.size();
+    const auto& frames =
+        sets[m].frames[static_cast<std::size_t>(done) % kRequestsPerModel];
+    const Shape& in = serial_models[m]->plan()->input_shape;
+    leases[m]->reset();
+    for (const Tensor& x : frames) leases[m]->step(x.reshape(in), &out);
+    ++done;
+  } while (t.elapsed_ms() < min_ms);
+  return static_cast<double>(done) / t.elapsed_s();
+}
+
+struct LoadResult {
+  double throughput = 0.0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  double mean_occupancy = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool ok = true;
+};
+
+// Closed-loop clients: each waits for its response before submitting the
+// next request, checking every response against the precomputed
+// reference.
+LoadResult served_throughput(Server& server,
+                             const std::vector<RequestSet>& sets, int clients,
+                             double min_ms) {
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> rejected{0};
+  std::atomic<bool> bad{false};
+  std::atomic<bool> stop{false};
+  Timer t;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t i = static_cast<std::uint64_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t m = i % sets.size();
+        const std::size_t r = (i / sets.size()) % kRequestsPerModel;
+        ++i;
+        Server::Ticket ticket =
+            server.submit(sets[m].model, sets[m].frames[r]);
+        if (!ticket.accepted) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(ticket.retry_after_us));
+          continue;
+        }
+        const Tensor got = ticket.result.get();
+        if (Tensor::max_abs_diff(got, sets[m].reference[r]) > 1e-4f) {
+          bad.store(true, std::memory_order_relaxed);
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (t.elapsed_ms() < min_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : threads) th.join();
+  const double elapsed_s = t.elapsed_s();
+
+  LoadResult res;
+  const serve::ServeStats stats = server.stats();
+  res.completed = completed.load();
+  res.rejected = rejected.load();
+  res.throughput = static_cast<double>(res.completed) / elapsed_s;
+  res.mean_occupancy = stats.mean_batch_occupancy;
+  res.p50_ms = stats.p50_ms;
+  res.p99_ms = stats.p99_ms;
+  res.ok = !bad.load() && stats.failed == 0;
+  return res;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool smoke = args.get_int("smoke", 0) != 0;
+  const double min_ms = args.get_double("min-ms", smoke ? 60.0 : 400.0);
+  const std::string out_path = args.get("out", "BENCH_serve.json");
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int workers =
+      args.get_int("workers", static_cast<int>(std::min(4u, hw)));
+
+  std::vector<SweepPoint> sweep;
+  if (smoke) {
+    sweep = {{1, 2}, {2, 8}};
+  } else {
+    sweep = {{1, 1}, {1, 4}, {1, 8}, {2, 8}, {4, 8}};
+  }
+  const int max_models =
+      std::max_element(sweep.begin(), sweep.end(), [](auto a, auto b) {
+        return a.models < b.models;
+      })->models;
+
+  // One registry for the whole run: batch-8 served models plus batch-1
+  // serial twins (same seed + warmup => identical weights).
+  ModelRegistry registry(static_cast<std::size_t>(2 * max_models));
+  std::vector<ModelHandle> serial_models;
+  std::vector<RequestSet> all_sets;
+  for (int m = 0; m < max_models; ++m) {
+    serial_models.push_back(registry.load(make_spec(m, 1)));
+    all_sets.push_back(build_requests(serial_models.back(), m));
+  }
+
+  JsonArrayWriter json(out_path);
+  if (!json.ok()) {
+    std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("%7s %8s %8s %11s %11s %7s %7s %8s %8s\n", "models", "clients",
+              "workers", "serial_rps", "served_rps", "vs", "occ", "p50ms",
+              "p99ms");
+
+  bool all_ok = true;
+  for (const SweepPoint& pt : sweep) {
+    std::vector<ModelHandle> serial(serial_models.begin(),
+                                    serial_models.begin() + pt.models);
+    std::vector<RequestSet> sets(all_sets.begin(),
+                                 all_sets.begin() + pt.models);
+    const double serial_rps = serial_throughput(serial, sets, min_ms);
+
+    ServeOptions opts;
+    opts.max_batch = kBatch;
+    opts.latency_budget_us = 2000;
+    opts.queue_capacity = 256;
+    opts.workers = workers;
+    Server server(registry, opts);
+    for (int m = 0; m < pt.models; ++m) {
+      server.add_model(make_spec(m, kBatch));
+    }
+    const LoadResult res =
+        served_throughput(server, sets, pt.clients, min_ms);
+    server.drain();
+    if (!res.ok) {
+      std::fprintf(stderr,
+                   "FAIL: served/reference mismatch or failed requests "
+                   "(models=%d clients=%d)\n",
+                   pt.models, pt.clients);
+      all_ok = false;
+    }
+
+    const double vs = serial_rps > 0.0 ? res.throughput / serial_rps : 0.0;
+    std::printf("%7d %8d %8d %11.0f %11.0f %6.2fx %7.2f %8.2f %8.2f\n",
+                pt.models, pt.clients, workers, serial_rps, res.throughput,
+                vs, res.mean_occupancy, res.p50_ms, res.p99_ms);
+
+    json.begin_row();
+    json.field("models", static_cast<double>(pt.models));
+    json.field("clients", static_cast<double>(pt.clients));
+    json.field("workers", static_cast<double>(workers));
+    json.field("serial_rps", serial_rps);
+    json.field("served_rps", res.throughput);
+    json.field("throughput_vs_serial", vs);
+    json.field("mean_batch_occupancy", res.mean_occupancy);
+    json.field("rejected", static_cast<double>(res.rejected));
+    json.field("p50_ms", res.p50_ms);
+    json.field("p99_ms", res.p99_ms);
+    json.field("hardware_threads", static_cast<double>(hw));
+    json.end_row();
+  }
+
+  if (!all_ok) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace snnskip
+
+int main(int argc, char** argv) { return snnskip::run(argc, argv); }

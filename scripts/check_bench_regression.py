@@ -78,6 +78,13 @@ BENCHES = [
         "metric": "speedup_vs_training",
         "threads_field": None,
     },
+    {
+        "binary": "serve_load",
+        "baseline": "BENCH_serve.json",
+        "key": ("models", "clients"),
+        "metric": "throughput_vs_serial",
+        "threads_field": "workers",
+    },
 ]
 
 

@@ -19,7 +19,7 @@ if [[ ! -d "${BUILD_DIR}/bench" ]]; then
   exit 1
 fi
 
-for bin in micro_spike_conv micro_spike_bptt micro_data_parallel micro_infer telemetry_smoke; do
+for bin in micro_spike_conv micro_spike_bptt micro_data_parallel micro_infer serve_load telemetry_smoke; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "error: ${BUILD_DIR}/bench/${bin} not built (stale tree? re-run cmake --build ${BUILD_DIR} -j)" >&2
     exit 1
@@ -44,6 +44,11 @@ echo
 echo "== micro_infer smoke (compiled plan vs training eval cross-check) =="
 "${BUILD_DIR}/bench/micro_infer" --smoke 1 \
   --out "${BUILD_DIR}/bench/BENCH_infer_smoke.json"
+
+echo
+echo "== serve_load smoke (served vs direct-engine cross-check) =="
+"${BUILD_DIR}/bench/serve_load" --smoke 1 \
+  --out "${BUILD_DIR}/bench/BENCH_serve_smoke.json"
 
 echo
 echo "== telemetry smoke (trace export + validation) =="

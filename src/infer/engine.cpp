@@ -1,6 +1,7 @@
 #include "infer/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -17,27 +18,56 @@ namespace snnskip::infer {
 
 namespace {
 
-struct InferCfg {
-  bool packed;
-  float threshold;
+// Process-wide DEFAULTS only (ISSUE 7): seeded from the environment once,
+// adjusted by the deprecated InferExec shims, snapshotted by each Engine
+// at construction. Atomics because the shims may race with concurrent
+// Engine construction on other threads.
+struct DefaultCfg {
+  std::atomic<bool> packed;
+  std::atomic<float> threshold;
+  DefaultCfg()
+      : packed(env::get_bool("SNNSKIP_INFER_PACKED", true)),
+        threshold(static_cast<float>(
+            env::get_double("SNNSKIP_INFER_THRESHOLD", 0.25, 0.0, 1.0))) {}
 };
 
-InferCfg& cfg() {
-  static InferCfg c{
-      env::get_bool("SNNSKIP_INFER_PACKED", true),
-      static_cast<float>(
-          env::get_double("SNNSKIP_INFER_THRESHOLD", 0.25, 0.0, 1.0))};
+DefaultCfg& default_cfg() {
+  static DefaultCfg c;
   return c;
 }
 
 }  // namespace
 
-bool InferExec::packed_enabled() { return cfg().packed; }
-float InferExec::threshold() { return cfg().threshold; }
-void InferExec::set_packed_enabled(bool on) { cfg().packed = on; }
-void InferExec::set_threshold(float t) { cfg().threshold = t; }
+ExecOptions ExecOptions::defaults() {
+  ExecOptions o;
+  o.packed = default_cfg().packed.load(std::memory_order_relaxed);
+  o.threshold = default_cfg().threshold.load(std::memory_order_relaxed);
+  return o;
+}
 
-Engine::Engine(PlanPtr plan) : plan_(std::move(plan)) {
+bool InferExec::packed_enabled() {
+  return default_cfg().packed.load(std::memory_order_relaxed);
+}
+float InferExec::threshold() {
+  return default_cfg().threshold.load(std::memory_order_relaxed);
+}
+void InferExec::set_packed_enabled(bool on) {
+  default_cfg().packed.store(on, std::memory_order_relaxed);
+}
+void InferExec::set_threshold(float t) {
+  default_cfg().threshold.store(t, std::memory_order_relaxed);
+}
+
+Engine::Engine(PlanPtr plan, const ExecOptions& opts)
+    : plan_(std::move(plan)), opts_(opts) {
+  const std::string m =
+      plan_->model_name.empty() ? "model" : plan_->model_name;
+  ctr_steps_ = "infer.steps." + m;
+  ctr_spikes_ = "infer.spikes_popcount." + m;
+  ctr_synops_ = "infer.synops." + m;
+  ctr_packed_ = "infer.packed_layers." + m;
+  ctr_csr_ = "infer.csr_layers." + m;
+  ctr_dense_ = "infer.dense_layers." + m;
   farena_.assign(static_cast<std::size_t>(plan_->float_arena), 0.f);
   warena_.assign(static_cast<std::size_t>(plan_->word_arena), 0u);
   sarena_.assign(static_cast<std::size_t>(plan_->state_arena), 0.f);
@@ -45,6 +75,8 @@ Engine::Engine(PlanPtr plan) : plan_(std::move(plan)) {
   popcnt_.assign(plan_->values.size(), 0);
   pvalid_.assign(plan_->values.size(), 0);
 }
+
+Engine::Engine(PlanPtr plan) : Engine(std::move(plan), ExecOptions::defaults()) {}
 
 float* Engine::dense(int v) {
   return farena_.data() + val(v).dense_off;
@@ -85,9 +117,14 @@ void Engine::step(const Tensor& x, Tensor* out) {
   ++t_;
   ++stats_.steps;
   Telemetry::count("infer.steps");
+  Telemetry::count(ctr_steps_.c_str());
   Telemetry::count("infer.spikes_popcount",
                    static_cast<double>(stats_.spikes - spikes0));
+  Telemetry::count(ctr_spikes_.c_str(),
+                   static_cast<double>(stats_.spikes - spikes0));
   Telemetry::count("infer.synops",
+                   static_cast<double>(stats_.synops - synops0));
+  Telemetry::count(ctr_synops_.c_str(),
                    static_cast<double>(stats_.synops - synops0));
 }
 
@@ -225,11 +262,12 @@ void Engine::exec_conv(const OpPlan& op) {
 
   const Dispatch d = classify(*plan_, op, popcnt_, pvalid_);
   const bool sparse_ok =
-      d.all_spiking && d.density < static_cast<double>(InferExec::threshold());
+      d.all_spiking && d.density < static_cast<double>(opts_.threshold);
 
-  if (InferExec::packed_enabled() && d.all_packed && sparse_ok) {
+  if (opts_.packed && d.all_packed && sparse_ok) {
     ++stats_.packed_dispatches;
     Telemetry::count("infer.packed_layers");
+    Telemetry::count(ctr_packed_.c_str());
     float* panel = scratch_.data();  // (P, O) transposed accumulator
     for (std::int64_t img = 0; img < n; ++img) {
       std::memset(panel, 0, static_cast<std::size_t>(p * o_c) * sizeof(float));
@@ -261,6 +299,7 @@ void Engine::exec_conv(const OpPlan& op) {
     // assembled input (the packed path's correctness baseline).
     ++stats_.csr_dispatches;
     Telemetry::count("infer.csr_layers");
+    Telemetry::count(ctr_csr_.c_str());
     float* w_oihw = scratch_.data();
     float* assembled = w_oihw + ckk * o_c;
     float* outr = assembled + in_img;
@@ -295,6 +334,7 @@ void Engine::exec_conv(const OpPlan& op) {
 
   ++stats_.dense_dispatches;
   Telemetry::count("infer.dense_layers");
+  Telemetry::count(ctr_dense_.c_str());
   stats_.dense_macs += op.macs;
   float* assembled = scratch_.data();
   float* cols = assembled + in_img;
@@ -358,11 +398,12 @@ void Engine::exec_dwconv(const OpPlan& op) {
 
   const Dispatch d = classify(*plan_, op, popcnt_, pvalid_);
   const bool sparse_ok =
-      d.all_spiking && d.density < static_cast<double>(InferExec::threshold());
+      d.all_spiking && d.density < static_cast<double>(opts_.threshold);
 
-  if (InferExec::packed_enabled() && d.all_packed && sparse_ok) {
+  if (opts_.packed && d.all_packed && sparse_ok) {
     ++stats_.packed_dispatches;
     Telemetry::count("infer.packed_layers");
+    Telemetry::count(ctr_packed_.c_str());
     float* acc = scratch_.data();  // (C, Ho, Wo)
     for (std::int64_t img = 0; img < n; ++img) {
       std::memset(acc, 0, static_cast<std::size_t>(c * p) * sizeof(float));
@@ -382,6 +423,7 @@ void Engine::exec_dwconv(const OpPlan& op) {
   if (sparse_ok) {
     ++stats_.csr_dispatches;
     Telemetry::count("infer.csr_layers");
+    Telemetry::count(ctr_csr_.c_str());
     float* assembled = scratch_.data();
     float* outr = assembled + in_img;
     std::int64_t nnz = 0;
@@ -400,6 +442,7 @@ void Engine::exec_dwconv(const OpPlan& op) {
 
   ++stats_.dense_dispatches;
   Telemetry::count("infer.dense_layers");
+  Telemetry::count(ctr_dense_.c_str());
   stats_.dense_macs += op.macs;
   float* assembled = scratch_.data();
   float* outr = assembled + in_img;
@@ -442,6 +485,7 @@ void Engine::exec_linear(const OpPlan& op) {
   const std::int64_t o_f = op.out_c;
   ++stats_.dense_dispatches;
   Telemetry::count("infer.dense_layers");
+  Telemetry::count(ctr_dense_.c_str());
   stats_.dense_macs += op.macs;
   float* outr = scratch_.data();  // (N, O)
   // out(N, O) = x(N, I) * W(O, I)^T — Linear::forward's dense GEMM; the

@@ -32,13 +32,19 @@
 // output's dense mirror, its packed mask, and the exact spike popcount in
 // one pass.
 //
-// Runtime configuration (read once at startup through util/runtime_env,
-// setters for tests — mirrors SparseExec):
-//   SNNSKIP_INFER_PACKED=0          disable the packed path (CSR baseline)
-//   SNNSKIP_INFER_THRESHOLD=<frac>  density cutoff for the event paths
-//                                   (default 0.25, valid range [0, 1])
+// Runtime configuration (ISSUE 7): dispatch switches are PER ENGINE.
+// Each Engine snapshots an ExecOptions at construction and never consults
+// process-global state afterwards, so concurrent engines with different
+// options (multi-tenant serving: one model latency-tuned packed, another
+// forced to the CSR baseline) cannot perturb each other. The environment
+// only seeds the process-wide *defaults*, read once through
+// util/runtime_env:
+//   SNNSKIP_INFER_PACKED=0          default packed off (CSR baseline)
+//   SNNSKIP_INFER_THRESHOLD=<frac>  default density cutoff for the event
+//                                   paths (0.25, valid range [0, 1])
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "infer/plan.h"
@@ -48,7 +54,23 @@
 
 namespace snnskip::infer {
 
-/// Runtime switches for compiled-inference dispatch.
+/// Per-engine dispatch configuration. `ExecOptions{}` gives the compiled-in
+/// defaults; `ExecOptions::defaults()` gives the process-wide defaults
+/// (environment-seeded once, adjustable via the deprecated InferExec
+/// shims), which is what `Engine(plan)` uses.
+struct ExecOptions {
+  /// Bit-packed event kernels when density permits (false: CSR baseline).
+  bool packed = true;
+  /// Input density below which an event path is taken, in [0, 1].
+  float threshold = 0.25f;
+
+  static ExecOptions defaults();
+};
+
+/// DEPRECATED process-global switches, kept as shims for existing callers:
+/// the setters adjust the process-wide *defaults* consumed by engines
+/// constructed afterwards — they no longer affect live engines. New code
+/// should pass ExecOptions to the Engine constructor instead.
 class InferExec {
  public:
   static bool packed_enabled();
@@ -78,10 +100,15 @@ struct ExecStats {
 
 class Engine {
  public:
-  /// Preallocates every arena from the plan's high-water sizes.
+  /// Preallocates every arena from the plan's high-water sizes and
+  /// snapshots `opts` — later changes to the process-wide defaults never
+  /// reach a constructed engine.
+  Engine(PlanPtr plan, const ExecOptions& opts);
+  /// Convenience: construct with the process-wide default options.
   explicit Engine(PlanPtr plan);
 
   const Plan& plan() const { return *plan_; }
+  const ExecOptions& options() const { return opts_; }
 
   /// Zero all persistent neuron state and rewind the timestep counter
   /// (sequence boundary — the analogue of Network::reset_state()).
@@ -141,6 +168,12 @@ class Engine {
                 std::int64_t so, std::int64_t sp);
 
   PlanPtr plan_;
+  ExecOptions opts_;                   // snapshot; engine-local dispatch
+  // Telemetry counter keys, prefixed with the plan's model name so
+  // concurrent engines serving different models never bleed into one
+  // aggregate (the unprefixed infer.* keys keep the process-wide totals).
+  std::string ctr_steps_, ctr_spikes_, ctr_synops_;
+  std::string ctr_packed_, ctr_csr_, ctr_dense_;
   std::vector<float> farena_;          // shared value dense mirrors
   std::vector<std::uint64_t> warena_;  // shared packed masks
   std::vector<float> sarena_;          // persistent neuron state

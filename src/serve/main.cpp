@@ -1,0 +1,179 @@
+// snnskip-serve: high-throughput inference daemon (ISSUE 7).
+//
+// Stands up a ModelRegistry + Server and drives it with an in-process
+// closed-loop client soak (the repo has no network stack; the daemon's
+// value is the serving core — dynamic batching, admission control,
+// model cache — which bench/serve_load measures and tests/serve_test
+// checks). Models come from --manifests (comma-separated `key value`
+// manifest files, see serve/model_registry.h) or a built-in two-model
+// demo with synthetic weights.
+//
+// SIGINT triggers a graceful drain: admission stops, every pending
+// request flushes, and the final stats line prints before exit.
+//
+// Usage:
+//   snnskip-serve [--manifests a.manifest,b.manifest]
+//                 [--duration-s 5] [--clients 4] [--timesteps 6]
+//                 [--rate 0.15] [--telemetry 1]
+//                 [--trace-out serve_trace.json]
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.h"
+#include "serve/options.h"
+#include "serve/server.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
+#include "tensor/tensor.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace snnskip::serve {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_sigint(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+// Two small synthetic-weight models so the daemon demos multi-tenant
+// serving out of the box (distinct thetas => distinct dispatch mixes).
+std::vector<ModelSpec> demo_specs(std::int64_t timesteps) {
+  std::vector<ModelSpec> specs(2);
+  specs[0].name = "demo-a";
+  specs[1].name = "demo-b";
+  specs[1].config.lif.threshold = 2.0f;
+  for (ModelSpec& s : specs) {
+    s.config.width = 8;
+    s.config.in_channels = 2;
+    s.config.max_timesteps = timesteps;
+    s.config.seed = 7;
+    s.warm_bn_steps = timesteps;
+    s.batch = 8;
+  }
+  return specs;
+}
+
+int run(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double duration_s = args.get_double("duration-s", 5.0);
+  const int clients = args.get_int("clients", 4);
+  const std::int64_t timesteps = args.get_int("timesteps", 6);
+  const float rate = static_cast<float>(args.get_double("rate", 0.15));
+  const std::string trace_out = args.get("trace-out", "");
+  if (args.get_int("telemetry", trace_out.empty() ? 0 : 1) != 0) {
+    Telemetry::set_enabled(true);
+  }
+
+  ModelRegistry registry;
+  Server server(registry);
+
+  std::vector<std::string> names;
+  if (args.has("manifests")) {
+    for (const std::string& path : split_csv(args.get("manifests", ""))) {
+      const ModelSpec spec = ModelSpec::from_manifest(path);
+      server.add_model(spec);
+      names.push_back(spec.name);
+      std::printf("loaded %-16s (%s)\n", spec.name.c_str(), path.c_str());
+    }
+  } else {
+    for (const ModelSpec& spec : demo_specs(timesteps)) {
+      server.add_model(spec);
+      names.push_back(spec.name);
+      std::printf("loaded %-16s (built-in demo)\n", spec.name.c_str());
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "FAIL: no models loaded\n");
+    return 1;
+  }
+
+  std::signal(SIGINT, on_sigint);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration_s);
+
+  // Closed-loop clients: each submits one sequence at a time to a model
+  // picked round-robin per request, backing off by the server's
+  // retry_after_us hint when rejected.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      const Shape frame{2, 8, 8};
+      std::uint64_t i = 0;
+      while (!g_stop.load(std::memory_order_relaxed) &&
+             std::chrono::steady_clock::now() < deadline) {
+        const std::string& model =
+            names[(static_cast<std::size_t>(c) + i++) % names.size()];
+        std::vector<Tensor> frames;
+        frames.reserve(static_cast<std::size_t>(timesteps));
+        for (std::int64_t t = 0; t < timesteps; ++t) {
+          frames.push_back(Tensor::bernoulli(frame, rng, rate));
+        }
+        Server::Ticket ticket = server.submit(model, std::move(frames));
+        if (!ticket.accepted) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(ticket.retry_after_us));
+          continue;
+        }
+        ticket.result.get();
+      }
+    });
+  }
+
+  // Periodic stats until the soak ends or SIGINT arrives.
+  auto print_stats = [&](const char* tag) {
+    const ServeStats s = server.stats();
+    std::printf(
+        "[%s] ok=%lld rej=%lld fail=%lld batches=%lld occ=%.2f depth=%lld "
+        "(hw %lld) p50=%.2fms p99=%.2fms\n",
+        tag, static_cast<long long>(s.completed),
+        static_cast<long long>(s.rejected), static_cast<long long>(s.failed),
+        static_cast<long long>(s.batches), s.mean_batch_occupancy,
+        static_cast<long long>(s.queue_depth),
+        static_cast<long long>(s.queue_depth_high_water), s.p50_ms, s.p99_ms);
+  };
+  while (!g_stop.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    print_stats("serve");
+  }
+
+  g_stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  server.drain();
+  print_stats("final");
+
+  if (!trace_out.empty()) {
+    if (!write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace snnskip::serve
+
+int main(int argc, char** argv) { return snnskip::serve::run(argc, argv); }

@@ -1,0 +1,254 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/tensor.h"
+#include "telemetry/telemetry.h"
+#include "train/checkpoint.h"
+#include "util/rng.h"
+#include "util/runtime_env.h"
+
+namespace snnskip::serve {
+
+namespace {
+
+bool parse_bool(const std::string& v) {
+  std::string t;
+  t.reserve(v.size());
+  for (char c : v) {
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return !(t == "0" || t == "false" || t == "off" || t == "no");
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+std::string file_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t end =
+      (dot == std::string::npos || dot <= start) ? path.size() : dot;
+  return path.substr(start, end - start);
+}
+
+}  // namespace
+
+ModelSpec ModelSpec::from_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("serve::ModelSpec: cannot read manifest " + path);
+  }
+  ModelSpec spec;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string key, value;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+    ls >> std::ws;
+    std::getline(ls, value);
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.pop_back();
+    }
+    auto bad = [&](const std::string& why) {
+      throw std::runtime_error("serve::ModelSpec: " + path + ":" +
+                               std::to_string(lineno) + ": " + why);
+    };
+    if (value.empty()) bad("missing value for key '" + key + "'");
+    try {
+      if (key == "name") {
+        spec.name = value;
+      } else if (key == "family") {
+        spec.family = value;
+      } else if (key == "width") {
+        spec.config.width = std::stoll(value);
+      } else if (key == "in_channels") {
+        spec.config.in_channels = std::stoll(value);
+      } else if (key == "num_classes") {
+        spec.config.num_classes = std::stoll(value);
+      } else if (key == "timesteps") {
+        spec.config.max_timesteps = std::stoll(value);
+      } else if (key == "seed") {
+        spec.config.seed = std::stoull(value);
+      } else if (key == "theta") {
+        spec.config.lif.threshold = std::stof(value);
+      } else if (key == "neuron") {
+        if (value == "lif") {
+          spec.config.neuron = NeuronKind::Lif;
+        } else if (value == "plif") {
+          spec.config.neuron = NeuronKind::Plif;
+        } else {
+          bad("unknown neuron kind '" + value + "'");
+        }
+      } else if (key == "checkpoint") {
+        spec.checkpoint =
+            value.front() == '/' ? value : dirname_of(path) + "/" + value;
+      } else if (key == "warm_bn_steps") {
+        spec.warm_bn_steps = std::stoll(value);
+      } else if (key == "batch") {
+        spec.batch = std::stoll(value);
+      } else if (key == "in_h") {
+        spec.in_h = std::stoll(value);
+      } else if (key == "in_w") {
+        spec.in_w = std::stoll(value);
+      } else if (key == "fold_bn") {
+        spec.compile.fold_bn = parse_bool(value);
+      } else if (key == "packed") {
+        spec.exec.packed = parse_bool(value);
+      } else if (key == "threshold") {
+        spec.exec.threshold = std::stof(value);
+      } else {
+        bad("unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      bad("unparsable value '" + value + "' for key '" + key + "'");
+    } catch (const std::out_of_range&) {
+      bad("out-of-range value '" + value + "' for key '" + key + "'");
+    }
+  }
+  if (spec.name.empty()) spec.name = file_stem(path);
+  return spec;
+}
+
+LoadedModel::LoadedModel(ModelSpec spec, infer::PlanPtr plan)
+    : spec_(std::move(spec)), plan_(std::move(plan)) {}
+
+LoadedModel::Lease LoadedModel::lease() {
+  std::unique_ptr<infer::Engine> eng;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      eng = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (!eng) {
+    // Construct outside the lock: arena allocation is the expensive part
+    // and must not serialize concurrent leases of other engines.
+    eng = std::make_unique<infer::Engine>(plan_, spec_.exec);
+  }
+  eng->reset();
+  return Lease(this, std::move(eng));
+}
+
+void LoadedModel::release(std::unique_ptr<infer::Engine> e) {
+  if (!e) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(e));
+}
+
+std::int64_t LoadedModel::engines_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::size_t ModelRegistry::capacity_from_env() {
+  const std::int64_t v = env::get_int("SNNSKIP_SERVE_CACHE", 4);
+  return static_cast<std::size_t>(v < 1 ? 1 : v);
+}
+
+ModelRegistry::ModelRegistry(std::size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+ModelHandle ModelRegistry::load(const ModelSpec& spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("serve::ModelRegistry: spec.name is empty");
+  }
+  if (spec.batch < 1) {
+    throw std::invalid_argument("serve::ModelRegistry: spec.batch < 1");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    if (name == spec.name) {
+      entry.last_used = ++tick_;
+      Telemetry::count("serve.model_cache.hits");
+      return entry.model;
+    }
+  }
+
+  // Cold load: build -> restore/warm -> compile -> pool. Loads serialize
+  // behind the registry lock (cheap next to training; serving hot paths
+  // only touch LoadedModel, which has its own lock).
+  Network net = build_model(
+      spec.family, spec.config,
+      spec.adjacencies.empty()
+          ? default_adjacencies(spec.family, spec.config)
+          : spec.adjacencies);
+  const Shape in_shape = spec.input_shape();
+  if (!spec.checkpoint.empty()) {
+    if (load_network(spec.checkpoint, net) == 0) {
+      throw std::runtime_error(
+          "serve::ModelRegistry: checkpoint restored no parameters: " +
+          spec.checkpoint);
+    }
+  } else if (spec.warm_bn_steps > 0) {
+    // Fixed warmup stream: an evicted model reloaded later recovers the
+    // exact same BNTT stats, so LRU round-trips are bit-reproducible.
+    // Always batch-1, independent of the compiled capacity, so specs
+    // differing only in `batch` fold identical weights (serve_load
+    // cross-checks batched serving against a batch-1 twin this way).
+    const Shape warm_shape{1, spec.config.in_channels, spec.in_h, spec.in_w};
+    Rng rng(99);
+    net.reset_state();
+    for (std::int64_t t = 0; t < spec.warm_bn_steps; ++t) {
+      net.forward(Tensor::bernoulli(warm_shape, rng, 0.3f), /*train=*/true);
+    }
+  }
+  net.reset_state();
+  infer::Plan plan = infer::compile_plan(net, in_shape, spec.compile);
+  plan.model_name = spec.name;
+  auto model = std::make_shared<LoadedModel>(
+      spec, std::make_shared<const infer::Plan>(std::move(plan)));
+
+  entries_.emplace_back(spec.name, Entry{model, ++tick_});
+  ++cold_loads_;
+  Telemetry::count("serve.model_cache.cold_loads");
+  while (entries_.size() > capacity_) {
+    auto lru = std::min_element(
+        entries_.begin(), entries_.end(), [](const auto& a, const auto& b) {
+          return a.second.last_used < b.second.last_used;
+        });
+    Telemetry::count("serve.model_cache.evictions");
+    entries_.erase(lru);
+  }
+  return model;
+}
+
+ModelHandle ModelRegistry::load(const std::string& manifest_path) {
+  return load(ModelSpec::from_manifest(manifest_path));
+}
+
+std::int64_t ModelRegistry::cold_loads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cold_loads_;
+}
+
+std::size_t ModelRegistry::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool ModelRegistry::is_resident(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, entry] : entries_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace snnskip::serve

@@ -1,0 +1,23 @@
+#include "serve/options.h"
+
+#include "util/runtime_env.h"
+
+namespace snnskip::serve {
+
+ServeOptions ServeOptions::from_env() {
+  ServeOptions o;
+  o.max_batch = env::get_int("SNNSKIP_SERVE_BATCH", o.max_batch);
+  if (o.max_batch < 1) o.max_batch = 1;
+  o.latency_budget_us =
+      env::get_int("SNNSKIP_SERVE_BUDGET_US", o.latency_budget_us);
+  if (o.latency_budget_us < 0) o.latency_budget_us = 0;
+  o.linger_us = env::get_int("SNNSKIP_SERVE_LINGER_US", o.linger_us);
+  if (o.linger_us < 0) o.linger_us = 0;
+  o.queue_capacity = env::get_int("SNNSKIP_SERVE_QUEUE", o.queue_capacity);
+  if (o.queue_capacity < 1) o.queue_capacity = 1;
+  o.workers = env::get_int("SNNSKIP_SERVE_WORKERS", o.workers);
+  if (o.workers < 1) o.workers = 1;
+  return o;
+}
+
+}  // namespace snnskip::serve

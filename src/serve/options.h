@@ -1,0 +1,53 @@
+#pragma once
+// Serving-daemon configuration (ISSUE 7).
+//
+// All knobs have compiled-in defaults; from_env() overlays the
+// SNNSKIP_SERVE_* environment variables (read through util/runtime_env,
+// documented in README "Runtime environment variables"). Like
+// infer::ExecOptions, the environment only seeds a configuration VALUE —
+// a constructed Server snapshots its ServeOptions and never consults
+// process-global state afterwards.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snnskip::serve {
+
+struct ServeOptions {
+  /// Flush a model's pending queue as soon as this many requests are
+  /// waiting (also the largest batch ever cut; must not exceed the
+  /// model's compiled batch capacity — Server::add_model clamps).
+  std::int64_t max_batch = 8;
+
+  /// Flush deadline: a pending request is never held longer than this
+  /// before its batch is cut, so a lone request on an idle server still
+  /// meets a hard latency budget (TTFS-style workloads).
+  std::int64_t latency_budget_us = 2000;
+
+  /// Work-conserving linger: while at least one worker is IDLE, a batch
+  /// is cut once its oldest request has waited this long (capped by
+  /// latency_budget_us) instead of the full budget — holding requests to
+  /// grow a batch only pays off when every worker is already busy. The
+  /// small nonzero default still coalesces near-simultaneous arrivals.
+  std::int64_t linger_us = 200;
+
+  /// Admission watermark across all models: submits beyond this many
+  /// queued (not yet dispatched) requests are rejected with a
+  /// retry-after hint instead of growing the queue without bound
+  /// (postgres-style backpressure: fail fast, keep the server live).
+  std::int64_t queue_capacity = 256;
+
+  /// Batch-execution thread-pool size. Each in-flight batch leases one
+  /// engine from the model's pool, so this also bounds engines per model.
+  std::int64_t workers = 2;
+
+  /// Ring of most recent per-request latencies kept for p50/p99.
+  std::size_t latency_window = 8192;
+
+  /// Compiled-in defaults overlaid with SNNSKIP_SERVE_BATCH,
+  /// SNNSKIP_SERVE_BUDGET_US, SNNSKIP_SERVE_LINGER_US,
+  /// SNNSKIP_SERVE_QUEUE, SNNSKIP_SERVE_WORKERS.
+  static ServeOptions from_env();
+};
+
+}  // namespace snnskip::serve

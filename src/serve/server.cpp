@@ -1,0 +1,335 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "fault/inject.h"
+#include "telemetry/telemetry.h"
+
+namespace snnskip::serve {
+
+Server::Server(ModelRegistry& registry, ServeOptions opts)
+    : opts_(opts), registry_(registry) {
+  latency_ring_.assign(std::max<std::size_t>(1, opts_.latency_window), 0.0);
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(std::max<std::int64_t>(1, opts_.workers)));
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Server::~Server() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+  pool_.reset();  // joins workers (all batches already finished by drain)
+}
+
+void Server::add_model(const ModelSpec& spec) {
+  ModelHandle model = registry_.load(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    throw std::logic_error("serve::Server: add_model after drain");
+  }
+  ModelQueue& q = queues_[spec.name];
+  q.model = std::move(model);
+}
+
+Server::Ticket Server::submit(const std::string& model,
+                              std::vector<Tensor> frames) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = queues_.find(model);
+  if (it == queues_.end()) {
+    throw std::invalid_argument("serve::Server: unknown model '" + model +
+                                "'");
+  }
+  const Shape& in = it->second.model->plan()->input_shape;
+  if (frames.empty()) {
+    throw std::invalid_argument("serve::Server: empty request sequence");
+  }
+  const Shape frame_shape{in[1], in[2], in[3]};
+  for (const Tensor& f : frames) {
+    if (f.shape() != frame_shape) {
+      throw std::invalid_argument(
+          "serve::Server: frame shape does not match the model's compiled "
+          "(C, H, W)");
+    }
+  }
+
+  Ticket t;
+  // Admission control: shed load at the edge once the backlog passes the
+  // watermark (or when draining), with a retry hint sized to the time the
+  // current backlog needs to clear at one batch per latency budget.
+  const bool full = pending_total_ >= opts_.queue_capacity;
+  if (draining_ || full || SNNSKIP_FAULT("serve.queue_full")) {
+    ++rejected_;
+    Telemetry::count("serve.rejected");
+    t.accepted = false;
+    t.retry_after_us =
+        draining_ ? 0
+                  : opts_.latency_budget_us *
+                        (1 + pending_total_ / std::max<std::int64_t>(
+                                                  1, opts_.max_batch));
+    return t;
+  }
+
+  auto req = std::make_unique<Request>();
+  req->frames = std::move(frames);
+  req->enqueue_ns = Telemetry::now_ns();
+  t.result = req->promise.get_future();
+  t.accepted = true;
+  it->second.pending.push_back(std::move(req));
+  ++pending_total_;
+  ++accepted_;
+  depth_high_water_ = std::max(depth_high_water_, pending_total_);
+  Telemetry::count("serve.requests");
+  Telemetry::count_max("serve.queue_depth.high_water",
+                       static_cast<double>(pending_total_));
+  lock.unlock();
+  cv_.notify_one();
+  return t;
+}
+
+Tensor Server::infer(const std::string& model, std::vector<Tensor> frames) {
+  Ticket t = submit(model, std::move(frames));
+  if (!t.accepted) {
+    throw std::runtime_error("serve::Server: request rejected (retry in " +
+                             std::to_string(t.retry_after_us) + "us)");
+  }
+  return t.result.get();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.notify_all();
+  drain_cv_.wait(lock, [this] {
+    return pending_total_ == 0 && in_flight_batches_ == 0;
+  });
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void Server::dispatcher_loop() {
+  const std::int64_t budget_ns = opts_.latency_budget_us * 1000;
+  const std::int64_t linger_ns =
+      std::min(opts_.linger_us, opts_.latency_budget_us) * 1000;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    // Cut every ready batch: batch-full queues immediately, deadline-hit
+    // queues by the age of their OLDEST pending request, everything when
+    // draining. Work-conserving: while a worker is idle the deadline is
+    // the short linger, not the full budget — holding a batch open only
+    // buys throughput when every worker is busy anyway.
+    auto wait_ns = [&] {
+      return in_flight_batches_ < opts_.workers ? linger_ns : budget_ns;
+    };
+    for (auto& [name, q] : queues_) {
+      const std::int64_t cap =
+          std::min<std::int64_t>(opts_.max_batch, q.model->batch_capacity());
+      while (!q.pending.empty() &&
+             (static_cast<std::int64_t>(q.pending.size()) >= cap ||
+              draining_ ||
+              Telemetry::now_ns() >=
+                  q.pending.front()->enqueue_ns +
+                      static_cast<std::uint64_t>(wait_ns()))) {
+        cut_batch(q);
+      }
+    }
+
+    // Sleep until the earliest pending deadline (or a submit / drain /
+    // batch-completion wake; completions can shorten deadlines to the
+    // linger, so run_batch also notifies cv_).
+    std::int64_t next = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [name, q] : queues_) {
+      if (!q.pending.empty()) {
+        next = std::min(next, static_cast<std::int64_t>(
+                                  q.pending.front()->enqueue_ns) +
+                                  wait_ns());
+      }
+    }
+    if (next == std::numeric_limits<std::int64_t>::max()) {
+      cv_.wait(lock);
+    } else {
+      const std::int64_t now = static_cast<std::int64_t>(Telemetry::now_ns());
+      if (next > now) {
+        cv_.wait_for(lock, std::chrono::nanoseconds(next - now));
+      }
+    }
+  }
+}
+
+void Server::cut_batch(ModelQueue& q) {
+  const std::int64_t cap =
+      std::min<std::int64_t>(opts_.max_batch, q.model->batch_capacity());
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(cap), q.pending.size());
+  Batch batch;
+  batch.model = q.model;
+  batch.requests.reserve(n);
+  const std::uint64_t now = Telemetry::now_ns();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::unique_ptr<Request> req = std::move(q.pending.front());
+    q.pending.pop_front();
+    telemetry::record_span("serve.queue_wait", q.model->spec().name,
+                           req->enqueue_ns, now - req->enqueue_ns);
+    batch.requests.push_back(std::move(req));
+  }
+  pending_total_ -= static_cast<std::int64_t>(n);
+  ++in_flight_batches_;
+  ++batches_;
+  batched_requests_ += static_cast<std::int64_t>(n);
+  Telemetry::count("serve.batches");
+  Telemetry::count("serve.batch_occupancy", static_cast<double>(n));
+  pool_->submit([this, b = std::make_shared<Batch>(std::move(batch))] {
+    run_batch(std::move(*b));
+  });
+}
+
+void Server::run_batch(Batch batch) {
+  const std::string& name = batch.model->spec().name;
+  SNNSKIP_SPAN("serve.execute", name);
+  const std::size_t nreq = batch.requests.size();
+  std::size_t fulfilled = 0;
+  try {
+    LoadedModel::Lease lease = batch.model->lease();
+    const infer::Plan& plan = *batch.model->plan();
+    const std::int64_t n = plan.input_shape[0];
+    const std::int64_t img_f = plan.input_shape[1] * plan.input_shape[2] *
+                               plan.input_shape[3];
+    const std::int64_t classes = plan.output_shape.numel() / n;
+
+    std::size_t tmax = 0;
+    for (const auto& req : batch.requests) {
+      tmax = std::max(tmax, req->frames.size());
+    }
+
+    Tensor x(plan.input_shape);
+    Tensor out(plan.output_shape);
+    std::vector<std::vector<float>> acc(
+        nreq, std::vector<float>(static_cast<std::size_t>(classes), 0.f));
+    for (std::size_t t = 0; t < tmax; ++t) {
+      {
+        SNNSKIP_SPAN_AGG("serve.batch_assemble", name);
+        std::memset(x.data(), 0,
+                    static_cast<std::size_t>(x.numel()) * sizeof(float));
+        for (std::size_t i = 0; i < nreq; ++i) {
+          const auto& frames = batch.requests[i]->frames;
+          if (t < frames.size()) {
+            std::memcpy(x.data() + static_cast<std::int64_t>(i) * img_f,
+                        frames[t].data(),
+                        static_cast<std::size_t>(img_f) * sizeof(float));
+          }
+        }
+      }
+      lease->step(x, &out);
+      for (std::size_t i = 0; i < nreq; ++i) {
+        if (t >= batch.requests[i]->frames.size()) continue;
+        const float* row = out.data() + static_cast<std::int64_t>(i) * classes;
+        float* a = acc[i].data();
+        for (std::int64_t c = 0; c < classes; ++c) a[c] += row[c];
+      }
+    }
+
+    // Account completions and latencies BEFORE fulfilling any promise:
+    // a client that returns from result.get() must already see its
+    // request in stats().completed.
+    const std::uint64_t done_ns = Telemetry::now_ns();
+    std::vector<Tensor> results;
+    results.reserve(nreq);
+    for (std::size_t i = 0; i < nreq; ++i) {
+      Tensor r(Shape{classes});
+      std::memcpy(r.data(), acc[i].data(),
+                  static_cast<std::size_t>(classes) * sizeof(float));
+      results.push_back(std::move(r));
+      record_latency(
+          static_cast<double>(done_ns - batch.requests[i]->enqueue_ns) / 1e6);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += static_cast<std::int64_t>(nreq);
+    }
+    for (std::size_t i = 0; i < nreq; ++i) {
+      batch.requests[i]->promise.set_value(std::move(results[i]));
+      ++fulfilled;
+    }
+  } catch (...) {
+    for (std::size_t i = fulfilled; i < nreq; ++i) {
+      batch.requests[i]->promise.set_exception(std::current_exception());
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    // Execution failures happen before the completed_ bump above; only
+    // the unfulfilled remainder is charged as failed.
+    if (fulfilled == 0) {
+      failed_ += static_cast<std::int64_t>(nreq);
+    } else {
+      completed_ -= static_cast<std::int64_t>(nreq - fulfilled);
+      failed_ += static_cast<std::int64_t>(nreq - fulfilled);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_batches_;
+  }
+  drain_cv_.notify_all();
+  cv_.notify_one();  // a worker just went idle: deadlines may shorten
+}
+
+void Server::record_latency(double ms) {
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  latency_ring_[lat_next_] = ms;
+  if (++lat_next_ == latency_ring_.size()) {
+    lat_next_ = 0;
+    lat_full_ = true;
+  }
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.accepted = accepted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.batches = batches_;
+    s.mean_batch_occupancy =
+        batches_ > 0 ? static_cast<double>(batched_requests_) /
+                           static_cast<double>(batches_)
+                     : 0.0;
+    s.queue_depth = pending_total_;
+    s.queue_depth_high_water = depth_high_water_;
+  }
+  std::vector<double> lat;
+  {
+    std::lock_guard<std::mutex> lock(lat_mu_);
+    lat.assign(latency_ring_.begin(),
+               lat_full_ ? latency_ring_.end()
+                         : latency_ring_.begin() +
+                               static_cast<std::ptrdiff_t>(lat_next_));
+  }
+  if (!lat.empty()) {
+    auto pct = [&lat](double p) {
+      const std::size_t k = static_cast<std::size_t>(
+          p * static_cast<double>(lat.size() - 1) + 0.5);
+      std::nth_element(lat.begin(),
+                       lat.begin() + static_cast<std::ptrdiff_t>(k),
+                       lat.end());
+      return lat[k];
+    };
+    s.p50_ms = pct(0.50);
+    s.p99_ms = pct(0.99);
+  }
+  return s;
+}
+
+}  // namespace snnskip::serve

@@ -1,0 +1,165 @@
+#pragma once
+// High-throughput inference daemon core (ISSUE 7): dynamic batching under
+// a latency budget, bounded-queue admission control with explicit
+// backpressure, and graceful drain.
+//
+// Request model: a request is one event-stream sequence — T frames of
+// shape (C, H, W) for a named model — and its response is the
+// rate-accumulated head output (the per-class spike/logit sum over the
+// sequence, the quantity the paper's rate decoding classifies on).
+//
+// Pipeline:
+//
+//   submit()  --admission-->  per-model pending queue  --dispatcher-->
+//   batch (flush on batch-full OR deadline)  --ThreadPool-->  exec task
+//   (lease pooled Engine, step T times, fulfill futures)
+//
+// * Admission control: one watermark across all models
+//   (ServeOptions::queue_capacity). A submit over the watermark is
+//   REJECTED immediately with a retry_after_us hint derived from the
+//   current backlog — modeled on postgres's bounded-queue discipline:
+//   shed load explicitly at the edge instead of letting latency grow
+//   without bound. The fault site `serve.queue_full` forces this path
+//   deterministically for tests.
+// * Dynamic batching: a dedicated dispatcher thread cuts a model's batch
+//   when max_batch requests are pending or the OLDEST pending request
+//   has waited its deadline — the full latency_budget_us while every
+//   worker is busy, but only the short work-conserving linger_us while a
+//   worker sits idle (holding a batch open past that point adds latency
+//   without adding throughput). Batches from different models (and
+//   multiple batches of one model) execute concurrently on the worker
+//   pool; each leases its own Engine, so per-engine ExecOptions and
+//   ExecStats never interleave.
+// * Graceful drain: drain() stops admission, flushes every pending
+//   request regardless of deadline, and returns once nothing is queued
+//   or in flight. The destructor drains.
+//
+// Telemetry (enabled runs): per-request `serve.queue_wait` spans, per-
+// batch `serve.execute` + per-step `serve.batch_assemble` spans, and
+// serve.requests / serve.rejected / serve.batches / serve.batch_occupancy
+// counters with a serve.queue_depth.high_water gauge. Latency p50/p99
+// over a recent window is always available from stats().
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "serve/model_registry.h"
+#include "serve/options.h"
+#include "tensor/tensor.h"
+
+namespace snnskip::serve {
+
+/// Aggregate server statistics (stats(); all totals since construction).
+struct ServeStats {
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;  ///< requests finished with an exception
+  std::int64_t batches = 0;
+  double mean_batch_occupancy = 0.0;  ///< completed / batches
+  std::int64_t queue_depth = 0;       ///< instantaneous pending requests
+  std::int64_t queue_depth_high_water = 0;
+  double p50_ms = 0.0;  ///< over the recent-latency window
+  double p99_ms = 0.0;
+};
+
+class Server {
+ public:
+  /// `registry` must outlive the server. Snapshots `opts`.
+  Server(ModelRegistry& registry, ServeOptions opts = ServeOptions::from_env());
+  ~Server();  ///< drains, then joins dispatcher and workers
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Load `spec` through the registry and accept requests for
+  /// `spec.name`. max_batch is clamped to the model's compiled batch
+  /// capacity. Not callable after drain().
+  void add_model(const ModelSpec& spec);
+
+  /// Outcome of submit: either a future for the rate-accumulated head
+  /// output (shape (num_classes,)), or a rejection with a backpressure
+  /// hint.
+  struct Ticket {
+    bool accepted = false;
+    std::int64_t retry_after_us = 0;  ///< only meaningful when rejected
+    std::future<Tensor> result;       ///< valid only when accepted
+  };
+
+  /// Submit a sequence for `model` (added via add_model; unknown names
+  /// throw std::invalid_argument, as do empty sequences and frames whose
+  /// shape differs from the model's compiled (C, H, W)). Never blocks on
+  /// the queue: over-watermark submits return a rejected ticket.
+  Ticket submit(const std::string& model, std::vector<Tensor> frames);
+
+  /// Convenience: submit and wait. Throws std::runtime_error on
+  /// rejection (callers that want backpressure semantics use submit()).
+  Tensor infer(const std::string& model, std::vector<Tensor> frames);
+
+  /// Stop admission, flush all pending batches immediately, and return
+  /// once nothing is pending or in flight. Idempotent.
+  void drain();
+  bool draining() const;
+
+  ServeStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<Tensor> frames;
+    std::promise<Tensor> promise;
+    std::uint64_t enqueue_ns = 0;  ///< Telemetry::now_ns at admission
+  };
+
+  struct ModelQueue {
+    ModelHandle model;
+    std::deque<std::unique_ptr<Request>> pending;
+  };
+
+  struct Batch {
+    ModelHandle model;  ///< keeps the model alive even if evicted mid-run
+    std::vector<std::unique_ptr<Request>> requests;
+  };
+
+  void dispatcher_loop();
+  /// Cut up to max_batch requests from `q` into a Batch and hand it to
+  /// the worker pool. Caller holds mu_.
+  void cut_batch(ModelQueue& q);
+  void run_batch(Batch batch);
+  void record_latency(double ms);
+
+  const ServeOptions opts_;
+  ModelRegistry& registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // dispatcher wakeups
+  std::condition_variable drain_cv_;  // drain() completion
+  std::map<std::string, ModelQueue> queues_;
+  std::int64_t pending_total_ = 0;
+  std::int64_t in_flight_batches_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+
+  // Totals (guarded by mu_).
+  std::int64_t accepted_ = 0, rejected_ = 0, completed_ = 0, failed_ = 0;
+  std::int64_t batches_ = 0, batched_requests_ = 0;
+  std::int64_t depth_high_water_ = 0;
+
+  // Recent request latencies (own lock: hot path, touched per request).
+  mutable std::mutex lat_mu_;
+  std::vector<double> latency_ring_;
+  std::size_t lat_next_ = 0;
+  bool lat_full_ = false;
+
+  std::unique_ptr<ThreadPool> pool_;  // batch execution workers
+  std::thread dispatcher_;
+};
+
+}  // namespace snnskip::serve

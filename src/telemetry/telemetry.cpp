@@ -155,6 +155,30 @@ void ScopedSpan::end() {
   buf.events.push_back(std::move(ev));
 }
 
+void record_span(const char* cat, std::string_view name,
+                 std::uint64_t start_ns, std::uint64_t dur_ns,
+                 bool emit_trace) {
+  if (!Telemetry::enabled()) return;
+  ThreadBuf& buf = thread_buf();
+  std::lock_guard<std::mutex> lock(buf.m);
+  SpanAgg& agg = buf.agg[agg_key(cat, name)];
+  ++agg.count;
+  agg.total_ns += dur_ns;
+  if (!emit_trace) return;
+  if (buf.events.size() >= kMaxTraceEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.cat = cat;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.tid = buf.tid;
+  ev.phase = 'X';
+  buf.events.push_back(std::move(ev));
+}
+
 void instant(const char* cat, std::string_view name) {
   if (!Telemetry::enabled()) return;
   ThreadBuf& buf = thread_buf();

@@ -96,6 +96,17 @@ Snapshot snapshot();
 /// boundaries). No-op while disabled.
 void instant(const char* cat, std::string_view name);
 
+/// Record a completed span with explicit timestamps (both relative to the
+/// telemetry epoch, i.e. Telemetry::now_ns values). For intervals that
+/// cannot be a ScopedSpan because they start and end on different threads
+/// — e.g. a serving request's queue wait, which begins on the client
+/// thread and ends when the dispatcher cuts the batch. Aggregates like a
+/// normal span and (when `emit_trace`) appends one trace event attributed
+/// to the calling thread. No-op while disabled.
+void record_span(const char* cat, std::string_view name,
+                 std::uint64_t start_ns, std::uint64_t dur_ns,
+                 bool emit_trace = true);
+
 /// Per-thread trace-event cap; beyond it spans still aggregate but stop
 /// emitting trace events (counted in Snapshot::dropped_events).
 constexpr std::size_t kMaxTraceEventsPerThread = 1u << 21;  // ~2M

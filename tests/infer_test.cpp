@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/adjacency.h"
@@ -26,11 +27,14 @@ namespace {
 
 using infer::CompileOptions;
 using infer::Engine;
+using infer::ExecOptions;
 using infer::InferExec;
 using infer::Plan;
 
-// Saves and restores the global dispatch switches around each test so
-// forced configurations never leak into other suites.
+// Saves and restores the process-wide dispatch DEFAULTS around each test
+// (SparseExec globals for the training graph, InferExec shims for
+// default-constructed engines) so forced configurations never leak into
+// other suites. Engines under test pass explicit ExecOptions instead.
 class InferTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -210,9 +214,7 @@ TEST_F(InferTest, NoFoldDensePlanIsBitwiseEqualToTraining) {
   // fold_bn = false keeps the training layout: the engine's dense path
   // runs the identical im2col + GEMM, BN-eval expressions, and LIF update,
   // so with both sides forced dense the outputs must agree exactly.
-  SparseExec::set_enabled(false);
-  InferExec::set_packed_enabled(false);
-  InferExec::set_threshold(0.f);
+  SparseExec::set_enabled(false);  // training-graph side stays dense
   for (const std::string model :
        {"single_block", "resnet18s", "densenet121s", "mobilenetv2s"}) {
     ModelConfig cfg = small_cfg();
@@ -224,7 +226,8 @@ TEST_F(InferTest, NoFoldDensePlanIsBitwiseEqualToTraining) {
 
     CompileOptions opts;
     opts.fold_bn = false;
-    Engine eng(infer::compile(net, in, opts));
+    Engine eng(infer::compile(net, in, opts),
+               ExecOptions{/*packed=*/false, /*threshold=*/0.f});
     const auto got = engine_eval(eng, xs);
     EXPECT_EQ(max_step_diff(ref, got), 0.f) << model;
     EXPECT_GT(eng.stats().dense_dispatches, 0);
@@ -242,17 +245,15 @@ TEST_F(InferTest, PackedMatchesCsrBitwiseOnChain) {
   const Shape in{2, cfg.in_channels, 8, 8};
   warm_bn_stats(net, in, 4);
   const auto xs = spike_inputs(in, 4, 0.15f, 41);
-  Engine eng(infer::compile(net, in));
+  const infer::PlanPtr plan = infer::compile(net, in);
 
-  InferExec::set_threshold(1.f);
-  InferExec::set_packed_enabled(true);
-  const auto packed = engine_eval(eng, xs);
-  EXPECT_GT(eng.stats().packed_dispatches, 0);
+  Engine packed_eng(plan, ExecOptions{/*packed=*/true, /*threshold=*/1.f});
+  const auto packed = engine_eval(packed_eng, xs);
+  EXPECT_GT(packed_eng.stats().packed_dispatches, 0);
 
-  InferExec::set_packed_enabled(false);
-  eng.reset_stats();
-  const auto csr = engine_eval(eng, xs);
-  EXPECT_GT(eng.stats().csr_dispatches, 0);
+  Engine csr_eng(plan, ExecOptions{/*packed=*/false, /*threshold=*/1.f});
+  const auto csr = engine_eval(csr_eng, xs);
+  EXPECT_GT(csr_eng.stats().csr_dispatches, 0);
 
   EXPECT_EQ(max_step_diff(packed, csr), 0.f);
 }
@@ -268,18 +269,17 @@ TEST_F(InferTest, PackedMatchesCsrAndDenseAcrossJoinTypes) {
     const Shape in{2, cfg.in_channels, 8, 8};
     warm_bn_stats(net, in, 4);
     const auto xs = spike_inputs(in, 4, 0.15f, 43);
-    Engine eng(infer::compile(net, in));
+    const infer::PlanPtr plan = infer::compile(net, in);
 
-    InferExec::set_threshold(1.f);
-    InferExec::set_packed_enabled(true);
-    const auto packed = engine_eval(eng, xs);
-    EXPECT_GT(eng.stats().packed_dispatches, 0) << model;
+    Engine packed_eng(plan, ExecOptions{/*packed=*/true, /*threshold=*/1.f});
+    const auto packed = engine_eval(packed_eng, xs);
+    EXPECT_GT(packed_eng.stats().packed_dispatches, 0) << model;
 
-    InferExec::set_packed_enabled(false);
-    const auto csr = engine_eval(eng, xs);
+    Engine csr_eng(plan, ExecOptions{/*packed=*/false, /*threshold=*/1.f});
+    const auto csr = engine_eval(csr_eng, xs);
 
-    InferExec::set_threshold(0.f);
-    const auto dense = engine_eval(eng, xs);
+    Engine dense_eng(plan, ExecOptions{/*packed=*/true, /*threshold=*/0.f});
+    const auto dense = engine_eval(dense_eng, xs);
 
     EXPECT_LE(max_step_diff(packed, csr), 1e-4f) << model;
     EXPECT_LE(max_step_diff(packed, dense), 1e-4f) << model;
@@ -330,9 +330,8 @@ TEST_F(InferTest, PackedSteadyStateIsAllocationFree) {
   Network net =
       build_model("resnet18s", cfg, default_adjacencies("resnet18s", cfg));
   const Shape in{2, cfg.in_channels, 8, 8};
-  Engine eng(infer::compile(net, in));
-  InferExec::set_packed_enabled(true);
-  InferExec::set_threshold(1.f);
+  Engine eng(infer::compile(net, in),
+             ExecOptions{/*packed=*/true, /*threshold=*/1.f});
 
   const auto xs = spike_inputs(in, 6, 0.15f, 51);
   Tensor out(eng.plan().output_shape);
@@ -387,9 +386,8 @@ TEST_F(InferTest, StatsAndEnergyAccounting) {
   Network net =
       build_model("resnet18s", cfg, default_adjacencies("resnet18s", cfg));
   const Shape in{2, cfg.in_channels, 8, 8};
-  Engine eng(infer::compile(net, in));
-  InferExec::set_packed_enabled(true);
-  InferExec::set_threshold(1.f);
+  Engine eng(infer::compile(net, in),
+             ExecOptions{/*packed=*/true, /*threshold=*/1.f});
   engine_eval(eng, spike_inputs(in, 4, 0.2f, 71));
 
   const infer::ExecStats& st = eng.stats();
@@ -406,6 +404,79 @@ TEST_F(InferTest, StatsAndEnergyAccounting) {
 
   eng.reset_stats();
   EXPECT_EQ(eng.stats().steps, 0);
+}
+
+// --- per-engine ExecOptions (ISSUE 7) ---------------------------------------
+
+TEST_F(InferTest, DeprecatedShimsOnlyAffectFutureEngines) {
+  // The InferExec setters adjust the process-wide defaults consumed at
+  // construction; a live engine's snapshot never changes.
+  ModelConfig cfg = small_cfg();
+  Network net = build_model("single_block", cfg,
+                            default_adjacencies("single_block", cfg));
+  const Shape in{2, cfg.in_channels, 8, 8};
+  const infer::PlanPtr plan = infer::compile(net, in);
+
+  InferExec::set_packed_enabled(true);
+  InferExec::set_threshold(1.f);
+  Engine before(plan);
+  InferExec::set_packed_enabled(false);
+  InferExec::set_threshold(0.f);
+  Engine after(plan);
+
+  EXPECT_TRUE(before.options().packed);
+  EXPECT_EQ(before.options().threshold, 1.f);
+  EXPECT_FALSE(after.options().packed);
+  EXPECT_EQ(after.options().threshold, 0.f);
+
+  const auto xs = spike_inputs(in, 3, 0.15f, 81);
+  engine_eval(before, xs);
+  engine_eval(after, xs);
+  EXPECT_GT(before.stats().packed_dispatches, 0);
+  EXPECT_EQ(after.stats().packed_dispatches, 0);
+  EXPECT_GT(after.stats().dense_dispatches, 0);
+}
+
+TEST_F(InferTest, ConcurrentEnginesWithDistinctOptionsMatchSerial) {
+  // N threads, each its own Engine over one shared plan with a different
+  // dispatch configuration, must reproduce the serial single-engine runs
+  // BITWISE — the acceptance bar for removing the process-global mutable
+  // execution config (no hidden shared state left to race on).
+  ModelConfig cfg = small_cfg();
+  Network net =
+      build_model("resnet18s", cfg, default_adjacencies("resnet18s", cfg));
+  const Shape in{2, cfg.in_channels, 8, 8};
+  warm_bn_stats(net, in, 4);
+  const infer::PlanPtr plan = infer::compile(net, in);
+
+  const std::vector<ExecOptions> configs = {
+      {/*packed=*/true, /*threshold=*/1.f},
+      {/*packed=*/false, /*threshold=*/1.f},
+      {/*packed=*/true, /*threshold=*/0.f},
+      {/*packed=*/true, /*threshold=*/0.25f},
+  };
+  std::vector<std::vector<Tensor>> inputs;
+  std::vector<std::vector<Tensor>> serial(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    inputs.push_back(spike_inputs(in, 4, 0.2f, 90 + i));
+    Engine eng(plan, configs[i]);
+    serial[i] = engine_eval(eng, inputs[i]);
+  }
+
+  std::vector<std::vector<Tensor>> threaded(configs.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Engine eng(plan, configs[i]);
+      threaded[i] = engine_eval(eng, inputs[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(max_step_diff(serial[i], threaded[i]), 0.f)
+        << "config " << i << " diverged under concurrency";
+  }
 }
 
 TEST_F(InferTest, InputShapeMismatchThrows) {

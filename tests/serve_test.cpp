@@ -1,0 +1,444 @@
+// Tests for the serving subsystem (ISSUE 7): ModelRegistry LRU
+// eviction/reload round-trips, manifest parsing, Server correctness
+// against direct Engine execution, dynamic-batching deadlines, admission
+// control under the serve.queue_full fault site, graceful drain, and the
+// per-model telemetry counter keying that keeps concurrent engines'
+// stats from bleeding into each other.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/inject.h"
+#include "infer/engine.h"
+#include "serve/model_registry.h"
+#include "serve/options.h"
+#include "serve/server.h"
+#include "telemetry/telemetry.h"
+#include "train/checkpoint.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace snnskip {
+namespace {
+
+using serve::LoadedModel;
+using serve::ModelHandle;
+using serve::ModelRegistry;
+using serve::ModelSpec;
+using serve::ServeOptions;
+using serve::Server;
+
+ModelSpec tiny_spec(const std::string& name, std::int64_t batch = 2) {
+  ModelSpec spec;
+  spec.name = name;
+  spec.family = "single_block";
+  spec.config.width = 8;
+  spec.config.in_channels = 2;
+  spec.config.num_classes = 10;
+  spec.config.max_timesteps = 4;
+  spec.config.seed = 7;
+  // Low threshold keeps the tiny net firing all the way to the head, so
+  // output comparisons are non-vacuous (theta 1.0 silences it entirely).
+  spec.config.lif.threshold = 0.25f;
+  spec.warm_bn_steps = 4;
+  spec.batch = batch;
+  return spec;
+}
+
+std::vector<Tensor> request_frames(const Shape& frame, std::int64_t steps,
+                                   std::uint64_t seed, float p = 0.3f) {
+  Rng rng(seed);
+  std::vector<Tensor> frames;
+  for (std::int64_t t = 0; t < steps; ++t) {
+    frames.push_back(Tensor::bernoulli(frame, rng, p));
+  }
+  return frames;
+}
+
+// Rate-accumulated head output for one request computed directly on a
+// leased engine (slot 0; remaining batch slots stay zero, which per-image
+// op independence guarantees cannot perturb slot 0).
+Tensor direct_reference(const ModelHandle& model,
+                        const std::vector<Tensor>& frames) {
+  const infer::Plan& plan = *model->plan();
+  const std::int64_t n = plan.input_shape[0];
+  const std::int64_t classes = plan.output_shape.numel() / n;
+  LoadedModel::Lease lease = model->lease();
+  lease->reset();
+  Tensor x(plan.input_shape);
+  Tensor out;
+  Tensor acc(Shape{classes});
+  const std::int64_t img = x.numel() / n;
+  for (const Tensor& f : frames) {
+    x.fill(0.f);
+    std::copy(f.data(), f.data() + img, x.data());
+    lease->step(x, &out);
+    for (std::int64_t c = 0; c < classes; ++c) {
+      acc.data()[c] += out.data()[c];
+    }
+  }
+  return acc;
+}
+
+// --- ModelRegistry ----------------------------------------------------------
+
+TEST(ModelRegistryTest, CacheHitsRefreshAndEvictionIsLru) {
+  ModelRegistry reg(2);
+  reg.load(tiny_spec("a"));
+  reg.load(tiny_spec("b"));
+  EXPECT_EQ(reg.cold_loads(), 2);
+  EXPECT_EQ(reg.resident(), 2u);
+
+  reg.load(tiny_spec("a"));          // refresh a => b becomes LRU
+  reg.load(tiny_spec("c"));          // evicts b
+  EXPECT_EQ(reg.cold_loads(), 3);
+  EXPECT_TRUE(reg.is_resident("a"));
+  EXPECT_FALSE(reg.is_resident("b"));
+  EXPECT_TRUE(reg.is_resident("c"));
+
+  reg.load(tiny_spec("b"));  // cold again
+  EXPECT_EQ(reg.cold_loads(), 4);
+}
+
+TEST(ModelRegistryTest, EvictReloadRoundTripIsBitwiseReproducible) {
+  // An evicted model rebuilt from its spec (same seed, same fixed BN
+  // warmup stream) must produce identical outputs — LRU eviction can
+  // never silently change serving results.
+  ModelRegistry reg(1);
+  const ModelSpec spec = tiny_spec("rt");
+  ModelHandle first = reg.load(spec);
+  const auto frames = request_frames(
+      Shape{spec.config.in_channels, spec.in_h, spec.in_w}, 4, 11);
+  const Tensor before = direct_reference(first, frames);
+  ASSERT_NE(before.sum(), 0.0);  // guard: comparison must be non-vacuous
+
+  reg.load(tiny_spec("other"));  // capacity 1: evicts "rt"
+  EXPECT_FALSE(reg.is_resident("rt"));
+  ModelHandle second = reg.load(spec);  // cold reload
+  EXPECT_EQ(reg.cold_loads(), 3);
+  EXPECT_NE(first.get(), second.get());
+
+  const Tensor after = direct_reference(second, frames);
+  EXPECT_EQ(Tensor::max_abs_diff(before, after), 0.f);
+
+  // The evicted handle stays fully usable (eviction only drops the
+  // registry's reference).
+  EXPECT_EQ(Tensor::max_abs_diff(direct_reference(first, frames), before),
+            0.f);
+}
+
+TEST(ModelRegistryTest, CheckpointRestoreRoundTrip) {
+  // Weights trained elsewhere and saved as SNNSKIP2 load through the
+  // registry and change the served outputs vs the seeded init.
+  const ModelSpec base = tiny_spec("ckpt-src");
+  Network net = build_model(base.family, base.config,
+                            default_adjacencies(base.family, base.config));
+  {  // perturb + warm so saved weights differ from a fresh build
+    Rng rng(123);
+    net.reset_state();
+    for (int t = 0; t < 4; ++t) {
+      net.forward(Tensor::bernoulli(base.input_shape(), rng, 0.3f), true);
+    }
+    net.reset_state();
+  }
+  const std::string path = ::testing::TempDir() + "/serve_ckpt.snnskip2";
+  ASSERT_TRUE(save_network(path, net));
+
+  ModelRegistry reg(4);
+  ModelSpec with_ckpt = tiny_spec("ckpt");
+  with_ckpt.checkpoint = path;
+  with_ckpt.warm_bn_steps = 0;
+  ModelHandle restored = reg.load(with_ckpt);
+  ModelHandle seeded = reg.load(tiny_spec("seeded"));
+  std::remove(path.c_str());
+
+  const auto frames = request_frames(
+      Shape{base.config.in_channels, base.in_h, base.in_w}, 4, 13);
+  // Restored-BN stats differ from the fixed warmup => different outputs.
+  EXPECT_GT(Tensor::max_abs_diff(direct_reference(restored, frames),
+                                 direct_reference(seeded, frames)),
+            0.f);
+
+  ModelSpec bad = tiny_spec("bad");
+  bad.checkpoint = ::testing::TempDir() + "/does_not_exist.snnskip2";
+  EXPECT_THROW(reg.load(bad), std::runtime_error);
+}
+
+TEST(ModelRegistryTest, LeasePoolReusesEngines) {
+  ModelRegistry reg(4);
+  ModelHandle m = reg.load(tiny_spec("pool"));
+  {
+    LoadedModel::Lease a = m->lease();
+    LoadedModel::Lease b = m->lease();
+    EXPECT_EQ(m->engines_created(), 2);
+  }  // both returned
+  {
+    LoadedModel::Lease c = m->lease();
+    EXPECT_EQ(m->engines_created(), 2);  // reused, not constructed
+  }
+}
+
+TEST(ModelRegistryTest, ManifestParsing) {
+  const std::string path = ::testing::TempDir() + "/model.manifest";
+  {
+    std::ofstream out(path);
+    out << "# demo manifest\n"
+        << "name manifested\n"
+        << "family single_block\n"
+        << "width 8\n"
+        << "timesteps 4\n"
+        << "neuron plif\n"
+        << "theta 0.75\n"
+        << "warm_bn_steps 4\n"
+        << "batch 3\n"
+        << "packed false\n"
+        << "threshold 0.5\n";
+  }
+  const ModelSpec spec = ModelSpec::from_manifest(path);
+  EXPECT_EQ(spec.name, "manifested");
+  EXPECT_EQ(spec.family, "single_block");
+  EXPECT_EQ(spec.config.width, 8);
+  EXPECT_EQ(spec.config.neuron, NeuronKind::Plif);
+  EXPECT_EQ(spec.config.lif.threshold, 0.75f);
+  EXPECT_EQ(spec.batch, 3);
+  EXPECT_FALSE(spec.exec.packed);
+  EXPECT_EQ(spec.exec.threshold, 0.5f);
+
+  ModelRegistry reg(2);
+  ModelHandle m = reg.load(path);  // load(path) == load(from_manifest)
+  EXPECT_EQ(m->batch_capacity(), 3);
+  EXPECT_FALSE(m->lease()->options().packed);
+
+  {
+    std::ofstream out(path);
+    out << "width notanumber\n";
+  }
+  EXPECT_THROW(ModelSpec::from_manifest(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "no_such_key 1\n";
+  }
+  EXPECT_THROW(ModelSpec::from_manifest(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// --- Server -----------------------------------------------------------------
+
+ServeOptions fast_opts() {
+  ServeOptions opts;
+  opts.max_batch = 2;
+  opts.latency_budget_us = 1000;
+  opts.linger_us = 100;
+  opts.queue_capacity = 64;
+  opts.workers = 2;
+  return opts;
+}
+
+TEST(ServerTest, ServedResultsMatchDirectEngine) {
+  ModelRegistry reg(4);
+  Server server(reg, fast_opts());
+  const ModelSpec spec = tiny_spec("m");
+  server.add_model(spec);
+  ModelHandle direct = reg.load(spec);  // cache hit: same model
+
+  const Shape frame{spec.config.in_channels, spec.in_h, spec.in_w};
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto frames = request_frames(frame, 4, 100 + seed);
+    const Tensor served = server.infer("m", frames);
+    const Tensor ref = direct_reference(direct, frames);
+    ASSERT_EQ(served.numel(), ref.numel());
+    EXPECT_LE(Tensor::max_abs_diff(served, ref), 1e-4f) << "seed " << seed;
+  }
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(ServerTest, VariableLengthSequencesBatchTogether) {
+  // Requests with different T coalesce into one batch; each response
+  // accumulates exactly its own T steps.
+  ModelRegistry reg(4);
+  ServeOptions opts = fast_opts();
+  opts.max_batch = 2;
+  opts.latency_budget_us = 50000;  // force coalescing, not deadline cuts
+  opts.linger_us = 50000;
+  opts.workers = 1;
+  Server server(reg, opts);
+  const ModelSpec spec = tiny_spec("v");
+  server.add_model(spec);
+  ModelHandle direct = reg.load(spec);
+
+  const Shape frame{spec.config.in_channels, spec.in_h, spec.in_w};
+  const auto short_req = request_frames(frame, 2, 31);
+  const auto long_req = request_frames(frame, 4, 32);
+  Server::Ticket a = server.submit("v", short_req);
+  Server::Ticket b = server.submit("v", long_req);
+  ASSERT_TRUE(a.accepted);
+  ASSERT_TRUE(b.accepted);
+  EXPECT_LE(Tensor::max_abs_diff(a.result.get(),
+                                 direct_reference(direct, short_req)),
+            1e-4f);
+  EXPECT_LE(Tensor::max_abs_diff(b.result.get(),
+                                 direct_reference(direct, long_req)),
+            1e-4f);
+  EXPECT_EQ(server.stats().batches, 1);  // one coalesced batch
+}
+
+TEST(ServerTest, LoneRequestFlushesOnDeadline) {
+  // A single request on an idle server must not wait for a full batch;
+  // the work-conserving linger cuts it almost immediately.
+  ModelRegistry reg(4);
+  ServeOptions opts = fast_opts();
+  opts.max_batch = 8;
+  opts.latency_budget_us = 30'000'000;  // budget alone would hang the test
+  opts.linger_us = 100;
+  Server server(reg, opts);
+  const ModelSpec spec = tiny_spec("lone", /*batch=*/8);
+  server.add_model(spec);
+
+  const Shape frame{spec.config.in_channels, spec.in_h, spec.in_w};
+  Timer t;
+  (void)server.infer("lone", request_frames(frame, 4, 41));
+  EXPECT_LT(t.elapsed_ms(), 5000.0);
+  EXPECT_EQ(server.stats().completed, 1);
+}
+
+TEST(ServerTest, InvalidSubmitsThrow) {
+  ModelRegistry reg(4);
+  Server server(reg, fast_opts());
+  server.add_model(tiny_spec("m"));
+  const Shape frame{2, 8, 8};
+  EXPECT_THROW((void)server.submit("nope", request_frames(frame, 2, 51)),
+               std::invalid_argument);
+  EXPECT_THROW((void)server.submit("m", {}), std::invalid_argument);
+  EXPECT_THROW((void)server.submit(
+                   "m", request_frames(Shape{2, 4, 4}, 2, 52)),
+               std::invalid_argument);
+}
+
+TEST(ServerTest, QueueFullFaultSiteForcesRejection) {
+  ModelRegistry reg(4);
+  Server server(reg, fast_opts());
+  server.add_model(tiny_spec("m"));
+  const Shape frame{2, 8, 8};
+
+  fault::arm("serve.queue_full", {.fire_at = 0, .count = 1});
+  Server::Ticket rejected = server.submit("m", request_frames(frame, 2, 61));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_GT(rejected.retry_after_us, 0);
+  EXPECT_FALSE(rejected.result.valid());
+  EXPECT_GE(fault::hits("serve.queue_full"), 1);
+  fault::reset();
+
+  // Next submit (site disarmed) is admitted and completes.
+  Server::Ticket ok = server.submit("m", request_frames(frame, 2, 62));
+  ASSERT_TRUE(ok.accepted);
+  (void)ok.result.get();
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
+TEST(ServerTest, DrainCompletesPendingAndStopsAdmission) {
+  ModelRegistry reg(4);
+  ServeOptions opts = fast_opts();
+  opts.max_batch = 4;
+  opts.latency_budget_us = 200000;  // hold batches open: drain must flush
+  opts.linger_us = 200000;
+  opts.workers = 1;
+  Server server(reg, opts);
+  const ModelSpec spec = tiny_spec("d", /*batch=*/4);
+  server.add_model(spec);
+
+  const Shape frame{spec.config.in_channels, spec.in_h, spec.in_w};
+  std::vector<Server::Ticket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(server.submit("d", request_frames(frame, 2, 70 + i)));
+    ASSERT_TRUE(tickets.back().accepted);
+  }
+  server.drain();
+  EXPECT_TRUE(server.draining());
+  for (auto& t : tickets) {
+    EXPECT_NO_THROW((void)t.result.get());  // all fulfilled, none dropped
+  }
+  EXPECT_EQ(server.stats().completed, 3);
+
+  Server::Ticket late = server.submit("d", request_frames(frame, 2, 79));
+  EXPECT_FALSE(late.accepted);  // admission closed
+}
+
+TEST(ServerTest, ConcurrentClientsAcrossModelsMatchReferences) {
+  ModelRegistry reg(4);
+  ServeOptions opts = fast_opts();
+  opts.max_batch = 4;
+  opts.workers = 2;
+  Server server(reg, opts);
+  const ModelSpec spec_a = tiny_spec("a", /*batch=*/4);
+  ModelSpec spec_b = tiny_spec("b", /*batch=*/4);
+  spec_b.config.lif.threshold = 2.f;  // distinct model, distinct outputs
+  server.add_model(spec_a);
+  server.add_model(spec_b);
+  ModelHandle da = reg.load(spec_a);
+  ModelHandle db = reg.load(spec_b);
+
+  const Shape frame{2, 8, 8};
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const bool use_a = (c + i) % 2 == 0;
+        const auto frames =
+            request_frames(frame, 4, static_cast<std::uint64_t>(c * 100 + i));
+        const Tensor served = server.infer(use_a ? "a" : "b", frames);
+        const Tensor ref = direct_reference(use_a ? da : db, frames);
+        if (Tensor::max_abs_diff(served, ref) > 1e-4f) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GE(stats.batches, 1);
+}
+
+// --- telemetry keying -------------------------------------------------------
+
+TEST(ServeTelemetryTest, EngineCountersAreKeyedPerModel) {
+  // Two engines serving differently named plans must not bleed into each
+  // other's infer.* counters; aggregate keys still accumulate both.
+  const bool was_enabled = Telemetry::enabled();
+  Telemetry::set_enabled(true);
+  Telemetry::reset();
+
+  ModelRegistry reg(4);
+  ModelHandle a = reg.load(tiny_spec("alpha"));
+  ModelHandle b = reg.load(tiny_spec("beta"));
+  const Shape frame{2, 8, 8};
+  (void)direct_reference(a, request_frames(frame, 3, 7));
+  (void)direct_reference(b, request_frames(frame, 2, 8));
+
+  const auto counters = Telemetry::counters();
+  ASSERT_TRUE(counters.count("infer.steps.alpha"));
+  ASSERT_TRUE(counters.count("infer.steps.beta"));
+  EXPECT_EQ(counters.at("infer.steps.alpha"), 3.0);
+  EXPECT_EQ(counters.at("infer.steps.beta"), 2.0);
+  ASSERT_TRUE(counters.count("infer.steps"));
+  EXPECT_EQ(counters.at("infer.steps"), 5.0);
+
+  Telemetry::reset();
+  Telemetry::set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace snnskip
