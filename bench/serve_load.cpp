@@ -15,12 +15,22 @@
 // execute -> future path is exercised under the sanitizer jobs on every
 // tier-1 run.
 //
+// --transport socket (ISSUE 8) routes every request over the loopback TCP
+// transport instead of in-process submit(): each client thread owns a
+// serve::Client speaking the CRC-framed wire protocol against a
+// SocketServer on an ephemeral port, with the full retry/backoff policy
+// live. The same 1e-4 cross-check applies to every over-the-wire result,
+// so encode -> frame -> decode -> batch -> encode -> decode is proven
+// bit-faithful under load, not just in unit tests.
+//
 // Emitted rows (BENCH_serve.json) are keyed on (models, clients) with
 // metric throughput_vs_serial; `workers` is the gate's threads_field so
-// smaller machines skip rows they cannot reproduce.
+// smaller machines skip rows they cannot reproduce. Socket-mode rows only
+// appear when --transport socket is passed (separate --out), so the
+// default bench output gates unchanged.
 //
 // Usage: serve_load [--smoke 1] [--out BENCH_serve.json] [--min-ms 400]
-//                   [--workers N]
+//                   [--workers N] [--transport inproc|socket]
 
 #include <algorithm>
 #include <atomic>
@@ -31,9 +41,11 @@
 #include <vector>
 
 #include "infer/engine.h"
+#include "serve/client.h"
 #include "serve/model_registry.h"
 #include "serve/options.h"
 #include "serve/server.h"
+#include "serve/transport.h"
 #include "tensor/tensor.h"
 #include "util/cli.h"
 #include "util/json_writer.h"
@@ -199,6 +211,73 @@ LoadResult served_throughput(Server& server,
   return res;
 }
 
+// Same closed loop, but over the wire: each client thread owns one
+// serve::Client connected to `port`, so every request pays encode +
+// loopback TCP + decode and exercises the retry/backoff policy for real
+// (admission rejections surface as client-side retries, not bench
+// sleeps).
+LoadResult socket_throughput(Server& server, int port,
+                             const std::vector<RequestSet>& sets, int clients,
+                             double min_ms) {
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> rejected{0};
+  std::atomic<bool> bad{false};
+  std::atomic<bool> stop{false};
+  Timer t;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::ClientOptions copts;
+      copts.port = port;
+      copts.jitter_seed = 42 + static_cast<std::uint64_t>(c);
+      serve::Client client(std::move(copts));
+      std::uint64_t i = static_cast<std::uint64_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t m = i % sets.size();
+        const std::size_t r = (i / sets.size()) % kRequestsPerModel;
+        ++i;
+        const serve::Client::Result res =
+            client.infer(sets[m].model, sets[m].frames[r]);
+        rejected.fetch_add(res.retries, std::memory_order_relaxed);
+        if (!res.ok) {
+          // Backpressure surviving all retries is load, not corruption;
+          // anything else over loopback is a real failure.
+          if (res.status != serve::wire::Status::Rejected) {
+            std::fprintf(stderr, "socket client %d: %s (%s)\n", c,
+                         res.error.c_str(),
+                         serve::wire::status_name(res.status));
+            bad.store(true, std::memory_order_relaxed);
+            return;
+          }
+          continue;
+        }
+        if (Tensor::max_abs_diff(res.value, sets[m].reference[r]) > 1e-4f) {
+          bad.store(true, std::memory_order_relaxed);
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (t.elapsed_ms() < min_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : threads) th.join();
+  const double elapsed_s = t.elapsed_s();
+
+  LoadResult res;
+  const serve::ServeStats stats = server.stats();
+  res.completed = completed.load();
+  res.rejected = rejected.load();
+  res.throughput = static_cast<double>(res.completed) / elapsed_s;
+  res.mean_occupancy = stats.mean_batch_occupancy;
+  res.p50_ms = stats.p50_ms;
+  res.p99_ms = stats.p99_ms;
+  res.ok = !bad.load() && stats.failed == 0;
+  return res;
+}
+
 }  // namespace
 
 int run(int argc, char** argv) {
@@ -209,6 +288,13 @@ int run(int argc, char** argv) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const int workers =
       args.get_int("workers", static_cast<int>(std::min(4u, hw)));
+  const std::string transport = args.get("transport", "inproc");
+  if (transport != "inproc" && transport != "socket") {
+    std::fprintf(stderr, "FAIL: unknown --transport '%s'\n",
+                 transport.c_str());
+    return 1;
+  }
+  const bool socket_mode = transport == "socket";
 
   std::vector<SweepPoint> sweep;
   if (smoke) {
@@ -258,8 +344,14 @@ int run(int argc, char** argv) {
     for (int m = 0; m < pt.models; ++m) {
       server.add_model(make_spec(m, kBatch));
     }
-    const LoadResult res =
-        served_throughput(server, sets, pt.clients, min_ms);
+    LoadResult res;
+    if (socket_mode) {
+      serve::SocketServer sock(server, opts);  // opts.port 0 -> ephemeral
+      res = socket_throughput(server, sock.port(), sets, pt.clients, min_ms);
+      sock.shutdown();
+    } else {
+      res = served_throughput(server, sets, pt.clients, min_ms);
+    }
     server.drain();
     if (!res.ok) {
       std::fprintf(stderr,
@@ -275,6 +367,7 @@ int run(int argc, char** argv) {
                 vs, res.mean_occupancy, res.p50_ms, res.p99_ms);
 
     json.begin_row();
+    json.field("transport", transport);
     json.field("models", static_cast<double>(pt.models));
     json.field("clients", static_cast<double>(pt.clients));
     json.field("workers", static_cast<double>(workers));

@@ -32,9 +32,13 @@ fi
 
 if [[ "${MODE}" == "tsan" ]]; then
   echo "== configure (${BUILD_DIR}, TSan) =="
+  # Fault points stay compiled in (explicitly, in case the default ever
+  # flips): the serve chaos drills must run under TSan, not just the
+  # happy path.
   cmake -B "${BUILD_DIR}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DSNNSKIP_SANITIZE_THREAD=ON
+    -DSNNSKIP_SANITIZE_THREAD=ON \
+    -DSNNSKIP_FAULT_POINTS=ON
 else
   echo "== configure (${BUILD_DIR}, ASan+UBSan) =="
   cmake -B "${BUILD_DIR}" -S . \
@@ -50,14 +54,15 @@ echo
 if [[ "${MODE}" == "tsan" ]]; then
   echo "== ctest (concurrency suites under TSan) =="
   # Suites that exercise real threads: the pool itself, data-parallel
-  # gradient reduction, concurrent Engines with distinct ExecOptions, and
-  # the serving daemon (dispatcher + workers + client threads), plus the
-  # serve_load smoke's closed-loop clients.
+  # gradient reduction, concurrent Engines with distinct ExecOptions, the
+  # serving daemon (dispatcher + workers + client threads), the serve
+  # chaos drills (loopback TCP, armed fault sites, concurrent clients),
+  # and both serve_load smokes' closed-loop clients.
   (
     cd "${BUILD_DIR}"
     TSAN_OPTIONS="halt_on_error=1" \
       ctest --output-on-failure -j "$(nproc)" \
-      -R '(ParallelTest|ThreadPool|DataParallel|Concurrent|ServerTest|ModelRegistryTest|serve_load_smoke)'
+      -R '(ParallelTest|ThreadPool|DataParallel|Concurrent|ServerTest|ModelRegistryTest|ServeFault|serve_load_smoke|serve_load_socket_smoke)'
   )
 else
   echo "== ctest (tier-1 + fault suite) =="

@@ -51,6 +51,11 @@ echo "== serve_load smoke (served vs direct-engine cross-check) =="
   --out "${BUILD_DIR}/bench/BENCH_serve_smoke.json"
 
 echo
+echo "== serve_load socket smoke (loopback TCP vs in-process cross-check) =="
+"${BUILD_DIR}/bench/serve_load" --smoke 1 --transport socket \
+  --out "${BUILD_DIR}/bench/BENCH_serve_socket_smoke.json"
+
+echo
 echo "== telemetry smoke (trace export + validation) =="
 "${BUILD_DIR}/bench/telemetry_smoke" \
   --out "${BUILD_DIR}/bench/BENCH_telemetry_trace.json"

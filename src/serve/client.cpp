@@ -1,0 +1,246 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/runtime_env.h"
+
+namespace snnskip::serve {
+
+ClientOptions ClientOptions::from_env() {
+  ClientOptions o;
+  o.max_retries = env::get_int("SNNSKIP_CLIENT_RETRIES", o.max_retries);
+  if (o.max_retries < 0) o.max_retries = 0;
+  o.backoff_base_us =
+      env::get_int("SNNSKIP_CLIENT_BACKOFF_US", o.backoff_base_us);
+  if (o.backoff_base_us < 1) o.backoff_base_us = 1;
+  o.backoff_cap_us =
+      env::get_int("SNNSKIP_CLIENT_BACKOFF_CAP_US", o.backoff_cap_us);
+  if (o.backoff_cap_us < o.backoff_base_us) {
+    o.backoff_cap_us = o.backoff_base_us;
+  }
+  return o;
+}
+
+Client::Client(ClientOptions opts)
+    : opts_(std::move(opts)), jitter_state_(opts_.jitter_seed) {}
+
+Client::~Client() { disconnect_(); }
+
+bool Client::connect_() {
+  if (fd_ >= 0) return true;
+  goaway_ = false;
+  in_ = wire::FrameAssembler();  // a fresh stream has no stale bytes
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    last_err_ = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    last_err_ = "bad host address: " + opts_.host;
+    disconnect_();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    last_err_ = std::string("connect(): ") + std::strerror(errno);
+    disconnect_();
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = opts_.io_timeout_ms / 1000;
+  tv.tv_usec = (opts_.io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void Client::disconnect_() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::int64_t Client::backoff_delay_us(std::int64_t attempt,
+                                      std::int64_t server_hint_us) {
+  // d = min(cap, base * 2^attempt), then full-jitter onto [d/2, d]: the
+  // half-floor keeps retries from stampeding in lockstep while still
+  // guaranteeing real spacing. The server's backpressure hint is a floor,
+  // never a ceiling — it reflects actual backlog.
+  std::int64_t d = opts_.backoff_base_us;
+  for (std::int64_t i = 0; i < attempt && d < opts_.backoff_cap_us; ++i) {
+    d *= 2;
+  }
+  if (d > opts_.backoff_cap_us) d = opts_.backoff_cap_us;
+  const std::int64_t half = d / 2;
+  const std::int64_t span = d - half + 1;
+  const std::int64_t jittered =
+      half + static_cast<std::int64_t>(splitmix64(jitter_state_) %
+                                      static_cast<std::uint64_t>(span));
+  return jittered > server_hint_us ? jittered : server_hint_us;
+}
+
+bool Client::try_once(const std::vector<std::uint8_t>& frame,
+                      std::uint64_t id, wire::ResponseMsg* out) {
+  if (!connect_()) return false;
+
+  // Send the whole frame (blocking with SO_SNDTIMEO).
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    last_err_ = std::string("send(): ") + std::strerror(errno);
+    disconnect_();
+    return false;
+  }
+
+  // Receive until the matching Response pops out. A GOAWAY racing ahead
+  // of our response is noted and the read continues — the server flushes
+  // in-flight responses before closing.
+  char buf[16384];
+  while (true) {
+    while (auto f = in_.next()) {
+      if (f->type == wire::FrameType::Goaway) {
+        goaway_ = true;
+        continue;
+      }
+      if (f->type != wire::FrameType::Response) continue;
+      if (!f->crc_ok) {
+        // Our copy of the response tore in transit; the request already
+        // ran. Treat as a connection-level failure so the policy layer
+        // decides (retry is safe: inference is idempotent).
+        last_err_ = "response frame failed CRC";
+        disconnect_();
+        return false;
+      }
+      wire::ResponseMsg r;
+      try {
+        r = wire::decode_response(f->payload.data(), f->payload.size());
+      } catch (const wire::ProtocolError& e) {
+        last_err_ = std::string("bad response payload: ") + e.what();
+        disconnect_();
+        return false;
+      }
+      // id 0 = the server could not attribute the frame (torn request);
+      // with one outstanding request the correlation is still unambiguous.
+      if (r.id == id || r.id == 0) {
+        *out = std::move(r);
+        return true;
+      }
+      // A stale response from a previous timed-out attempt: skip it.
+    }
+    if (goaway_) {
+      // GOAWAY and no in-flight response left to wait for.
+      out->id = id;
+      out->status = wire::Status::Rejected;
+      out->error = "server is draining (goaway)";
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      try {
+        in_.append(buf, static_cast<std::size_t>(n));
+      } catch (const wire::ProtocolError& e) {
+        last_err_ = std::string("protocol error: ") + e.what();
+        disconnect_();
+        return false;
+      }
+      continue;
+    }
+    if (n == 0) {
+      last_err_ = "server closed connection";
+      disconnect_();
+      return false;
+    }
+    if (errno == EINTR) continue;
+    last_err_ = (errno == EAGAIN || errno == EWOULDBLOCK)
+                    ? std::string("receive timeout")
+                    : std::string("recv(): ") + std::strerror(errno);
+    disconnect_();
+    return false;
+  }
+}
+
+Client::Result Client::infer(const std::string& model,
+                             const std::vector<Tensor>& frames,
+                             std::int64_t deadline_ns) {
+  wire::RequestMsg req;
+  req.deadline_ns = deadline_ns;
+  req.model = model;
+  req.frames = frames;
+
+  Result res;
+  std::int64_t hint_us = 0;
+  for (std::int64_t attempt = 0;; ++attempt) {
+    if (deadline_ns != 0 && wire::mono_now_ns() >= deadline_ns) {
+      res.status = wire::Status::Expired;
+      res.error = "deadline expired before attempt";
+      res.retries = attempt;
+      return res;
+    }
+    if (attempt > 0) {
+      const std::int64_t delay = backoff_delay_us(attempt - 1, hint_us);
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+
+    req.id = next_id_++;  // fresh id per attempt: stale replies are skipped
+    wire::ResponseMsg resp;
+    const bool got = try_once(wire::encode_request(req), req.id, &resp);
+    res.retries = attempt;
+
+    if (got) {
+      res.status = resp.status;
+      hint_us = resp.retry_after_us;
+      switch (resp.status) {
+        case wire::Status::Ok:
+          res.ok = true;
+          res.value = std::move(resp.value);
+          return res;
+        case wire::Status::Expired:
+        case wire::Status::BadRequest:
+          res.error = resp.error;
+          return res;  // terminal: retrying cannot change the answer
+        case wire::Status::Rejected:
+          if (goaway_) {
+            res.error = resp.error;
+            return res;  // draining server: stop, don't hammer it
+          }
+          [[fallthrough]];
+        case wire::Status::Failed:
+        case wire::Status::CrcError:
+          res.error = resp.error;
+          break;  // retryable
+      }
+    } else {
+      res.status = wire::Status::Failed;
+      res.error = last_err_;
+      hint_us = 0;
+    }
+
+    if (attempt >= opts_.max_retries) {
+      res.error += " (retries exhausted)";
+      return res;
+    }
+  }
+}
+
+}  // namespace snnskip::serve

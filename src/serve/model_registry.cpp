@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "fault/inject.h"
 #include "tensor/tensor.h"
 #include "telemetry/telemetry.h"
 #include "train/checkpoint.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/runtime_env.h"
 
@@ -45,12 +48,13 @@ std::string file_stem(const std::string& path) {
 
 ModelSpec ModelSpec::from_manifest(const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
+  if (!in || SNNSKIP_FAULT("serve.manifest_corrupt")) {
     throw std::runtime_error("serve::ModelSpec: cannot read manifest " + path);
   }
   ModelSpec spec;
   std::string line;
   std::size_t lineno = 0;
+  std::set<std::string> seen_keys;
   while (std::getline(in, line)) {
     ++lineno;
     const std::size_t hash = line.find('#');
@@ -68,6 +72,11 @@ ModelSpec ModelSpec::from_manifest(const std::string& path) {
                                std::to_string(lineno) + ": " + why);
     };
     if (value.empty()) bad("missing value for key '" + key + "'");
+    if (!seen_keys.insert(key).second) {
+      // A duplicate key is almost always a hand-edit gone wrong; silently
+      // letting the last one win would serve a model nobody asked for.
+      bad("duplicate key '" + key + "'");
+    }
     try {
       if (key == "name") {
         spec.name = value;
@@ -192,8 +201,11 @@ ModelHandle ModelRegistry::load(const ModelSpec& spec) {
   const Shape in_shape = spec.input_shape();
   if (!spec.checkpoint.empty()) {
     if (load_network(spec.checkpoint, net) == 0) {
+      // Covers the missing file, a truncated/torn write, and any CRC
+      // mismatch: load_entries restores whole-or-not-at-all (ISSUE 3).
       throw std::runtime_error(
-          "serve::ModelRegistry: checkpoint restored no parameters: " +
+          "serve::ModelRegistry: checkpoint missing or corrupt "
+          "(restored no parameters): " +
           spec.checkpoint);
     }
   } else if (spec.warm_bn_steps > 0) {
@@ -231,6 +243,44 @@ ModelHandle ModelRegistry::load(const ModelSpec& spec) {
 
 ModelHandle ModelRegistry::load(const std::string& manifest_path) {
   return load(ModelSpec::from_manifest(manifest_path));
+}
+
+ModelHandle ModelRegistry::try_load(const ModelSpec& spec,
+                                    std::string* error) {
+  try {
+    return load(spec);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    SNNSKIP_LOG(Error) << "serve: model load failed, skipping '" << spec.name
+                       << "': " << e.what();
+    Telemetry::count("serve.model_cache.load_failures");
+    return nullptr;
+  }
+}
+
+ModelHandle ModelRegistry::try_load(const std::string& manifest_path,
+                                    std::string* error) {
+  try {
+    return load(manifest_path);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    SNNSKIP_LOG(Error) << "serve: model load failed, skipping manifest "
+                       << manifest_path << ": " << e.what();
+    Telemetry::count("serve.model_cache.load_failures");
+    return nullptr;
+  }
+}
+
+bool ModelRegistry::evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == name) {
+      entries_.erase(it);
+      Telemetry::count("serve.model_cache.evictions");
+      return true;
+    }
+  }
+  return false;
 }
 
 std::int64_t ModelRegistry::cold_loads() const {

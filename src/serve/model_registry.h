@@ -150,6 +150,23 @@ class ModelRegistry {
   /// Manifest-file convenience: load(ModelSpec::from_manifest(path)).
   ModelHandle load(const std::string& manifest_path);
 
+  /// Recoverable variants of load(): a corrupt manifest (missing value,
+  /// duplicate key, unknown key, unreadable file) or a CRC-failing /
+  /// missing checkpoint returns nullptr with the reason in *error and an
+  /// Error log line — never an uncaught throw. This is what the daemon's
+  /// startup path and the quarantine reload use, so one bad model blob
+  /// degrades one model instead of killing the process. The fault site
+  /// `serve.manifest_corrupt` forces the manifest-parse failure
+  /// deterministically.
+  ModelHandle try_load(const ModelSpec& spec, std::string* error = nullptr);
+  ModelHandle try_load(const std::string& manifest_path,
+                       std::string* error = nullptr);
+
+  /// Drop the resident entry for `name` (quarantine: the next load(spec)
+  /// is forced cold, re-reading the checkpoint). Outstanding handles stay
+  /// usable, exactly like LRU eviction. Returns false when not resident.
+  bool evict(const std::string& name);
+
   /// Cold (cache-miss) loads so far — LRU tests observe reloads here.
   std::int64_t cold_loads() const;
   std::size_t resident() const;

@@ -44,9 +44,27 @@ struct ServeOptions {
   /// Ring of most recent per-request latencies kept for p50/p99.
   std::size_t latency_window = 8192;
 
+  /// TCP port for the loopback transport (serve/transport.h). 0 binds an
+  /// ephemeral port (tests/benches read it back via SocketServer::port()).
+  std::int64_t port = 0;
+
+  /// Per-connection I/O timeout: a connection stalled mid-frame (bytes
+  /// buffered but no complete frame arriving) or wedged by the
+  /// serve.read_stall fault is closed after this long with no progress.
+  /// Idle connections with no half-read frame are NOT reaped — a quiet
+  /// persistent client costs one fd, not a worker.
+  std::int64_t io_timeout_ms = 2000;
+
+  /// Upper bound on Server::drain(): if pending + in-flight work has not
+  /// finished after this long (a wedged worker, a runaway batch), drain
+  /// fails the still-queued requests and returns false instead of hanging
+  /// SIGTERM/SIGINT shutdown forever. 0 waits without bound.
+  std::int64_t drain_timeout_ms = 30000;
+
   /// Compiled-in defaults overlaid with SNNSKIP_SERVE_BATCH,
   /// SNNSKIP_SERVE_BUDGET_US, SNNSKIP_SERVE_LINGER_US,
-  /// SNNSKIP_SERVE_QUEUE, SNNSKIP_SERVE_WORKERS.
+  /// SNNSKIP_SERVE_QUEUE, SNNSKIP_SERVE_WORKERS, SNNSKIP_SERVE_PORT,
+  /// SNNSKIP_SERVE_IO_TIMEOUT_MS, SNNSKIP_SERVE_DRAIN_MS.
   static ServeOptions from_env();
 };
 

@@ -1,0 +1,245 @@
+#include "serve/protocol.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace snnskip::serve::wire {
+
+namespace {
+
+// Caps on request geometry, validated before allocating. Generous next to
+// anything the model zoo compiles, tight next to kMaxPayload.
+constexpr std::uint32_t kMaxNameLen = 256;
+constexpr std::uint32_t kMaxFrames = 65536;
+constexpr std::uint32_t kMaxDim = 65536;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f32s(const float* p, std::size_t n) { raw(p, n * sizeof(float)); }
+  void bytes(const std::string& s) { raw(s.data(), s.size()); }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
+  std::uint8_t u8() { return *need(1); }
+  std::uint16_t u16() { return copy<std::uint16_t>(); }
+  std::uint32_t u32() { return copy<std::uint32_t>(); }
+  std::uint64_t u64() { return copy<std::uint64_t>(); }
+  std::int64_t i64() { return copy<std::int64_t>(); }
+  std::string str(std::size_t len) {
+    const std::uint8_t* p = need(len);
+    return std::string(reinterpret_cast<const char*>(p), len);
+  }
+  void f32s(float* dst, std::size_t count) {
+    const std::uint8_t* p = need(count * sizeof(float));
+    std::memcpy(dst, p, count * sizeof(float));
+  }
+  std::size_t remaining() const { return n_ - off_; }
+
+ private:
+  template <typename T>
+  T copy() {
+    T v;
+    std::memcpy(&v, need(sizeof(T)), sizeof(T));
+    return v;
+  }
+  const std::uint8_t* need(std::size_t k) {
+    if (n_ - off_ < k) throw ProtocolError("wire: truncated payload");
+    const std::uint8_t* p = p_ + off_;
+    off_ += k;
+    return p;
+  }
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+};
+
+std::vector<std::uint8_t> wrap(FrameType type,
+                               std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  Writer h;
+  h.u32(kMagic);
+  h.u8(static_cast<std::uint8_t>(type));
+  h.u8(0);
+  h.u8(0);
+  h.u8(0);
+  h.u32(static_cast<std::uint32_t>(payload.size()));
+  h.u32(crc32(payload.data(), payload.size()));
+  out = h.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Rejected: return "rejected";
+    case Status::Expired: return "expired";
+    case Status::Failed: return "failed";
+    case Status::BadRequest: return "bad_request";
+    case Status::CrcError: return "crc_error";
+  }
+  return "unknown";
+}
+
+std::int64_t mono_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::uint8_t> encode_request(const RequestMsg& m) {
+  if (m.frames.empty()) throw ProtocolError("wire: empty request sequence");
+  const Shape& s = m.frames.front().shape();
+  if (s.ndim() != 3) throw ProtocolError("wire: frames must be (C, H, W)");
+  Writer w;
+  w.u64(m.id);
+  w.i64(m.deadline_ns);
+  w.u16(static_cast<std::uint16_t>(m.model.size()));
+  w.bytes(m.model);
+  w.u32(static_cast<std::uint32_t>(m.frames.size()));
+  w.u32(static_cast<std::uint32_t>(s[0]));
+  w.u32(static_cast<std::uint32_t>(s[1]));
+  w.u32(static_cast<std::uint32_t>(s[2]));
+  for (const Tensor& f : m.frames) {
+    if (f.shape() != s) throw ProtocolError("wire: ragged frame shapes");
+    w.f32s(f.data(), static_cast<std::size_t>(f.numel()));
+  }
+  return wrap(FrameType::Request, w.take());
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseMsg& m) {
+  Writer w;
+  w.u64(m.id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.i64(m.retry_after_us);
+  const std::uint32_t classes =
+      m.status == Status::Ok ? static_cast<std::uint32_t>(m.value.numel()) : 0;
+  w.u32(classes);
+  if (classes > 0) w.f32s(m.value.data(), classes);
+  w.u16(static_cast<std::uint16_t>(
+      std::min<std::size_t>(m.error.size(), kMaxNameLen)));
+  w.bytes(m.error.substr(0, kMaxNameLen));
+  return wrap(FrameType::Response, w.take());
+}
+
+std::vector<std::uint8_t> encode_goaway() {
+  return wrap(FrameType::Goaway, {});
+}
+
+RequestMsg decode_request(const std::uint8_t* p, std::size_t n) {
+  Reader r(p, n);
+  RequestMsg m;
+  m.id = r.u64();
+  m.deadline_ns = r.i64();
+  const std::uint16_t name_len = r.u16();
+  if (name_len > kMaxNameLen) throw ProtocolError("wire: model name too long");
+  m.model = r.str(name_len);
+  const std::uint32_t t = r.u32();
+  const std::uint32_t c = r.u32();
+  const std::uint32_t h = r.u32();
+  const std::uint32_t w = r.u32();
+  if (t == 0 || t > kMaxFrames || c == 0 || c > kMaxDim || h == 0 ||
+      h > kMaxDim || w == 0 || w > kMaxDim) {
+    throw ProtocolError("wire: implausible request geometry");
+  }
+  const std::uint64_t frame_floats =
+      static_cast<std::uint64_t>(c) * h * w;
+  // Validate the full tensor block against the actual payload size BEFORE
+  // allocating anything (same discipline as the checkpoint loader).
+  if (static_cast<std::uint64_t>(t) * frame_floats * sizeof(float) >
+      r.remaining()) {
+    throw ProtocolError("wire: request payload shorter than its geometry");
+  }
+  const Shape frame{static_cast<std::int64_t>(c), static_cast<std::int64_t>(h),
+                    static_cast<std::int64_t>(w)};
+  m.frames.reserve(t);
+  for (std::uint32_t i = 0; i < t; ++i) {
+    Tensor f(frame);
+    r.f32s(f.data(), static_cast<std::size_t>(frame_floats));
+    m.frames.push_back(std::move(f));
+  }
+  return m;
+}
+
+ResponseMsg decode_response(const std::uint8_t* p, std::size_t n) {
+  Reader r(p, n);
+  ResponseMsg m;
+  m.id = r.u64();
+  const std::uint8_t st = r.u8();
+  if (st > static_cast<std::uint8_t>(Status::CrcError)) {
+    throw ProtocolError("wire: unknown response status");
+  }
+  m.status = static_cast<Status>(st);
+  m.retry_after_us = r.i64();
+  const std::uint32_t classes = r.u32();
+  if (classes > kMaxDim) throw ProtocolError("wire: implausible class count");
+  if (static_cast<std::uint64_t>(classes) * sizeof(float) > r.remaining()) {
+    throw ProtocolError("wire: response payload shorter than its geometry");
+  }
+  if (classes > 0) {
+    m.value = Tensor(Shape{static_cast<std::int64_t>(classes)});
+    r.f32s(m.value.data(), classes);
+  }
+  const std::uint16_t err_len = r.u16();
+  m.error = r.str(err_len);
+  return m;
+}
+
+void FrameAssembler::append(const void* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection's buffer stays bounded by one frame.
+  if (consumed_ > 0 && (consumed_ >= buf_.size() || consumed_ > (64u << 10))) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const auto* b = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+std::optional<FrameAssembler::Frame> FrameAssembler::next() {
+  if (buffered() < kHeaderBytes) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + consumed_;
+  std::uint32_t magic, len, crc;
+  std::memcpy(&magic, h, 4);
+  if (magic != kMagic) throw ProtocolError("wire: bad frame magic");
+  const std::uint8_t type = h[4];
+  if (type < static_cast<std::uint8_t>(FrameType::Request) ||
+      type > static_cast<std::uint8_t>(FrameType::Goaway)) {
+    throw ProtocolError("wire: unknown frame type");
+  }
+  std::memcpy(&len, h + 8, 4);
+  std::memcpy(&crc, h + 12, 4);
+  if (len > kMaxPayload) throw ProtocolError("wire: oversize frame");
+  if (buffered() < kHeaderBytes + len) return std::nullopt;
+
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  const std::uint8_t* payload = h + kHeaderBytes;
+  f.crc_ok = crc32(payload, len) == crc;
+  f.payload.assign(payload, payload + len);
+  consumed_ += kHeaderBytes + len;
+  return f;
+}
+
+}  // namespace snnskip::serve::wire

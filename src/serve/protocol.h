@@ -1,0 +1,127 @@
+#pragma once
+// Wire protocol for the snnskip-serve TCP transport (ISSUE 8).
+//
+// Every message travels in one length-prefixed, CRC-framed binary frame:
+//
+//   u32 magic 'SNKS' | u8 type | u8[3] reserved | u32 payload_len
+//   | u32 crc32(payload) | payload bytes
+//
+// The 16-byte header is validated before any allocation (bad magic or an
+// oversize length is unrecoverable — the stream cannot be resynchronized
+// — and closes the connection), while a payload whose CRC does not match
+// is a TORN frame: the length prefix still delimits it, so the receiver
+// rejects exactly that frame with Status::CrcError and the connection
+// survives. This is the same torn-vs-corrupt split the SNNSKIP2
+// checkpoint format uses (util/crc32, DESIGN.md §5d), applied to a byte
+// stream.
+//
+// Payloads are little-endian plain-old-data (the only supported hosts are
+// little-endian; a mixed-endian deployment would need byte swapping
+// here and nowhere else). Request frames carry an ABSOLUTE deadline in
+// the machine-wide monotonic clock domain (mono_now_ns, CLOCK_MONOTONIC):
+// the transport is loopback/LAN-scoped, where sender and receiver share
+// that clock, so the server can shed a request whose deadline expired
+// while it sat in the queue without any clock-offset negotiation.
+//
+// decode_* functions validate every count against the actual payload size
+// before allocating (a corrupted tensor count can never trigger a huge
+// allocation) and throw ProtocolError on malformed input.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snnskip::serve::wire {
+
+/// Malformed frame or payload (never thrown for a torn CRC — that is a
+/// recoverable per-frame condition reported via Frame::crc_ok).
+struct ProtocolError : std::runtime_error {
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+constexpr std::uint32_t kMagic = 0x534B4E53u;  // "SNKS" little-endian
+constexpr std::size_t kHeaderBytes = 16;
+/// Hard cap on one frame's payload; a length above this is treated as
+/// stream corruption, not a large request.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  Request = 1,   ///< client -> server: one inference sequence
+  Response = 2,  ///< server -> client: result or error/backpressure
+  Goaway = 3,    ///< server -> client: draining, do not send more
+};
+
+/// Response status codes. Retryable: Rejected (after retry_after_us),
+/// Failed and CrcError (transient). Not retryable: Expired (the deadline
+/// has passed), BadRequest (the request itself is malformed).
+enum class Status : std::uint8_t {
+  Ok = 0,
+  Rejected = 1,    ///< admission control shed the request
+  Expired = 2,     ///< deadline passed before execution
+  Failed = 3,      ///< engine failure (e.g. model quarantined)
+  BadRequest = 4,  ///< unknown model / bad shape / malformed payload
+  CrcError = 5,    ///< the REQUEST frame arrived torn; resend it
+};
+
+const char* status_name(Status s);
+
+struct RequestMsg {
+  std::uint64_t id = 0;          ///< echoed in the response
+  std::int64_t deadline_ns = 0;  ///< absolute mono_now_ns(); 0 = none
+  std::string model;
+  std::vector<Tensor> frames;  ///< T frames of identical (C, H, W)
+};
+
+struct ResponseMsg {
+  std::uint64_t id = 0;  ///< 0 when the request could not be parsed
+  Status status = Status::Failed;
+  std::int64_t retry_after_us = 0;  ///< backpressure hint (Rejected)
+  std::string error;                ///< human-readable detail (non-Ok)
+  Tensor value;                     ///< rate-accumulated head output (Ok)
+};
+
+/// Machine-wide monotonic clock (CLOCK_MONOTONIC), the deadline domain of
+/// RequestMsg — comparable across processes on one machine, never
+/// affected by wall-clock steps.
+std::int64_t mono_now_ns();
+
+/// Serialize a full frame (header + payload).
+std::vector<std::uint8_t> encode_request(const RequestMsg& m);
+std::vector<std::uint8_t> encode_response(const ResponseMsg& m);
+std::vector<std::uint8_t> encode_goaway();
+
+/// Parse a payload (the bytes after the header). Throws ProtocolError.
+RequestMsg decode_request(const std::uint8_t* p, std::size_t n);
+ResponseMsg decode_response(const std::uint8_t* p, std::size_t n);
+
+/// Incremental frame reassembly over an arbitrary-chunked byte stream
+/// (partial reads produce partial buffers; next() only pops complete
+/// frames). Torn frames pop with crc_ok == false; structurally invalid
+/// streams (bad magic / oversize length / unknown type) throw
+/// ProtocolError, after which the connection must be closed.
+class FrameAssembler {
+ public:
+  struct Frame {
+    FrameType type = FrameType::Request;
+    bool crc_ok = true;
+    std::vector<std::uint8_t> payload;
+  };
+
+  void append(const void* data, std::size_t n);
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet popped as a frame (a nonzero value that
+  /// persists means a half-received frame — the transport's read-timeout
+  /// trigger).
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace snnskip::serve::wire

@@ -2,14 +2,39 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 
 #include "fault/inject.h"
+#include "serve/protocol.h"
 #include "telemetry/telemetry.h"
+#include "util/logging.h"
 
 namespace snnskip::serve {
+
+namespace {
+
+/// Promise adapter: maps Outcome onto the Ticket future (exceptions for
+/// everything that is not Ok, so result.get() keeps throwing like before
+/// deadlines existed).
+std::function<void(Outcome)> promise_completion(
+    std::shared_ptr<std::promise<Tensor>> prom) {
+  return [prom = std::move(prom)](Outcome o) {
+    if (o.status == RequestStatus::Ok) {
+      prom->set_value(std::move(o.value));
+    } else {
+      const char* what = o.status == RequestStatus::Expired
+                             ? "serve::Server: deadline expired"
+                             : "serve::Server: request failed";
+      prom->set_exception(std::make_exception_ptr(std::runtime_error(
+          o.error.empty() ? what : std::string(what) + ": " + o.error)));
+    }
+  };
+}
+
+}  // namespace
 
 Server::Server(ModelRegistry& registry, ServeOptions opts)
     : opts_(opts), registry_(registry) {
@@ -40,8 +65,9 @@ void Server::add_model(const ModelSpec& spec) {
   q.model = std::move(model);
 }
 
-Server::Ticket Server::submit(const std::string& model,
-                              std::vector<Tensor> frames) {
+void Server::submit_async(const std::string& model, std::vector<Tensor> frames,
+                          const SubmitOptions& sub,
+                          std::function<void(Outcome)> done) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = queues_.find(model);
   if (it == queues_.end()) {
@@ -61,7 +87,6 @@ Server::Ticket Server::submit(const std::string& model,
     }
   }
 
-  Ticket t;
   // Admission control: shed load at the edge once the backlog passes the
   // watermark (or when draining), with a retry hint sized to the time the
   // current backlog needs to clear at one batch per latency budget.
@@ -69,20 +94,24 @@ Server::Ticket Server::submit(const std::string& model,
   if (draining_ || full || SNNSKIP_FAULT("serve.queue_full")) {
     ++rejected_;
     Telemetry::count("serve.rejected");
-    t.accepted = false;
-    t.retry_after_us =
+    Outcome o;
+    o.status = RequestStatus::Rejected;
+    o.retry_after_us =
         draining_ ? 0
                   : opts_.latency_budget_us *
                         (1 + pending_total_ / std::max<std::int64_t>(
                                                   1, opts_.max_batch));
-    return t;
+    o.error = draining_ ? "draining" : "queue full";
+    lock.unlock();
+    done(std::move(o));
+    return;
   }
 
   auto req = std::make_unique<Request>();
   req->frames = std::move(frames);
+  req->done = std::move(done);
   req->enqueue_ns = Telemetry::now_ns();
-  t.result = req->promise.get_future();
-  t.accepted = true;
+  req->deadline_ns = sub.deadline_ns;
   it->second.pending.push_back(std::move(req));
   ++pending_total_;
   ++accepted_;
@@ -92,6 +121,35 @@ Server::Ticket Server::submit(const std::string& model,
                        static_cast<double>(pending_total_));
   lock.unlock();
   cv_.notify_one();
+}
+
+Server::Ticket Server::submit(const std::string& model,
+                              std::vector<Tensor> frames,
+                              const SubmitOptions& sub) {
+  Ticket t;
+  auto prom = std::make_shared<std::promise<Tensor>>();
+  std::future<Tensor> fut = prom->get_future();
+  bool rejected = false;
+  std::int64_t retry_after = 0;
+  // Admission rejections complete synchronously; map them onto the
+  // rejected-Ticket shape instead of a future exception so existing
+  // backpressure callers keep their retry_after_us hint.
+  submit_async(model, std::move(frames), sub,
+               [&rejected, &retry_after, prom](Outcome o) {
+                 if (o.status == RequestStatus::Rejected) {
+                   rejected = true;
+                   retry_after = o.retry_after_us;
+                   return;
+                 }
+                 promise_completion(prom)(std::move(o));
+               });
+  if (rejected) {
+    t.accepted = false;
+    t.retry_after_us = retry_after;
+    return t;
+  }
+  t.accepted = true;
+  t.result = std::move(fut);
   return t;
 }
 
@@ -104,18 +162,68 @@ Tensor Server::infer(const std::string& model, std::vector<Tensor> frames) {
   return t.result.get();
 }
 
-void Server::drain() {
+bool Server::drain() {
   std::unique_lock<std::mutex> lock(mu_);
   draining_ = true;
   cv_.notify_all();
-  drain_cv_.wait(lock, [this] {
-    return pending_total_ == 0 && in_flight_batches_ == 0;
-  });
+  auto done = [this] { return pending_total_ == 0 && in_flight_batches_ == 0; };
+  if (opts_.drain_timeout_ms <= 0) {
+    drain_cv_.wait(lock, done);
+    return true;
+  }
+  if (drain_cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_timeout_ms),
+                         done)) {
+    return true;
+  }
+  // Timed out: a worker is wedged or a batch is pathologically slow. Fail
+  // whatever is still QUEUED so no promise dangles, and latch
+  // drain_expired_ so batches parked in the worker queue fast-fail at
+  // pickup instead of burning engine time nobody is waiting on. The
+  // batch a worker is executing right now still completes normally.
+  drain_expired_.store(true, std::memory_order_relaxed);
+  std::vector<std::unique_ptr<Request>> orphans;
+  for (auto& [name, q] : queues_) {
+    while (!q.pending.empty()) {
+      orphans.push_back(std::move(q.pending.front()));
+      q.pending.pop_front();
+      --pending_total_;
+    }
+  }
+  failed_ += static_cast<std::int64_t>(orphans.size());
+  lock.unlock();
+  SNNSKIP_LOG(Warn) << "serve: drain timed out after "
+                    << opts_.drain_timeout_ms << "ms; failing "
+                    << orphans.size() << " queued request(s)";
+  for (auto& req : orphans) {
+    Outcome o;
+    o.status = RequestStatus::Failed;
+    o.error = "drain timeout";
+    req->done(std::move(o));
+  }
+  return false;
 }
 
 bool Server::draining() const {
   std::lock_guard<std::mutex> lock(mu_);
   return draining_;
+}
+
+std::vector<std::unique_ptr<Server::Request>> Server::collect_expired() {
+  std::vector<std::unique_ptr<Request>> shed;
+  const std::int64_t now = wire::mono_now_ns();
+  for (auto& [name, q] : queues_) {
+    for (auto it = q.pending.begin(); it != q.pending.end();) {
+      Request& r = **it;
+      if (r.deadline_ns > 0 && now >= r.deadline_ns) {
+        shed.push_back(std::move(*it));
+        it = q.pending.erase(it);
+        --pending_total_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return shed;
 }
 
 void Server::dispatcher_loop() {
@@ -124,6 +232,31 @@ void Server::dispatcher_loop() {
       std::min(opts_.linger_us, opts_.latency_budget_us) * 1000;
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
+    // Shed requests whose deadline already expired BEFORE assembling any
+    // batch: engine time is the scarce resource, and an answer past its
+    // deadline is wasted work. Draining flushes everything regardless —
+    // the client is still waiting on those futures.
+    std::vector<std::unique_ptr<Request>> shed;
+    if (!draining_) shed = collect_expired();
+    if (!shed.empty()) {
+      expired_ += static_cast<std::int64_t>(shed.size());
+      lock.unlock();
+      for (auto& req : shed) {
+        Telemetry::count("serve.deadline_expired");
+        Outcome o;
+        o.status = RequestStatus::Expired;
+        o.error = "deadline expired before batch assembly";
+        req->done(std::move(o));
+      }
+      shed.clear();
+      lock.lock();
+      // mu_ was released while completing the shed requests; stop() may
+      // have set stopping_ and fired its (then-unheard) notify in that
+      // window. Re-evaluate the loop condition before committing to a
+      // wait, or the untimed cv_.wait below sleeps through the join.
+      continue;
+    }
+
     // Cut every ready batch: batch-full queues immediately, deadline-hit
     // queues by the age of their OLDEST pending request, everything when
     // draining. Work-conserving: while a worker is idle the deadline is
@@ -145,24 +278,30 @@ void Server::dispatcher_loop() {
       }
     }
 
-    // Sleep until the earliest pending deadline (or a submit / drain /
-    // batch-completion wake; completions can shorten deadlines to the
-    // linger, so run_batch also notifies cv_).
-    std::int64_t next = std::numeric_limits<std::int64_t>::max();
+    // Sleep until the earliest pending flush deadline or request
+    // deadline (or a submit / drain / batch-completion wake; completions
+    // can shorten flush deadlines to the linger, so run_batch also
+    // notifies cv_). Flush deadlines live in the telemetry clock domain,
+    // request deadlines in the monotonic domain — compare DURATIONS, not
+    // absolute times.
+    std::int64_t sleep_ns = std::numeric_limits<std::int64_t>::max();
+    const std::int64_t tnow = static_cast<std::int64_t>(Telemetry::now_ns());
+    const std::int64_t mnow = wire::mono_now_ns();
     for (const auto& [name, q] : queues_) {
-      if (!q.pending.empty()) {
-        next = std::min(next, static_cast<std::int64_t>(
-                                  q.pending.front()->enqueue_ns) +
-                                  wait_ns());
+      if (q.pending.empty()) continue;
+      sleep_ns = std::min(
+          sleep_ns, static_cast<std::int64_t>(q.pending.front()->enqueue_ns) +
+                        wait_ns() - tnow);
+      for (const auto& req : q.pending) {
+        if (req->deadline_ns > 0) {
+          sleep_ns = std::min(sleep_ns, req->deadline_ns - mnow);
+        }
       }
     }
-    if (next == std::numeric_limits<std::int64_t>::max()) {
+    if (sleep_ns == std::numeric_limits<std::int64_t>::max()) {
       cv_.wait(lock);
-    } else {
-      const std::int64_t now = static_cast<std::int64_t>(Telemetry::now_ns());
-      if (next > now) {
-        cv_.wait_for(lock, std::chrono::nanoseconds(next - now));
-      }
+    } else if (sleep_ns > 0) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(sleep_ns));
     }
   }
 }
@@ -196,9 +335,29 @@ void Server::cut_batch(ModelQueue& q) {
 
 void Server::run_batch(Batch batch) {
   const std::string& name = batch.model->spec().name;
+  if (drain_expired_.load(std::memory_order_relaxed)) {
+    const std::size_t nabandoned = batch.requests.size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      failed_ += static_cast<std::int64_t>(nabandoned);
+    }
+    for (auto& req : batch.requests) {
+      Outcome o;
+      o.status = RequestStatus::Failed;
+      o.error = "drain timeout";
+      req->done(std::move(o));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_batches_;
+    }
+    drain_cv_.notify_all();
+    return;
+  }
   SNNSKIP_SPAN("serve.execute", name);
   const std::size_t nreq = batch.requests.size();
-  std::size_t fulfilled = 0;
+  std::vector<Outcome> outcomes(nreq);
+  bool poisoned = false;
   try {
     LoadedModel::Lease lease = batch.model->lease();
     const infer::Plan& plan = *batch.model->plan();
@@ -231,6 +390,13 @@ void Server::run_batch(Batch batch) {
         }
       }
       lease->step(x, &out);
+      if (SNNSKIP_FAULT("serve.engine_nan")) {
+        // Simulated corrupted-weights blowup: poison the step output the
+        // same way an Inf/NaN weight would.
+        for (std::int64_t i = 0; i < out.numel(); ++i) {
+          out.data()[i] = std::numeric_limits<float>::quiet_NaN();
+        }
+      }
       for (std::size_t i = 0; i < nreq; ++i) {
         if (t >= batch.requests[i]->frames.size()) continue;
         const float* row = out.data() + static_cast<std::int64_t>(i) * classes;
@@ -239,41 +405,64 @@ void Server::run_batch(Batch batch) {
       }
     }
 
-    // Account completions and latencies BEFORE fulfilling any promise:
-    // a client that returns from result.get() must already see its
-    // request in stats().completed.
-    const std::uint64_t done_ns = Telemetry::now_ns();
-    std::vector<Tensor> results;
-    results.reserve(nreq);
-    for (std::size_t i = 0; i < nreq; ++i) {
-      Tensor r(Shape{classes});
-      std::memcpy(r.data(), acc[i].data(),
-                  static_cast<std::size_t>(classes) * sizeof(float));
-      results.push_back(std::move(r));
-      record_latency(
-          static_cast<double>(done_ns - batch.requests[i]->enqueue_ns) / 1e6);
+    // Non-finite outputs mean the model itself is unhealthy (weights or
+    // state corrupt): fail the whole batch and quarantine the model.
+    for (std::size_t i = 0; i < nreq && !poisoned; ++i) {
+      for (float v : acc[i]) {
+        if (!std::isfinite(v)) {
+          poisoned = true;
+          break;
+        }
+      }
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      completed_ += static_cast<std::int64_t>(nreq);
+
+    if (poisoned) {
+      for (std::size_t i = 0; i < nreq; ++i) {
+        outcomes[i].status = RequestStatus::Failed;
+        outcomes[i].error = "non-finite engine output (model quarantined)";
+      }
+    } else {
+      const std::uint64_t done_ns = Telemetry::now_ns();
+      for (std::size_t i = 0; i < nreq; ++i) {
+        Tensor r(Shape{classes});
+        std::memcpy(r.data(), acc[i].data(),
+                    static_cast<std::size_t>(classes) * sizeof(float));
+        outcomes[i].status = RequestStatus::Ok;
+        outcomes[i].value = std::move(r);
+        record_latency(
+            static_cast<double>(done_ns - batch.requests[i]->enqueue_ns) /
+            1e6);
+      }
     }
+  } catch (const std::exception& e) {
     for (std::size_t i = 0; i < nreq; ++i) {
-      batch.requests[i]->promise.set_value(std::move(results[i]));
-      ++fulfilled;
+      outcomes[i].status = RequestStatus::Failed;
+      outcomes[i].error = e.what();
     }
   } catch (...) {
-    for (std::size_t i = fulfilled; i < nreq; ++i) {
-      batch.requests[i]->promise.set_exception(std::current_exception());
+    for (std::size_t i = 0; i < nreq; ++i) {
+      outcomes[i].status = RequestStatus::Failed;
+      outcomes[i].error = "unknown execution failure";
     }
+  }
+
+  // Quarantine BEFORE reporting the failures: a client that retries the
+  // moment it sees the failure must already find the reloaded model.
+  if (poisoned) quarantine_model(batch.model);
+
+  // Account completions BEFORE invoking any callback: a client that
+  // returns from result.get() must already see its request in stats().
+  std::size_t ok = 0;
+  for (const Outcome& o : outcomes) {
+    if (o.status == RequestStatus::Ok) ++ok;
+  }
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    // Execution failures happen before the completed_ bump above; only
-    // the unfulfilled remainder is charged as failed.
-    if (fulfilled == 0) {
-      failed_ += static_cast<std::int64_t>(nreq);
-    } else {
-      completed_ -= static_cast<std::int64_t>(nreq - fulfilled);
-      failed_ += static_cast<std::int64_t>(nreq - fulfilled);
-    }
+    completed_ += static_cast<std::int64_t>(ok);
+    failed_ += static_cast<std::int64_t>(nreq - ok);
+  }
+  for (std::size_t i = 0; i < nreq; ++i) {
+    batch.requests[i]->done(std::move(outcomes[i]));
   }
 
   {
@@ -282,6 +471,60 @@ void Server::run_batch(Batch batch) {
   }
   drain_cv_.notify_all();
   cv_.notify_one();  // a worker just went idle: deadlines may shorten
+}
+
+void Server::quarantine_model(const ModelHandle& model) {
+  const std::string name = model->spec().name;
+  // Serialize cycles so two poisoned batches of one model trigger one
+  // reload; the identity check below makes the second a no-op.
+  std::lock_guard<std::mutex> qlock(quarantine_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queues_.find(name);
+    if (it == queues_.end() || it->second.model != model) {
+      return;  // already quarantined and swapped (or model was removed)
+    }
+  }
+  Telemetry::count("serve.quarantined");
+  SNNSKIP_LOG(Error) << "serve: non-finite output from model '" << name
+                     << "'; quarantining (evict + reload)";
+  registry_.evict(name);
+  std::string err;
+  ModelHandle fresh = registry_.try_load(model->spec(), &err);
+
+  const bool reloaded = fresh != nullptr;
+  std::vector<std::unique_ptr<Request>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++quarantined_;
+    auto it = queues_.find(name);
+    if (it != queues_.end() && it->second.model == model) {
+      if (fresh) {
+        it->second.model = std::move(fresh);
+      } else {
+        // Reload failed too (checkpoint corrupt on disk): unregister the
+        // model so submits report it unknown instead of serving poison.
+        while (!it->second.pending.empty()) {
+          orphans.push_back(std::move(it->second.pending.front()));
+          it->second.pending.pop_front();
+          --pending_total_;
+        }
+        failed_ += static_cast<std::int64_t>(orphans.size());
+        queues_.erase(it);
+      }
+    }
+  }
+  if (!reloaded) {
+    SNNSKIP_LOG(Error) << "serve: quarantine reload of '" << name
+                       << "' failed (" << err << "); model unregistered";
+    for (auto& req : orphans) {
+      Outcome o;
+      o.status = RequestStatus::Failed;
+      o.error = "model quarantined and reload failed: " + err;
+      req->done(std::move(o));
+    }
+    drain_cv_.notify_all();
+  }
 }
 
 void Server::record_latency(double ms) {
@@ -301,6 +544,8 @@ ServeStats Server::stats() const {
     s.rejected = rejected_;
     s.completed = completed_;
     s.failed = failed_;
+    s.expired = expired_;
+    s.quarantined = quarantined_;
     s.batches = batches_;
     s.mean_batch_occupancy =
         batches_ > 0 ? static_cast<double>(batched_requests_) /

@@ -1,7 +1,8 @@
 #pragma once
-// High-throughput inference daemon core (ISSUE 7): dynamic batching under
-// a latency budget, bounded-queue admission control with explicit
-// backpressure, and graceful drain.
+// High-throughput inference daemon core (ISSUE 7, hardened in ISSUE 8):
+// dynamic batching under a latency budget, bounded-queue admission
+// control with explicit backpressure, end-to-end deadline propagation,
+// model quarantine, and bounded graceful drain.
 //
 // Request model: a request is one event-stream sequence — T frames of
 // shape (C, H, W) for a named model — and its response is the
@@ -12,37 +13,57 @@
 //
 //   submit()  --admission-->  per-model pending queue  --dispatcher-->
 //   batch (flush on batch-full OR deadline)  --ThreadPool-->  exec task
-//   (lease pooled Engine, step T times, fulfill futures)
+//   (lease pooled Engine, step T times, complete requests)
 //
 // * Admission control: one watermark across all models
 //   (ServeOptions::queue_capacity). A submit over the watermark is
 //   REJECTED immediately with a retry_after_us hint derived from the
-//   current backlog — modeled on postgres's bounded-queue discipline:
-//   shed load explicitly at the edge instead of letting latency grow
-//   without bound. The fault site `serve.queue_full` forces this path
-//   deterministically for tests.
+//   current backlog — shed load explicitly at the edge instead of letting
+//   latency grow without bound. Fault site `serve.queue_full` forces this
+//   path deterministically.
+// * Deadline propagation: a request may carry an ABSOLUTE deadline
+//   (wire::mono_now_ns() domain, CLOCK_MONOTONIC). The dispatcher sheds
+//   requests whose deadline already expired BEFORE batch assembly
+//   (counter `serve.deadline_expired`, Outcome Expired) — engine time is
+//   never spent computing an answer nobody is waiting for. Deadlines
+//   arriving over the transport (serve/transport.h) flow through
+//   unchanged, so a client timeout bounds server work end to end.
 // * Dynamic batching: a dedicated dispatcher thread cuts a model's batch
 //   when max_batch requests are pending or the OLDEST pending request
 //   has waited its deadline — the full latency_budget_us while every
 //   worker is busy, but only the short work-conserving linger_us while a
-//   worker sits idle (holding a batch open past that point adds latency
-//   without adding throughput). Batches from different models (and
-//   multiple batches of one model) execute concurrently on the worker
-//   pool; each leases its own Engine, so per-engine ExecOptions and
-//   ExecStats never interleave.
+//   worker sits idle. Batches from different models (and multiple batches
+//   of one model) execute concurrently on the worker pool; each leases
+//   its own Engine, so per-engine ExecOptions and ExecStats never
+//   interleave.
+// * Quarantine: a batch whose engine output contains a non-finite value
+//   (a corrupted weight blob, an overflowing activation, or the injected
+//   `serve.engine_nan` fault) fails ONLY that batch's requests, then
+//   evicts the model from the registry and reloads it from its spec —
+//   checkpoint re-read, plan re-compiled — before the failures are
+//   reported (counter `serve.quarantined`), so a client that retries on
+//   failure immediately hits the fresh copy. If even the reload fails
+//   (checkpoint now corrupt on disk) the model is unregistered: one
+//   poisoned blob degrades one model, never the daemon.
 // * Graceful drain: drain() stops admission, flushes every pending
-//   request regardless of deadline, and returns once nothing is queued
-//   or in flight. The destructor drains.
+//   request, and returns once nothing is queued or in flight — but never
+//   waits longer than ServeOptions::drain_timeout_ms: on timeout the
+//   still-queued requests are failed and drain returns false, so a
+//   wedged worker cannot hang SIGTERM/SIGINT shutdown forever. The
+//   destructor drains.
 //
 // Telemetry (enabled runs): per-request `serve.queue_wait` spans, per-
 // batch `serve.execute` + per-step `serve.batch_assemble` spans, and
 // serve.requests / serve.rejected / serve.batches / serve.batch_occupancy
-// counters with a serve.queue_depth.high_water gauge. Latency p50/p99
-// over a recent window is always available from stats().
+// / serve.deadline_expired / serve.quarantined counters with a
+// serve.queue_depth.high_water gauge. Latency p50/p99 over a recent
+// window is always available from stats().
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -63,13 +84,38 @@ struct ServeStats {
   std::int64_t accepted = 0;
   std::int64_t rejected = 0;
   std::int64_t completed = 0;
-  std::int64_t failed = 0;  ///< requests finished with an exception
+  std::int64_t failed = 0;   ///< engine failures (incl. quarantines)
+  std::int64_t expired = 0;  ///< shed with an already-expired deadline
+  std::int64_t quarantined = 0;  ///< model evict+reload cycles
   std::int64_t batches = 0;
   double mean_batch_occupancy = 0.0;  ///< completed / batches
   std::int64_t queue_depth = 0;       ///< instantaneous pending requests
   std::int64_t queue_depth_high_water = 0;
   double p50_ms = 0.0;  ///< over the recent-latency window
   double p99_ms = 0.0;
+};
+
+/// Terminal disposition of one accepted request.
+enum class RequestStatus {
+  Ok,
+  Rejected,  ///< admission shed it (submit_async only; submit() returns
+             ///< a rejected Ticket instead)
+  Expired,   ///< deadline passed before execution
+  Failed,    ///< engine failure / quarantine / drain timeout
+};
+
+/// What a completion callback receives, exactly once per request.
+struct Outcome {
+  RequestStatus status = RequestStatus::Failed;
+  Tensor value;                     ///< valid when status == Ok
+  std::int64_t retry_after_us = 0;  ///< backpressure hint when Rejected
+  std::string error;                ///< human-readable detail otherwise
+};
+
+struct SubmitOptions {
+  /// Absolute deadline in wire::mono_now_ns() (CLOCK_MONOTONIC); 0 = no
+  /// deadline. Expired requests are shed before batch assembly.
+  std::int64_t deadline_ns = 0;
 };
 
 class Server {
@@ -82,7 +128,10 @@ class Server {
 
   /// Load `spec` through the registry and accept requests for
   /// `spec.name`. max_batch is clamped to the model's compiled batch
-  /// capacity. Not callable after drain().
+  /// capacity. Not callable after drain(). Throws on load failure —
+  /// daemon startup paths that must survive a bad model use
+  /// ModelRegistry::try_load + add_model(spec) in a try block, or the
+  /// snnskip-serve binary's per-manifest skip logic.
   void add_model(const ModelSpec& spec);
 
   /// Outcome of submit: either a future for the rate-accumulated head
@@ -97,16 +146,31 @@ class Server {
   /// Submit a sequence for `model` (added via add_model; unknown names
   /// throw std::invalid_argument, as do empty sequences and frames whose
   /// shape differs from the model's compiled (C, H, W)). Never blocks on
-  /// the queue: over-watermark submits return a rejected ticket.
-  Ticket submit(const std::string& model, std::vector<Tensor> frames);
+  /// the queue: over-watermark submits return a rejected ticket. A shed
+  /// deadline or an engine failure surfaces as std::runtime_error from
+  /// result.get().
+  Ticket submit(const std::string& model, std::vector<Tensor> frames,
+                const SubmitOptions& sub = {});
+
+  /// Callback form (what the transport uses): `done` is invoked exactly
+  /// once — synchronously for admission rejections, from a worker thread
+  /// otherwise. The callback must not re-enter the Server. Throws
+  /// std::invalid_argument for malformed requests, like submit().
+  void submit_async(const std::string& model, std::vector<Tensor> frames,
+                    const SubmitOptions& sub,
+                    std::function<void(Outcome)> done);
 
   /// Convenience: submit and wait. Throws std::runtime_error on
   /// rejection (callers that want backpressure semantics use submit()).
   Tensor infer(const std::string& model, std::vector<Tensor> frames);
 
   /// Stop admission, flush all pending batches immediately, and return
-  /// once nothing is pending or in flight. Idempotent.
-  void drain();
+  /// once nothing is pending or in flight — or after
+  /// ServeOptions::drain_timeout_ms, whichever comes first. On timeout,
+  /// still-queued requests complete with RequestStatus::Failed and drain
+  /// returns false (in-flight batches keep running and complete whenever
+  /// their worker finishes). Idempotent.
+  bool drain();
   bool draining() const;
 
   ServeStats stats() const;
@@ -114,8 +178,9 @@ class Server {
  private:
   struct Request {
     std::vector<Tensor> frames;
-    std::promise<Tensor> promise;
-    std::uint64_t enqueue_ns = 0;  ///< Telemetry::now_ns at admission
+    std::function<void(Outcome)> done;
+    std::uint64_t enqueue_ns = 0;   ///< Telemetry::now_ns at admission
+    std::int64_t deadline_ns = 0;   ///< wire::mono_now_ns domain; 0 = none
   };
 
   struct ModelQueue {
@@ -132,7 +197,15 @@ class Server {
   /// Cut up to max_batch requests from `q` into a Batch and hand it to
   /// the worker pool. Caller holds mu_.
   void cut_batch(ModelQueue& q);
+  /// Remove already-expired requests from every pending queue. Caller
+  /// holds mu_; the shed requests are returned for completion OUTSIDE
+  /// the lock.
+  std::vector<std::unique_ptr<Request>> collect_expired();
   void run_batch(Batch batch);
+  /// Evict + reload `model` after a poisoned batch; swaps the fresh
+  /// handle into the queue (or unregisters the model when the reload
+  /// itself fails). No locks held by the caller.
+  void quarantine_model(const ModelHandle& model);
   void record_latency(double ms);
 
   const ServeOptions opts_;
@@ -146,9 +219,16 @@ class Server {
   std::int64_t in_flight_batches_ = 0;
   bool draining_ = false;
   bool stopping_ = false;
+  // Latched by a timed-out drain(); run_batch fast-fails batches still
+  // parked in the worker queue instead of burning engine time on them.
+  std::atomic<bool> drain_expired_{false};
+
+  // Serializes quarantine evict+reload cycles (never held with mu_).
+  std::mutex quarantine_mu_;
 
   // Totals (guarded by mu_).
   std::int64_t accepted_ = 0, rejected_ = 0, completed_ = 0, failed_ = 0;
+  std::int64_t expired_ = 0, quarantined_ = 0;
   std::int64_t batches_ = 0, batched_requests_ = 0;
   std::int64_t depth_high_water_ = 0;
 

@@ -228,6 +228,62 @@ TEST(ModelRegistryTest, ManifestParsing) {
   std::remove(path.c_str());
 }
 
+TEST(ModelRegistryTest, HardLoadFailuresAreRecoverablePerModel) {
+  // Every way a model blob can be bad on disk must surface as a per-model
+  // try_load failure (nullptr + reason), never an uncaught throw: the
+  // daemon skips the model and serves the rest.
+  ModelRegistry reg(4);
+  const std::string dir = ::testing::TempDir();
+
+  // Duplicate key: the manifest was hand-edited into ambiguity.
+  const std::string dup = dir + "/dup.manifest";
+  {
+    std::ofstream out(dup);
+    out << "name dup\nwidth 8\nwidth 16\n";
+  }
+  std::string err;
+  EXPECT_EQ(reg.try_load(dup, &err), nullptr);
+  EXPECT_NE(err.find("duplicate key 'width'"), std::string::npos) << err;
+
+  // Missing value for a key.
+  const std::string noval = dir + "/noval.manifest";
+  {
+    std::ofstream out(noval);
+    out << "name noval\nwidth\n";
+  }
+  EXPECT_EQ(reg.try_load(noval, &err), nullptr);
+  EXPECT_NE(err.find("missing value"), std::string::npos) << err;
+
+  // CRC-failing checkpoint: save a real one, then corrupt a byte in the
+  // middle — load_network restores whole-or-nothing, so the registry must
+  // refuse to serve the seeded init in its place.
+  const ModelSpec base = tiny_spec("crc");
+  Network net = build_model(base.family, base.config,
+                            default_adjacencies(base.family, base.config));
+  const std::string ckpt = dir + "/corrupt.snnskip2";
+  ASSERT_TRUE(save_network(ckpt, net));
+  {
+    std::fstream f(ckpt, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(128);
+    const char x = 'X';
+    f.write(&x, 1);
+  }
+  ModelSpec bad = tiny_spec("crc");
+  bad.checkpoint = ckpt;
+  bad.warm_bn_steps = 0;
+  EXPECT_EQ(reg.try_load(bad, &err), nullptr);
+  EXPECT_NE(err.find("checkpoint missing or corrupt"), std::string::npos)
+      << err;
+  EXPECT_FALSE(reg.is_resident("crc"));
+
+  // Un-corrupt path still loads: the registry itself is undamaged.
+  ASSERT_TRUE(save_network(ckpt, net));
+  EXPECT_NE(reg.try_load(bad, &err), nullptr);
+  std::remove(ckpt.c_str());
+  std::remove(dup.c_str());
+  std::remove(noval.c_str());
+}
+
 // --- Server -----------------------------------------------------------------
 
 ServeOptions fast_opts() {
@@ -371,6 +427,53 @@ TEST(ServerTest, DrainCompletesPendingAndStopsAdmission) {
 
   Server::Ticket late = server.submit("d", request_frames(frame, 2, 79));
   EXPECT_FALSE(late.accepted);  // admission closed
+}
+
+TEST(ServerTest, DrainUnderConcurrentSubmittersIsCleanAndBounded) {
+  // drain() racing live submitters: every ticket handed out before the
+  // admission gate closed must settle (value or drain-timeout error), and
+  // submits after it must be rejected, never lost — the TSan job runs
+  // this to prove the drain_cv_ signaling is race-free.
+  ModelRegistry reg(4);
+  ServeOptions opts = fast_opts();
+  opts.workers = 2;
+  opts.drain_timeout_ms = 10'000;  // generous: this test wants clean
+  Server server(reg, opts);
+  const ModelSpec spec = tiny_spec("dc", /*batch=*/4);
+  server.add_model(spec);
+  const Shape frame{spec.config.in_channels, spec.in_h, spec.in_w};
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> settled{0}, rejected{0};
+  std::vector<std::thread> submitters;
+  for (int c = 0; c < 4; ++c) {
+    submitters.emplace_back([&, c] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Server::Ticket t = server.submit(
+            "dc", request_frames(frame, 2, static_cast<std::uint64_t>(c) * 1000 + i++));
+        if (!t.accepted) {
+          ++rejected;
+          continue;
+        }
+        try {
+          (void)t.result.get();
+        } catch (const std::runtime_error&) {
+          // drain-timeout failure is a legitimate settlement
+        }
+        ++settled;
+      }
+    });
+  }
+  // Let the submitters build up real traffic, then drain under them.
+  while (settled.load() < 16) std::this_thread::yield();
+  EXPECT_TRUE(server.drain());
+  stop.store(true);
+  for (auto& t : submitters) t.join();
+  EXPECT_GT(settled.load(), 0);
+  // Post-drain submits are rejected, not hung.
+  Server::Ticket late = server.submit("dc", request_frames(frame, 2, 9999));
+  EXPECT_FALSE(late.accepted);
 }
 
 TEST(ServerTest, ConcurrentClientsAcrossModelsMatchReferences) {
