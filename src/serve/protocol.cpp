@@ -70,17 +70,30 @@ class Reader {
   std::size_t off_ = 0;
 };
 
+// CRC-32 low byte over the header fields that delimit and route the
+// frame: {type, payload_len}. The payload CRC cannot cover these — the
+// length must be trusted BEFORE the payload exists, and a flipped type
+// byte would otherwise silently reroute the frame (Request -> Goaway)
+// and degrade to a client timeout instead of a deterministic error.
+std::uint8_t header_checksum(std::uint8_t type, std::uint32_t payload_len) {
+  std::uint8_t f[5];
+  f[0] = type;
+  std::memcpy(f + 1, &payload_len, 4);
+  return static_cast<std::uint8_t>(crc32(f, sizeof f) & 0xff);
+}
+
 std::vector<std::uint8_t> wrap(FrameType type,
                                std::vector<std::uint8_t> payload) {
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
   Writer h;
   h.u32(kMagic);
   h.u8(static_cast<std::uint8_t>(type));
+  h.u8(header_checksum(static_cast<std::uint8_t>(type), len));
   h.u8(0);
   h.u8(0);
-  h.u8(0);
-  h.u32(static_cast<std::uint32_t>(payload.size()));
+  h.u32(len);
   h.u32(crc32(payload.data(), payload.size()));
   out = h.take();
   out.insert(out.end(), payload.begin(), payload.end());
@@ -165,9 +178,14 @@ RequestMsg decode_request(const std::uint8_t* p, std::size_t n) {
   const std::uint64_t frame_floats =
       static_cast<std::uint64_t>(c) * h * w;
   // Validate the full tensor block against the actual payload size BEFORE
-  // allocating anything (same discipline as the checkpoint loader).
-  if (static_cast<std::uint64_t>(t) * frame_floats * sizeof(float) >
-      r.remaining()) {
+  // allocating anything (same discipline as the checkpoint loader). The
+  // check must be division-based: t*frame_floats*sizeof(float) can reach
+  // 2^64 at the geometry caps (t=2^14, c=h=w=2^16 wraps to exactly 0) and
+  // a wrapped product would sail past a multiplication-based bound.
+  // remaining() <= kMaxPayload, t >= 1, and integer division floors, so
+  // frame_floats <= (remaining/4)/t  <=>  t*frame_floats*4 <= remaining.
+  const std::uint64_t max_floats = r.remaining() / sizeof(float);
+  if (frame_floats > max_floats / t) {
     throw ProtocolError("wire: request payload shorter than its geometry");
   }
   const Shape frame{static_cast<std::int64_t>(c), static_cast<std::int64_t>(h),
@@ -224,12 +242,18 @@ std::optional<FrameAssembler::Frame> FrameAssembler::next() {
   std::memcpy(&magic, h, 4);
   if (magic != kMagic) throw ProtocolError("wire: bad frame magic");
   const std::uint8_t type = h[4];
+  std::memcpy(&len, h + 8, 4);
+  std::memcpy(&crc, h + 12, 4);
+  // Verify the header checksum BEFORE acting on type or len: a corrupted
+  // length would silently desync the stream and a corrupted type would
+  // reroute the frame, so neither field is trusted unchecked.
+  if (h[5] != header_checksum(type, len)) {
+    throw ProtocolError("wire: header checksum mismatch");
+  }
   if (type < static_cast<std::uint8_t>(FrameType::Request) ||
       type > static_cast<std::uint8_t>(FrameType::Goaway)) {
     throw ProtocolError("wire: unknown frame type");
   }
-  std::memcpy(&len, h + 8, 4);
-  std::memcpy(&crc, h + 12, 4);
   if (len > kMaxPayload) throw ProtocolError("wire: oversize frame");
   if (buffered() < kHeaderBytes + len) return std::nullopt;
 

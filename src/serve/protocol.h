@@ -3,17 +3,22 @@
 //
 // Every message travels in one length-prefixed, CRC-framed binary frame:
 //
-//   u32 magic 'SNKS' | u8 type | u8[3] reserved | u32 payload_len
-//   | u32 crc32(payload) | payload bytes
+//   u32 magic 'SNKS' | u8 type | u8 hdr_crc | u8[2] reserved
+//   | u32 payload_len | u32 crc32(payload) | payload bytes
 //
-// The 16-byte header is validated before any allocation (bad magic or an
-// oversize length is unrecoverable — the stream cannot be resynchronized
-// — and closes the connection), while a payload whose CRC does not match
-// is a TORN frame: the length prefix still delimits it, so the receiver
-// rejects exactly that frame with Status::CrcError and the connection
-// survives. This is the same torn-vs-corrupt split the SNNSKIP2
-// checkpoint format uses (util/crc32, DESIGN.md §5d), applied to a byte
-// stream.
+// hdr_crc is the CRC-32 low byte over {type, payload_len} — the two
+// fields the payload CRC cannot protect, because they must be trusted
+// before the payload arrives. A corrupted type or length byte is
+// therefore a deterministic ProtocolError (close) instead of a silent
+// frame reroute or stream desync that would only surface as a client
+// timeout. The 16-byte header is validated before any allocation (bad
+// magic, a header-checksum mismatch, or an oversize length is
+// unrecoverable — the stream cannot be resynchronized — and closes the
+// connection), while a payload whose CRC does not match is a TORN frame:
+// the length prefix still delimits it, so the receiver rejects exactly
+// that frame with Status::CrcError and the connection survives. This is
+// the same torn-vs-corrupt split the SNNSKIP2 checkpoint format uses
+// (util/crc32, DESIGN.md §5d), applied to a byte stream.
 //
 // Payloads are little-endian plain-old-data (the only supported hosts are
 // little-endian; a mixed-endian deployment would need byte swapping

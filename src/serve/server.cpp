@@ -129,23 +129,34 @@ Server::Ticket Server::submit(const std::string& model,
   Ticket t;
   auto prom = std::make_shared<std::promise<Tensor>>();
   std::future<Tensor> fut = prom->get_future();
-  bool rejected = false;
-  std::int64_t retry_after = 0;
   // Admission rejections complete synchronously; map them onto the
   // rejected-Ticket shape instead of a future exception so existing
-  // backpressure callers keep their retry_after_us hint.
-  submit_async(model, std::move(frames), sub,
-               [&rejected, &retry_after, prom](Outcome o) {
-                 if (o.status == RequestStatus::Rejected) {
-                   rejected = true;
-                   retry_after = o.retry_after_us;
-                   return;
-                 }
-                 promise_completion(prom)(std::move(o));
-               });
-  if (rejected) {
+  // backpressure callers keep their retry_after_us hint. The rejection
+  // flag lives in shared state captured BY VALUE — the callback must
+  // never hold references into this frame, because nothing but the
+  // current synchronous-rejection invariant keeps it from running after
+  // submit() returns. If that invariant ever breaks, the rejection also
+  // settles the promise below, so the accepted-looking future the caller
+  // got throws instead of dangling forever.
+  struct RejectGate {
+    bool rejected = false;
+    std::int64_t retry_after_us = 0;
+  };
+  auto gate = std::make_shared<RejectGate>();
+  submit_async(model, std::move(frames), sub, [gate, prom](Outcome o) {
+    if (o.status == RequestStatus::Rejected) {
+      gate->rejected = true;
+      gate->retry_after_us = o.retry_after_us;
+      prom->set_exception(std::make_exception_ptr(std::runtime_error(
+          "serve::Server: request rejected (retry in " +
+          std::to_string(o.retry_after_us) + "us)")));
+      return;
+    }
+    promise_completion(prom)(std::move(o));
+  });
+  if (gate->rejected) {
     t.accepted = false;
-    t.retry_after_us = retry_after;
+    t.retry_after_us = gate->retry_after_us;
     return t;
   }
   t.accepted = true;

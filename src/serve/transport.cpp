@@ -89,9 +89,19 @@ SocketServer::SocketServer(Server& server, const ServeOptions& opts)
 
 SocketServer::~SocketServer() {
   shutdown();
-  // Every pending completion callback captures `this`; drain the server so
-  // none can fire after the I/O thread (and this object) is gone.
+  // Every pending completion callback captures `this`, so none may still
+  // be running (or waiting to run) when this object is freed. drain()
+  // flushes the common case but is bounded by drain_timeout_ms — it can
+  // return false with batches still executing or parked in the worker
+  // pool whose completions fire later. Wait for the callback count
+  // itself: once the drain timeout latches, parked batches fast-fail at
+  // pickup, so this converges quickly unless a worker is wedged inside
+  // an engine step (which would hang the Server's own pool join anyway).
   server_.drain();
+  {
+    std::unique_lock<std::mutex> lock(cb_mu_);
+    cb_cv_.wait(lock, [this] { return pending_callbacks_ == 0; });
+  }
   hard_stop_.store(true, std::memory_order_release);
   wake();
   if (io_.joinable()) io_.join();
@@ -292,11 +302,22 @@ void SocketServer::handle_readable(const ConnPtr& c) {
           if (c->fd < 0) return;  // handle_frame may close the conn
         }
       } catch (const wire::ProtocolError& e) {
-        // Bad magic / oversize length: the stream cannot be resynced.
+        // Bad magic / header checksum / oversize length: the stream
+        // cannot be resynced.
         protocol_errors_.fetch_add(1);
         Telemetry::count("serve.transport.protocol_errors");
         SNNSKIP_LOG(Warn) << "serve: protocol error on connection #" << c->id
                           << ": " << e.what();
+        close_conn(c);
+        return;
+      } catch (const std::exception& e) {
+        // Defense in depth: anything else a frame provokes (an allocation
+        // failure above all) costs that connection, never the daemon — an
+        // uncaught exception here would std::terminate the I/O thread.
+        protocol_errors_.fetch_add(1);
+        Telemetry::count("serve.transport.protocol_errors");
+        SNNSKIP_LOG(Error) << "serve: error handling frame on connection #"
+                           << c->id << ": " << e.what();
         close_conn(c);
         return;
       }
@@ -356,6 +377,10 @@ void SocketServer::handle_frame(const ConnPtr& c,
     std::lock_guard<std::mutex> lock(c->out_mu);
     ++c->inflight;
   }
+  {
+    std::lock_guard<std::mutex> lock(cb_mu_);
+    ++pending_callbacks_;
+  }
   const std::uint64_t conn_id = c->id;
   const std::uint64_t req_id = req.id;
   SubmitOptions sub;
@@ -371,14 +396,24 @@ void SocketServer::handle_frame(const ConnPtr& c,
           r.error = std::move(o.error);
           if (o.status == RequestStatus::Ok) r.value = std::move(o.value);
           enqueue_response(conn_id, wire::encode_response(r));
+          // Last touch of `this`: the destructor waits on this count, and
+          // notify must happen under the lock so it cannot outlive the
+          // condition variable it signals.
+          std::lock_guard<std::mutex> lock(cb_mu_);
+          if (--pending_callbacks_ == 0) cb_cv_.notify_all();
         });
   } catch (const std::exception& e) {
     // Unknown model / empty sequence / shape mismatch: the request is
     // wrong, not the connection. submit_async threw before taking
-    // ownership of the completion, so settle the inflight count here.
+    // ownership of the completion, so settle the inflight and callback
+    // counts here.
     {
       std::lock_guard<std::mutex> lock(c->out_mu);
       --c->inflight;
+    }
+    {
+      std::lock_guard<std::mutex> lock(cb_mu_);
+      if (--pending_callbacks_ == 0) cb_cv_.notify_all();
     }
     wire::ResponseMsg r;
     r.id = req_id;

@@ -29,15 +29,23 @@
 //
 // Shutdown: shutdown() stops accepting, sends a GOAWAY frame on every
 // connection, and closes each one once its in-flight responses have
-// flushed. The destructor shuts down, DRAINS the wrapped Server (so no
-// completion callback can outlive the transport it captures), and joins
-// the I/O thread, bounded by drain_timeout_ms.
+// flushed. The destructor shuts down, drains the wrapped Server, then
+// BLOCKS until every completion callback handed to submit_async has run
+// — drain() is bounded by drain_timeout_ms and can return with batches
+// still executing or parked in the worker pool, and each of those
+// callbacks captures `this`, so the destructor may not proceed on
+// drain's word alone. Parked batches fast-fail at pickup once the drain
+// timeout latches, so this wait is short; only a worker wedged INSIDE
+// an engine step holds it up, and that worker would hang the Server's
+// own destructor (pool join) regardless. Finally the I/O thread is
+// joined.
 //
 // Deadlines cross the wire as absolute CLOCK_MONOTONIC values
 // (wire::mono_now_ns) — valid because the transport is loopback/LAN
 // scoped to one machine; see protocol.h.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -129,6 +137,13 @@ class SocketServer {
   std::map<std::uint64_t, ConnPtr> conns_;
   std::uint64_t next_conn_id_ = 1;
   bool goaway_sent_ = false;  ///< I/O thread only
+
+  // Completion callbacks in flight (handed to submit_async, not yet
+  // finished running). Each captures `this`; the destructor waits for
+  // zero, since Server::drain() alone is no guarantee — it times out.
+  std::mutex cb_mu_;
+  std::condition_variable cb_cv_;
+  std::int64_t pending_callbacks_ = 0;  ///< guarded by cb_mu_
 
   // Stats (atomics: bumped from the I/O thread and completion threads).
   std::atomic<std::int64_t> connections_{0}, frames_rx_{0}, frames_torn_{0},

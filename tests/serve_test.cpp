@@ -1,9 +1,11 @@
 // Tests for the serving subsystem (ISSUE 7): ModelRegistry LRU
 // eviction/reload round-trips, manifest parsing, Server correctness
 // against direct Engine execution, dynamic-batching deadlines, admission
-// control under the serve.queue_full fault site, graceful drain, and the
+// control under the serve.queue_full fault site, graceful drain, the
 // per-model telemetry counter keying that keeps concurrent engines'
-// stats from bleeding into each other.
+// stats from bleeding into each other, and the wire protocol's framing
+// invariants (round-trip, overflow-proof geometry validation, header
+// checksum vs torn-payload split).
 
 #include <gtest/gtest.h>
 
@@ -18,6 +20,7 @@
 #include "infer/engine.h"
 #include "serve/model_registry.h"
 #include "serve/options.h"
+#include "serve/protocol.h"
 #include "serve/server.h"
 #include "telemetry/telemetry.h"
 #include "train/checkpoint.h"
@@ -541,6 +544,121 @@ TEST(ServeTelemetryTest, EngineCountersAreKeyedPerModel) {
 
   Telemetry::reset();
   Telemetry::set_enabled(was_enabled);
+}
+
+// --- wire protocol ----------------------------------------------------------
+
+namespace {
+
+// Raw little-endian payload builder for crafting malformed requests the
+// public encoder refuses to produce.
+struct RawPayload {
+  std::vector<std::uint8_t> bytes;
+  template <typename T>
+  void put(T v) {
+    const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes.insert(bytes.end(), b, b + sizeof(T));
+  }
+};
+
+}  // namespace
+
+TEST(WireProtocolTest, RequestRoundTripsThroughChunkedAssembler) {
+  serve::wire::RequestMsg req;
+  req.id = 42;
+  req.deadline_ns = 123456789;
+  req.model = "alpha";
+  Rng rng(11);
+  for (int t = 0; t < 3; ++t) {
+    req.frames.push_back(Tensor::bernoulli(Shape{2, 4, 4}, rng, 0.4f));
+  }
+  const std::vector<std::uint8_t> frame = serve::wire::encode_request(req);
+
+  // Feed the frame in deliberately awkward chunk sizes.
+  serve::wire::FrameAssembler in;
+  for (std::size_t off = 0; off < frame.size();) {
+    const std::size_t n = std::min<std::size_t>(7, frame.size() - off);
+    in.append(frame.data() + off, n);
+    off += n;
+  }
+  auto f = in.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, serve::wire::FrameType::Request);
+  EXPECT_TRUE(f->crc_ok);
+
+  const serve::wire::RequestMsg back =
+      serve::wire::decode_request(f->payload.data(), f->payload.size());
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.deadline_ns, req.deadline_ns);
+  EXPECT_EQ(back.model, req.model);
+  ASSERT_EQ(back.frames.size(), req.frames.size());
+  for (std::size_t t = 0; t < req.frames.size(); ++t) {
+    ASSERT_EQ(back.frames[t].shape(), req.frames[t].shape());
+    for (std::int64_t i = 0; i < req.frames[t].numel(); ++i) {
+      EXPECT_EQ(back.frames[t].data()[i], req.frames[t].data()[i]);
+    }
+  }
+}
+
+TEST(WireProtocolTest, OverflowingGeometryIsRejectedBeforeAllocation) {
+  // t * c*h*w * sizeof(float) == 2^14 * 2^48 * 2^2 == 2^64 wraps to
+  // exactly 0 in 64-bit arithmetic: every field is individually within
+  // the geometry caps, so only an overflow-proof payload-size check
+  // stands between this payload and a 2^50-byte allocation.
+  RawPayload p;
+  p.put<std::uint64_t>(1);             // id
+  p.put<std::int64_t>(0);              // deadline
+  p.put<std::uint16_t>(1);             // name_len
+  p.bytes.push_back('m');              // name
+  p.put<std::uint32_t>(16384);         // t
+  p.put<std::uint32_t>(65536);         // c
+  p.put<std::uint32_t>(65536);         // h
+  p.put<std::uint32_t>(65536);         // w
+  p.put<std::uint32_t>(0);             // a token amount of "tensor data"
+  EXPECT_THROW(serve::wire::decode_request(p.bytes.data(), p.bytes.size()),
+               serve::wire::ProtocolError);
+}
+
+TEST(WireProtocolTest, HeaderCorruptionIsDetectedDeterministically) {
+  serve::wire::RequestMsg req;
+  req.id = 7;
+  req.model = "m";
+  req.frames.push_back(Tensor(Shape{1, 2, 2}));
+  const std::vector<std::uint8_t> frame = serve::wire::encode_request(req);
+
+  // A flipped TYPE byte must not silently reroute the frame (a Request
+  // read as Goaway would strand the client until its receive timeout).
+  {
+    std::vector<std::uint8_t> bad = frame;
+    bad[4] ^= 0x02;  // Request (1) -> Goaway (3): valid range, wrong frame
+    serve::wire::FrameAssembler in;
+    in.append(bad.data(), bad.size());
+    EXPECT_THROW(in.next(), serve::wire::ProtocolError);
+  }
+  // A flipped LENGTH byte must not desync the stream (or stall it
+  // waiting for bytes that will never arrive).
+  {
+    std::vector<std::uint8_t> bad = frame;
+    bad[8] ^= 0x01;
+    serve::wire::FrameAssembler in;
+    in.append(bad.data(), bad.size());
+    EXPECT_THROW(in.next(), serve::wire::ProtocolError);
+  }
+  // A flipped PAYLOAD byte stays a torn frame: delimitation holds, the
+  // frame pops with crc_ok == false, and the stream stays usable.
+  {
+    std::vector<std::uint8_t> bad = frame;
+    bad[serve::wire::kHeaderBytes + 3] ^= 0x01;
+    serve::wire::FrameAssembler in;
+    in.append(bad.data(), bad.size());
+    auto f = in.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_FALSE(f->crc_ok);
+    in.append(frame.data(), frame.size());  // next frame parses cleanly
+    auto g = in.next();
+    ASSERT_TRUE(g.has_value());
+    EXPECT_TRUE(g->crc_ok);
+  }
 }
 
 }  // namespace
