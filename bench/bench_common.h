@@ -15,14 +15,27 @@
 #include <utility>
 
 #include "data/dataset.h"
+#include "tensor/cpu_features.h"
+#include "tensor/kernel_config.h"
 #include "train/trainer.h"
 #include "util/cli.h"
+#include "util/json_writer.h"
 
 namespace snnskip::benchcfg {
 
 // JSON emission for BENCH_*.json artifacts lives in util/json_writer.h
 // (shared with the telemetry trace exporter); binaries that emit rows
 // include it and use `snnskip::JsonArrayWriter` directly.
+
+/// Host/dispatch provenance, stamped into every benchmark row: the active
+/// SIMD level and tuning profile change what the numbers mean, so
+/// scripts/check_bench_regression.py keys rows on "simd" and refuses to
+/// compare across different "tune_profile" ids.
+inline void provenance_fields(JsonArrayWriter& json) {
+  json.field("simd", to_string(active_simd()));
+  json.field("cpu", cpu_signature());
+  json.field("tune_profile", kernel_config_profile_id());
+}
 
 inline std::size_t scaled(std::size_t base, double scale) {
   const long long v = std::llround(static_cast<double>(base) * scale);

@@ -215,6 +215,7 @@ int run(int argc, char** argv) {
       json.field("speedup_vs_serial", speedup);
       json.field("bitwise_identical", identical ? 1.0 : 0.0);
       json.field("hardware_threads", hardware_threads);
+      benchcfg::provenance_fields(json);
       json.end_row();
     }
   }

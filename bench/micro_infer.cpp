@@ -249,6 +249,7 @@ int run(int argc, char** argv) {
     json.field("energy_pj_per_step",
                stats.energy_pj() / static_cast<double>(steps));
     json.field("hardware_threads", hardware_threads);
+    benchcfg::provenance_fields(json);
     json.end_row();
   }
 

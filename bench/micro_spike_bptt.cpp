@@ -168,6 +168,7 @@ int run(int argc, char** argv) {
       json.field("speedup_vs_dense", speedup);
       json.field("retained_bytes_sparse", static_cast<double>(held_sparse));
       json.field("retained_bytes_dense", static_cast<double>(held_dense));
+      benchcfg::provenance_fields(json);
       json.end_row();
     }
   }

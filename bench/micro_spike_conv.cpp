@@ -118,6 +118,7 @@ int run(int argc, char** argv) {
       json.field("sparse_ns_per_timestep", sparse_ns);
       json.field("dense_ns_per_timestep", dense_ns);
       json.field("speedup_vs_dense", speedup);
+      benchcfg::provenance_fields(json);
       json.end_row();
     }
   }

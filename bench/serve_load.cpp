@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "infer/engine.h"
 #include "serve/client.h"
 #include "serve/model_registry.h"
@@ -379,6 +380,7 @@ int run(int argc, char** argv) {
     json.field("p50_ms", res.p50_ms);
     json.field("p99_ms", res.p99_ms);
     json.field("hardware_threads", static_cast<double>(hw));
+    benchcfg::provenance_fields(json);
     json.end_row();
   }
 

@@ -9,9 +9,19 @@ the repo root:
   micro_spike_bptt    BENCH_spike_bptt.json     sparse-vs-dense fwd+bwd
   micro_data_parallel BENCH_data_parallel.json  sharded-vs-serial step
   micro_infer         BENCH_infer.json          compiled-vs-training eval
+  micro_gemm          BENCH_gemm.json           SIMD-vs-scalar microkernel
 
 A configuration FAILS when its fresh speedup falls below
-(1 - tolerance) x baseline speedup, default tolerance 25%. Rows whose
+(1 - tolerance) x baseline speedup, default tolerance 25%. Rows are
+keyed by the active SIMD level on top of each bench's own fields
+(pre-SIMD baselines imply "scalar"), so scalar rows only ever gate
+against scalar rows and tuned-vs-tuned comparisons stay apples-to-apples.
+Baseline rows whose SIMD level the fresh run never produced (e.g. an
+avx2 baseline re-checked on a non-AVX2 host) are [simd-unavailable] and
+informational. Rows measured under a DIFFERENT tuning profile id than
+the fresh run ([profile-skew]) are never compared at all: a tuned
+profile moves the schedule constants, so the comparison would gate
+tuned numbers against untuned ones. Rows whose
 baseline speedup is below --min-speedup (default 1.5x) are informational
 only: near-threshold and fallback rows are noise-dominated, and a
 "regression" from 1.1x to 0.9x is not a kernel problem. Rows that carry a
@@ -79,6 +89,13 @@ BENCHES = [
         "threads_field": None,
     },
     {
+        "binary": "micro_gemm",
+        "baseline": "BENCH_gemm.json",
+        "key": ("shape", "m", "n", "k"),
+        "metric": "speedup_vs_scalar_ref",
+        "threads_field": None,
+    },
+    {
         "binary": "serve_load",
         "baseline": "BENCH_serve.json",
         "key": ("models", "clients"),
@@ -89,7 +106,10 @@ BENCHES = [
 
 
 def row_key(spec, row):
-    return tuple(row[f] for f in spec["key"])
+    # The SIMD level is part of every row's identity: a scalar measurement
+    # must never gate an avx2 one. Baselines written before the dispatch
+    # layer existed carry no "simd" field and were scalar by construction.
+    return tuple(row[f] for f in spec["key"]) + (row.get("simd", "scalar"),)
 
 
 def load_rows(spec, path):
@@ -120,9 +140,27 @@ def check(spec, baseline_path, fresh, tolerance, min_speedup, counts):
     metric = spec["metric"]
     baseline = load_rows(spec, baseline_path)
     failures = []
+    fresh_levels = {r.get("simd", "scalar") for r in fresh.values()}
     for key, base_row in sorted(baseline.items()):
+        label = " ".join(f"{f}={v}" for f, v in
+                         zip(spec["key"] + ("simd",), key))
         if key not in fresh:
+            # A baseline level this host cannot produce (no AVX2, or the
+            # fresh build compiled without it) is not a regression.
+            if base_row.get("simd", "scalar") not in fresh_levels:
+                counts["info_only"] += 1
+                print(f"  {name:20s} {label:28s} [simd-unavailable]")
+                continue
             failures.append(f"{name} {key}: missing from fresh run")
+            continue
+        base_profile = base_row.get("tune_profile", "default")
+        fresh_profile = fresh[key].get("tune_profile", "default")
+        if base_profile != fresh_profile:
+            # Different tuning profiles mean different schedule constants:
+            # refuse the comparison rather than gate tuned against untuned.
+            counts["info_only"] += 1
+            print(f"  {name:20s} {label:28s} [profile-skew: baseline "
+                  f"'{base_profile}' vs fresh '{fresh_profile}']")
             continue
         base = base_row[metric]
         new = fresh[key][metric]
@@ -138,7 +176,6 @@ def check(spec, baseline_path, fresh, tolerance, min_speedup, counts):
         elif not gated:
             status = "info-only"
         counts["gated" if gated else "info_only"] += 1
-        label = " ".join(f"{f}={v}" for f, v in zip(spec["key"], key))
         print(f"  {name:20s} {label:28s} baseline={base:6.2f}x "
               f"fresh={new:6.2f}x  [{status}]")
     return failures

@@ -6,8 +6,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/epilogue.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
+#include "tensor/kernel_config.h"
 #include "tensor/spike_kernels.h"
 #include "tensor/spike_packed.h"
 #include "tensor/workspace.h"
@@ -25,10 +27,12 @@ namespace {
 struct DefaultCfg {
   std::atomic<bool> packed;
   std::atomic<float> threshold;
+  // The density threshold resolves through the kernel config so the tuning
+  // profile can move it; SNNSKIP_INFER_THRESHOLD is folded in there (the
+  // env var always beats the profile).
   DefaultCfg()
       : packed(env::get_bool("SNNSKIP_INFER_PACKED", true)),
-        threshold(static_cast<float>(
-            env::get_double("SNNSKIP_INFER_THRESHOLD", 0.25, 0.0, 1.0))) {}
+        threshold(kernel_config().infer_threshold) {}
 };
 
 DefaultCfg& default_cfg() {
@@ -640,31 +644,44 @@ void Engine::epilogue(const OpPlan& op, std::int64_t img, const float* acc,
                     ? sarena_.data() + op.refrac_off + img * img_f
                     : nullptr;
     std::int64_t spk = 0;
-    for (std::int64_t o = 0; o < o_c; ++o) {
-      const float* ab = acc + o * so;
-      const float b = bias[o];
-      for (std::int64_t j = 0; j < p; ++j) {
-        const std::int64_t idx = o * p + j;
-        const float a = ab[j * sp];
-        const float in = (sc != nullptr ? sc[o] * a : a) + b;
-        // Lif::forward's exact update: leaky integrate, refractory gate,
-        // threshold compare, soft reset.
-        const float vt = op.beta * m[idx] + in;
-        const float dist = vt - op.theta;
-        bool live = true;
-        if (rc != nullptr && rc[idx] > 0.f) {
-          live = false;
-          rc[idx] -= 1.f;
-        }
-        if (live && dist >= 0.f) {
-          dst[idx] = 1.f;
-          m[idx] = vt - op.theta;
-          if (rc != nullptr) rc[idx] = static_cast<float>(op.refractory);
-          wbits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
-          ++spk;
-        } else {
-          dst[idx] = 0.f;
-          m[idx] = vt;
+    if (sp == 1 && rc == nullptr) {
+      // Contiguous accumulator rows and no refractory gate: the fused
+      // SIMD-dispatched row (bit-identical to the loop below at the
+      // Scalar/Avx2 levels) handles integrate + threshold + soft reset +
+      // spike-bit packing in one pass.
+      for (std::int64_t o = 0; o < o_c; ++o) {
+        spk += lif_epilogue_row(p, acc + o * so, sc != nullptr ? 1 : 0,
+                                sc != nullptr ? sc[o] : 0.f, bias[o], op.beta,
+                                op.theta, m + o * p, dst + o * p, wbits,
+                                /*bit0=*/o * p);
+      }
+    } else {
+      for (std::int64_t o = 0; o < o_c; ++o) {
+        const float* ab = acc + o * so;
+        const float b = bias[o];
+        for (std::int64_t j = 0; j < p; ++j) {
+          const std::int64_t idx = o * p + j;
+          const float a = ab[j * sp];
+          const float in = (sc != nullptr ? sc[o] * a : a) + b;
+          // Lif::forward's exact update: leaky integrate, refractory gate,
+          // threshold compare, soft reset.
+          const float vt = op.beta * m[idx] + in;
+          const float dist = vt - op.theta;
+          bool live = true;
+          if (rc != nullptr && rc[idx] > 0.f) {
+            live = false;
+            rc[idx] -= 1.f;
+          }
+          if (live && dist >= 0.f) {
+            dst[idx] = 1.f;
+            m[idx] = vt - op.theta;
+            if (rc != nullptr) rc[idx] = static_cast<float>(op.refractory);
+            wbits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+            ++spk;
+          } else {
+            dst[idx] = 0.f;
+            m[idx] = vt;
+          }
         }
       }
     }
@@ -675,6 +692,14 @@ void Engine::epilogue(const OpPlan& op, std::int64_t img, const float* acc,
     return;
   }
 
+  if (sp == 1) {
+    for (std::int64_t o = 0; o < o_c; ++o) {
+      affine_epilogue_row(p, acc + o * so, sc != nullptr ? 1 : 0,
+                          sc != nullptr ? sc[o] : 0.f, bias[o],
+                          op.epi == Epi::Relu ? 1 : 0, dst + o * p);
+    }
+    return;
+  }
   for (std::int64_t o = 0; o < o_c; ++o) {
     const float* ab = acc + o * so;
     const float b = bias[o];

@@ -1,216 +1,70 @@
 #include "tensor/gemm.h"
 
-#include <algorithm>
-
-#include "parallel/parallel_for.h"
+#include "tensor/gemm_impl.h"
+#include "tensor/kernel_config.h"
+#include "tensor/simd_ops.h"
 #include "telemetry/telemetry.h"
 
 namespace snnskip {
 
+namespace simd {
+
 namespace {
-// Panel sizes tuned for L1-resident operands at the problem sizes this
-// library runs (K, N typically 16..1024).
-constexpr std::int64_t kBlockK = 128;
-// Register microkernel: 4-row x 16-column accumulator tile. 4x16 floats fit
-// comfortably in the vector register file and give the compiler independent
-// accumulation chains to vectorize and interleave.
-constexpr std::int64_t kMr = 4;
-constexpr std::int64_t kNr = 16;
-
-// C-tile [i0..i0+4) x [j0..j0+16) += alpha * A-panel * B-panel, where the
-// A value for logical row i at depth p comes from arow(p, i). C must
-// already hold beta-scaled values. The all-zero test keeps the historic
-// spike-skip: when every A operand in the column is zero (common for spike
-// matrices) the B row is never touched.
-template <typename ARow>
-inline void microkernel_4x16(std::int64_t n, std::int64_t j0, float alpha,
-                             ARow&& arow, const float* b, std::int64_t kk,
-                             std::int64_t kend, float* c, std::int64_t i0) {
-  float acc[kMr][kNr];
-  for (std::int64_t r = 0; r < kMr; ++r) {
-    const float* crow = c + (i0 + r) * n + j0;
-    for (std::int64_t j = 0; j < kNr; ++j) acc[r][j] = crow[j];
-  }
-  for (std::int64_t p = kk; p < kend; ++p) {
-    const float a0 = alpha * arow(p, i0 + 0);
-    const float a1 = alpha * arow(p, i0 + 1);
-    const float a2 = alpha * arow(p, i0 + 2);
-    const float a3 = alpha * arow(p, i0 + 3);
-    if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
-    const float* brow = b + p * n + j0;
-    for (std::int64_t j = 0; j < kNr; ++j) {
-      const float bv = brow[j];
-      acc[0][j] += a0 * bv;
-      acc[1][j] += a1 * bv;
-      acc[2][j] += a2 * bv;
-      acc[3][j] += a3 * bv;
-    }
-  }
-  for (std::int64_t r = 0; r < kMr; ++r) {
-    float* crow = c + (i0 + r) * n + j0;
-    for (std::int64_t j = 0; j < kNr; ++j) crow[j] = acc[r][j];
-  }
-}
-
-// Edge tile (mr < 4 rows or nr < 16 cols): plain loops, same skip.
-template <typename ARow>
-inline void microkernel_edge(std::int64_t n, std::int64_t j0, std::int64_t nr,
-                             float alpha, ARow&& arow, const float* b,
-                             std::int64_t kk, std::int64_t kend, float* c,
-                             std::int64_t i0, std::int64_t mr) {
-  for (std::int64_t r = 0; r < mr; ++r) {
-    float* crow = c + (i0 + r) * n + j0;
-    for (std::int64_t p = kk; p < kend; ++p) {
-      const float av = alpha * arow(p, i0 + r);
-      if (av == 0.f) continue;
-      const float* brow = b + p * n + j0;
-      for (std::int64_t j = 0; j < nr; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-inline void scale_rows(std::int64_t n, float beta, float* c, std::int64_t i0,
-                       std::int64_t mr) {
-  for (std::int64_t r = 0; r < mr; ++r) {
-    float* crow = c + (i0 + r) * n;
-    if (beta == 0.f) {
-      std::fill(crow, crow + n, 0.f);
-    } else if (beta != 1.f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  }
-}
-
-// Shared driver for gemm / gemm_tn: parallelize over 4-row blocks, then
-// sweep K panels x 16-column tiles with the register microkernel.
-template <typename ARow>
-void gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-                 ARow&& arow, const float* b, float beta, float* c) {
-  const std::int64_t row_blocks = (m + kMr - 1) / kMr;
-  parallel_for_range(0, static_cast<std::size_t>(row_blocks),
-                     [&](std::size_t b0, std::size_t b1) {
-    for (std::size_t blk = b0; blk < b1; ++blk) {
-      const std::int64_t i0 = static_cast<std::int64_t>(blk) * kMr;
-      const std::int64_t mr = std::min(kMr, m - i0);
-      scale_rows(n, beta, c, i0, mr);
-      for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
-        const std::int64_t kend = std::min(k, kk + kBlockK);
-        std::int64_t j0 = 0;
-        if (mr == kMr) {
-          for (; j0 + kNr <= n; j0 += kNr) {
-            microkernel_4x16(n, j0, alpha, arow, b, kk, kend, c, i0);
-          }
-        }
-        if (j0 < n || mr < kMr) {
-          microkernel_edge(n, j0, n - j0, alpha, arow, b, kk, kend, c, i0,
-                           mr);
-        }
-      }
-    }
-  });
-}
-
+using gemm_impl::gemm_nn_entry;
+using gemm_impl::gemm_nt_entry;
+using gemm_impl::gemm_tn_entry;
 }  // namespace
+
+// Scalar table: one driver instantiation per legal register tile (the
+// entries must line up with kGemmTiles).
+const GemmKernels* gemm_kernels_scalar() {
+  static const GemmKernels k = {
+      {&gemm_nn_entry<4, 16, false, false>,
+       &gemm_nn_entry<6, 16, false, false>,
+       &gemm_nn_entry<8, 8, false, false>,
+       &gemm_nn_entry<4, 8, false, false>,
+       &gemm_nn_entry<6, 8, false, false>},
+      {&gemm_tn_entry<4, 16, false, false>,
+       &gemm_tn_entry<6, 16, false, false>,
+       &gemm_tn_entry<8, 8, false, false>,
+       &gemm_tn_entry<4, 8, false, false>,
+       &gemm_tn_entry<6, 8, false, false>},
+      &gemm_nt_entry<false, false>,
+  };
+  return &k;
+}
+
+#if !defined(SNNSKIP_HAVE_AVX2)
+// AVX2 translation units not built (non-x86 target or the toolchain lacks
+// -mavx2): alias the scalar table so dispatch never branches on a null.
+const GemmKernels* gemm_kernels_avx2() { return gemm_kernels_scalar(); }
+const GemmKernels* gemm_kernels_avx2fma() { return gemm_kernels_scalar(); }
+#endif
+
+}  // namespace simd
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, const float* b, float beta, float* c) {
   // Aggregate-only: gemm runs at per-image granularity inside the timestep
   // loop, so per-call trace events would dwarf the rest of the trace.
   SNNSKIP_SPAN_AGG("gemm", "gemm");
-  gemm_driver(
-      m, n, k, alpha,
-      [a, k](std::int64_t p, std::int64_t i) { return a[i * k + p]; }, b,
-      beta, c);
+  const KernelConfig& cfg = kernel_config();
+  simd::gemm_kernels_for(active_simd())->nn[cfg.gemm_tile](
+      m, n, k, alpha, a, b, beta, c, cfg.gemm_kc);
 }
 
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
   SNNSKIP_SPAN_AGG("gemm", "gemm_tn");
-  // A is stored (K, M); logical op is A^T(M,K) * B(K,N).
-  gemm_driver(
-      m, n, k, alpha,
-      [a, m](std::int64_t p, std::int64_t i) { return a[p * m + i]; }, b,
-      beta, c);
+  const KernelConfig& cfg = kernel_config();
+  simd::gemm_kernels_for(active_simd())->tn[cfg.gemm_tile](
+      m, n, k, alpha, a, b, beta, c, cfg.gemm_kc);
 }
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
   SNNSKIP_SPAN_AGG("gemm", "gemm_nt");
-  // B is stored (N, K); logical op is A(M,K) * B^T(K,N). Row-times-row dot
-  // products — both operands stream contiguously. 4x4 register tile (the
-  // B operand is strided across columns, so a wide 16-column tile would
-  // turn its loads into gathers).
-  const bool accumulate = (beta != 0.f);
-  const std::int64_t row_blocks = (m + kMr - 1) / kMr;
-  parallel_for_range(0, static_cast<std::size_t>(row_blocks),
-                     [&](std::size_t b0, std::size_t b1) {
-    for (std::size_t blk = b0; blk < b1; ++blk) {
-      const std::int64_t i0 = static_cast<std::int64_t>(blk) * kMr;
-      const std::int64_t mr = std::min(kMr, m - i0);
-      constexpr std::int64_t kJr = 4;
-      for (std::int64_t j0 = 0; j0 < n; j0 += kJr) {
-        const std::int64_t jr = std::min(kJr, n - j0);
-        if (mr == kMr && jr == kJr) {
-          float acc[kMr][kJr] = {};
-          const float* a0 = a + (i0 + 0) * k;
-          const float* a1 = a + (i0 + 1) * k;
-          const float* a2 = a + (i0 + 2) * k;
-          const float* a3 = a + (i0 + 3) * k;
-          const float* bb0 = b + (j0 + 0) * k;
-          const float* bb1 = b + (j0 + 1) * k;
-          const float* bb2 = b + (j0 + 2) * k;
-          const float* bb3 = b + (j0 + 3) * k;
-          for (std::int64_t p = 0; p < k; ++p) {
-            const float b0v = bb0[p], b1v = bb1[p], b2v = bb2[p],
-                        b3v = bb3[p];
-            const float a0v = a0[p], a1v = a1[p], a2v = a2[p], a3v = a3[p];
-            acc[0][0] += a0v * b0v;
-            acc[0][1] += a0v * b1v;
-            acc[0][2] += a0v * b2v;
-            acc[0][3] += a0v * b3v;
-            acc[1][0] += a1v * b0v;
-            acc[1][1] += a1v * b1v;
-            acc[1][2] += a1v * b2v;
-            acc[1][3] += a1v * b3v;
-            acc[2][0] += a2v * b0v;
-            acc[2][1] += a2v * b1v;
-            acc[2][2] += a2v * b2v;
-            acc[2][3] += a2v * b3v;
-            acc[3][0] += a3v * b0v;
-            acc[3][1] += a3v * b1v;
-            acc[3][2] += a3v * b2v;
-            acc[3][3] += a3v * b3v;
-          }
-          // beta handling hoisted out of the accumulation loop entirely:
-          // one branch per tile, branch-free stores.
-          for (std::int64_t r = 0; r < kMr; ++r) {
-            float* crow = c + (i0 + r) * n + j0;
-            if (accumulate) {
-              for (std::int64_t j = 0; j < kJr; ++j) {
-                crow[j] = alpha * acc[r][j] + beta * crow[j];
-              }
-            } else {
-              for (std::int64_t j = 0; j < kJr; ++j) {
-                crow[j] = alpha * acc[r][j];
-              }
-            }
-          }
-        } else {
-          for (std::int64_t r = 0; r < mr; ++r) {
-            const float* arow = a + (i0 + r) * k;
-            float* crow = c + (i0 + r) * n;
-            for (std::int64_t j = j0; j < j0 + jr; ++j) {
-              const float* brow = b + j * k;
-              float acc = 0.f;
-              for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-              crow[j] = accumulate ? alpha * acc + beta * crow[j]
-                                   : alpha * acc;
-            }
-          }
-        }
-      }
-    }
-  });
+  simd::gemm_kernels_for(active_simd())->nt(m, n, k, alpha, a, b, beta, c);
 }
 
 }  // namespace snnskip

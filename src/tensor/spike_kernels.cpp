@@ -1,12 +1,13 @@
 #include "tensor/spike_kernels.h"
 
-#include <algorithm>
 #include <atomic>
-#include <cstring>
 #include <mutex>
 
-#include "parallel/parallel_for.h"
 #include "telemetry/telemetry.h"
+#include "tensor/epilogue.h"
+#include "tensor/kernel_config.h"
+#include "tensor/simd_ops.h"
+#include "tensor/spike_kernels_impl.h"
 #include "util/runtime_env.h"
 
 namespace snnskip {
@@ -17,8 +18,11 @@ std::atomic<bool> g_enabled{env::get_bool("SNNSKIP_SPARSE", true)};
 
 std::atomic<bool> g_bwd_enabled{env::get_bool("SNNSKIP_SPARSE_BWD", true)};
 
-std::atomic<float> g_threshold{static_cast<float>(env::get_double(
-    "SNNSKIP_SPARSE_THRESHOLD", 0.25, /*lo=*/1e-9, /*hi=*/1.0))};
+// -1 = "not explicitly set": threshold() then reads the resolved kernel
+// config (defaults <- tuning profile <- SNNSKIP_SPARSE_THRESHOLD), lazily
+// so static init never races the config load. set_threshold() pins an
+// explicit value that wins over the config from then on.
+std::atomic<float> g_threshold{-1.f};
 
 std::mutex g_stats_mutex;
 SparseExec::Stats g_stats;
@@ -36,7 +40,8 @@ thread_local HintSlot g_hint;
 
 bool SparseExec::enabled() { return g_enabled.load(std::memory_order_relaxed); }
 float SparseExec::threshold() {
-  return g_threshold.load(std::memory_order_relaxed);
+  const float t = g_threshold.load(std::memory_order_relaxed);
+  return t >= 0.f ? t : kernel_config().sparse_threshold;
 }
 void SparseExec::set_enabled(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
@@ -113,452 +118,103 @@ void SparseExec::note(double nnz, double elements, bool took_sparse_path) {
   }
 }
 
-std::int64_t count_nonzero(const float* data, std::int64_t n) {
-  std::int64_t nnz = 0;
-  for (std::int64_t i = 0; i < n; ++i) nnz += (data[i] != 0.f);
-  return nnz;
+// ---- Dispatch tables -------------------------------------------------------
+
+namespace simd {
+
+const SpikeKernels* spike_kernels_scalar() {
+  static const SpikeKernels k = spike_impl::make_spike_table<false, false>();
+  return &k;
 }
 
-namespace {
+#if !defined(SNNSKIP_HAVE_AVX2)
+// AVX2 translation units not built (non-x86 target or the toolchain lacks
+// -mavx2): alias the scalar table so dispatch never branches on a null.
+const SpikeKernels* spike_kernels_avx2() { return spike_kernels_scalar(); }
+const SpikeKernels* spike_kernels_avx2fma() { return spike_kernels_scalar(); }
+#endif
 
-// Cache-blocked transpose: dst(c, r) = src(r, c) for src of (rows, cols).
-// The naive loop strides one full row per write and misses on every store
-// once the panel outgrows L2 (e.g. a 512x2304 conv weight); 32x32 tiles
-// keep both sides inside a handful of cache lines.
+}  // namespace simd
+
+// ---- Public entry points (resolve table + schedule constants per call) -----
+
+std::int64_t count_nonzero(const float* data, std::int64_t n) {
+  return simd::spike_ops().count_nonzero(data, n);
+}
+
 void transpose_panel(const float* src, std::int64_t rows, std::int64_t cols,
                      float* dst) {
-  constexpr std::int64_t kTile = 32;
-  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
-    const std::int64_t r1 = std::min(rows, r0 + kTile);
-    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
-      const std::int64_t c1 = std::min(cols, c0 + kTile);
-      for (std::int64_t r = r0; r < r1; ++r) {
-        const float* s = src + r * cols;
-        for (std::int64_t c = c0; c < c1; ++c) dst[c * rows + r] = s[c];
-      }
-    }
-  }
+  simd::spike_ops().transpose(src, rows, cols, dst,
+                              kernel_config().transpose_tile);
 }
 
-}  // namespace
+void transpose_add_panel(const float* src, std::int64_t rows,
+                         std::int64_t cols, float* dst) {
+  simd::spike_ops().transpose_add(src, rows, cols, dst,
+                                  kernel_config().transpose_tile);
+}
 
 void spike_conv2d_forward(const ConvGeometry& g, const SpikeCsr& csr,
                           const float* weight, const float* bias,
                           std::int64_t out_c, float* out, Workspace& ws) {
-  const std::int64_t ckk = g.col_rows();
-  const std::int64_t ho = g.out_h(), wo = g.out_w();
-  const std::int64_t howo = ho * wo;
-  const std::int64_t hw = g.in_h * g.in_w;
-  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
-  const std::int64_t o_c = out_c;
-
-  auto scope = ws.scope();
-  // Weight transposed to ((c,ky,kx), o) so the per-spike accumulation is a
-  // unit-stride axpy of length O. Rebuilt per call: O(O*CKK) — negligible
-  // next to the conv itself and immune to weight-update staleness.
-  float* wt = scope.floats(static_cast<std::size_t>(ckk * o_c));
-  transpose_panel(weight, o_c, ckk, wt);
-  // Output accumulated transposed as (HoWo, O), then flipped back once.
-  float* outt = scope.floats(static_cast<std::size_t>(howo * o_c));
-
-  for (std::int64_t img = 0; img < csr.rows(); ++img) {
-    std::memset(outt, 0, static_cast<std::size_t>(howo * o_c) * sizeof(float));
-    const std::int32_t* idx = csr.row_indices(img);
-    const float* val = csr.row_values(img);
-    const std::int64_t cnt = csr.row_nnz(img);
-    for (std::int64_t e = 0; e < cnt; ++e) {
-      const std::int64_t flat = idx[e];
-      const float v = val[e];
-      const std::int64_t c = flat / hw;
-      const std::int64_t rem = flat - c * hw;
-      const std::int64_t iy = rem / g.in_w;
-      const std::int64_t ix = rem - iy * g.in_w;
-      // Every kernel tap (ky,kx) that maps this input pixel onto a valid
-      // output position receives one weight-row accumulation.
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        const std::int64_t ty = iy + pad - ky;
-        if (ty < 0 || ty % s != 0) continue;
-        const std::int64_t oy = ty / s;
-        if (oy >= ho) continue;
-        for (std::int64_t kx = 0; kx < k; ++kx) {
-          const std::int64_t tx = ix + pad - kx;
-          if (tx < 0 || tx % s != 0) continue;
-          const std::int64_t ox = tx / s;
-          if (ox >= wo) continue;
-          const float* wrow = wt + ((c * k + ky) * k + kx) * o_c;
-          float* orow = outt + (oy * wo + ox) * o_c;
-          for (std::int64_t o = 0; o < o_c; ++o) orow[o] += v * wrow[o];
-        }
-      }
-    }
-    float* oimg = out + img * o_c * howo;
-    for (std::int64_t o = 0; o < o_c; ++o) {
-      const float b = bias != nullptr ? bias[o] : 0.f;
-      float* orow = oimg + o * howo;
-      for (std::int64_t j = 0; j < howo; ++j) orow[j] = outt[j * o_c + o] + b;
-    }
-  }
+  simd::spike_ops().conv2d_forward(g, csr, weight, bias, out_c, out, ws);
 }
 
 void spike_linear_forward(const SpikeCsr& csr, const float* weight,
                           const float* bias, std::int64_t out_f, float* out,
                           Workspace& ws) {
-  const std::int64_t in_f = csr.row_len();
-  auto scope = ws.scope();
-  float* wt = scope.floats(static_cast<std::size_t>(in_f * out_f));
-  transpose_panel(weight, out_f, in_f, wt);
-  for (std::int64_t i = 0; i < csr.rows(); ++i) {
-    float* orow = out + i * out_f;
-    if (bias != nullptr) {
-      std::memcpy(orow, bias, static_cast<std::size_t>(out_f) * sizeof(float));
-    } else {
-      std::memset(orow, 0, static_cast<std::size_t>(out_f) * sizeof(float));
-    }
-    const std::int32_t* idx = csr.row_indices(i);
-    const float* val = csr.row_values(i);
-    const std::int64_t cnt = csr.row_nnz(i);
-    for (std::int64_t e = 0; e < cnt; ++e) {
-      const float* wrow = wt + static_cast<std::int64_t>(idx[e]) * out_f;
-      const float v = val[e];
-      for (std::int64_t o = 0; o < out_f; ++o) orow[o] += v * wrow[o];
-    }
-  }
+  simd::spike_ops().linear_forward(csr, weight, bias, out_f, out, ws);
 }
 
 void spike_depthwise_forward(const ConvGeometry& g, const SpikeCsr& csr,
                              const float* weight, const float* bias,
                              float* out) {
-  const std::int64_t ho = g.out_h(), wo = g.out_w();
-  const std::int64_t howo = ho * wo;
-  const std::int64_t hw = g.in_h * g.in_w;
-  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
-  const std::int64_t c_ = g.in_c;
-
-  for (std::int64_t img = 0; img < csr.rows(); ++img) {
-    float* oimg = out + img * c_ * howo;
-    for (std::int64_t ch = 0; ch < c_; ++ch) {
-      const float b = bias != nullptr ? bias[ch] : 0.f;
-      float* plane = oimg + ch * howo;
-      for (std::int64_t j = 0; j < howo; ++j) plane[j] = b;
-    }
-    const std::int32_t* idx = csr.row_indices(img);
-    const float* val = csr.row_values(img);
-    const std::int64_t cnt = csr.row_nnz(img);
-    for (std::int64_t e = 0; e < cnt; ++e) {
-      const std::int64_t flat = idx[e];
-      const float v = val[e];
-      const std::int64_t c = flat / hw;
-      const std::int64_t rem = flat - c * hw;
-      const std::int64_t iy = rem / g.in_w;
-      const std::int64_t ix = rem - iy * g.in_w;
-      const float* ker = weight + c * k * k;
-      float* oplane = oimg + c * howo;
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        const std::int64_t ty = iy + pad - ky;
-        if (ty < 0 || ty % s != 0) continue;
-        const std::int64_t oy = ty / s;
-        if (oy >= ho) continue;
-        for (std::int64_t kx = 0; kx < k; ++kx) {
-          const std::int64_t tx = ix + pad - kx;
-          if (tx < 0 || tx % s != 0) continue;
-          const std::int64_t ox = tx / s;
-          if (ox >= wo) continue;
-          oplane[oy * wo + ox] += v * ker[ky * k + kx];
-        }
-      }
-    }
-  }
+  simd::spike_ops().depthwise_forward(g, csr, weight, bias, out);
 }
-
-// ---- BPTT backward (ISSUE 4) ----------------------------------------------
-//
-// Bit-for-bit contract with the dense path (see the header): every kernel
-// below accumulates each output element's nonzero terms in exactly the
-// order the dense GEMM uses (increasing image, then increasing reduction
-// index), forms products with the same operand values (float multiply is
-// commutative bitwise), and parallelizes by partitioning OUTPUT elements,
-// never the reduction. Dense accumulators start at +0 and only ever add
-// products, so they can never hold -0 (x + (-x) rounds to +0, and
-// +0 + (-0) == +0); skipping the dense path's zero terms is therefore an
-// exact no-op.
-
-namespace {
-
-// dst(c, r) += src(r, c); same tiling as transpose_panel. Each element is
-// touched exactly once, so this is order-free and exact.
-void transpose_add_panel(const float* src, std::int64_t rows,
-                         std::int64_t cols, float* dst) {
-  constexpr std::int64_t kTile = 32;
-  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
-    const std::int64_t r1 = std::min(rows, r0 + kTile);
-    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
-      const std::int64_t c1 = std::min(cols, c0 + kTile);
-      for (std::int64_t r = r0; r < r1; ++r) {
-        const float* s = src + r * cols;
-        for (std::int64_t c = c0; c < c1; ++c) dst[c * rows + r] += s[c];
-      }
-    }
-  }
-}
-
-}  // namespace
 
 void spike_conv2d_backward_weight(const ConvGeometry& g, const SpikeCsr& csr,
                                   const float* grad_out, std::int64_t out_c,
                                   float* grad_weight, Workspace& ws) {
-  const std::int64_t ckk = g.col_rows();
-  const std::int64_t ho = g.out_h(), wo = g.out_w();
-  const std::int64_t howo = ho * wo;
-  const std::int64_t hw = g.in_h * g.in_w;
-  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
-  const std::int64_t o_c = out_c;
-
-  auto scope = ws.scope();
-  // grad_out transposed to (HoWo, O) once per image so the per-event tap
-  // loop reads a unit-stride O-slice, mirroring the forward kernel.
-  float* got = scope.floats(static_cast<std::size_t>(howo * o_c));
-
-  for (std::int64_t img = 0; img < csr.rows(); ++img) {
-    transpose_panel(grad_out + img * o_c * howo, o_c, howo, got);
-    const std::int32_t* idx = csr.row_indices(img);
-    const float* val = csr.row_values(img);
-    const std::int64_t cnt = csr.row_nnz(img);
-    // Each chunk owns an O-slice [ob, oe): it accumulates a private
-    // (CKK, oe-ob) per-image partial from the events, then adds it into
-    // its own grad_weight rows. gemm_nt computes the same per-image
-    // partial (acc from +0, p ascending) before its single add, so the
-    // result matches the dense path bit-for-bit for any partition.
-    parallel_for_range(
-        0, static_cast<std::size_t>(o_c), [&](std::size_t b, std::size_t e) {
-          const std::int64_t ob = static_cast<std::int64_t>(b);
-          const std::int64_t ow = static_cast<std::int64_t>(e) - ob;
-          auto chunk_scope = Workspace::tls().scope();
-          float* dwt =
-              chunk_scope.floats(static_cast<std::size_t>(ckk * ow));
-          std::memset(dwt, 0,
-                      static_cast<std::size_t>(ckk * ow) * sizeof(float));
-          for (std::int64_t ev = 0; ev < cnt; ++ev) {
-            const std::int64_t flat = idx[ev];
-            const float v = val[ev];
-            const std::int64_t c = flat / hw;
-            const std::int64_t rem = flat - c * hw;
-            const std::int64_t iy = rem / g.in_w;
-            const std::int64_t ix = rem - iy * g.in_w;
-            for (std::int64_t ky = 0; ky < k; ++ky) {
-              const std::int64_t ty = iy + pad - ky;
-              if (ty < 0 || ty % s != 0) continue;
-              const std::int64_t oy = ty / s;
-              if (oy >= ho) continue;
-              for (std::int64_t kx = 0; kx < k; ++kx) {
-                const std::int64_t tx = ix + pad - kx;
-                if (tx < 0 || tx % s != 0) continue;
-                const std::int64_t ox = tx / s;
-                if (ox >= wo) continue;
-                float* drow = dwt + ((c * k + ky) * k + kx) * ow;
-                const float* grow = got + (oy * wo + ox) * o_c + ob;
-                for (std::int64_t o = 0; o < ow; ++o) {
-                  drow[o] += grow[o] * v;
-                }
-              }
-            }
-          }
-          transpose_add_panel(dwt, ckk, ow, grad_weight + ob * ckk);
-        });
-  }
+  simd::spike_ops().conv2d_backward_weight(g, csr, grad_out, out_c,
+                                           grad_weight, ws);
 }
 
 void spike_conv2d_backward_input(const ConvGeometry& g, const SpikeCsr& gcsr,
                                  const float* weight, std::int64_t out_c,
                                  float* grad_in, Workspace& ws) {
-  const std::int64_t ckk = g.col_rows();
-  const std::int64_t ho = g.out_h(), wo = g.out_w();
-  const std::int64_t howo = ho * wo;
-  const std::int64_t hw = g.in_h * g.in_w;
-  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
-  const std::int64_t in_c = g.in_c;
-  (void)out_c;
-
-  auto scope = ws.scope();
-  // Integer scratch is carved from the float arena (same size/alignment).
-  std::int32_t* cnts =
-      reinterpret_cast<std::int32_t*>(scope.floats(static_cast<std::size_t>(howo)));
-  std::int32_t* pos =
-      reinterpret_cast<std::int32_t*>(scope.floats(static_cast<std::size_t>(howo)));
-  std::int32_t* active =
-      reinterpret_cast<std::int32_t*>(scope.floats(static_cast<std::size_t>(howo)));
-  std::int32_t* astart = reinterpret_cast<std::int32_t*>(
-      scope.floats(static_cast<std::size_t>(howo)));
-
-  for (std::int64_t img = 0; img < gcsr.rows(); ++img) {
-    const std::int32_t* idx = gcsr.row_indices(img);
-    const float* val = gcsr.row_values(img);
-    const std::int64_t cnt = gcsr.row_nnz(img);
-    if (cnt == 0) continue;  // dense would add only exact zeros here
-    auto img_scope = ws.scope();
-    // Bucket the gradient events by output column p (counting sort keeps
-    // the within-column order ascending in o — gemm_tn's reduction order).
-    std::memset(cnts, 0, static_cast<std::size_t>(howo) * sizeof(std::int32_t));
-    for (std::int64_t ev = 0; ev < cnt; ++ev) ++cnts[idx[ev] % howo];
-    std::int64_t na = 0;
-    std::int32_t run = 0;
-    for (std::int64_t p = 0; p < howo; ++p) {
-      if (cnts[p] == 0) continue;
-      active[na] = static_cast<std::int32_t>(p);
-      astart[na] = run;
-      pos[p] = run;
-      run += cnts[p];
-      ++na;
-    }
-    std::int32_t* bo = reinterpret_cast<std::int32_t*>(
-        img_scope.floats(static_cast<std::size_t>(cnt)));
-    float* bg = img_scope.floats(static_cast<std::size_t>(cnt));
-    for (std::int64_t ev = 0; ev < cnt; ++ev) {
-      const std::int64_t flat = idx[ev];
-      const std::int64_t p = flat % howo;
-      const std::int32_t at = pos[p]++;
-      bo[at] = static_cast<std::int32_t>(flat / howo);
-      bg[at] = val[ev];
-    }
-    // Phase 1: materialize only the active columns of the (CKK, HoWo)
-    // gradient-column matrix, compacted to (na, CKK). Each column is an
-    // independent output — safe to parallelize.
-    float* dcols = img_scope.floats(static_cast<std::size_t>(na * ckk));
-    parallel_for_range(
-        0, static_cast<std::size_t>(na), [&](std::size_t jb, std::size_t je) {
-          for (std::size_t j = jb; j < je; ++j) {
-            float* buf = dcols + static_cast<std::int64_t>(j) * ckk;
-            std::memset(buf, 0, static_cast<std::size_t>(ckk) * sizeof(float));
-            const std::int32_t b0 = astart[j];
-            const std::int32_t b1 = b0 + cnts[active[j]];
-            for (std::int32_t t = b0; t < b1; ++t) {
-              const float* wrow = weight + static_cast<std::int64_t>(bo[t]) * ckk;
-              const float gv = bg[t];
-              for (std::int64_t r = 0; r < ckk; ++r) buf[r] += wrow[r] * gv;
-            }
-          }
-        });
-    // Phase 2: scatter in col2im's exact order — kernel row r ascending,
-    // then column p ascending — restricted to the active columns (the
-    // inactive ones hold exact +0 in the dense path). Channels own
-    // disjoint planes, so the channel partition is deterministic.
-    float* gimg = grad_in + img * in_c * hw;
-    parallel_for_range(
-        0, static_cast<std::size_t>(in_c), [&](std::size_t cb, std::size_t ce) {
-          for (std::size_t c = cb; c < ce; ++c) {
-            float* plane = gimg + static_cast<std::int64_t>(c) * hw;
-            for (std::int64_t ky = 0; ky < k; ++ky) {
-              for (std::int64_t kx = 0; kx < k; ++kx) {
-                const std::int64_t r =
-                    (static_cast<std::int64_t>(c) * k + ky) * k + kx;
-                for (std::int64_t j = 0; j < na; ++j) {
-                  const std::int64_t p = active[j];
-                  const std::int64_t oy = p / wo, ox = p % wo;
-                  const std::int64_t iy = oy * s - pad + ky;
-                  if (iy < 0 || iy >= g.in_h) continue;
-                  const std::int64_t ix = ox * s - pad + kx;
-                  if (ix < 0 || ix >= g.in_w) continue;
-                  plane[iy * g.in_w + ix] += dcols[j * ckk + r];
-                }
-              }
-            }
-          }
-        });
-  }
+  simd::spike_ops().conv2d_backward_input(g, gcsr, weight, out_c, grad_in, ws);
 }
 
 void spike_linear_backward_weight(const SpikeCsr& csr, const float* grad_out,
                                   std::int64_t out_f, float* grad_weight,
                                   Workspace& ws) {
-  const std::int64_t in_f = csr.row_len();
-  auto scope = ws.scope();
-  // Accumulate through a transposed (in_f, out_f) view so each event is a
-  // unit-stride axpy of length O. gemm_tn accumulates directly onto C in
-  // ascending batch-row order; the transposes are element-exact copies, so
-  // accumulating onto the transposed copy in the same row order matches.
-  float* wgt = scope.floats(static_cast<std::size_t>(in_f * out_f));
-  transpose_panel(grad_weight, out_f, in_f, wgt);
-  const std::int64_t rows = csr.rows();
-  parallel_for_range(
-      0, static_cast<std::size_t>(out_f), [&](std::size_t b, std::size_t e) {
-        const std::int64_t ob = static_cast<std::int64_t>(b);
-        const std::int64_t oe = static_cast<std::int64_t>(e);
-        for (std::int64_t row = 0; row < rows; ++row) {
-          const float* gorow = grad_out + row * out_f;
-          const std::int32_t* idx = csr.row_indices(row);
-          const float* val = csr.row_values(row);
-          const std::int64_t cnt = csr.row_nnz(row);
-          for (std::int64_t ev = 0; ev < cnt; ++ev) {
-            float* wrow = wgt + static_cast<std::int64_t>(idx[ev]) * out_f;
-            const float v = val[ev];
-            for (std::int64_t o = ob; o < oe; ++o) wrow[o] += gorow[o] * v;
-          }
-        }
-      });
-  transpose_panel(wgt, in_f, out_f, grad_weight);
+  simd::spike_ops().linear_backward_weight(csr, grad_out, out_f, grad_weight,
+                                           ws);
 }
 
 void spike_linear_backward_input(const SpikeCsr& gcsr, const float* weight,
                                  std::int64_t in_f, float* grad_in) {
-  const std::int64_t out_f = gcsr.row_len();
-  (void)out_f;
-  parallel_for_range(
-      0, static_cast<std::size_t>(gcsr.rows()),
-      [&](std::size_t b, std::size_t e) {
-        for (std::size_t row = b; row < e; ++row) {
-          float* girow = grad_in + static_cast<std::int64_t>(row) * in_f;
-          const std::int32_t* idx =
-              gcsr.row_indices(static_cast<std::int64_t>(row));
-          const float* val = gcsr.row_values(static_cast<std::int64_t>(row));
-          const std::int64_t cnt =
-              gcsr.row_nnz(static_cast<std::int64_t>(row));
-          for (std::int64_t ev = 0; ev < cnt; ++ev) {
-            const float* wrow =
-                weight + static_cast<std::int64_t>(idx[ev]) * in_f;
-            const float gv = val[ev];
-            for (std::int64_t i = 0; i < in_f; ++i) girow[i] += gv * wrow[i];
-          }
-        }
-      });
+  simd::spike_ops().linear_backward_input(gcsr, weight, in_f, grad_in);
 }
 
 void spike_depthwise_backward_weight(const ConvGeometry& g,
                                      const SpikeCsr& csr,
                                      const float* grad_out,
                                      float* grad_weight) {
-  const std::int64_t ho = g.out_h(), wo = g.out_w();
-  const std::int64_t howo = ho * wo;
-  const std::int64_t hw = g.in_h * g.in_w;
-  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
-  const std::int64_t c_ = g.in_c;
+  simd::spike_ops().depthwise_backward_weight(g, csr, grad_out, grad_weight);
+}
 
-  for (std::int64_t img = 0; img < csr.rows(); ++img) {
-    const std::int32_t* idx = csr.row_indices(img);
-    const float* val = csr.row_values(img);
-    const std::int64_t cnt = csr.row_nnz(img);
-    for (std::int64_t e = 0; e < cnt; ++e) {
-      const std::int64_t flat = idx[e];
-      const float v = val[e];
-      const std::int64_t c = flat / hw;
-      const std::int64_t rem = flat - c * hw;
-      const std::int64_t iy = rem / g.in_w;
-      const std::int64_t ix = rem - iy * g.in_w;
-      const float* gop = grad_out + (img * c_ + c) * howo;
-      float* gw = grad_weight + c * k * k;
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        const std::int64_t ty = iy + pad - ky;
-        if (ty < 0 || ty % s != 0) continue;
-        const std::int64_t oy = ty / s;
-        if (oy >= ho) continue;
-        for (std::int64_t kx = 0; kx < k; ++kx) {
-          const std::int64_t tx = ix + pad - kx;
-          if (tx < 0 || tx % s != 0) continue;
-          const std::int64_t ox = tx / s;
-          if (ox >= wo) continue;
-          gw[ky * k + kx] += gop[oy * wo + ox] * v;
-        }
-      }
-    }
-  }
+std::int64_t lif_epilogue_row(std::int64_t p, const float* acc, int use_scale,
+                              float scale, float bias, float beta, float theta,
+                              float* m, float* dst, std::uint64_t* wbits,
+                              std::int64_t bit0) {
+  return simd::spike_ops().lif_row(p, acc, use_scale, scale, bias, beta,
+                                   theta, m, dst, wbits, bit0);
+}
+
+void affine_epilogue_row(std::int64_t p, const float* acc, int use_scale,
+                         float scale, float bias, int relu, float* dst) {
+  simd::spike_ops().affine_row(p, acc, use_scale, scale, bias, relu, dst);
 }
 
 }  // namespace snnskip

@@ -109,6 +109,18 @@ class GradDensityHint {
 /// kernel it gates).
 std::int64_t count_nonzero(const float* data, std::int64_t n);
 
+/// Cache-blocked transpose: dst(c, r) = src(r, c) for src of (rows, cols).
+/// Tile edge comes from the kernel config (SNNSKIP_TUNE_PROFILE); the 8x8
+/// AVX2 block kernel engages per the active SIMD level. Exact copies —
+/// bit-identical across tile sizes and SIMD levels.
+void transpose_panel(const float* src, std::int64_t rows, std::int64_t cols,
+                     float* dst);
+
+/// dst(c, r) += src(r, c); same tiling. Each element is touched exactly
+/// once, so this too is order-free and exact.
+void transpose_add_panel(const float* src, std::int64_t rows,
+                         std::int64_t cols, float* dst);
+
 /// True when the packed input should take the event-driven path.
 inline bool use_sparse_path(const SpikeCsr& csr) {
   return SparseExec::enabled() &&

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "tensor/simd_ops.h"
+
 namespace snnskip {
 
 std::int64_t spike_pack(const float* src, std::int64_t n,
@@ -34,56 +36,18 @@ std::int64_t popcount_words(const std::uint64_t* words, std::int64_t nwords) {
   return total;
 }
 
+// Term-kernel bodies live in spike_kernels_impl.h (they share the vector
+// primitives and dual-TU instantiation with the CSR kernels); these entry
+// points jump through the active SIMD level's table.
+
 std::int64_t spike_packed_conv2d_term(const ConvGeometry& g,
                                       std::int64_t src_c,
                                       const std::uint64_t* words,
                                       const std::int32_t* chrow,
                                       const float* wt, std::int64_t out_c,
                                       float* outt) {
-  const std::int64_t h = g.in_h, w = g.in_w;
-  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
-  const std::int64_t ho = g.out_h(), wo = g.out_w();
-  const std::int64_t plane = h * w;
-  const std::int64_t numel = src_c * plane;
-  const std::int64_t nwords = packed_words(numel);
-  std::int64_t synops = 0;
-
-  for (std::int64_t wi = 0; wi < nwords; ++wi) {
-    std::uint64_t bits = words[wi];
-    if (bits == 0) continue;  // popcount-guided: skip 64 positions at once
-    const std::int64_t base = wi << 6;
-    while (bits != 0) {
-      const std::int64_t flat = base + std::countr_zero(bits);
-      bits &= bits - 1;
-      const std::int64_t c = flat / plane;
-      const std::int64_t rem = flat - c * plane;
-      const std::int64_t iy = rem / w;
-      const std::int64_t ix = rem - iy * w;
-      const std::int64_t row = chrow != nullptr
-                                   ? static_cast<std::int64_t>(chrow[c])
-                                   : c;
-      if (row < 0) continue;
-      // Same tap walk as spike_conv2d_forward: each valid (ky, kx) is one
-      // contiguous out_c-length axpy of a transposed weight row.
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        const std::int64_t ty = iy + pad - ky;
-        if (ty < 0 || ty % s != 0) continue;
-        const std::int64_t oy = ty / s;
-        if (oy >= ho) continue;
-        for (std::int64_t kx = 0; kx < k; ++kx) {
-          const std::int64_t tx = ix + pad - kx;
-          if (tx < 0 || tx % s != 0) continue;
-          const std::int64_t ox = tx / s;
-          if (ox >= wo) continue;
-          const float* wrow = wt + ((row * k + ky) * k + kx) * out_c;
-          float* orow = outt + (oy * wo + ox) * out_c;
-          for (std::int64_t o = 0; o < out_c; ++o) orow[o] += wrow[o];
-          synops += out_c;
-        }
-      }
-    }
-  }
-  return synops;
+  return simd::spike_ops().packed_conv2d_term(g, src_c, words, chrow, wt,
+                                              out_c, outt);
 }
 
 std::int64_t spike_packed_depthwise_term(const ConvGeometry& g,
@@ -91,48 +55,8 @@ std::int64_t spike_packed_depthwise_term(const ConvGeometry& g,
                                          const std::uint64_t* words,
                                          const std::int32_t* chrow,
                                          const float* weight, float* acc) {
-  const std::int64_t h = g.in_h, w = g.in_w;
-  const std::int64_t k = g.kernel, s = g.stride, pad = g.pad;
-  const std::int64_t ho = g.out_h(), wo = g.out_w();
-  const std::int64_t plane = h * w;
-  const std::int64_t numel = src_c * plane;
-  const std::int64_t nwords = packed_words(numel);
-  std::int64_t synops = 0;
-
-  for (std::int64_t wi = 0; wi < nwords; ++wi) {
-    std::uint64_t bits = words[wi];
-    if (bits == 0) continue;
-    const std::int64_t base = wi << 6;
-    while (bits != 0) {
-      const std::int64_t flat = base + std::countr_zero(bits);
-      bits &= bits - 1;
-      const std::int64_t c = flat / plane;
-      const std::int64_t rem = flat - c * plane;
-      const std::int64_t iy = rem / w;
-      const std::int64_t ix = rem - iy * w;
-      const std::int64_t row = chrow != nullptr
-                                   ? static_cast<std::int64_t>(chrow[c])
-                                   : c;
-      if (row < 0) continue;
-      const float* ker = weight + row * k * k;
-      float* oplane = acc + row * ho * wo;
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        const std::int64_t ty = iy + pad - ky;
-        if (ty < 0 || ty % s != 0) continue;
-        const std::int64_t oy = ty / s;
-        if (oy >= ho) continue;
-        for (std::int64_t kx = 0; kx < k; ++kx) {
-          const std::int64_t tx = ix + pad - kx;
-          if (tx < 0 || tx % s != 0) continue;
-          const std::int64_t ox = tx / s;
-          if (ox >= wo) continue;
-          oplane[oy * wo + ox] += ker[ky * k + kx];
-          ++synops;
-        }
-      }
-    }
-  }
-  return synops;
+  return simd::spike_ops().packed_depthwise_term(g, src_c, words, chrow,
+                                                 weight, acc);
 }
 
 }  // namespace snnskip

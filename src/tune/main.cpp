@@ -1,0 +1,115 @@
+// snnskip-tune: measure this machine's best kernel schedule and write a
+// tuning profile consumable via SNNSKIP_TUNE_PROFILE.
+//
+//   snnskip-tune --out tune_profile.json
+//   snnskip-tune --families gemm,transpose --budget 12 --min-ms 50
+//   snnskip-tune --journal runs/tune --out tune_profile.json   # resumable
+//
+// Flags:
+//   --out PATH       profile output path (default tune_profile.json)
+//   --id NAME        profile id recorded in the file (default "tuned")
+//   --families CSV   subset + order override (default: all, tuning order)
+//   --budget N       max measured points per family (default 24)
+//   --min-ms F       per-measurement wall-clock floor (default 20)
+//   --journal PREFIX journal measurements to PREFIX_<family>.jsonl; rerun
+//                    with the same prefix to resume after a kill
+//   --smoke 1        tiny workloads (CI only — not a real tuning run)
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tensor/cpu_features.h"
+#include "tune/tune.h"
+#include "util/cli.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string code_str(const snnskip::tune::Family& fam,
+                     const snnskip::EncodingVec& code) {
+  std::string s;
+  for (std::size_t a = 0; a < fam.space.axes.size(); ++a) {
+    if (a) s += " ";
+    s += fam.space.axes[a].name + "=" +
+         std::to_string(fam.space.value(code, a));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snnskip;
+  using namespace snnskip::tune;
+
+  CliArgs args(argc, argv);
+  TuneOptions opts;
+  opts.budget = args.get_int("budget", 24);
+  opts.min_ms = args.get_double("min-ms", 20.0);
+  opts.journal_prefix = args.get("journal", "");
+  opts.smoke = args.get_int("smoke", 0) != 0;
+  const std::string out_path = args.get("out", "tune_profile.json");
+  const std::string id = args.get("id", "tuned");
+
+  std::printf("snnskip-tune: cpu=%s simd=%s%s\n", cpu_signature().c_str(),
+              to_string(max_simd_level()), opts.smoke ? " (smoke)" : "");
+
+  std::vector<Family> fams = build_families(opts);
+  const std::vector<std::string> want = split_csv(args.get("families", ""));
+  if (!want.empty()) {
+    std::vector<Family> picked;
+    for (const std::string& name : want) {
+      bool found = false;
+      for (Family& f : fams) {
+        if (f.name == name) {
+          picked.push_back(std::move(f));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "snnskip-tune: unknown family '%s'\n",
+                     name.c_str());
+        return 1;
+      }
+    }
+    fams = std::move(picked);
+  }
+
+  std::vector<FamilyResult> results;
+  for (Family& fam : fams) {
+    FamilyResult r = tune_family(fam, opts);
+    const double def_ms = r.default_seconds * 1e3;
+    const double best_ms = r.best_seconds * 1e3;
+    const double speedup = best_ms > 0.0 ? def_ms / best_ms : 1.0;
+    std::printf(
+        "  %-10s default %8.3f ms -> best %8.3f ms (%.2fx)  [%s]"
+        "  measured=%d replayed=%d\n",
+        fam.name.c_str(), def_ms, best_ms, speedup,
+        code_str(fam, r.best_code).c_str(), r.evaluated, r.replayed);
+    results.push_back(std::move(r));
+  }
+
+  const TuningProfile profile = assemble_profile(fams, results, id);
+  std::string err;
+  if (!write_profile(profile, out_path, &err)) {
+    std::fprintf(stderr, "snnskip-tune: failed to write %s: %s\n",
+                 out_path.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("activate with: export SNNSKIP_TUNE_PROFILE=%s\n",
+              out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "tune/tune.h"
+
+namespace snnskip::tune {
+
+std::int64_t Space::size() const {
+  std::int64_t n = 1;
+  for (const Axis& a : axes) n *= static_cast<std::int64_t>(a.choices.size());
+  return n;
+}
+
+bool Space::valid(const EncodingVec& code) const {
+  if (code.size() != axes.size()) return false;
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    if (code[i] < 0 ||
+        code[i] >= static_cast<int>(axes[i].choices.size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> Space::features(const EncodingVec& code) const {
+  // Position within the axis, normalized to [0, 1]. Every axis here is
+  // ordered (tile sizes, panel lengths, thresholds ascend), so adjacent
+  // positions really are "nearby" for the RBF kernel; a single-choice axis
+  // maps to 0.
+  std::vector<double> f(axes.size(), 0.0);
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    const std::size_t n = axes[i].choices.size();
+    if (n > 1) f[i] = static_cast<double>(code[i]) / static_cast<double>(n - 1);
+  }
+  return f;
+}
+
+EncodingVec Space::from_flat(std::int64_t flat) const {
+  EncodingVec code(axes.size(), 0);
+  for (std::size_t i = axes.size(); i-- > 0;) {
+    const std::int64_t n = static_cast<std::int64_t>(axes[i].choices.size());
+    code[i] = static_cast<int>(flat % n);
+    flat /= n;
+  }
+  return code;
+}
+
+int Space::value(const EncodingVec& code, std::size_t a) const {
+  return axes[a].choices[static_cast<std::size_t>(code[a])];
+}
+
+}  // namespace snnskip::tune

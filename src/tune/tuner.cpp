@@ -1,0 +1,137 @@
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "opt/acquisition.h"
+#include "opt/gp.h"
+#include "opt/journal.h"
+#include "telemetry/telemetry.h"
+#include "tune/tune.h"
+#include "util/logging.h"
+
+namespace snnskip::tune {
+
+namespace {
+
+struct Observation {
+  std::vector<double> x;
+  double y = 0.0;
+  bool failed = false;
+};
+
+}  // namespace
+
+FamilyResult tune_family(Family& fam, const TuneOptions& opts) {
+  // Span-timer measurement needs telemetry on; leave it on afterwards (the
+  // tuner owns the process).
+  Telemetry::set_enabled(true);
+
+  const std::int64_t space_size = fam.space.size();
+  std::map<EncodingVec, Observation> observed;
+
+  const std::string journal_path =
+      opts.journal_prefix.empty()
+          ? std::string()
+          : opts.journal_prefix + "_" + fam.name + ".jsonl";
+  SearchJournal journal(journal_path);
+
+  FamilyResult res;
+  res.family = fam.name;
+
+  // Resume: replay journaled measurements instead of re-timing them.
+  if (!journal_path.empty()) {
+    for (const JournalEntry& e : SearchJournal::replay(journal_path)) {
+      if (!fam.space.valid(e.code) || observed.count(e.code) != 0) continue;
+      observed[e.code] =
+          Observation{fam.space.features(e.code), e.value, e.failed};
+      ++res.replayed;
+    }
+  }
+
+  std::size_t next_idx = observed.size();
+  auto evaluate = [&](const EncodingVec& code) {
+    Observation ob;
+    ob.x = fam.space.features(code);
+    try {
+      fam.apply(code);
+      ob.y = fam.measure();
+    } catch (const std::exception& ex) {
+      SNNSKIP_LOG(Warn) << "tune[" << fam.name
+                        << "]: candidate failed: " << ex.what();
+      ob.failed = true;
+      ob.y = 0.0;
+    }
+    observed[code] = ob;
+    journal.append(next_idx++, code, ob.y, ob.failed);
+    ++res.evaluated;
+  };
+
+  // The default point is ALWAYS measured (first): the final argmin over
+  // the observed set therefore includes it, which is what makes the
+  // committed profile never-slower than the defaults by construction.
+  if (observed.count(fam.default_code) == 0) evaluate(fam.default_code);
+
+  const std::vector<double> ls_grid = {0.08, 0.15, 0.3, 0.6, 1.2};
+  while (static_cast<std::int64_t>(observed.size()) < space_size &&
+         static_cast<int>(observed.size()) < opts.budget) {
+    // Fit the surrogate on the non-failed observations.
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    double best_y = std::numeric_limits<double>::infinity();
+    for (const auto& [code, ob] : observed) {
+      if (ob.failed) continue;
+      xs.push_back(ob.x);
+      ys.push_back(ob.y);
+      if (ob.y < best_y) best_y = ob.y;
+    }
+    EncodingVec pick;
+    if (ys.size() >= 2) {
+      GaussianProcess gp = GaussianProcess::fit_best_lengthscale(
+          xs, ys, ls_grid, /*variance=*/1.0, /*noise=*/1e-4);
+      double best_ei = -std::numeric_limits<double>::infinity();
+      for (std::int64_t flat = 0; flat < space_size; ++flat) {
+        EncodingVec code = fam.space.from_flat(flat);
+        if (observed.count(code) != 0) continue;
+        const double ei = expected_improvement(
+            gp.predict(fam.space.features(code)), best_y);
+        if (ei > best_ei) {
+          best_ei = ei;
+          pick = std::move(code);
+        }
+      }
+    } else {
+      for (std::int64_t flat = 0; flat < space_size; ++flat) {
+        EncodingVec code = fam.space.from_flat(flat);
+        if (observed.count(code) == 0) {
+          pick = std::move(code);
+          break;
+        }
+      }
+    }
+    if (!fam.space.valid(pick)) break;  // nothing left to propose
+    evaluate(pick);
+  }
+
+  // Argmin over everything observed (default included).
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [code, ob] : observed) {
+    if (ob.failed) continue;
+    if (ob.y < best) {
+      best = ob.y;
+      res.best_code = code;
+    }
+  }
+  const auto def = observed.find(fam.default_code);
+  if (def != observed.end() && !def->second.failed) {
+    res.default_seconds = def->second.y;
+  }
+  res.best_seconds = best;
+  if (res.best_code.empty()) res.best_code = fam.default_code;
+
+  // Leave the winner installed for the next family (greedy coordinate
+  // descent over the joint schedule).
+  fam.apply(res.best_code);
+  return res;
+}
+
+}  // namespace snnskip::tune

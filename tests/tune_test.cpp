@@ -1,0 +1,280 @@
+// Autotuner unit tests (ISSUE 9): search-space plumbing, tuning-profile
+// round-trip and rejection paths, journal resume, and the never-slower
+// guarantee of tune_family.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tensor/cpu_features.h"
+#include "tensor/kernel_config.h"
+#include "tune/tune.h"
+
+namespace snnskip {
+namespace {
+
+using tune::Axis;
+using tune::Family;
+using tune::FamilyResult;
+using tune::Space;
+using tune::TuneOptions;
+
+// ---- Space -----------------------------------------------------------------
+
+TEST(TuneSpace, FlatEnumerationRoundTrips) {
+  Space s;
+  s.axes = {Axis{"a", {4, 6, 8}}, Axis{"b", {64, 128, 256, 512}},
+            Axis{"c", {1}}};
+  EXPECT_EQ(s.size(), 12);
+  std::set<EncodingVec> seen;
+  for (std::int64_t flat = 0; flat < s.size(); ++flat) {
+    const EncodingVec code = s.from_flat(flat);
+    EXPECT_TRUE(s.valid(code));
+    seen.insert(code);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), s.size());
+
+  EXPECT_FALSE(s.valid({}));
+  EXPECT_FALSE(s.valid({0, 0}));
+  EXPECT_FALSE(s.valid({3, 0, 0}));
+  EXPECT_FALSE(s.valid({0, -1, 0}));
+
+  EXPECT_EQ(s.value({1, 3, 0}, 0), 6);
+  EXPECT_EQ(s.value({1, 3, 0}, 1), 512);
+
+  const auto f = s.features({2, 0, 0});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);   // last position
+  EXPECT_DOUBLE_EQ(f[1], 0.0);   // first position
+  EXPECT_DOUBLE_EQ(f[2], 0.0);   // single-choice axis pins to 0
+}
+
+// ---- Profile serialization -------------------------------------------------
+
+TuningProfile sample_profile() {
+  TuningProfile p;
+  p.id = "unit";
+  p.cpu_signature = "TestCPU|avx2=1|fma=0";
+  p.simd = "avx2";
+  p.config.gemm_tile = 2;
+  p.config.gemm_kc = 256;
+  p.config.transpose_tile = 64;
+  p.config.sparse_threshold = 0.15f;
+  p.config.infer_threshold = 0.35f;
+  p.config.shards = 4;
+  return p;
+}
+
+TEST(TuneProfile, SerializeParseRoundTrip) {
+  const TuningProfile p = sample_profile();
+  const std::string text = serialize_tuning_profile(p);
+  TuningProfile q;
+  std::string err;
+  ASSERT_TRUE(parse_tuning_profile(text, &q, &err)) << err;
+  EXPECT_EQ(q.id, p.id);
+  EXPECT_EQ(q.cpu_signature, p.cpu_signature);
+  EXPECT_EQ(q.simd, p.simd);
+  EXPECT_EQ(q.config.gemm_tile, p.config.gemm_tile);
+  EXPECT_EQ(q.config.gemm_kc, p.config.gemm_kc);
+  EXPECT_EQ(q.config.transpose_tile, p.config.transpose_tile);
+  EXPECT_FLOAT_EQ(q.config.sparse_threshold, p.config.sparse_threshold);
+  EXPECT_FLOAT_EQ(q.config.infer_threshold, p.config.infer_threshold);
+  EXPECT_EQ(q.config.shards, p.config.shards);
+}
+
+TEST(TuneProfile, EditedFieldFailsCrc) {
+  std::string text = serialize_tuning_profile(sample_profile());
+  // Flip a digit in a semantic field without touching the stored CRC.
+  const auto pos = text.find("\"gemm_kc\": 256");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 14, "\"gemm_kc\": 512");
+  TuningProfile q;
+  std::string err;
+  EXPECT_FALSE(parse_tuning_profile(text, &q, &err));
+  EXPECT_NE(err.find("CRC"), std::string::npos) << err;
+}
+
+TEST(TuneProfile, TornFileRejected) {
+  const std::string text = serialize_tuning_profile(sample_profile());
+  // Note size - 5 truncates into the trailing CRC digits; a tear that
+  // only loses the closing brace leaves every sealed field intact and is
+  // legitimately accepted.
+  for (std::size_t cut : {std::size_t{0}, text.size() / 4, text.size() / 2,
+                          text.size() - 5}) {
+    TuningProfile q;
+    std::string err;
+    EXPECT_FALSE(parse_tuning_profile(text.substr(0, cut), &q, &err))
+        << "cut at " << cut;
+  }
+}
+
+TEST(TuneProfile, WrongFormatVersionRejected) {
+  std::string text = serialize_tuning_profile(sample_profile());
+  const auto pos = text.find("snnskip-tune-v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 15, "snnskip-tune-v9");
+  TuningProfile q;
+  std::string err;
+  EXPECT_FALSE(parse_tuning_profile(text, &q, &err));
+}
+
+TEST(TuneProfile, IllegalTileRejected) {
+  TuningProfile p = sample_profile();
+  p.config.gemm_tile = 97;  // out of kGemmTiles range
+  TuningProfile q;
+  std::string err;
+  EXPECT_FALSE(parse_tuning_profile(serialize_tuning_profile(p), &q, &err));
+}
+
+TEST(TuneProfile, WriteProfileValidatesCommittedBytes) {
+  const std::string path =
+      ::testing::TempDir() + "/tune_test_profile.json";
+  TuningProfile p = sample_profile();
+  std::string err;
+  ASSERT_TRUE(tune::write_profile(p, path, &err)) << err;
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  TuningProfile q;
+  ASSERT_TRUE(parse_tuning_profile(text, &q, &err)) << err;
+  EXPECT_EQ(q.config.gemm_kc, 256);
+  std::remove(path.c_str());
+}
+
+TEST(TuneProfile, SetKernelConfigClampsInvalidFields) {
+  const KernelConfig saved = kernel_config();
+  KernelConfig bad;
+  bad.gemm_tile = -3;
+  bad.gemm_kc = 0;
+  bad.transpose_tile = -1;
+  bad.sparse_threshold = 7.f;
+  bad.infer_threshold = -2.f;
+  bad.shards = -5;
+  set_kernel_config(bad);
+  const KernelConfig got = kernel_config();
+  const KernelConfig def;
+  EXPECT_EQ(got.gemm_tile, def.gemm_tile);
+  EXPECT_EQ(got.gemm_kc, def.gemm_kc);
+  EXPECT_EQ(got.transpose_tile, def.transpose_tile);
+  EXPECT_FLOAT_EQ(got.sparse_threshold, def.sparse_threshold);
+  EXPECT_FLOAT_EQ(got.infer_threshold, def.infer_threshold);
+  EXPECT_EQ(got.shards, def.shards);
+  set_kernel_config(saved);
+}
+
+// ---- tune_family: never-slower + journal resume ----------------------------
+
+/// A synthetic family over one 5-choice axis whose "runtime" is supplied
+/// by a table; counts measure() invocations.
+struct FakeFamily {
+  Family fam;
+  int applied = -1;
+  int measured = 0;
+  std::vector<double> costs;
+
+  explicit FakeFamily(std::vector<double> cost_table, int default_idx)
+      : costs(std::move(cost_table)) {
+    fam.name = "fake";
+    fam.space.axes = {Axis{"knob", {10, 20, 30, 40, 50}}};
+    fam.default_code = {default_idx};
+    fam.apply = [this](const EncodingVec& code) { applied = code[0]; };
+    fam.measure = [this] {
+      ++measured;
+      return costs[static_cast<std::size_t>(applied)];
+    };
+    fam.commit = [](const EncodingVec&, TuningProfile*) {};
+  }
+};
+
+TEST(TuneFamily, NeverSlowerWhenDefaultIsBest) {
+  FakeFamily f({1.0, 5.0, 5.0, 5.0, 5.0}, /*default_idx=*/0);
+  TuneOptions opts;
+  opts.budget = 5;
+  opts.min_ms = 0.0;
+  const FamilyResult r = tune_family(f.fam, opts);
+  EXPECT_EQ(r.best_code, EncodingVec{0});
+  EXPECT_DOUBLE_EQ(r.best_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(r.default_seconds, 1.0);
+  EXPECT_LE(r.best_seconds, r.default_seconds);
+  EXPECT_EQ(f.applied, 0) << "winner must be left installed";
+}
+
+TEST(TuneFamily, FindsBetterPointAndLeavesItApplied) {
+  FakeFamily f({5.0, 4.0, 0.5, 4.0, 5.0}, /*default_idx=*/0);
+  TuneOptions opts;
+  opts.budget = 5;  // full space: the optimum is certainly measured
+  opts.min_ms = 0.0;
+  const FamilyResult r = tune_family(f.fam, opts);
+  EXPECT_EQ(r.best_code, EncodingVec{2});
+  EXPECT_DOUBLE_EQ(r.best_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(r.default_seconds, 5.0);
+  EXPECT_EQ(f.measured, 5);
+  EXPECT_EQ(f.applied, 2);
+}
+
+TEST(TuneFamily, ThrowingCandidateIsRecordedNotFatal) {
+  FakeFamily f({3.0, 2.0, 0.0, 2.5, 1.5}, /*default_idx=*/0);
+  // Candidate 2 "crashes"; it must be journaled as failed and never win.
+  Family& fam = f.fam;
+  auto inner = fam.measure;
+  fam.measure = [inner, &f]() -> double {
+    if (f.applied == 2) {
+      ++f.measured;
+      throw std::runtime_error("synthetic failure");
+    }
+    return inner();
+  };
+  TuneOptions opts;
+  opts.budget = 5;
+  opts.min_ms = 0.0;
+  const FamilyResult r = tune_family(fam, opts);
+  EXPECT_EQ(r.best_code, EncodingVec{4});
+  EXPECT_DOUBLE_EQ(r.best_seconds, 1.5);
+}
+
+TEST(TuneFamily, JournalResumeReplaysInsteadOfRemeasuring) {
+  const std::string prefix = ::testing::TempDir() + "/tune_test_journal";
+  const std::string path = prefix + "_fake.jsonl";
+  std::remove(path.c_str());
+
+  TuneOptions opts;
+  opts.budget = 5;
+  opts.min_ms = 0.0;
+  opts.journal_prefix = prefix;
+
+  FakeFamily first({5.0, 4.0, 0.5, 4.0, 5.0}, 0);
+  const FamilyResult r1 = tune_family(first.fam, opts);
+  EXPECT_EQ(first.measured, 5);
+  EXPECT_EQ(r1.replayed, 0);
+
+  FakeFamily second({5.0, 4.0, 0.5, 4.0, 5.0}, 0);
+  const FamilyResult r2 = tune_family(second.fam, opts);
+  EXPECT_EQ(second.measured, 0) << "all points must come from the journal";
+  EXPECT_EQ(r2.replayed, 5);
+  EXPECT_EQ(r2.evaluated, 0);
+  EXPECT_EQ(r2.best_code, r1.best_code);
+  EXPECT_DOUBLE_EQ(r2.best_seconds, r1.best_seconds);
+  EXPECT_EQ(second.applied, 2) << "winner re-applied on resume";
+  std::remove(path.c_str());
+}
+
+TEST(TuneFamilies, BuildsStandardFamiliesInTuningOrder) {
+  TuneOptions opts;
+  opts.smoke = true;
+  const std::vector<Family> fams = tune::build_families(opts);
+  ASSERT_EQ(fams.size(), 6u);
+  const char* expect[] = {"simd", "gemm", "transpose",
+                          "sparse", "infer", "shards"};
+  for (std::size_t i = 0; i < fams.size(); ++i) {
+    EXPECT_EQ(fams[i].name, expect[i]);
+    EXPECT_TRUE(fams[i].space.valid(fams[i].default_code)) << fams[i].name;
+    EXPECT_GE(fams[i].space.size(), 2) << fams[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace snnskip
