@@ -13,12 +13,13 @@ the repo root:
 
 A configuration FAILS when its fresh speedup falls below
 (1 - tolerance) x baseline speedup, default tolerance 25%. Rows are
-keyed by the active SIMD level on top of each bench's own fields
-(pre-SIMD baselines imply "scalar"), so scalar rows only ever gate
-against scalar rows and tuned-vs-tuned comparisons stay apples-to-apples.
-Baseline rows whose SIMD level the fresh run never produced (e.g. an
-avx2 baseline re-checked on a non-AVX2 host) are [simd-unavailable] and
-informational. Rows measured under a DIFFERENT tuning profile id than
+keyed by the active SIMD level and numeric precision on top of each
+bench's own fields (pre-SIMD baselines imply "scalar"; pre-quantization
+baselines imply "fp32"), so scalar rows only ever gate against scalar
+rows, int8 rows against int8 rows, and tuned-vs-tuned comparisons stay
+apples-to-apples. Baseline rows whose SIMD level the fresh run never
+produced (e.g. an avx2 baseline re-checked on a non-AVX2 host) are
+[simd-unavailable] and informational. Rows measured under a DIFFERENT tuning profile id than
 the fresh run ([profile-skew]) are never compared at all: a tuned
 profile moves the schedule constants, so the comparison would gate
 tuned numbers against untuned ones. Rows whose
@@ -38,10 +39,12 @@ The last stdout line is a one-line JSON summary, e.g.
   {"status": "pass", "gated": 12, "info_only": 8, "regressions": 0}
 so CI steps can consume the result without parsing the human report; the
 exit code is 0 on pass, 1 on any regression or harness failure.
+[simd-unavailable] and [profile-skew] advisories go to stderr so they
+can never displace the JSON line for consumers tailing stdout.
 
 Usage:
     scripts/check_bench_regression.py [build-dir] [--tolerance 0.25]
-        [--min-speedup 1.5] [--min-ms 20] [--runs 2]
+        [--min-speedup 1.5] [--min-ms 20] [--runs 2] [--only micro_infer]
 
 stdlib only — no third-party imports.
 """
@@ -106,10 +109,13 @@ BENCHES = [
 
 
 def row_key(spec, row):
-    # The SIMD level is part of every row's identity: a scalar measurement
-    # must never gate an avx2 one. Baselines written before the dispatch
-    # layer existed carry no "simd" field and were scalar by construction.
-    return tuple(row[f] for f in spec["key"]) + (row.get("simd", "scalar"),)
+    # The SIMD level and numeric precision are part of every row's
+    # identity: a scalar measurement must never gate an avx2 one, and an
+    # int8 row must never gate an fp32 one. Baselines written before the
+    # dispatch layer existed carry no "simd" field and were scalar by
+    # construction; rows written before the int8 variant were fp32.
+    return (tuple(row[f] for f in spec["key"]) +
+            (row.get("simd", "scalar"), row.get("precision", "fp32")))
 
 
 def load_rows(spec, path):
@@ -143,13 +149,14 @@ def check(spec, baseline_path, fresh, tolerance, min_speedup, counts):
     fresh_levels = {r.get("simd", "scalar") for r in fresh.values()}
     for key, base_row in sorted(baseline.items()):
         label = " ".join(f"{f}={v}" for f, v in
-                         zip(spec["key"] + ("simd",), key))
+                         zip(spec["key"] + ("simd", "precision"), key))
         if key not in fresh:
             # A baseline level this host cannot produce (no AVX2, or the
             # fresh build compiled without it) is not a regression.
             if base_row.get("simd", "scalar") not in fresh_levels:
                 counts["info_only"] += 1
-                print(f"  {name:20s} {label:28s} [simd-unavailable]")
+                print(f"  {name:20s} {label:28s} [simd-unavailable]",
+                      file=sys.stderr)
                 continue
             failures.append(f"{name} {key}: missing from fresh run")
             continue
@@ -160,7 +167,8 @@ def check(spec, baseline_path, fresh, tolerance, min_speedup, counts):
             # refuse the comparison rather than gate tuned against untuned.
             counts["info_only"] += 1
             print(f"  {name:20s} {label:28s} [profile-skew: baseline "
-                  f"'{base_profile}' vs fresh '{fresh_profile}']")
+                  f"'{base_profile}' vs fresh '{fresh_profile}']",
+                  file=sys.stderr)
             continue
         base = base_row[metric]
         new = fresh[key][metric]
@@ -195,7 +203,18 @@ def main():
     ap.add_argument("--runs", type=int, default=2,
                     help="fresh repetitions per bench; each row keeps its "
                          "best speedup (default 2)")
+    ap.add_argument("--only", default=None, metavar="BINARY",
+                    help="gate a single bench by binary name (e.g. "
+                         "micro_infer); default gates all of them")
     args = ap.parse_args()
+
+    benches = BENCHES
+    if args.only is not None:
+        benches = [s for s in BENCHES if s["binary"] == args.only]
+        if not benches:
+            known = ", ".join(s["binary"] for s in BENCHES)
+            raise SystemExit(f"error: unknown bench '{args.only}' "
+                             f"(known: {known})")
 
     bench_dir = pathlib.Path(args.build_dir) / "bench"
     if not bench_dir.is_dir():
@@ -206,7 +225,7 @@ def main():
     failures = []
     counts = {"gated": 0, "info_only": 0}
     with tempfile.TemporaryDirectory() as tmp:
-        for spec in BENCHES:
+        for spec in benches:
             binary = bench_dir / spec["binary"]
             baseline = REPO_ROOT / spec["baseline"]
             if not binary.exists():

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "graph/block.h"
+#include "infer/quant.h"
 #include "nn/activations.h"
 #include "nn/batchnorm_tt.h"
 #include "nn/conv2d.h"
@@ -58,6 +59,53 @@ std::vector<float> transpose_rows(const float* w, std::int64_t o_c,
     }
   }
   return wt;
+}
+
+// ---- int8 weight quantization (ISSUE 10) ----------------------------------
+
+/// The kernels' exact rounding (quant_kernels_impl.h): round-half-up via
+/// floor, clamped to the symmetric range. Plans quantize with this scalar
+/// sequence directly so the compiled weights never depend on SNNSKIP_SIMD.
+std::int8_t quantize_one_i8(float x, float inv) {
+  std::int32_t q = static_cast<std::int32_t>(std::floor(x * inv + 0.5f));
+  if (q > 127) q = 127;
+  if (q < -127) q = -127;
+  return static_cast<std::int8_t>(q);
+}
+
+/// Quantize (rows, cols) row-major with per-row scales S (row o divided
+/// by S[o]).
+std::vector<std::int8_t> quantize_rows_i8(const float* w, std::int64_t rows,
+                                          std::int64_t cols,
+                                          const std::vector<float>& S) {
+  std::vector<std::int8_t> q(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t o = 0; o < rows; ++o) {
+    const float inv = 1.f / S[static_cast<std::size_t>(o)];
+    const float* src = w + o * cols;
+    std::int8_t* dst = q.data() + o * cols;
+    for (std::int64_t r = 0; r < cols; ++r) dst[r] = quantize_one_i8(src[r], inv);
+  }
+  return q;
+}
+
+/// (O, CKK) int8 rows -> ((c,ky,kx), o) transposed panel.
+std::vector<std::int8_t> transpose_rows_i8(const std::int8_t* w,
+                                           std::int64_t o_c,
+                                           std::int64_t ckk) {
+  std::vector<std::int8_t> wt(static_cast<std::size_t>(o_c * ckk));
+  for (std::int64_t o = 0; o < o_c; ++o) {
+    for (std::int64_t r = 0; r < ckk; ++r) {
+      wt[static_cast<std::size_t>(r * o_c + o)] =
+          w[static_cast<std::size_t>(o * ckk + r)];
+    }
+  }
+  return wt;
+}
+
+float row_absmax(const float* row, std::int64_t n) {
+  float m = 0.f;
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(row[i]));
+  return m;
 }
 
 /// Builds op weight copies. `bn == nullptr` means nothing to fold (proj
@@ -137,6 +185,76 @@ void build_weights(OpPlan& op, const WeightBuild& b, const BatchNormTT* bn,
   }
 }
 
+/// Int8 weight build: quantize the RAW weights once (per-output-channel
+/// symmetric, S[o] = absmax / 127) and absorb the BNTT fold into the
+/// epilogue's per-timestep dequant scale (scale_t[o] = S[o] *
+/// bn_scale_t[o]; bias_t identical to the no-fold builder). The scale
+/// panel is SHARED with every sunk ASC term's composite rows — both
+/// accumulate into the same int32 panel on the packed path, so one
+/// uniform per-channel dequant must cover them; S[o] therefore takes the
+/// absmax over the op's own row o AND each sunk term's composite row o.
+/// Terms' raw composite bases (stashed in t.wd[0] by build_sunk_term's
+/// int8 mode) are consumed here and replaced by the quantized transposed
+/// panel in t.wq8.
+void build_weights_i8(OpPlan& op, const WeightBuild& b,
+                      const BatchNormTT* bn) {
+  const std::int64_t copies = (bn != nullptr) ? bn->max_timesteps() : 1;
+  const std::size_t n = static_cast<std::size_t>(b.rows * b.cols);
+
+  auto raw = std::vector<float>(b.w, b.w + n);
+  auto raw_bias = std::vector<float>(static_cast<std::size_t>(b.rows), 0.f);
+  if (b.layer_bias != nullptr) {
+    raw_bias.assign(b.layer_bias, b.layer_bias + b.rows);
+  }
+
+  std::vector<float> S(static_cast<std::size_t>(b.rows), 1.f);
+  for (std::int64_t o = 0; o < b.rows; ++o) {
+    float amax = row_absmax(raw.data() + o * b.cols, b.cols);
+    for (const TermPlan& t : op.terms) {
+      if (!t.sunk) continue;
+      const std::int64_t tckk = t.geom.col_rows();
+      amax = std::max(amax, row_absmax(t.wd[0].data() + o * tckk, tckk));
+    }
+    if (amax > 0.f) S[static_cast<std::size_t>(o)] = amax / 127.f;
+  }
+
+  auto q = quantize_rows_i8(raw.data(), b.rows, b.cols, S);
+  if (b.transpose) {
+    // Conv: transposed panel for the packed event kernel, rows for the
+    // dense int8 GEMM.
+    op.wq8t = transpose_rows_i8(q.data(), b.rows, b.cols);
+    op.wq8d = std::move(q);
+  } else if (op.kind == OpKind::DwConv) {
+    op.wq8t = std::move(q);  // (C, K, K) bank, both dispatch modes
+  } else {
+    op.wq8d = std::move(q);  // Linear (O, I) rows
+  }
+
+  for (std::int64_t t = 0; t < copies; ++t) {
+    std::vector<float> sc(S);
+    std::vector<float> bias(raw_bias);
+    if (bn != nullptr) {
+      BnFold f = bn_fold(*bn, t);
+      for (std::int64_t o = 0; o < b.rows; ++o) {
+        const std::size_t oi = static_cast<std::size_t>(o);
+        sc[oi] = f.scale[oi] * S[oi];
+        bias[oi] = f.shift[oi] + f.scale[oi] * raw_bias[oi];
+      }
+    }
+    op.scale.push_back(std::move(sc));
+    op.bias.push_back(std::move(bias));
+  }
+
+  for (TermPlan& t : op.terms) {
+    if (!t.sunk) continue;
+    const std::int64_t tckk = t.geom.col_rows();
+    auto tq = quantize_rows_i8(t.wd[0].data(), b.rows, tckk, S);
+    t.wq8 = transpose_rows_i8(tq.data(), b.rows, tckk);
+    t.wd.clear();  // dense dispatch rematerializes via t.pw; no CSR mode
+    t.wd.shrink_to_fit();
+  }
+}
+
 /// Neuron layer -> fused epilogue parameters. Returns Epi::None for
 /// Identity, Epi::Relu for ReLU; fills beta/theta/refractory for LIF/PLIF.
 Epi classify_neuron(Layer* neuron, OpPlan& op) {
@@ -164,8 +282,13 @@ class Compiler {
   Compiler(Network& net, const Shape& input_shape, const CompileOptions& opts)
       : net_(net), opts_(opts) {
     if (input_shape.ndim() != 4) fail("input shape must be (N, C, H, W)");
+    if (opts.precision == Precision::Int8 && !opts.fold_bn) {
+      fail("int8 precision requires fold_bn (the no-fold bitwise mode is "
+           "fp32-only)");
+    }
     plan_.input_shape = input_shape;
     plan_.bn_folded = opts.fold_bn;
+    plan_.precision = opts.precision;
   }
 
   Plan run() {
@@ -293,6 +416,36 @@ class Compiler {
     return emit(std::move(op), out_shape, /*out_spiking=*/false);
   }
 
+  bool int8() const { return opts_.precision == Precision::Int8; }
+
+  /// Weight build dispatch on the plan precision. Int8 additionally
+  /// fixes the op's input quantization step: exactly 1.0 when every term
+  /// is binary spikes and none is sunk (assembled values are small
+  /// integers — quantization is lossless and the dense int8 dispatch is
+  /// bitwise-equal to the packed one), else the calibrated absmax / 127
+  /// (sunk terms rematerialize an analog projection on dense dispatch).
+  /// Must run after op.terms is complete.
+  void build_op_weights(OpPlan& op, const WeightBuild& b,
+                        const BatchNormTT* bn) {
+    if (!int8()) {
+      build_weights(op, b, bn, opts_.fold_bn);
+      return;
+    }
+    build_weights_i8(op, b, bn);
+    bool exact = true;
+    for (const TermPlan& t : op.terms) {
+      if (!t.spiking || t.sunk) exact = false;
+    }
+    if (exact) {
+      op.in_scale = 1.f;
+      return;
+    }
+    float amax =
+        opts_.quant != nullptr ? opts_.quant->amax_for(op.name, 1.f) : 1.f;
+    if (!(amax > 0.f)) amax = 1.f;
+    op.in_scale = amax / 127.f;
+  }
+
   /// Top-level conv (+BN +neuron) — also used for skip projections
   /// (bn == nullptr, neuron == nullptr).
   int lower_conv(Conv2d& conv, BatchNormTT* bn, Layer* neuron, int in,
@@ -318,7 +471,7 @@ class Compiler {
     b.cols = conv.in_channels() * conv.kernel() * conv.kernel();
     b.transpose = true;
     b.keep_dense = true;  // dense/CSR dispatch wants the (O, CKK) layout
-    build_weights(op, b, bn, opts_.fold_bn);
+    build_op_weights(op, b, bn);
     const bool spiking_out = op.epi == Epi::Lif;
     const Shape out_shape = conv.output_shape(s);
     return emit(std::move(op), out_shape, spiking_out);
@@ -342,7 +495,7 @@ class Compiler {
     b.layer_bias = lin.has_bias() ? lin.bias().value.data() : nullptr;
     b.rows = lin.out_features();
     b.cols = lin.in_features();
-    build_weights(op, b, nullptr, opts_.fold_bn);
+    build_op_weights(op, b, nullptr);
     const bool spiking_out = op.epi == Epi::Lif;
     const Shape out_shape = lin.output_shape(s);
     return emit(std::move(op), out_shape, spiking_out);
@@ -411,6 +564,13 @@ class Compiler {
           }
         }
       }
+    }
+    if (int8()) {
+      // Stash the single RAW composite base; build_weights_i8 quantizes
+      // it with the consumer's shared per-channel scales (the BN fold
+      // lives in the epilogue scale, so no per-timestep copies exist).
+      t.wd.push_back(std::move(base));
+      return;
     }
     const std::int64_t copies = bn != nullptr ? bn->max_timesteps() : 1;
     for (std::int64_t tt = 0; tt < copies; ++tt) {
@@ -565,7 +725,7 @@ class Compiler {
         b.cols = conv->in_channels() * conv->kernel() * conv->kernel();
         b.transpose = true;
         b.keep_dense = true;
-        build_weights(op, b, bn, opts_.fold_bn);
+        build_op_weights(op, b, bn);
         out_shape = conv->output_shape(op_in);
       } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(node.op.get())) {
         op.kind = OpKind::DwConv;
@@ -577,7 +737,7 @@ class Compiler {
         b.layer_bias = dw->has_bias() ? dw->bias().value.data() : nullptr;
         b.rows = dw->channels();
         b.cols = dw->kernel() * dw->kernel();
-        build_weights(op, b, bn, opts_.fold_bn);
+        build_op_weights(op, b, bn);
         out_shape = dw->output_shape(op_in);
       } else {
         fail("unsupported block node op '" + node.op->name() + "'");
@@ -680,17 +840,35 @@ class Compiler {
             in_img + std::max(ckk * p, psub) + op.out_c * p;
         const std::int64_t csr =
             in_img + ckk * op.out_c + op.out_c * p + srows;
+        if (int8()) {
+          // Int8 dispatch is packed (int32 panel, same float count as
+          // `event`) or dense: assembled + cols + quantized patch rows
+          // (ckk*p int8 codes packed into float-sized slots) + the int32
+          // panel converted in place.
+          const std::int64_t dense_i8 = in_img + std::max(ckk * p, psub) +
+                                        (ckk * p + 3) / 4 + op.out_c * p;
+          return std::max({event, dense, csr, dense_i8});
+        }
         return std::max({event, dense, csr});
       }
       case OpKind::DwConv: {
         const std::int64_t p = op.geom.out_h() * op.geom.out_w();
         const std::int64_t in_img =
             op.geom.in_c * op.geom.in_h * op.geom.in_w;
+        if (int8()) {
+          // Dense int8: assembled + its quantized image + int32 acc.
+          return in_img + (in_img + 3) / 4 + op.geom.in_c * p;
+        }
         return in_img + op.geom.in_c * p;
       }
       case OpKind::Linear: {
         const Shape& s =
             plan_.values[static_cast<std::size_t>(op.out)].shape;
+        if (int8()) {
+          const std::int64_t n = s[0];
+          const std::int64_t in_f = op.terms.front().channels;
+          return (n * in_f + 3) / 4 + s.numel();
+        }
         return s.numel();
       }
       case OpKind::DscGather: {

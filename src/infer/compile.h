@@ -34,11 +34,25 @@
 
 namespace snnskip::infer {
 
+struct QuantProfile;  // infer/quant.h — calibrated activation ranges
+
 struct CompileOptions {
   /// Fold BN into weights (one copy per BNTT timestep). false: single
   /// weight copy, scale/shift applied in the epilogue (bit-identical to
   /// the training eval forward; used by the equivalence tests).
   bool fold_bn = true;
+  /// Weight format (ISSUE 10). Int8 quantizes the RAW weights once
+  /// (per-output-channel symmetric) and moves the BNTT fold into the
+  /// epilogue's per-timestep dequant scale — one int8 copy instead of T
+  /// fp32 copies. Requires fold_bn (the int8 plan relies on ASC-sinking
+  /// for its packed path; the no-fold bitwise mode is fp32-only).
+  Precision precision = Precision::Fp32;
+  /// Optional calibrated activation ranges for int8 plans. Ops whose
+  /// inputs are all binary spikes quantize exactly (step 1.0) and ignore
+  /// this; analog-input ops (post-GAP linear, DSC-pooled convs, sunk
+  /// rematerializations) use the profiled absmax, falling back to a
+  /// conservative amax of 1.0 when null.
+  const QuantProfile* quant = nullptr;
 };
 
 /// Freeze `net` at `input_shape` (N, C, H, W). Throws std::invalid_argument

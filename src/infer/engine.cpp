@@ -10,6 +10,7 @@
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/kernel_config.h"
+#include "tensor/quant_kernels.h"
 #include "tensor/spike_kernels.h"
 #include "tensor/spike_packed.h"
 #include "tensor/workspace.h"
@@ -111,7 +112,10 @@ void Engine::step(const Tensor& x, Tensor* out) {
   const std::int64_t synops0 = stats_.synops;
 
   write_input(x);
-  for (const OpPlan& op : plan_->ops) exec_op(op);
+  for (std::size_t i = 0; i < plan_->ops.size(); ++i) {
+    cur_op_ = i;  // calibration-sink slot for this op
+    exec_op(plan_->ops[i]);
+  }
 
   const ValuePlan& ov = val(plan_->output_value);
   if (out->shape() != ov.shape) *out = Tensor(ov.shape);
@@ -155,6 +159,16 @@ void Engine::write_input(const Tensor& x) {
     pvalid_[static_cast<std::size_t>(iv)] = 1;
     popcnt_[static_cast<std::size_t>(iv)] = total;
   } else {
+    if (plan_->precision == Precision::Int8) {
+      // Int8 plans fix the stem's quantization step at exactly 1.0 on
+      // the promise that the network input is a binary spike train (the
+      // repo's encoders all emit one). Quantizing an analog frame with
+      // step 1.0 would round it to small integers — reject loudly
+      // instead of silently destroying the input.
+      throw std::invalid_argument(
+          "infer::Engine::step: int8 plans require binary (0/1) spike "
+          "inputs; encode analog frames before stepping");
+    }
     // Non-binary input (e.g. raw analog frames): dense mirror only; the
     // nonzero count still feeds the CSR-vs-dense density gate.
     pvalid_[static_cast<std::size_t>(iv)] = 0;
@@ -163,12 +177,23 @@ void Engine::write_input(const Tensor& x) {
   }
 }
 
+void Engine::record_amax(const float* x, std::int64_t n) {
+  if (calib_ == nullptr) return;
+  float m = (*calib_)[cur_op_];
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;
+  }
+  (*calib_)[cur_op_] = m;
+}
+
 void Engine::exec_op(const OpPlan& op) {
   SNNSKIP_SPAN_AGG("infer.op", op.name);
+  const bool i8 = plan_->precision == Precision::Int8;
   switch (op.kind) {
-    case OpKind::Conv: exec_conv(op); break;
-    case OpKind::DwConv: exec_dwconv(op); break;
-    case OpKind::Linear: exec_linear(op); break;
+    case OpKind::Conv: i8 ? exec_conv_i8(op) : exec_conv(op); break;
+    case OpKind::DwConv: i8 ? exec_dwconv_i8(op) : exec_dwconv(op); break;
+    case OpKind::Linear: i8 ? exec_linear_i8(op) : exec_linear(op); break;
     case OpKind::DscGather: exec_dsc_gather(op); break;
     case OpKind::AvgPool: exec_avgpool(op); break;
     case OpKind::GlobalAvgPool: exec_gap(op); break;
@@ -367,6 +392,9 @@ void Engine::exec_conv(const OpPlan& op) {
            assembled + t.offset * pp);
       stats_.dense_macs += t.proj_c * t.pgeom.in_c * pp;
     }
+    // Post-assembly, post-projection: exactly what the int8 dense path
+    // will quantize — the range the calibration sweep needs.
+    record_amax(assembled, in_img);
     if (!op.wd.empty() && p < 16) {
       // Few-pixel outputs (deep stages): gemm's 16-column microkernel
       // degrades to scalar edge loops, so lower to weight rows x
@@ -455,6 +483,7 @@ void Engine::exec_dwconv(const OpPlan& op) {
   const std::int64_t stride = op.geom.stride, pad = op.geom.pad;
   for (std::int64_t img = 0; img < n; ++img) {
     assemble_image(op, img, assembled);
+    record_amax(assembled, in_img);
     // Same per-tap loop as DepthwiseConv2d's dense forward (bias and BN
     // live in the epilogue).
     for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -491,12 +520,213 @@ void Engine::exec_linear(const OpPlan& op) {
   Telemetry::count("infer.dense_layers");
   Telemetry::count(ctr_dense_.c_str());
   stats_.dense_macs += op.macs;
+  record_amax(dense(t.value), n * in_f);
   float* outr = scratch_.data();  // (N, O)
   // out(N, O) = x(N, I) * W(O, I)^T — Linear::forward's dense GEMM; the
   // bias moves to the epilogue.
   gemm_nt(n, o_f, in_f, 1.f, dense(t.value), op.wt[0].data(), 0.f, outr);
   for (std::int64_t img = 0; img < n; ++img) {
     epilogue(op, img, outr + img * o_f, /*so=*/1, /*sp=*/1);
+  }
+}
+
+// ---- int8 execution (ISSUE 10) --------------------------------------------
+//
+// Two dispatch modes (no CSR — the CSR kernels are fp32-only and exist as
+// the packed path's correctness baseline, which the int8 plan doesn't
+// need): the packed mode accumulates binary events into an int32 panel
+// with the int8 event kernels — pure integer adds, exact, and the
+// epilogue's per-channel scale (S[o] * bn_scale_t[o]) dequantizes in one
+// multiply. The dense mode assembles the fp32 input exactly like the
+// fp32 engine (including sunk-projection rematerialization through the
+// raw 1x1 weights), quantizes it with the op's compile-time step, runs
+// the int8 GEMM into int32, widens in place, and hands the epilogue
+// ascale = in_scale. When every input term is binary (in_scale == 1.0)
+// the quantization is lossless and both modes are bitwise-equal.
+
+void Engine::exec_conv_i8(const OpPlan& op) {
+  const ValuePlan& ov = val(op.out);
+  const std::int64_t n = ov.shape[0];
+  const std::int64_t p = op.geom.out_h() * op.geom.out_w();
+  const std::int64_t o_c = op.out_c;
+  const std::int64_t in_img = op.geom.in_c * op.geom.in_h * op.geom.in_w;
+  const std::int64_t ckk = op.geom.col_rows();
+
+  const Dispatch d = classify(*plan_, op, popcnt_, pvalid_);
+  const bool sparse_ok =
+      d.all_spiking && d.density < static_cast<double>(opts_.threshold);
+
+  if (opts_.packed && d.all_packed && sparse_ok) {
+    ++stats_.packed_dispatches;
+    Telemetry::count("infer.packed_layers");
+    Telemetry::count(ctr_packed_.c_str());
+    // (P, O) int32 panel carved from the float scratch (same element
+    // count); widened to float in place before the shared epilogue.
+    std::int32_t* panel = reinterpret_cast<std::int32_t*>(scratch_.data());
+    for (std::int64_t img = 0; img < n; ++img) {
+      std::memset(panel, 0,
+                  static_cast<std::size_t>(p * o_c) * sizeof(std::int32_t));
+      for (const TermPlan& t : op.terms) {
+        const ValuePlan& sv = val(t.value);
+        const std::int64_t src_c = sv.shape[1];
+        const std::uint64_t* w =
+            words(t.value) + img * (sv.words / sv.shape[0]);
+        if (t.sunk) {
+          stats_.synops += spike_packed_conv2d_term_i8(
+              t.geom, src_c, w, nullptr, t.wq8.data(), o_c, panel);
+        } else {
+          stats_.synops += spike_packed_conv2d_term_i8(
+              op.geom, src_c, w, t.chrow.empty() ? nullptr : t.chrow.data(),
+              op.wq8t.data(), o_c, panel);
+        }
+      }
+      convert_i32_to_f32(p * o_c, panel, scratch_.data());
+      epilogue(op, img, scratch_.data(), /*so=*/1, /*sp=*/o_c);
+    }
+    return;
+  }
+
+  ++stats_.dense_dispatches;
+  Telemetry::count("infer.dense_layers");
+  Telemetry::count(ctr_dense_.c_str());
+  stats_.dense_macs += op.macs;
+  float* assembled = scratch_.data();
+  float* cols = assembled + in_img;
+  std::int64_t cols_f = ckk * p;
+  for (const TermPlan& t : op.terms) {
+    if (!t.sunk) continue;
+    cols_f = std::max(cols_f,
+                      t.pgeom.col_rows() * t.pgeom.out_h() * t.pgeom.out_w());
+  }
+  std::int8_t* q8 = reinterpret_cast<std::int8_t*>(cols + cols_f);
+  const std::int64_t qf = (ckk * p + 3) / 4;  // int8 codes, float slots
+  std::int32_t* ipanel =
+      reinterpret_cast<std::int32_t*>(cols + cols_f + qf);
+  float* fpanel = cols + cols_f + qf;
+  const float inv = 1.f / op.in_scale;
+  for (std::int64_t img = 0; img < n; ++img) {
+    assemble_image(op, img, assembled);
+    // Sunk projections rematerialize through the raw fp32 1x1 weights,
+    // exactly like the fp32 dense path (the composite kernel's zero rows
+    // are free for event kernels but real work for a GEMM).
+    for (const TermPlan& t : op.terms) {
+      if (!t.sunk) continue;
+      const ValuePlan& sv = val(t.value);
+      const float* src = dense(t.value) + img * (sv.floats / sv.shape[0]);
+      const std::int64_t pp = t.pgeom.out_h() * t.pgeom.out_w();
+      im2col(t.pgeom, src, cols);
+      gemm(t.proj_c, pp, t.pgeom.in_c, 1.f, t.pw.data(), cols, 1.f,
+           assembled + t.offset * pp);
+      stats_.dense_macs += t.proj_c * t.pgeom.in_c * pp;
+    }
+    im2row(op.geom, assembled, cols);
+    quantize_int8(ckk * p, cols, inv, q8);
+    gemm_s8s32_nt(o_c, p, ckk, op.wq8d.data(), q8, ipanel);
+    convert_i32_to_f32(o_c * p, ipanel, fpanel);
+    epilogue(op, img, fpanel, /*so=*/p, /*sp=*/1, op.in_scale);
+  }
+}
+
+void Engine::exec_dwconv_i8(const OpPlan& op) {
+  const ValuePlan& ov = val(op.out);
+  const std::int64_t n = ov.shape[0];
+  const std::int64_t p = op.geom.out_h() * op.geom.out_w();
+  const std::int64_t c = op.geom.in_c;
+  const std::int64_t k = op.geom.kernel;
+  const std::int64_t in_img = c * op.geom.in_h * op.geom.in_w;
+  const std::int8_t* bank = op.wq8t.data();  // (C, K, K) int8 bank
+
+  const Dispatch d = classify(*plan_, op, popcnt_, pvalid_);
+  const bool sparse_ok =
+      d.all_spiking && d.density < static_cast<double>(opts_.threshold);
+
+  if (opts_.packed && d.all_packed && sparse_ok) {
+    ++stats_.packed_dispatches;
+    Telemetry::count("infer.packed_layers");
+    Telemetry::count(ctr_packed_.c_str());
+    std::int32_t* acc = reinterpret_cast<std::int32_t*>(scratch_.data());
+    for (std::int64_t img = 0; img < n; ++img) {
+      std::memset(acc, 0,
+                  static_cast<std::size_t>(c * p) * sizeof(std::int32_t));
+      for (const TermPlan& t : op.terms) {
+        const ValuePlan& sv = val(t.value);
+        const std::uint64_t* wsrc =
+            words(t.value) + img * (sv.words / sv.shape[0]);
+        stats_.synops += spike_packed_depthwise_term_i8(
+            op.geom, sv.shape[1], wsrc,
+            t.chrow.empty() ? nullptr : t.chrow.data(), bank, acc);
+      }
+      convert_i32_to_f32(c * p, acc, scratch_.data());
+      epilogue(op, img, scratch_.data(), /*so=*/p, /*sp=*/1);
+    }
+    return;
+  }
+
+  ++stats_.dense_dispatches;
+  Telemetry::count("infer.dense_layers");
+  Telemetry::count(ctr_dense_.c_str());
+  stats_.dense_macs += op.macs;
+  float* assembled = scratch_.data();
+  std::int8_t* q8 = reinterpret_cast<std::int8_t*>(assembled + in_img);
+  const std::int64_t qf = (in_img + 3) / 4;
+  std::int32_t* iacc =
+      reinterpret_cast<std::int32_t*>(assembled + in_img + qf);
+  float* facc = assembled + in_img + qf;
+  const std::int64_t h = op.geom.in_h, wd = op.geom.in_w;
+  const std::int64_t ho = op.geom.out_h(), wo = op.geom.out_w();
+  const std::int64_t stride = op.geom.stride, pad = op.geom.pad;
+  const float inv = 1.f / op.in_scale;
+  for (std::int64_t img = 0; img < n; ++img) {
+    assemble_image(op, img, assembled);
+    quantize_int8(in_img, assembled, inv, q8);
+    // The fp32 per-tap loop with int8 operands and an int32 accumulator.
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const std::int8_t* plane = q8 + ch * h * wd;
+      const std::int8_t* ker = bank + ch * k * k;
+      std::int32_t* optr = iacc + ch * p;
+      for (std::int64_t oy = 0; oy < ho; ++oy) {
+        for (std::int64_t ox = 0; ox < wo; ++ox) {
+          std::int32_t acc = 0;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = ox * stride - pad + kx;
+              if (ix < 0 || ix >= wd) continue;
+              acc += static_cast<std::int32_t>(ker[ky * k + kx]) *
+                     static_cast<std::int32_t>(plane[iy * wd + ix]);
+            }
+          }
+          optr[oy * wo + ox] = acc;
+        }
+      }
+    }
+    convert_i32_to_f32(c * p, iacc, facc);
+    epilogue(op, img, facc, /*so=*/p, /*sp=*/1, op.in_scale);
+  }
+}
+
+void Engine::exec_linear_i8(const OpPlan& op) {
+  const TermPlan& t = op.terms.front();
+  const ValuePlan& iv = val(t.value);
+  const std::int64_t n = iv.shape[0];
+  const std::int64_t in_f = t.channels;
+  const std::int64_t o_f = op.out_c;
+  ++stats_.dense_dispatches;
+  Telemetry::count("infer.dense_layers");
+  Telemetry::count(ctr_dense_.c_str());
+  stats_.dense_macs += op.macs;
+  std::int8_t* q8 = reinterpret_cast<std::int8_t*>(scratch_.data());
+  const std::int64_t qf = (n * in_f + 3) / 4;
+  std::int32_t* iout =
+      reinterpret_cast<std::int32_t*>(scratch_.data() + qf);
+  float* fout = scratch_.data() + qf;
+  quantize_int8(n * in_f, dense(t.value), 1.f / op.in_scale, q8);
+  // out(N, O) = qx(N, I) * Wq(O, I)^T in int32; dequant in the epilogue.
+  gemm_s8s32_nt(n, o_f, in_f, q8, op.wq8d.data(), iout);
+  convert_i32_to_f32(n * o_f, iout, fout);
+  for (std::int64_t img = 0; img < n; ++img) {
+    epilogue(op, img, fout + img * o_f, /*so=*/1, /*sp=*/1, op.in_scale);
   }
 }
 
@@ -619,7 +849,7 @@ void Engine::exec_copy(const OpPlan& op) {
 }
 
 void Engine::epilogue(const OpPlan& op, std::int64_t img, const float* acc,
-                      std::int64_t so, std::int64_t sp) {
+                      std::int64_t so, std::int64_t sp, float ascale) {
   const ValuePlan& ov = val(op.out);
   const std::int64_t n = ov.shape[0];
   const std::int64_t img_f = ov.floats / n;
@@ -651,9 +881,9 @@ void Engine::epilogue(const OpPlan& op, std::int64_t img, const float* acc,
       // spike-bit packing in one pass.
       for (std::int64_t o = 0; o < o_c; ++o) {
         spk += lif_epilogue_row(p, acc + o * so, sc != nullptr ? 1 : 0,
-                                sc != nullptr ? sc[o] : 0.f, bias[o], op.beta,
-                                op.theta, m + o * p, dst + o * p, wbits,
-                                /*bit0=*/o * p);
+                                sc != nullptr ? ascale * sc[o] : 0.f, bias[o],
+                                op.beta, op.theta, m + o * p, dst + o * p,
+                                wbits, /*bit0=*/o * p);
       }
     } else {
       for (std::int64_t o = 0; o < o_c; ++o) {
@@ -662,7 +892,7 @@ void Engine::epilogue(const OpPlan& op, std::int64_t img, const float* acc,
         for (std::int64_t j = 0; j < p; ++j) {
           const std::int64_t idx = o * p + j;
           const float a = ab[j * sp];
-          const float in = (sc != nullptr ? sc[o] * a : a) + b;
+          const float in = (sc != nullptr ? (ascale * sc[o]) * a : a) + b;
           // Lif::forward's exact update: leaky integrate, refractory gate,
           // threshold compare, soft reset.
           const float vt = op.beta * m[idx] + in;
@@ -695,7 +925,7 @@ void Engine::epilogue(const OpPlan& op, std::int64_t img, const float* acc,
   if (sp == 1) {
     for (std::int64_t o = 0; o < o_c; ++o) {
       affine_epilogue_row(p, acc + o * so, sc != nullptr ? 1 : 0,
-                          sc != nullptr ? sc[o] : 0.f, bias[o],
+                          sc != nullptr ? ascale * sc[o] : 0.f, bias[o],
                           op.epi == Epi::Relu ? 1 : 0, dst + o * p);
     }
     return;
@@ -706,7 +936,7 @@ void Engine::epilogue(const OpPlan& op, std::int64_t img, const float* acc,
     for (std::int64_t j = 0; j < p; ++j) {
       const std::int64_t idx = o * p + j;
       const float a = ab[j * sp];
-      const float in = (sc != nullptr ? sc[o] * a : a) + b;
+      const float in = (sc != nullptr ? (ascale * sc[o]) * a : a) + b;
       dst[idx] = op.epi == Epi::Relu ? (in > 0.f ? in : 0.f) : in;
     }
   }

@@ -126,6 +126,14 @@ class Engine {
   const ExecStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ExecStats{}; }
 
+  /// Calibration sink (infer/quant.h): when set on an FP32 engine,
+  /// records each weight op's per-input absmax into `amax` (one slot per
+  /// plan op, max-merged across images/steps) every time the op runs a
+  /// dense dispatch — which is every step when the engine is built with
+  /// {packed = false, threshold = 0}. The vector must outlive the engine
+  /// or be cleared with nullptr; it must be sized to plan().ops.size().
+  void set_calibration_sink(std::vector<float>* amax) { calib_ = amax; }
+
  private:
   float* dense(int v);
   std::uint64_t* words(int v);
@@ -138,6 +146,12 @@ class Engine {
   void exec_conv(const OpPlan& op);
   void exec_dwconv(const OpPlan& op);
   void exec_linear(const OpPlan& op);
+  // Int8-plan twins (ISSUE 10): packed int8 event kernels (int32 panel)
+  // or dense int8 GEMM (quantize assembled input, int8xint8->int32,
+  // dequant in the epilogue). There is no CSR mode for int8 plans.
+  void exec_conv_i8(const OpPlan& op);
+  void exec_dwconv_i8(const OpPlan& op);
+  void exec_linear_i8(const OpPlan& op);
   void exec_dsc_gather(const OpPlan& op);
   void exec_avgpool(const OpPlan& op);
   void exec_gap(const OpPlan& op);
@@ -163,9 +177,16 @@ class Engine {
   /// one image, writing the output's dense mirror, packed mask bits, and
   /// popcount. `so`/`sp` are the accumulator's channel/spatial strides
   /// (packed panels are (P, O): so=1, sp=O; dense outputs are (O, P):
-  /// so=P, sp=1).
+  /// so=P, sp=1). `ascale` is the int8 dense path's input quantization
+  /// step, folded into the per-channel scale (eff[o] = ascale * sc[o]);
+  /// 1.0 everywhere else (exact — multiplying a float by 1.0 is the
+  /// identity, so fp32 plans are untouched).
   void epilogue(const OpPlan& op, std::int64_t img, const float* acc,
-                std::int64_t so, std::int64_t sp);
+                std::int64_t so, std::int64_t sp, float ascale = 1.f);
+
+  /// Calibration: max-merge |x| over `n` floats into the current op's
+  /// sink slot (no-op without a sink).
+  void record_amax(const float* x, std::int64_t n);
 
   PlanPtr plan_;
   ExecOptions opts_;                   // snapshot; engine-local dispatch
@@ -183,6 +204,9 @@ class Engine {
   SpikeCsr csr_;                       // CSR fallback (capacity reused)
   std::int64_t t_ = 0;                 // timestep (BNTT copy selection)
   ExecStats stats_;
+  std::vector<float>* calib_ = nullptr;  // per-op input absmax sink
+  std::size_t cur_op_ = 0;               // op index for the sink slot
+
 };
 
 }  // namespace snnskip::infer

@@ -36,6 +36,24 @@
 
 namespace snnskip::infer {
 
+/// Weight numeric format of a compiled plan (ISSUE 10). Int8 stores ONE
+/// per-output-channel symmetric int8 weight copy per op and absorbs the
+/// per-timestep BNTT fold into the epilogue's requantization scale
+/// (scale_t[o] = S[o] * bn_scale_t[o]) — versus one fp32 copy per
+/// timestep in folded fp32 mode, the ~4x-per-copy x T-copies memory win
+/// that motivated the format (DESIGN.md §5k).
+enum class Precision : std::uint8_t { Fp32, Int8 };
+
+inline const char* precision_name(Precision p) {
+  return p == Precision::Int8 ? "int8" : "fp32";
+}
+
+inline bool parse_precision(const std::string& s, Precision* out) {
+  if (s == "fp32") { *out = Precision::Fp32; return true; }
+  if (s == "int8") { *out = Precision::Int8; return true; }
+  return false;
+}
+
 enum class OpKind : std::uint8_t {
   Conv,       ///< conv2d over 1+ terms (main / ADD-skip / concat-skip)
   DwConv,     ///< depthwise conv over 1+ ADD terms
@@ -95,6 +113,14 @@ struct TermPlan {
   std::vector<float> pw;   ///< raw (proj_c, src_c) 1x1 projection weights
   ConvGeometry pgeom{};    ///< 1x1 stride-s1 geometry over the source
   std::int64_t proj_c = 0; ///< projection output channels (== main in_c)
+
+  /// Int8 plans: the composite kernel quantized with the CONSUMER's
+  /// per-output-channel scales (shared S[o] over own + sunk rows, so one
+  /// int32 panel dequantizes uniformly), transposed ((c,ky,kx), o) for
+  /// the packed event kernel. `wt`/`wd` stay empty — the int8 engine has
+  /// no CSR mode, and dense dispatch re-materializes the raw fp32 1x1
+  /// projection (`pw`) exactly like the fp32 engine.
+  std::vector<std::int8_t> wq8;
 };
 
 struct ValuePlan {
@@ -136,6 +162,25 @@ struct OpPlan {
   std::vector<std::vector<float>> bias;   ///< folded bias/shift per copy
   std::vector<std::vector<float>> scale;  ///< no-fold mode: BN scale per t
 
+  // Int8 plans (Plan::precision == Precision::Int8): ONE quantized weight
+  // copy (per-output-channel symmetric, S[o] = row absmax / 127, shared
+  // with every sunk term's composite rows). `wq8t` is the transposed
+  // ((c,ky,kx), o) panel for the packed event kernel (DwConv: the
+  // (C, K, K) bank); `wq8d` keeps the (O, CKK) rows for the dense int8
+  // GEMM (Linear: the (O, I) rows). `scale` then holds the DEQUANT
+  // scales per timestep (S[o] * bn_scale_t[o]) and `bias` the per-t
+  // shifts — the same epilogue mechanism as fp32 no-fold mode, which is
+  // what keeps one int8 copy sufficient across all BNTT timesteps.
+  std::vector<std::int8_t> wq8t;
+  std::vector<std::int8_t> wq8d;
+  /// Int8 dense dispatch: the input quantization STEP (dequant
+  /// multiplier `a`; codes are clamp(floor(x / a + 0.5))). Exactly 1.0
+  /// when every input term is binary spikes and none is sunk — assembled
+  /// values are then small integers and quantization is exact, making
+  /// dense and packed int8 dispatch bitwise-equal. Otherwise calibrated
+  /// from a QuantProfile (amax / 127; default amax 1.0).
+  float in_scale = 1.f;
+
   // Fused neuron parameters (epi == Lif).
   float beta = 0.9f;
   float theta = 1.f;
@@ -159,6 +204,7 @@ struct Plan {
   int input_value = 0;
   int output_value = -1;
   bool bn_folded = true;
+  Precision precision = Precision::Fp32;
 
   std::vector<ValuePlan> values;
   std::vector<OpPlan> ops;
@@ -167,6 +213,32 @@ struct Plan {
   std::int64_t word_arena = 0;     ///< words, shared/reused across values
   std::int64_t state_arena = 0;    ///< floats, persistent neuron state
   std::int64_t scratch_floats = 0; ///< per-op scratch high-water
+
+  /// Total bytes of weight payload (all copies, fp32 and int8, including
+  /// sunk-term composites, biases, and scales) — the memory-footprint
+  /// accounting behind the int8 acceptance gate (engine weight memory
+  /// <= 0.30x of the fp32 plan on ResNet-18S).
+  std::int64_t weight_bytes() const {
+    std::int64_t b = 0;
+    auto fv = [&b](const std::vector<std::vector<float>>& vv) {
+      for (const auto& v : vv) b += static_cast<std::int64_t>(v.size()) * 4;
+    };
+    for (const OpPlan& op : ops) {
+      fv(op.wt);
+      fv(op.wd);
+      fv(op.bias);
+      fv(op.scale);
+      b += static_cast<std::int64_t>(op.wq8t.size());
+      b += static_cast<std::int64_t>(op.wq8d.size());
+      for (const TermPlan& t : op.terms) {
+        fv(t.wt);
+        fv(t.wd);
+        b += static_cast<std::int64_t>(t.pw.size()) * 4;
+        b += static_cast<std::int64_t>(t.wq8.size());
+      }
+    }
+    return b;
+  }
 };
 
 using PlanPtr = std::shared_ptr<const Plan>;

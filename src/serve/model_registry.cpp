@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "fault/inject.h"
+#include "infer/quant.h"
 #include "tensor/tensor.h"
 #include "telemetry/telemetry.h"
 #include "train/checkpoint.h"
@@ -115,6 +116,12 @@ ModelSpec ModelSpec::from_manifest(const std::string& path) {
         spec.in_w = std::stoll(value);
       } else if (key == "fold_bn") {
         spec.compile.fold_bn = parse_bool(value);
+      } else if (key == "precision") {
+        if (!infer::parse_precision(value, &spec.compile.precision)) {
+          bad("unknown precision '" + value + "' (fp32|int8)");
+        }
+      } else if (key == "calib_steps") {
+        spec.calib_steps = std::stoll(value);
       } else if (key == "packed") {
         spec.exec.packed = parse_bool(value);
       } else if (key == "threshold") {
@@ -222,7 +229,31 @@ ModelHandle ModelRegistry::load(const ModelSpec& spec) {
     }
   }
   net.reset_state();
-  infer::Plan plan = infer::compile_plan(net, in_shape, spec.compile);
+  infer::Plan plan;
+  if (spec.compile.precision == infer::Precision::Int8) {
+    // Self-calibration (ISSUE 10): profile activation ranges on an FP32
+    // twin over a fixed seeded spike stream, then compile int8 from the
+    // profile. Batch-1 calibration shape for the same reason as the BN
+    // warmup: specs differing only in `batch` must fold (and now
+    // quantize) identical weights.
+    infer::CompileOptions fp = spec.compile;
+    fp.precision = infer::Precision::Fp32;
+    fp.quant = nullptr;
+    const Shape cal_shape{1, spec.config.in_channels, spec.in_h, spec.in_w};
+    infer::PlanPtr fplan = infer::compile(net, cal_shape, fp);
+    const std::int64_t steps = spec.calib_steps < 1 ? 1 : spec.calib_steps;
+    std::vector<std::vector<Tensor>> seqs(1);
+    Rng crng(123);
+    for (std::int64_t t = 0; t < steps; ++t) {
+      seqs[0].push_back(Tensor::bernoulli(cal_shape, crng, 0.3f));
+    }
+    const infer::QuantProfile prof = infer::calibrate_quant(fplan, seqs);
+    infer::CompileOptions qopts = spec.compile;
+    qopts.quant = &prof;
+    plan = infer::compile_plan(net, in_shape, qopts);
+  } else {
+    plan = infer::compile_plan(net, in_shape, spec.compile);
+  }
   plan.model_name = spec.name;
   auto model = std::make_shared<LoadedModel>(
       spec, std::make_shared<const infer::Plan>(std::move(plan)));

@@ -62,6 +62,14 @@ struct ModelSpec {
   std::int64_t batch = 1;
   std::int64_t in_h = 8, in_w = 8;
   infer::CompileOptions compile{};
+  /// Int8 plans (compile.precision == Int8) self-calibrate at load time:
+  /// the registry compiles an FP32 twin at batch 1, sweeps it over this
+  /// many steps of a FIXED seeded Bernoulli spike stream (Rng(123),
+  /// p=0.3) to profile activation ranges, then compiles the int8 plan
+  /// from the profile. The stream is deterministic so an evicted model
+  /// reloaded later gets a bit-identical plan (LRU round-trips stay
+  /// reproducible, same contract as the BN warmup stream).
+  std::int64_t calib_steps = 8;
   /// Per-engine dispatch options for every pooled engine of this model.
   infer::ExecOptions exec = infer::ExecOptions::defaults();
 
@@ -73,9 +81,9 @@ struct ModelSpec {
   /// Parse a `key value` manifest (one pair per line; '#' comments).
   /// Keys: name family width in_channels num_classes timesteps theta
   /// neuron (lif|plif) seed checkpoint warm_bn_steps batch in_h in_w
-  /// fold_bn packed threshold. Relative checkpoint paths resolve against
-  /// the manifest's directory. Throws std::runtime_error on unreadable
-  /// files or unknown keys.
+  /// fold_bn precision (fp32|int8) calib_steps packed threshold. Relative
+  /// checkpoint paths resolve against the manifest's directory. Throws
+  /// std::runtime_error on unreadable files or unknown keys.
   static ModelSpec from_manifest(const std::string& path);
 };
 

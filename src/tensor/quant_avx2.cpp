@@ -1,0 +1,21 @@
+// AVX2 int8 kernel table (ISSUE 10). Compiled with -mavx2 (via
+// snnskip_simd_kernel_sources) and only when the toolchain supports it;
+// reached exclusively through the CPUID-gated table accessor. Integer
+// kernels: bit-identical to the scalar table by construction, enforced
+// by tests/quant_test.cpp's scalar-vs-AVX2 memcmp.
+
+#if !defined(__AVX2__)
+#error "quant_avx2.cpp must be compiled with -mavx2"
+#endif
+
+#include "tensor/quant_kernels_impl.h"
+#include "tensor/simd_ops.h"
+
+namespace snnskip::simd {
+
+const QuantKernels* quant_kernels_avx2() {
+  static const QuantKernels k = quant_impl::make_quant_table<true>();
+  return &k;
+}
+
+}  // namespace snnskip::simd

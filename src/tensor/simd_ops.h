@@ -135,4 +135,43 @@ inline const SpikeKernels& spike_ops() {
   return *spike_kernels_for(active_simd());
 }
 
+// ---- Int8 quantized kernels (ISSUE 10) -------------------------------------
+// One table: the int8 kernels are integer (bit-identical at every level),
+// so there is no separate FMA variant — Avx2 and Avx2Fma share the AVX2
+// instantiation.
+
+struct QuantKernels {
+  void (*quantize_row)(std::int64_t n, const float* src, float inv,
+                       std::int8_t* dst);
+  void (*i32_to_f32)(std::int64_t n, const std::int32_t* src, float* dst);
+  void (*gemm_s8s32_nt)(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const std::int8_t* a, const std::int8_t* b,
+                        std::int32_t* c);
+  std::int64_t (*packed_conv2d_term_i8)(const ConvGeometry&, std::int64_t,
+                                        const std::uint64_t*,
+                                        const std::int32_t*,
+                                        const std::int8_t*, std::int64_t,
+                                        std::int32_t*);
+  std::int64_t (*packed_depthwise_term_i8)(const ConvGeometry&, std::int64_t,
+                                           const std::uint64_t*,
+                                           const std::int32_t*,
+                                           const std::int8_t*, std::int32_t*);
+};
+
+const QuantKernels* quant_kernels_scalar();
+const QuantKernels* quant_kernels_avx2();
+
+inline const QuantKernels* quant_kernels_for(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Avx2:
+    case SimdLevel::Avx2Fma: return quant_kernels_avx2();
+    case SimdLevel::Scalar: break;
+  }
+  return quant_kernels_scalar();
+}
+
+inline const QuantKernels& quant_ops() {
+  return *quant_kernels_for(active_simd());
+}
+
 }  // namespace snnskip::simd

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "graph/block.h"
 #include "infer/compile.h"
 #include "infer/engine.h"
+#include "infer/quant.h"
 #include "models/zoo.h"
 #include "tensor/spike_csr.h"
 #include "tensor/spike_kernels.h"
@@ -477,6 +479,157 @@ TEST_F(InferTest, ConcurrentEnginesWithDistinctOptionsMatchSerial) {
     EXPECT_EQ(max_step_diff(serial[i], threaded[i]), 0.f)
         << "config " << i << " diverged under concurrency";
   }
+}
+
+// --- int8 quantized plans (ISSUE 10) ----------------------------------------
+
+infer::QuantProfile calibrate(Network& net, const Shape& in,
+                              std::int64_t steps, std::uint64_t seed) {
+  const infer::PlanPtr fplan = infer::compile(net, in);
+  Rng rng(seed);
+  std::vector<std::vector<Tensor>> seqs(1);
+  for (std::int64_t t = 0; t < steps; ++t) {
+    seqs[0].push_back(Tensor::bernoulli(in, rng, 0.25f));
+  }
+  return infer::calibrate_quant(fplan, seqs);
+}
+
+std::int64_t argmax_of_sum(const std::vector<Tensor>& outs) {
+  const std::int64_t n = outs.front().numel();
+  std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+  for (const Tensor& o : outs) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc[static_cast<std::size_t>(i)] += o.data()[i];
+    }
+  }
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < n; ++i) {
+    if (acc[static_cast<std::size_t>(i)] >
+        acc[static_cast<std::size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST_F(InferTest, Int8PlanTracksFp32AcrossAddJoins) {
+  // The rescale composition on ASC (addition) joins: every sunk skip term
+  // shares the consumer's per-channel scale panel, so skips never force a
+  // dequantized detour. The int8 plan must track the fp32 plan to the
+  // quantization budget — per-weight error is at most half a step
+  // (S[o]/2), so summed head logits agree on their argmax and stay within
+  // a small relative band.
+  for (const std::string model : {"single_block", "resnet18s"}) {
+    ModelConfig cfg = small_cfg();
+    Network net = build_model(model, cfg, default_adjacencies(model, cfg));
+    const Shape in{2, cfg.in_channels, 8, 8};
+    warm_bn_stats(net, in, 4);
+    const infer::QuantProfile prof = calibrate(net, in, 6, 113);
+
+    CompileOptions qopts;
+    qopts.precision = infer::Precision::Int8;
+    qopts.quant = &prof;
+    Engine fp(infer::compile(net, in));
+    Engine q(infer::compile(net, in, qopts));
+    EXPECT_EQ(q.plan().precision, infer::Precision::Int8);
+
+    int agree = 0;
+    const int trials = 8;
+    float worst = 0.f, scale = 0.f;
+    for (int s = 0; s < trials; ++s) {
+      const auto xs = spike_inputs(in, 4, 0.25f, 200 + s);
+      const auto ref = engine_eval(fp, xs);
+      const auto got = engine_eval(q, xs);
+      agree += argmax_of_sum(ref) == argmax_of_sum(got) ? 1 : 0;
+      worst = std::max(worst, max_step_diff(ref, got));
+      for (const Tensor& o : ref) {
+        for (std::int64_t i = 0; i < o.numel(); ++i) {
+          scale = std::max(scale, std::fabs(o.data()[i]));
+        }
+      }
+    }
+    EXPECT_GE(agree, trials - 1) << model;
+    EXPECT_LE(worst, 0.05f * std::max(1.f, scale)) << model;
+  }
+}
+
+TEST_F(InferTest, Int8PackedMatchesDenseBitwiseOnSpikingOps) {
+  // Chain adjacency: every conv input is binary spikes, so the
+  // activation step is exactly 1.0, quantization is lossless, and the
+  // packed integer event walk and the dense im2row + int8 GEMM route
+  // must agree BITWISE (int32 addition is associative — dispatch order
+  // cannot matter). The head linear consumes pooled analog input but
+  // runs the identical dense quantized path in both engines.
+  ModelConfig cfg = small_cfg();
+  Network net = build_model("single_block", cfg, {Adjacency::chain(4)});
+  const Shape in{2, cfg.in_channels, 8, 8};
+  warm_bn_stats(net, in, 4);
+  const infer::QuantProfile prof = calibrate(net, in, 6, 117);
+
+  CompileOptions qopts;
+  qopts.precision = infer::Precision::Int8;
+  qopts.quant = &prof;
+  const infer::PlanPtr plan = infer::compile(net, in, qopts);
+
+  const auto xs = spike_inputs(in, 4, 0.2f, 211);
+  Engine packed_eng(plan, ExecOptions{/*packed=*/true, /*threshold=*/1.f});
+  const auto packed = engine_eval(packed_eng, xs);
+  EXPECT_GT(packed_eng.stats().packed_dispatches, 0);
+
+  Engine dense_eng(plan, ExecOptions{/*packed=*/false, /*threshold=*/0.f});
+  const auto dense = engine_eval(dense_eng, xs);
+  EXPECT_GT(dense_eng.stats().dense_dispatches, 0);
+
+  EXPECT_EQ(max_step_diff(packed, dense), 0.f);
+}
+
+TEST_F(InferTest, Int8PlanShrinksWeightMemory) {
+  // The acceptance floor from ISSUE 10: one int8 copy of each weight
+  // panel plus per-timestep float scale/bias vectors must undercut the
+  // fp32 plan's per-timestep folded weight copies by at least 0.30x.
+  ModelConfig cfg = small_cfg();
+  Network net =
+      build_model("resnet18s", cfg, default_adjacencies("resnet18s", cfg));
+  const Shape in{2, cfg.in_channels, 8, 8};
+  warm_bn_stats(net, in, 4);
+  const infer::QuantProfile prof = calibrate(net, in, 6, 119);
+
+  CompileOptions qopts;
+  qopts.precision = infer::Precision::Int8;
+  qopts.quant = &prof;
+  const infer::PlanPtr fp = infer::compile(net, in);
+  const infer::PlanPtr q = infer::compile(net, in, qopts);
+  ASSERT_GT(fp->weight_bytes(), 0);
+  EXPECT_LE(static_cast<double>(q->weight_bytes()),
+            0.30 * static_cast<double>(fp->weight_bytes()));
+}
+
+TEST_F(InferTest, Int8PlanRejectsNoFoldAndAnalogInput) {
+  ModelConfig cfg = small_cfg();
+  Network net = build_model("single_block", cfg,
+                            default_adjacencies("single_block", cfg));
+  const Shape in{2, cfg.in_channels, 8, 8};
+
+  // BN must be folded: the scheme absorbs the per-timestep BN transform
+  // into the requantization scale — without folding there is nothing to
+  // absorb it into.
+  CompileOptions nofold;
+  nofold.precision = infer::Precision::Int8;
+  nofold.fold_bn = false;
+  EXPECT_THROW(infer::compile_plan(net, in, nofold), std::invalid_argument);
+
+  // Analog (non-binary) network input would be integer-rounded by the
+  // stem's exact unit step — rejected rather than silently degraded.
+  warm_bn_stats(net, in, 4);
+  const infer::QuantProfile prof = calibrate(net, in, 4, 121);
+  CompileOptions qopts;
+  qopts.precision = infer::Precision::Int8;
+  qopts.quant = &prof;
+  Engine q(infer::compile(net, in, qopts));
+  Tensor analog(in);
+  analog.fill(0.5f);
+  Tensor out;
+  EXPECT_THROW(q.step(analog, &out), std::invalid_argument);
 }
 
 TEST_F(InferTest, InputShapeMismatchThrows) {

@@ -136,6 +136,62 @@ TEST(ModelRegistryTest, EvictReloadRoundTripIsBitwiseReproducible) {
             0.f);
 }
 
+TEST(ModelRegistryTest, Int8EvictReloadRoundTripIsBitwiseReproducible) {
+  // Int8 models self-calibrate at load time over a FIXED seeded spike
+  // stream (ISSUE 10), so the eviction/reload contract above must hold
+  // for them too: a cold reload re-runs the identical calibration sweep
+  // and re-quantizes to a bit-identical plan.
+  ModelRegistry reg(1);
+  ModelSpec spec = tiny_spec("qrt");
+  spec.compile.precision = infer::Precision::Int8;
+  spec.calib_steps = 4;
+  ModelHandle first = reg.load(spec);
+  EXPECT_EQ(first->plan()->precision, infer::Precision::Int8);
+  const auto frames = request_frames(
+      Shape{spec.config.in_channels, spec.in_h, spec.in_w}, 4, 13);
+  const Tensor before = direct_reference(first, frames);
+  ASSERT_NE(before.sum(), 0.0);  // guard: comparison must be non-vacuous
+
+  reg.load(tiny_spec("other"));  // capacity 1: evicts "qrt"
+  EXPECT_FALSE(reg.is_resident("qrt"));
+  ModelHandle second = reg.load(spec);  // cold reload => fresh calibration
+  EXPECT_NE(first.get(), second.get());
+
+  const Tensor after = direct_reference(second, frames);
+  EXPECT_EQ(Tensor::max_abs_diff(before, after), 0.f);
+}
+
+TEST(ModelRegistryTest, Int8ManifestParsesAndLoads) {
+  const std::string path = ::testing::TempDir() + "/int8_model.manifest";
+  {
+    std::ofstream out(path);
+    out << "name quantized\n"
+        << "family single_block\n"
+        << "width 8\n"
+        << "timesteps 4\n"
+        << "theta 0.25\n"
+        << "warm_bn_steps 4\n"
+        << "precision int8\n"
+        << "calib_steps 3\n"
+        << "batch 2\n";
+  }
+  const ModelSpec spec = ModelSpec::from_manifest(path);
+  EXPECT_EQ(spec.compile.precision, infer::Precision::Int8);
+  EXPECT_EQ(spec.calib_steps, 3);
+
+  ModelRegistry reg(2);
+  ModelHandle m = reg.load(path);
+  EXPECT_EQ(m->plan()->precision, infer::Precision::Int8);
+  EXPECT_GT(m->plan()->weight_bytes(), 0);
+
+  {
+    std::ofstream out(path);
+    out << "name quantized\nprecision int4\n";
+  }
+  EXPECT_THROW(ModelSpec::from_manifest(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(ModelRegistryTest, CheckpointRestoreRoundTrip) {
   // Weights trained elsewhere and saved as SNNSKIP2 load through the
   // registry and change the served outputs vs the seeded init.
